@@ -1,0 +1,161 @@
+#include "bdd/bdd.hpp"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <unordered_set>
+
+namespace motsim {
+
+namespace {
+
+// Node references are packed three-per-word into the ite cache keys, which
+// caps any manager at 2^20 nodes regardless of the requested budget.
+constexpr std::size_t kHardMaxNodes = 1u << 20;
+
+std::uint64_t unique_key(unsigned var, BddRef low, BddRef high) {
+  return (static_cast<std::uint64_t>(var) << 48) ^
+         (static_cast<std::uint64_t>(low) << 24) ^ high;
+}
+
+std::uint64_t ite_key(BddRef f, BddRef g, BddRef h) {
+  return (static_cast<std::uint64_t>(f) << 40) |
+         (static_cast<std::uint64_t>(g) << 20) | h;
+}
+
+}  // namespace
+
+BddManager::BddManager(unsigned num_vars, std::size_t max_nodes)
+    : num_vars_(num_vars),
+      max_nodes_(max_nodes < kHardMaxNodes ? max_nodes : kHardMaxNodes) {
+  // Terminals: var index num_vars_ sorts below every real variable.
+  nodes_.push_back(Node{num_vars_, kBddFalse, kBddFalse});  // 0
+  nodes_.push_back(Node{num_vars_, kBddTrue, kBddTrue});    // 1
+}
+
+BddRef BddManager::make(unsigned var, BddRef low, BddRef high) {
+  if (low == high) return low;
+  const std::uint64_t key = unique_key(var, low, high);
+  auto it = unique_.find(key);
+  if (it != unique_.end()) return it->second;
+  if (nodes_.size() >= max_nodes_) {
+    // Soft failure: flag and return a valid-but-meaningless reference.
+    // Recursive operations terminate (they only shrink variable indices).
+    exhausted_ = true;
+    return kBddFalse;
+  }
+  const BddRef ref = static_cast<BddRef>(nodes_.size());
+  nodes_.push_back(Node{var, low, high});
+  unique_.emplace(key, ref);
+  return ref;
+}
+
+BddRef BddManager::var(unsigned v) {
+  assert(v < num_vars_);
+  return make(v, kBddFalse, kBddTrue);
+}
+
+BddRef BddManager::nvar(unsigned v) {
+  assert(v < num_vars_);
+  return make(v, kBddTrue, kBddFalse);
+}
+
+BddRef BddManager::ite(BddRef f, BddRef g, BddRef h) {
+  // Terminal cases.
+  if (f == kBddTrue) return g;
+  if (f == kBddFalse) return h;
+  if (g == h) return g;
+  if (g == kBddTrue && h == kBddFalse) return f;
+
+  const std::uint64_t key = ite_key(f, g, h);
+  auto it = ite_cache_.find(key);
+  if (it != ite_cache_.end()) return it->second;
+
+  unsigned m = var_of(f);
+  if (var_of(g) < m) m = var_of(g);
+  if (var_of(h) < m) m = var_of(h);
+
+  auto cofactor = [&](BddRef x, bool positive) {
+    if (var_of(x) != m) return x;
+    return positive ? nodes_[x].high : nodes_[x].low;
+  };
+  const BddRef r0 = ite(cofactor(f, false), cofactor(g, false), cofactor(h, false));
+  const BddRef r1 = ite(cofactor(f, true), cofactor(g, true), cofactor(h, true));
+  const BddRef result = make(m, r0, r1);
+  ite_cache_.emplace(key, result);
+  return result;
+}
+
+BddRef BddManager::bdd_not(BddRef f) { return ite(f, kBddFalse, kBddTrue); }
+BddRef BddManager::bdd_and(BddRef f, BddRef g) { return ite(f, g, kBddFalse); }
+BddRef BddManager::bdd_or(BddRef f, BddRef g) { return ite(f, kBddTrue, g); }
+BddRef BddManager::bdd_xor(BddRef f, BddRef g) { return ite(f, bdd_not(g), g); }
+BddRef BddManager::bdd_xnor(BddRef f, BddRef g) { return ite(f, g, bdd_not(g)); }
+
+BddRef BddManager::restrict_var(BddRef f, unsigned v, bool value) {
+  if (var_of(f) > v) return f;  // f does not depend on v (or is terminal)
+  if (var_of(f) == v) return value ? nodes_[f].high : nodes_[f].low;
+  const BddRef low = restrict_var(nodes_[f].low, v, value);
+  const BddRef high = restrict_var(nodes_[f].high, v, value);
+  return make(var_of(f), low, high);
+}
+
+bool BddManager::eval(BddRef f, std::uint64_t assignment) const {
+  while (f > kBddTrue) {
+    const Node& n = nodes_[f];
+    f = ((assignment >> n.var) & 1) ? n.high : n.low;
+  }
+  return f == kBddTrue;
+}
+
+std::uint64_t BddManager::sat_count(BddRef f) {
+  assert(num_vars_ < 64);
+  // weight(x): satisfying assignments of the variables at or below
+  // var_of(x) in the order; variables above var_of(f) are free.
+  std::unordered_map<BddRef, std::uint64_t> memo;
+  auto weight = [&](auto&& self, BddRef x) -> std::uint64_t {
+    if (x == kBddFalse) return 0;
+    if (x == kBddTrue) return 1;
+    auto it = memo.find(x);
+    if (it != memo.end()) return it->second;
+    const Node& n = nodes_[x];
+    const std::uint64_t wl = self(self, n.low)
+                             << (var_of(n.low) - n.var - 1);
+    const std::uint64_t wh = self(self, n.high)
+                             << (var_of(n.high) - n.var - 1);
+    const std::uint64_t w = wl + wh;
+    memo.emplace(x, w);
+    return w;
+  };
+  return weight(weight, f) << var_of(f);
+}
+
+std::uint64_t BddManager::any_sat(BddRef f) const {
+  assert(f != kBddFalse);
+  std::uint64_t assignment = 0;
+  while (f > kBddTrue) {
+    const Node& n = nodes_[f];
+    if (n.high != kBddFalse) {
+      assignment |= 1ull << n.var;
+      f = n.high;
+    } else {
+      f = n.low;
+    }
+  }
+  return assignment;
+}
+
+std::size_t BddManager::dag_size(BddRef f) const {
+  std::unordered_set<BddRef> seen;
+  std::vector<BddRef> work = {f};
+  while (!work.empty()) {
+    const BddRef x = work.back();
+    work.pop_back();
+    if (!seen.insert(x).second || x <= kBddTrue) continue;
+    work.push_back(nodes_[x].low);
+    work.push_back(nodes_[x].high);
+  }
+  return seen.size();
+}
+
+}  // namespace motsim

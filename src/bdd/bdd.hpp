@@ -1,0 +1,90 @@
+// A compact reduced-ordered BDD package.
+//
+// Built for the symbolic restricted-MOT detector (symbolic.hpp) — the class
+// of methods the paper contrasts with ([5], Krieger/Becker/Keim's hybrid
+// fault simulator): exact, but only applicable when the BDDs stay small.
+// Variables are the faulty machine's initial-state bits, so the variable
+// count equals the flip-flop count and ordering follows flip-flop order.
+//
+// Design: arena of nodes, hash-consed via a unique table (no two nodes with
+// equal (var, low, high)), ite() with memoization, no garbage collection
+// (managers are per-task and short-lived). Complement edges are not used —
+// plain canonical form keeps the invariants simple and testable.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace motsim {
+
+/// Index into the manager's node arena. 0 and 1 are the terminals.
+using BddRef = std::uint32_t;
+inline constexpr BddRef kBddFalse = 0;
+inline constexpr BddRef kBddTrue = 1;
+
+class BddManager {
+ public:
+  /// `num_vars` fixes the variable order: variable 0 is tested first.
+  /// `max_nodes` bounds the arena; when it is reached the manager sets
+  /// exhausted() and every further operation returns an arbitrary (but
+  /// valid) reference — callers must check exhausted() and discard results.
+  explicit BddManager(unsigned num_vars, std::size_t max_nodes = 1u << 20);
+
+  unsigned num_vars() const { return num_vars_; }
+  std::size_t num_nodes() const { return nodes_.size(); }
+  /// True once the node budget was hit; results since then are meaningless.
+  bool exhausted() const { return exhausted_; }
+
+  BddRef constant(bool b) const { return b ? kBddTrue : kBddFalse; }
+  /// The function of a single variable.
+  BddRef var(unsigned v);
+  /// Its complement.
+  BddRef nvar(unsigned v);
+
+  BddRef bdd_not(BddRef f);
+  BddRef bdd_and(BddRef f, BddRef g);
+  BddRef bdd_or(BddRef f, BddRef g);
+  BddRef bdd_xor(BddRef f, BddRef g);
+  BddRef bdd_xnor(BddRef f, BddRef g);
+  /// if-then-else: the universal connective every operation above reduces to.
+  BddRef ite(BddRef f, BddRef g, BddRef h);
+
+  bool is_true(BddRef f) const { return f == kBddTrue; }
+  bool is_false(BddRef f) const { return f == kBddFalse; }
+
+  /// Cofactor of f with variable v fixed to `value`.
+  BddRef restrict_var(BddRef f, unsigned v, bool value);
+
+  /// Evaluates f under a complete assignment (bit v of `assignment`).
+  bool eval(BddRef f, std::uint64_t assignment) const;
+
+  /// Number of satisfying assignments over all num_vars() variables.
+  /// Precondition: num_vars() < 64.
+  std::uint64_t sat_count(BddRef f);
+
+  /// One satisfying assignment (any); valid only if f != false.
+  std::uint64_t any_sat(BddRef f) const;
+
+  /// Structural node count of the (shared) DAG rooted at f.
+  std::size_t dag_size(BddRef f) const;
+
+ private:
+  struct Node {
+    unsigned var;  // terminals use num_vars_
+    BddRef low;    // cofactor var=0
+    BddRef high;   // cofactor var=1
+  };
+
+  BddRef make(unsigned var, BddRef low, BddRef high);
+  unsigned var_of(BddRef f) const { return nodes_[f].var; }
+
+  unsigned num_vars_;
+  std::size_t max_nodes_;
+  bool exhausted_ = false;
+  std::vector<Node> nodes_;
+  std::unordered_map<std::uint64_t, BddRef> unique_;  // (var,low,high) -> ref
+  std::unordered_map<std::uint64_t, BddRef> ite_cache_;
+};
+
+}  // namespace motsim

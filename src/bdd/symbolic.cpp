@@ -1,0 +1,150 @@
+#include "bdd/symbolic.hpp"
+
+#include <cassert>
+
+#include "bdd/bdd.hpp"
+#include "fault/fault_view.hpp"
+
+namespace motsim {
+
+namespace {
+
+/// Folds an n-ary gate over BDD operands.
+BddRef eval_gate_bdd(BddManager& mgr, GateType t, const std::vector<BddRef>& ins) {
+  switch (t) {
+    case GateType::Const0:
+      return mgr.constant(false);
+    case GateType::Const1:
+      return mgr.constant(true);
+    case GateType::Buf:
+      return ins[0];
+    case GateType::Not:
+      return mgr.bdd_not(ins[0]);
+    case GateType::And:
+    case GateType::Nand: {
+      BddRef acc = ins[0];
+      for (std::size_t k = 1; k < ins.size(); ++k) acc = mgr.bdd_and(acc, ins[k]);
+      return t == GateType::Nand ? mgr.bdd_not(acc) : acc;
+    }
+    case GateType::Or:
+    case GateType::Nor: {
+      BddRef acc = ins[0];
+      for (std::size_t k = 1; k < ins.size(); ++k) acc = mgr.bdd_or(acc, ins[k]);
+      return t == GateType::Nor ? mgr.bdd_not(acc) : acc;
+    }
+    case GateType::Xor:
+    case GateType::Xnor: {
+      BddRef acc = ins[0];
+      for (std::size_t k = 1; k < ins.size(); ++k) acc = mgr.bdd_xor(acc, ins[k]);
+      return t == GateType::Xnor ? mgr.bdd_not(acc) : acc;
+    }
+    case GateType::Input:
+    case GateType::Dff:
+      assert(false && "inputs and flip-flops are not evaluated combinationally");
+      return kBddFalse;
+  }
+  return kBddFalse;
+}
+
+}  // namespace
+
+SymbolicVerdict symbolic_mot_detect(const Circuit& c, const TestSequence& test,
+                                    const SeqTrace& good, const Fault& f,
+                                    const SymbolicOptions& options) {
+  SymbolicVerdict verdict;
+  const std::size_t k = c.num_dffs();
+  // One BDD variable per unknown initial-state bit. The node budget is
+  // enforced inside the manager (soft exhaustion), so a single frame cannot
+  // blow past it.
+  BddManager mgr(static_cast<unsigned>(k), options.node_budget);
+  const FaultView fv(c, f);
+
+  // The test must be fully specified (constants in the symbolic domain).
+  for (std::size_t u = 0; u < test.length(); ++u) {
+    for (std::size_t i = 0; i < test.num_inputs(); ++i) {
+      if (!is_specified(test.at(u, i))) return verdict;
+    }
+  }
+
+  // Initial present-state functions: free variables, except a stem-stuck
+  // flip-flop output which is the stuck constant at every time unit.
+  std::vector<BddRef> state(k);
+  for (std::size_t j = 0; j < k; ++j) {
+    state[j] = fv.out_fixed(c.dffs()[j])
+                   ? mgr.constant(fv.fault()->stuck == Val::One)
+                   : mgr.var(static_cast<unsigned>(j));
+  }
+
+  BddRef conflict = mgr.constant(false);
+  std::vector<BddRef> vals(c.num_gates(), kBddFalse);
+  std::vector<BddRef> ins;
+
+  for (std::size_t u = 0; u < test.length(); ++u) {
+    for (std::size_t i = 0; i < c.num_inputs(); ++i) {
+      const Val applied = fv.input_value(i, test.at(u, i));
+      vals[c.inputs()[i]] = mgr.constant(applied == Val::One);
+    }
+    for (std::size_t j = 0; j < k; ++j) vals[c.dffs()[j]] = state[j];
+    for (GateId id = 0; id < c.num_gates(); ++id) {
+      const GateType t = c.gate(id).type;
+      if (t == GateType::Const0 || t == GateType::Const1) {
+        vals[id] = fv.out_fixed(id)
+                       ? mgr.constant(fv.fault()->stuck == Val::One)
+                       : mgr.constant(t == GateType::Const1);
+      }
+    }
+    for (GateId id : c.topo_order()) {
+      if (fv.out_fixed(id)) {
+        vals[id] = mgr.constant(fv.fault()->stuck == Val::One);
+        continue;
+      }
+      const Gate& g = c.gate(id);
+      ins.clear();
+      for (std::size_t p = 0; p < g.fanins.size(); ++p) {
+        if (fv.pin_fixed(id, p)) {
+          ins.push_back(mgr.constant(fv.fault()->stuck == Val::One));
+        } else {
+          ins.push_back(vals[g.fanins[p]]);
+        }
+      }
+      vals[id] = eval_gate_bdd(mgr, g.type, ins);
+    }
+    if (mgr.exhausted()) {
+      verdict.peak_nodes = mgr.num_nodes();
+      return verdict;  // the "BDDs cannot be derived" regime
+    }
+
+    // Accumulate "this initial state conflicts at some observation so far".
+    for (std::size_t o = 0; o < c.num_outputs(); ++o) {
+      const Val gv = good.outputs[u][o];
+      if (!is_specified(gv)) continue;
+      const BddRef po = vals[c.outputs()[o]];
+      conflict = mgr.bdd_or(conflict,
+                            gv == Val::One ? mgr.bdd_not(po) : po);
+    }
+    if (mgr.is_true(conflict)) break;  // every initial state already caught
+
+    // Latch next state (D-pin faults fix the latched function).
+    for (std::size_t j = 0; j < k; ++j) {
+      const GateId q = c.dffs()[j];
+      if (fv.out_fixed(q)) continue;  // stays the stuck constant
+      if (fv.pin_fixed(q, 0)) {
+        state[j] = mgr.constant(fv.fault()->stuck == Val::One);
+      } else {
+        state[j] = vals[c.dff_input(j)];
+      }
+    }
+    if (mgr.exhausted()) {
+      verdict.peak_nodes = mgr.num_nodes();
+      return verdict;
+    }
+  }
+
+  verdict.computable = true;
+  verdict.peak_nodes = mgr.num_nodes();
+  verdict.detected = mgr.is_true(conflict);
+  verdict.detected_states = k < 64 ? mgr.sat_count(conflict) : 0;
+  return verdict;
+}
+
+}  // namespace motsim

@@ -1,0 +1,85 @@
+#include "circuits/embedded.hpp"
+
+#include "netlist/bench_io.hpp"
+#include "netlist/builder.hpp"
+
+namespace motsim::circuits {
+
+namespace {
+
+// Standard ISCAS-89 distribution text of s27 (the circuit of the paper's
+// Figure 1). State variables, in order: G5, G6, G7.
+constexpr std::string_view kS27Bench = R"(# s27 (ISCAS-89)
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NAND(G2, G12)
+)";
+
+}  // namespace
+
+std::string_view s27_bench_text() { return kS27Bench; }
+
+Circuit make_s27() { return must_parse_bench(kS27Bench, "s27"); }
+
+Circuit make_fig4_conflict() {
+  // Under input L1 = 0: L3 = L4 = 0 and nothing else is implied (the
+  // paper's starting point). Backward implication of next-state L11 = 1
+  // forces L5 = 1 (hence L2 = 1) and L6 = 0 (hence L2 = 0) — a conflict,
+  // so the present-state variable can only be 0 at the next time unit.
+  CircuitBuilder b("fig4");
+  const GateId l1 = b.add_input("L1");
+  const GateId l2 = b.declare("L2");    // DFF output (present state)
+  const GateId l11 = b.declare("L11");  // next-state function
+  b.define(l2, GateType::Dff, {l11});
+  const GateId l3 = b.add_gate(GateType::And, "L3", {l1, l2});
+  const GateId l4 = b.add_gate(GateType::Buf, "L4", {l1});
+  const GateId l5 = b.add_gate(GateType::Or, "L5", {l3, l2});
+  const GateId l6 = b.add_gate(GateType::Or, "L6", {l4, l2});
+  const GateId l7 = b.add_gate(GateType::Not, "L7", {l6});
+  b.define(l11, GateType::And, {l5, l7});
+  b.mark_output(l5);
+  return b.build_or_die();
+}
+
+Circuit make_table1_example() {
+  // XOR feedback keeps both flip-flops unspecified under conventional
+  // three-valued simulation from the all-X state, while every *binary*
+  // initial state produces fully specified outputs — exactly the situation
+  // where the multiple observation time approach pays off (Table 1).
+  CircuitBuilder b("table1");
+  const GateId a = b.add_input("A");
+  const GateId in_b = b.add_input("B");
+  const GateId f1 = b.declare("F1");
+  const GateId f2 = b.declare("F2");
+  const GateId d1 = b.declare("D1");
+  const GateId d2 = b.declare("D2");
+  b.define(f1, GateType::Dff, {d1});
+  b.define(f2, GateType::Dff, {d2});
+  const GateId n1 = b.add_gate(GateType::Xor, "N1", {f1, f2});
+  const GateId o1 = b.add_gate(GateType::And, "O1", {a, n1});
+  const GateId o2 = b.add_gate(GateType::Or, "O2", {in_b, f1});
+  const GateId o3 = b.add_gate(GateType::Nand, "O3", {a, f2});
+  b.define(d1, GateType::Xor, {f2, a});
+  b.define(d2, GateType::Xor, {f1, in_b});
+  b.mark_output(o1);
+  b.mark_output(o2);
+  b.mark_output(o3);
+  return b.build_or_die();
+}
+
+}  // namespace motsim::circuits

@@ -1,0 +1,33 @@
+// Circuits embedded in the source tree.
+//
+// s27 is the ISCAS-89 benchmark reproduced in the paper's Figures 1-3; the
+// conflict circuit realizes the scenario of the paper's Figure 4; the
+// Table-1 circuit is a small 2-FF/3-PO machine used to present the worked
+// example of the paper's Table 1 in the same format.
+#pragma once
+
+#include <string_view>
+
+#include "netlist/circuit.hpp"
+
+namespace motsim::circuits {
+
+/// ISCAS-89 s27: 4 PI, 1 PO, 3 FF, 10 combinational gates.
+/// State variables in order: G5, G6, G7 (as in the standard distribution).
+Circuit make_s27();
+
+/// The raw .bench text of s27 (exercises the parser in tests/examples).
+std::string_view s27_bench_text();
+
+/// One-input, one-FF circuit where backward implication of next-state = 1
+/// forces two different values onto the present-state line — the paper's
+/// Figure 4 conflict. Signals are named L1..L11 following the paper:
+/// L1 = PI, L2 = PSV, L3/L4 forced to 0 by L1 = 0, L11 = NSV.
+Circuit make_fig4_conflict();
+
+/// 2-FF, 2-PI, 3-PO machine for the Table 1 walkthrough: conventional
+/// simulation leaves outputs at X for an injected fault that the multiple
+/// observation time approach detects after one expansion.
+Circuit make_table1_example();
+
+}  // namespace motsim::circuits

@@ -1,0 +1,207 @@
+#include "circuits/generator.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+#include "netlist/builder.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace motsim::circuits {
+
+namespace {
+
+GateType pick_gate_type(Rng& rng) {
+  // Weighted mix approximating ISCAS-89 gate distributions; the XOR share
+  // matters for fault propagation (XOR never masks a fault effect).
+  const int r = static_cast<int>(rng.next_below(100));
+  if (r < 17) return GateType::And;
+  if (r < 34) return GateType::Nand;
+  if (r < 51) return GateType::Or;
+  if (r < 68) return GateType::Nor;
+  if (r < 80) return GateType::Not;
+  if (r < 83) return GateType::Buf;
+  if (r < 92) return GateType::Xor;
+  return GateType::Xnor;
+}
+
+}  // namespace
+
+Circuit generate(const GeneratorParams& p) {
+  assert(p.num_inputs > 0 && p.num_outputs > 0 && p.max_fanin >= 2);
+  Rng rng(p.seed);
+  CircuitBuilder b(p.name);
+
+  // `signals` holds everything usable as a fanin, in creation order;
+  // `fanout_count[i]` tracks how many readers signals[i] has so far, and
+  // `unused` indexes signals that still have none. Consuming the unused
+  // pool keeps the netlist fully alive — real benchmarks have essentially
+  // no dead logic, and dead gates would show up as undetectable faults.
+  std::vector<GateId> signals;
+  std::vector<std::size_t> fanout_count;
+  std::vector<std::size_t> unused;
+  signals.reserve(p.num_inputs + p.num_dffs + p.num_comb_gates);
+
+  auto add_signal = [&](GateId id) {
+    unused.push_back(signals.size());
+    fanout_count.push_back(0);
+    signals.push_back(id);
+  };
+
+  for (std::size_t i = 0; i < p.num_inputs; ++i) {
+    add_signal(b.add_input(str_format("I%zu", i)));
+  }
+  std::vector<GateId> ffs;
+  std::vector<GateId> ff_d;  // placeholder ids for the next-state functions
+  for (std::size_t i = 0; i < p.num_dffs; ++i) {
+    const GateId d = b.declare(str_format("ND%zu", i));
+    const GateId ff = b.declare(str_format("FF%zu", i));
+    b.define(ff, GateType::Dff, {d});
+    ffs.push_back(ff);
+    ff_d.push_back(d);
+    add_signal(ff);
+  }
+  const std::size_t num_base = signals.size();  // PIs + FF outputs
+
+  auto consume = [&](std::size_t idx) { ++fanout_count[idx]; };
+
+  /// Pops a random still-unused signal index, or signals.size() if none.
+  auto pop_unused = [&]() -> std::size_t {
+    while (!unused.empty()) {
+      const std::size_t pos = rng.next_below(unused.size());
+      const std::size_t idx = unused[pos];
+      unused[pos] = unused.back();
+      unused.pop_back();
+      if (fanout_count[idx] == 0) return idx;  // entries can be stale
+    }
+    return signals.size();
+  };
+
+  auto pick_fanin = [&](std::vector<GateId>& chosen, bool prefer_unused) {
+    if (prefer_unused && rng.next_bool(0.5)) {
+      const std::size_t idx = pop_unused();
+      if (idx < signals.size() &&
+          std::find(chosen.begin(), chosen.end(), signals[idx]) == chosen.end()) {
+        consume(idx);
+        chosen.push_back(signals[idx]);
+        return;
+      }
+    }
+    // Three-way draw: fresh primary-input/state injection keeps state
+    // observable deep in the logic; a recent window gives locality; a
+    // uniform draw over everything creates reconvergence.
+    for (int attempts = 0; attempts < 64; ++attempts) {
+      std::size_t idx;
+      const double r = rng.next_double();
+      if (r < 0.30) {
+        idx = rng.next_below(num_base);
+      } else if (r < 0.30 + p.locality * 0.7 && signals.size() > num_base + 8) {
+        const std::size_t window = std::max<std::size_t>(8, signals.size() / 8);
+        idx = signals.size() - window + rng.next_below(window);
+      } else {
+        idx = rng.next_below(signals.size());
+      }
+      if (std::find(chosen.begin(), chosen.end(), signals[idx]) == chosen.end()) {
+        consume(idx);
+        chosen.push_back(signals[idx]);
+        return;
+      }
+    }
+    // Degenerate pools (tiny circuits): duplicate-free fallback scan.
+    for (std::size_t idx = 0; idx < signals.size(); ++idx) {
+      if (std::find(chosen.begin(), chosen.end(), signals[idx]) == chosen.end()) {
+        consume(idx);
+        chosen.push_back(signals[idx]);
+        return;
+      }
+    }
+    chosen.push_back(signals.front());
+  };
+
+  std::vector<GateId> comb;
+  comb.reserve(p.num_comb_gates);
+  for (std::size_t g = 0; g < p.num_comb_gates; ++g) {
+    GateType t = pick_gate_type(rng);
+    int fanins = 1;
+    if (required_fanins(t) < 0) {
+      // Strongly 2-input: every extra side input is another masking
+      // opportunity, and real netlists are dominated by 2-input gates.
+      const int r = static_cast<int>(rng.next_below(20));
+      fanins = r < 16 ? 2 : (r < 19 ? 3 : std::min(p.max_fanin, 4));
+    }
+    std::vector<GateId> ins;
+    for (int k = 0; k < fanins; ++k) pick_fanin(ins, /*prefer_unused=*/k == 0);
+    const GateId id = b.add_gate(t, str_format("N%zu", g), std::move(ins));
+    comb.push_back(id);
+    add_signal(id);
+  }
+
+  // Next-state functions. A prefix of the flip-flops (rounded from
+  // uninit_fraction) gets parity feedback over state variables: three-valued
+  // simulation keeps them at X forever, creating the unspecified state
+  // variables that the paper's procedure resolves.
+  const std::size_t n_uninit = static_cast<std::size_t>(
+      p.uninit_fraction * static_cast<double>(p.num_dffs) + 0.5);
+  for (std::size_t i = 0; i < p.num_dffs; ++i) {
+    if (i < n_uninit && p.num_dffs >= 2) {
+      const std::size_t other_ff =
+          (i + 1 + rng.next_below(p.num_dffs - 1)) % p.num_dffs;
+      std::vector<GateId> ins = {ffs[i], ffs[other_ff]};
+      consume(p.num_inputs + i);
+      consume(p.num_inputs + other_ff);
+      if (rng.next_bool(0.5)) {
+        // Mixing in a primary input keeps the parity group controllable
+        // from the tester without making it initializable.
+        const std::size_t pi = rng.next_below(p.num_inputs);
+        ins.push_back(signals[pi]);
+        consume(pi);
+      }
+      b.define(ff_d[i], rng.next_bool(0.5) ? GateType::Xor : GateType::Xnor,
+               std::move(ins));
+    } else {
+      // Initializable feedback: prefer a still-unused gate (keeping the
+      // netlist alive), otherwise draw from the deeper half of the logic.
+      std::size_t idx = pop_unused();
+      if (idx >= signals.size()) {
+        idx = comb.empty() ? rng.next_below(p.num_inputs)
+                           : num_base + comb.size() / 2 +
+                                 rng.next_below(comb.size() - comb.size() / 2);
+      }
+      consume(idx);
+      if (rng.next_bool(0.6)) {
+        // Reset-like next-state logic: gating with a primary input lets a
+        // controlling value initialize the flip-flop from the all-X state,
+        // the way load/clear inputs initialize real benchmarks.
+        const std::size_t pi = rng.next_below(p.num_inputs);
+        consume(pi);
+        b.define(ff_d[i], rng.next_bool(0.5) ? GateType::And : GateType::Or,
+                 {signals[pi], signals[idx]});
+      } else {
+        b.define(ff_d[i], GateType::Buf, {signals[idx]});
+      }
+    }
+  }
+
+  // Primary outputs: deepest-first among the gates nothing reads — their
+  // transitive fanin cones cover most of the logic, matching the
+  // observability profile of real designs.
+  std::vector<GateId> pos;
+  for (std::size_t idx = signals.size(); idx-- > num_base;) {
+    if (pos.size() == p.num_outputs) break;
+    if (fanout_count[idx] == 0) pos.push_back(signals[idx]);
+  }
+  for (std::size_t c = comb.size(); c-- > 0 && pos.size() < p.num_outputs;) {
+    if (std::find(pos.begin(), pos.end(), comb[c]) == pos.end()) {
+      pos.push_back(comb[c]);
+    }
+  }
+  // Tiny circuits may lack combinational gates; fall back to state variables.
+  std::size_t k = 0;
+  while (pos.size() < p.num_outputs && k < ffs.size()) pos.push_back(ffs[k++]);
+  for (GateId id : pos) b.mark_output(id);
+
+  return b.build_or_die();
+}
+
+}  // namespace motsim::circuits

@@ -1,0 +1,134 @@
+#include "experiments/experiments.hpp"
+
+#include <chrono>
+
+#include "faultsim/parallel.hpp"
+#include "testgen/hitec_like.hpp"
+#include "testgen/random_gen.hpp"
+
+namespace motsim::experiments {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+RunResult run_circuit(const Circuit& c, const TestSequence& test,
+                      const RunConfig& config) {
+  const auto start = Clock::now();
+  RunResult result;
+  result.circuit = c.name();
+
+  const std::vector<Fault> faults = collapsed_fault_list(c);
+  result.total_faults = faults.size();
+
+  const SequentialSimulator sim(c);
+  const SeqTrace good = sim.run_fault_free(test);
+
+  // Fast conventional classification of the whole fault universe.
+  const ParallelFaultSimulator pfs(c);
+  const std::vector<ConvOutcome> conv = pfs.run(test, good, faults);
+
+  std::vector<std::size_t> candidates;
+  for (std::size_t k = 0; k < faults.size(); ++k) {
+    if (conv[k].detected) {
+      ++result.conv_detected;
+    } else if (conv[k].passes_c) {
+      candidates.push_back(k);
+    }
+  }
+  result.candidates = candidates.size();
+  if (config.max_mot_faults > 0 && candidates.size() > config.max_mot_faults) {
+    candidates.resize(config.max_mot_faults);
+    result.capped = true;
+  }
+  result.processed = candidates.size();
+
+  MotFaultSimulator proposed(c, config.mot);
+  ExpansionBaseline baseline(c, config.mot);
+  result.baseline_available = config.run_baseline;
+
+  EffectivenessCounters sum;
+  const ConventionalFaultSimulator conv_sim(c);
+  for (std::size_t k : candidates) {
+    // One conventional simulation per fault, shared by both procedures.
+    SeqTrace faulty = conv_sim.simulate_fault(test, faults[k], /*keep_lines=*/true);
+    const MotResult pr = proposed.simulate_fault(test, good, faults[k], faulty);
+    bool baseline_detected = false;
+    bool baseline_aborted = false;
+    if (config.run_baseline) {
+      const BaselineResult br =
+          baseline.simulate_fault(test, good, faults[k], faulty);
+      baseline_detected = br.detected;
+      baseline_aborted = br.aborted;
+      if (baseline_detected) ++result.baseline_extra;
+    }
+    if (pr.collection_capped) ++result.collection_capped_faults;
+    if (pr.detected) {
+      ++result.proposed_extra;
+      sum += pr.counters;
+      if (baseline_aborted) ++result.proposed_detected_baseline_aborted;
+    } else if (baseline_detected) {
+      ++result.baseline_only;
+    }
+  }
+  if (result.proposed_extra > 0) {
+    const double n = static_cast<double>(result.proposed_extra);
+    result.avg_det = static_cast<double>(sum.n_det) / n;
+    result.avg_conf = static_cast<double>(sum.n_conf) / n;
+    result.avg_extra = static_cast<double>(sum.n_extra) / n;
+  }
+  result.seconds = seconds_since(start);
+  return result;
+}
+
+RunResult run_benchmark(const circuits::BenchmarkProfile& profile,
+                        RunConfig config) {
+  const Circuit c = circuits::generate(profile.params);
+  Rng rng(config.test_seed * 1000003 + profile.params.seed);
+  const TestSequence test =
+      random_sequence(c.num_inputs(), profile.test_length, rng);
+  if (profile.heavy) {
+    // The procedure of [4] "could not be applied" to the large circuits
+    // (paper, Section 4) — report NA.
+    config.run_baseline = false;
+  }
+  // Bound the per-fault work on the largest stand-ins so the harness stays
+  // interactive. Both caps are reported in the diagnostics, never silent.
+  if (config.max_mot_faults == 0) config.max_mot_faults = profile.mot_cap;
+  if (profile.pair_cap > 0 && config.mot.max_pairs == MotOptions{}.max_pairs) {
+    config.mot.max_pairs = profile.pair_cap;
+  }
+  return run_circuit(c, test, config);
+}
+
+HitecExperimentResult run_hitec_experiment(const std::string& benchmark_name,
+                                           RunConfig config) {
+  const Circuit c = circuits::build_benchmark(benchmark_name);
+  const std::vector<Fault> faults = collapsed_fault_list(c);
+  HitecLikeParams params;
+  params.seed = config.test_seed * 131 + 17;
+  const HitecLikeResult gen = generate_hitec_like(c, faults, params);
+
+  // The registry's per-circuit caps apply here too (reported, never silent).
+  const auto* profile = circuits::find_profile(benchmark_name);
+  if (profile != nullptr) {
+    if (config.max_mot_faults == 0) config.max_mot_faults = profile->mot_cap;
+    if (profile->pair_cap > 0 &&
+        config.mot.max_pairs == MotOptions{}.max_pairs) {
+      config.mot.max_pairs = profile->pair_cap;
+    }
+  }
+
+  HitecExperimentResult out;
+  out.sequence_length = gen.sequence.length();
+  out.run = run_circuit(c, gen.sequence, config);
+  return out;
+}
+
+}  // namespace motsim::experiments

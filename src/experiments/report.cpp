@@ -1,0 +1,50 @@
+#include "experiments/report.hpp"
+
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace motsim::experiments {
+
+std::string render_table2(const std::vector<RunResult>& rows) {
+  Table t({"circuit", "total faults", "conv.", "[4] tot", "[4] extra",
+           "proposed tot", "proposed extra"});
+  for (const RunResult& r : rows) {
+    t.new_row().add(r.circuit).add(r.total_faults).add(r.conv_detected);
+    if (r.baseline_available) {
+      t.add(r.baseline_total()).add(r.baseline_extra);
+    } else {
+      t.add("NA").add("NA");
+    }
+    t.add(r.proposed_total()).add(r.proposed_extra);
+  }
+  return t.render();
+}
+
+std::string render_table3(const std::vector<RunResult>& rows) {
+  Table t({"circuit", "detect", "conf", "extra"});
+  for (const RunResult& r : rows) {
+    t.new_row().add(r.circuit).add(r.avg_det).add(r.avg_conf).add(r.avg_extra);
+  }
+  return t.render();
+}
+
+std::string render_diagnostics(const std::vector<RunResult>& rows) {
+  Table t({"circuit", "cand. (C)", "processed", "capped", "pair-capped",
+           "baseline-only", "prop-det/[4]-abort", "seconds"});
+  for (const RunResult& r : rows) {
+    t.new_row()
+        .add(r.circuit)
+        .add(r.candidates)
+        .add(r.processed)
+        .add(r.capped ? "yes" : "no")
+        .add(r.collection_capped_faults)
+        .add(r.baseline_available ? str_format("%zu", r.baseline_only) : "NA")
+        .add(r.baseline_available
+                 ? str_format("%zu", r.proposed_detected_baseline_aborted)
+                 : "NA")
+        .add(r.seconds, 2);
+  }
+  return t.render();
+}
+
+}  // namespace motsim::experiments

@@ -1,0 +1,24 @@
+// Renders experiment results in the layout of the paper's tables.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "experiments/experiments.hpp"
+
+namespace motsim::experiments {
+
+/// Table 2 layout: circuit | total faults | conv. | [4] tot/extra |
+/// proposed tot/extra (NA for the baseline where it was not run).
+std::string render_table2(const std::vector<RunResult>& rows);
+
+/// Table 3 layout: circuit | detect | conf | extra (averages over faults
+/// detected by the proposed method).
+std::string render_table3(const std::vector<RunResult>& rows);
+
+/// Run diagnostics that have no counterpart in the paper but keep the
+/// reproduction honest: candidate counts, caps, baseline-only detections,
+/// wall-clock.
+std::string render_diagnostics(const std::vector<RunResult>& rows);
+
+}  // namespace motsim::experiments

@@ -1,0 +1,72 @@
+// Structural equivalence collapsing.
+//
+// Two faults are equivalent when every test detects both or neither. The
+// classic local rules, applied frame-wise, carry over to sequential circuits
+// unchanged *except* across flip-flops (a D-pin stuck fault leaves the
+// unknown initial state free at time 0 while a Q-stem stuck fault does not,
+// so we never collapse through a DFF):
+//
+//  * AND:  any input s-a-0 == output s-a-0     NAND: any input s-a-0 == output s-a-1
+//  * OR:   any input s-a-1 == output s-a-1     NOR:  any input s-a-1 == output s-a-0
+//  * BUF:  input s-a-v == output s-a-v         NOT:  input s-a-v == output s-a-!v
+//  * fanout-free connection: branch fault == driver's stem fault — provided
+//    the stem has no other observation point (a second reader or direct
+//    primary-output visibility breaks the equivalence)
+//
+// Each output-stem fault with an applicable rule is dropped in favour of an
+// input-side representative: either an explicit input-pin fault (the stem is
+// shared) or, transitively, the fanout-free driver's stem fault. The result
+// is the usual "collapsed toward the primary inputs" fault list.
+#include "fault/fault.hpp"
+
+#include <optional>
+
+namespace motsim {
+
+namespace {
+
+/// If the output-stem fault (t, stuck) is equivalent to "some input pin
+/// stuck at w", returns w; otherwise nullopt.
+std::optional<Val> equivalent_input_value(GateType t, Val stuck) {
+  switch (t) {
+    case GateType::And:
+      return stuck == Val::Zero ? std::optional<Val>(Val::Zero) : std::nullopt;
+    case GateType::Nand:
+      return stuck == Val::One ? std::optional<Val>(Val::Zero) : std::nullopt;
+    case GateType::Or:
+      return stuck == Val::One ? std::optional<Val>(Val::One) : std::nullopt;
+    case GateType::Nor:
+      return stuck == Val::Zero ? std::optional<Val>(Val::One) : std::nullopt;
+    case GateType::Buf:
+      return stuck;
+    case GateType::Not:
+      return v_not(stuck);
+    default:
+      return std::nullopt;  // XOR/XNOR/DFF/inputs: no structural equivalence
+  }
+}
+
+}  // namespace
+
+std::vector<Fault> collapse_faults(const Circuit& c, const std::vector<Fault>& faults) {
+  std::vector<Fault> kept;
+  kept.reserve(faults.size());
+  for (const Fault& f : faults) {
+    if (f.pin != kOutputPin) {
+      kept.push_back(f);
+      continue;
+    }
+    const Gate& g = c.gate(f.gate);
+    if (g.fanins.empty() || !equivalent_input_value(g.type, f.stuck).has_value()) {
+      kept.push_back(f);
+      continue;
+    }
+    // Equivalent to an input-side fault: if any fanin is a fanout branch,
+    // the explicit pin fault represents the class; otherwise the (fanout-
+    // free) driver's stem fault does. Either representative is in the list,
+    // so this stem fault is dropped.
+  }
+  return kept;
+}
+
+}  // namespace motsim

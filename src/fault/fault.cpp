@@ -1,0 +1,44 @@
+#include "fault/fault.hpp"
+
+#include "util/strings.hpp"
+
+namespace motsim {
+
+std::string fault_name(const Circuit& c, const Fault& f) {
+  const char* sa = f.stuck == Val::One ? "stuck-at-1" : "stuck-at-0";
+  if (f.pin == kOutputPin) {
+    return str_format("%s %s", c.gate(f.gate).name.c_str(), sa);
+  }
+  const GateId driver = c.gate(f.gate).fanins[static_cast<std::size_t>(f.pin)];
+  return str_format("%s.in%d (%s) %s", c.gate(f.gate).name.c_str(), f.pin,
+                    c.gate(driver).name.c_str(), sa);
+}
+
+std::vector<Fault> enumerate_faults(const Circuit& c) {
+  std::vector<Fault> faults;
+  for (GateId id = 0; id < c.num_gates(); ++id) {
+    const Gate& g = c.gate(id);
+    for (Val v : {Val::Zero, Val::One}) {
+      faults.push_back(Fault{id, kOutputPin, v});
+    }
+    for (std::size_t pin = 0; pin < g.fanins.size(); ++pin) {
+      const GateId driver = g.fanins[pin];
+      // A branch is distinct from its stem when the stem has another
+      // observation point: a second reader or direct primary-output
+      // visibility.
+      const bool stem_shared = c.gate(driver).fanouts.size() > 1 ||
+                               c.output_index(driver).has_value();
+      if (!stem_shared) continue;
+      for (Val v : {Val::Zero, Val::One}) {
+        faults.push_back(Fault{id, static_cast<int>(pin), v});
+      }
+    }
+  }
+  return faults;
+}
+
+std::vector<Fault> collapsed_fault_list(const Circuit& c) {
+  return collapse_faults(c, enumerate_faults(c));
+}
+
+}  // namespace motsim

@@ -1,0 +1,46 @@
+// Single stuck-at fault model.
+//
+// A fault fixes one connection to a constant: either a gate's output stem
+// (pin == kOutputPin) or one input pin of one gate (a fanout branch). Pin
+// faults matter because a stem with fanout can be fault-free on one branch
+// and stuck on another; for fanout-free connections the branch fault is
+// equivalent to the driver's stem fault and is removed by collapsing.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "logic/val.hpp"
+#include "netlist/circuit.hpp"
+
+namespace motsim {
+
+inline constexpr int kOutputPin = -1;
+
+struct Fault {
+  GateId gate = kNoGate;
+  int pin = kOutputPin;  ///< kOutputPin, or index into gate's fanins
+  Val stuck = Val::Zero; ///< Zero or One
+
+  friend bool operator==(const Fault&, const Fault&) = default;
+};
+
+/// "G11 stuck-at-1" or "G9.in2 (G15) stuck-at-0".
+std::string fault_name(const Circuit& c, const Fault& f);
+
+/// The full uncollapsed fault universe: stuck-at-0/1 on every gate output
+/// stem and on every gate input pin whose driver has fanout > 1 (fanout
+/// branches). DFF output stems are included (stuck state variables); DFF
+/// input pins are covered by the D driver's stem unless the driver fans out.
+std::vector<Fault> enumerate_faults(const Circuit& c);
+
+/// Structural equivalence collapsing (see collapse.cpp for the rule set).
+/// The returned list is a subset of `faults`; every removed fault is
+/// equivalent to some retained one.
+std::vector<Fault> collapse_faults(const Circuit& c, const std::vector<Fault>& faults);
+
+/// enumerate + collapse.
+std::vector<Fault> collapsed_fault_list(const Circuit& c);
+
+}  // namespace motsim

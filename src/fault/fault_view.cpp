@@ -1,0 +1,22 @@
+#include "fault/fault_view.hpp"
+
+#include "logic/eval.hpp"
+
+namespace motsim {
+
+Val FaultView::eval(GateId g, std::span<const Val> lines) const {
+  if (out_fixed(g)) return fault_->stuck;
+  const Gate& gate = circuit_->gate(g);
+  const bool has_pin_fault =
+      fault_ && fault_->pin != kOutputPin && fault_->gate == g;
+  if (!has_pin_fault) {
+    // Hot path: read fanin values straight from the line array.
+    const GateId* fanins = gate.fanins.data();
+    return eval_gate_fn(gate.type, gate.fanins.size(),
+                        [&](std::size_t k) { return lines[fanins[k]]; });
+  }
+  return eval_gate_fn(gate.type, gate.fanins.size(),
+                      [&](std::size_t k) { return read_pin(g, k, lines); });
+}
+
+}  // namespace motsim

@@ -1,0 +1,86 @@
+// Fault injection.
+//
+// FaultView overlays (at most) one stuck-at fault on a circuit and answers
+// the questions every simulator and the implication engine need:
+//
+//  * what value does gate g see on its input pin k?    (read_pin)
+//  * what value does gate g drive?                     (eval)
+//  * is a connection fixed by the fault, i.e. carries the stuck value and is
+//    decoupled from its driver?                        (pin_fixed/out_fixed)
+//
+// The convention throughout motsim is that the per-line value array stores
+// the *observed* value of each line — for a stem-faulted gate that is the
+// stuck value itself, so readers never special-case stem faults; only input
+// pin faults are resolved at the point of reading.
+#pragma once
+
+#include <optional>
+#include <span>
+
+#include "fault/fault.hpp"
+#include "logic/val.hpp"
+#include "netlist/circuit.hpp"
+
+namespace motsim {
+
+class FaultView {
+ public:
+  /// Fault-free view.
+  explicit FaultView(const Circuit& c) : circuit_(&c) {}
+  FaultView(const Circuit& c, const Fault& f) : circuit_(&c), fault_(f) {}
+
+  const Circuit& circuit() const { return *circuit_; }
+  const std::optional<Fault>& fault() const { return fault_; }
+  bool fault_free() const { return !fault_.has_value(); }
+
+  /// True when gate g's output stem is stuck.
+  bool out_fixed(GateId g) const {
+    return fault_ && fault_->pin == kOutputPin && fault_->gate == g;
+  }
+
+  /// True when pin k of gate g is decoupled from its driver: either the pin
+  /// itself is stuck or the driving stem is stuck (the observed line value
+  /// is then the stuck value either way).
+  bool pin_fixed(GateId g, std::size_t k) const {
+    if (!fault_) return false;
+    if (fault_->pin != kOutputPin) {
+      return fault_->gate == g && static_cast<std::size_t>(fault_->pin) == k;
+    }
+    return false;  // stem faults are already folded into the line value
+  }
+
+  /// Value gate g sees on input pin k, given observed line values.
+  Val read_pin(GateId g, std::size_t k, std::span<const Val> lines) const {
+    if (pin_fixed(g, k)) return fault_->stuck;
+    return lines[circuit_->gate(g).fanins[k]];
+  }
+
+  /// Observed output of combinational gate g (stem faults folded in).
+  /// Precondition: g is a combinational gate (not Input/Dff).
+  Val eval(GateId g, std::span<const Val> lines) const;
+
+  /// Value latched by flip-flop index k at the end of a frame (the
+  /// next-state variable Y_k), honouring D-pin faults.
+  Val next_state(std::size_t k, std::span<const Val> lines) const {
+    return read_pin(circuit_->dffs()[k], 0, lines);
+  }
+
+  /// Observed present-state value of flip-flop k when its intended value is
+  /// `intended` (folds in a stem fault on the DFF output).
+  Val present_state(std::size_t k, Val intended) const {
+    const GateId q = circuit_->dffs()[k];
+    return out_fixed(q) ? fault_->stuck : intended;
+  }
+
+  /// Observed value of primary input index k when the test applies `applied`.
+  Val input_value(std::size_t k, Val applied) const {
+    const GateId pi = circuit_->inputs()[k];
+    return out_fixed(pi) ? fault_->stuck : applied;
+  }
+
+ private:
+  const Circuit* circuit_;
+  std::optional<Fault> fault_;
+};
+
+}  // namespace motsim

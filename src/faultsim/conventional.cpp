@@ -1,0 +1,24 @@
+#include "faultsim/conventional.hpp"
+
+namespace motsim {
+
+ConvOutcome ConventionalFaultSimulator::analyze(const TestSequence& test,
+                                                const SeqTrace& fault_free,
+                                                const Fault& f) const {
+  const SeqTrace faulty = simulate_fault(test, f);
+  ConvOutcome out;
+  out.detected = traces_conflict(fault_free, faulty);
+  out.passes_c = !out.detected && passes_condition_c(fault_free, faulty);
+  return out;
+}
+
+std::vector<ConvOutcome> ConventionalFaultSimulator::run(
+    const TestSequence& test, const SeqTrace& fault_free,
+    const std::vector<Fault>& faults) const {
+  std::vector<ConvOutcome> out;
+  out.reserve(faults.size());
+  for (const Fault& f : faults) out.push_back(analyze(test, fault_free, f));
+  return out;
+}
+
+}  // namespace motsim

@@ -1,0 +1,47 @@
+// Conventional (single observation time) three-valued fault simulation —
+// the baseline every MOT technique starts from.
+//
+// A fault is conventionally detected when some primary output at some time
+// unit is specified to opposite binary values in the fault-free and faulty
+// machines, both simulated from the all-X initial state.
+#pragma once
+
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "sim/seq_sim.hpp"
+#include "sim/test_sequence.hpp"
+
+namespace motsim {
+
+struct ConvOutcome {
+  bool detected = false;  ///< detected under the single observation time
+  bool passes_c = false;  ///< undetected but satisfies the paper's condition (C)
+};
+
+class ConventionalFaultSimulator {
+ public:
+  explicit ConventionalFaultSimulator(const Circuit& c)
+      : circuit_(&c), sim_(c) {}
+
+  /// Full faulty trace (with line values when keep_lines) — the starting
+  /// point for the MOT procedures.
+  SeqTrace simulate_fault(const TestSequence& test, const Fault& f,
+                          bool keep_lines = false) const {
+    return sim_.run(test, FaultView(*circuit_, f), keep_lines);
+  }
+
+  ConvOutcome analyze(const TestSequence& test, const SeqTrace& fault_free,
+                      const Fault& f) const;
+
+  /// Serial batch over a fault list.
+  std::vector<ConvOutcome> run(const TestSequence& test,
+                               const SeqTrace& fault_free,
+                               const std::vector<Fault>& faults) const;
+
+ private:
+  const Circuit* circuit_;
+  SequentialSimulator sim_;
+};
+
+}  // namespace motsim

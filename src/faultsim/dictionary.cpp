@@ -1,0 +1,70 @@
+#include "faultsim/dictionary.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+#include "fault/fault_view.hpp"
+
+namespace motsim {
+
+FaultDictionary FaultDictionary::build(const Circuit& c, const TestSequence& test,
+                                       const SeqTrace& good,
+                                       std::vector<Fault> faults) {
+  FaultDictionary dict;
+  dict.faults_ = std::move(faults);
+  dict.good_outputs_ = good.outputs;
+  dict.responses_.reserve(dict.faults_.size());
+  dict.detected_.reserve(dict.faults_.size());
+
+  const SequentialSimulator sim(c);
+  for (const Fault& f : dict.faults_) {
+    SeqTrace faulty = sim.run(test, FaultView(c, f));
+    dict.detected_.push_back(traces_conflict(good, faulty) ? 1 : 0);
+    dict.responses_.push_back(std::move(faulty.outputs));
+  }
+  return dict;
+}
+
+std::vector<std::size_t> FaultDictionary::diagnose(
+    const std::vector<std::vector<Val>>& observed,
+    bool* fault_free_consistent) const {
+  auto consistent = [&](const std::vector<std::vector<Val>>& response) {
+    assert(observed.size() == response.size());
+    for (std::size_t u = 0; u < observed.size(); ++u) {
+      for (std::size_t o = 0; o < observed[u].size(); ++o) {
+        if (conflicts(observed[u][o], response[u][o])) return false;
+      }
+    }
+    return true;
+  };
+
+  std::vector<std::size_t> candidates;
+  for (std::size_t k = 0; k < responses_.size(); ++k) {
+    if (consistent(responses_[k])) candidates.push_back(k);
+  }
+  if (fault_free_consistent != nullptr) {
+    *fault_free_consistent = consistent(good_outputs_);
+  }
+  return candidates;
+}
+
+std::vector<std::vector<std::size_t>> FaultDictionary::equivalence_classes() const {
+  std::map<std::string, std::vector<std::size_t>> by_signature;
+  for (std::size_t k = 0; k < responses_.size(); ++k) {
+    std::string sig;
+    for (const auto& row : responses_[k]) {
+      sig += vals_to_string(row.data(), row.size());
+    }
+    by_signature[sig].push_back(k);
+  }
+  std::vector<std::vector<std::size_t>> classes;
+  classes.reserve(by_signature.size());
+  for (auto& [sig, members] : by_signature) {
+    (void)sig;
+    classes.push_back(std::move(members));
+  }
+  return classes;
+}
+
+}  // namespace motsim

@@ -1,0 +1,65 @@
+// Fault dictionaries and response-based diagnosis.
+//
+// A full-response dictionary stores, per fault, the three-valued output
+// response of the faulty machine under the given test (from the all-X
+// initial state). It supports:
+//
+//  * diagnosis — given an observed response (possibly partial), list the
+//    faults whose stored response does not conflict with it,
+//  * behavioural equivalence classes — faults with identical responses are
+//    indistinguishable by this test (used to cross-check structural
+//    collapsing from the other direction),
+//  * detection queries consistent with ConventionalFaultSimulator.
+//
+// Responses are stored X-compressed per time unit; building is serial per
+// fault (one sequential simulation each), which is the right trade-off for
+// the diagnosis-sized fault lists this is meant for.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "sim/seq_sim.hpp"
+#include "sim/test_sequence.hpp"
+
+namespace motsim {
+
+class FaultDictionary {
+ public:
+  /// Simulates every fault under `test`. `good` must be the fault-free
+  /// trace of `test`.
+  static FaultDictionary build(const Circuit& c, const TestSequence& test,
+                               const SeqTrace& good, std::vector<Fault> faults);
+
+  std::size_t num_faults() const { return faults_.size(); }
+  const Fault& fault(std::size_t k) const { return faults_[k]; }
+
+  /// Response of fault k: responses()[u][o].
+  const std::vector<std::vector<Val>>& response(std::size_t k) const {
+    return responses_[k];
+  }
+
+  /// Conventionally detected under the stored good response.
+  bool is_detected(std::size_t k) const { return detected_[k] != 0; }
+
+  /// Indices of faults whose stored response does not conflict with the
+  /// observed one (same shape as the good outputs; X = not observed). The
+  /// fault-free machine is candidate index SIZE_MAX when it is consistent
+  /// too — returned via `fault_free_consistent`.
+  std::vector<std::size_t> diagnose(
+      const std::vector<std::vector<Val>>& observed,
+      bool* fault_free_consistent = nullptr) const;
+
+  /// Groups fault indices by identical response strings. Faults in one
+  /// group cannot be distinguished by this test.
+  std::vector<std::vector<std::size_t>> equivalence_classes() const;
+
+ private:
+  std::vector<Fault> faults_;
+  std::vector<std::vector<std::vector<Val>>> responses_;
+  std::vector<std::vector<Val>> good_outputs_;
+  std::vector<char> detected_;
+};
+
+}  // namespace motsim

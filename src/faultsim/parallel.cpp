@@ -1,0 +1,168 @@
+#include "faultsim/parallel.hpp"
+
+#include <cassert>
+
+#include "logic/eval.hpp"
+#include "logic/pval.hpp"
+
+namespace motsim {
+
+namespace {
+
+constexpr std::size_t kGroup = 63;  // slot 63 carries the fault-free machine
+
+}  // namespace
+
+void ParallelFaultSimulator::run_group(const TestSequence& test,
+                                       const SeqTrace& fault_free,
+                                       const Fault* faults, std::size_t n_faults,
+                                       ConvOutcome* outcomes,
+                                       GroupScratch& scratch) const {
+  const Circuit& c = *circuit_;
+  const std::size_t L = test.length();
+
+  // Per-gate fault lists for quick fixup lookup, in reusable scratch (a
+  // fresh allocation per 63-fault group dominated the profile on the
+  // largest circuits). Only the <=63 touched entries are cleared.
+  auto& stem_faults = scratch.stem_faults;
+  auto& pin_faults = scratch.pin_faults;
+  for (GateId g : scratch.touched) {
+    stem_faults[g].clear();
+    pin_faults[g].clear();
+  }
+  scratch.touched.clear();
+  for (unsigned s = 0; s < n_faults; ++s) {
+    const GateId g = faults[s].gate;
+    if (stem_faults[g].empty() && pin_faults[g].empty()) {
+      scratch.touched.push_back(g);
+    }
+    if (faults[s].pin == kOutputPin) {
+      stem_faults[g].push_back(s);
+    } else {
+      pin_faults[g].push_back(s);
+    }
+  }
+
+  std::vector<PVal>& vals = scratch.vals;
+  std::vector<PVal>& state = scratch.state;
+  vals.assign(c.num_gates(), pv_all_x());
+  state.assign(c.num_dffs(), pv_all_x());
+
+  // Initial state: all-X except stem-stuck flip-flop outputs.
+  for (std::size_t k = 0; k < c.num_dffs(); ++k) {
+    for (unsigned s : stem_faults[c.dffs()[k]]) {
+      pv_set(state[k], s, faults[s].stuck);
+    }
+  }
+
+  std::uint64_t detected = 0;
+  // Condition (C) tracking: first frame with an unspecified state variable
+  // and last frame with a fault-free-specified / faulty-X output.
+  std::vector<int> first_x_sv(64, -1);
+  std::vector<int> last_out_pair(64, -1);
+
+  auto scalar_fixup = [&](GateId id) {
+    const Gate& g = c.gate(id);
+    for (unsigned s : pin_faults[id]) {
+      // Re-evaluate this gate for slot s with the faulty pin forced.
+      thread_local std::vector<Val> ins;
+      ins.clear();
+      for (std::size_t k = 0; k < g.fanins.size(); ++k) {
+        ins.push_back(static_cast<int>(k) == faults[s].pin
+                          ? faults[s].stuck
+                          : pv_get(vals[g.fanins[k]], s));
+      }
+      pv_set(vals[id], s, eval_gate(g.type, ins));
+    }
+    for (unsigned s : stem_faults[id]) {
+      pv_set(vals[id], s, faults[s].stuck);
+    }
+  };
+
+  for (std::size_t u = 0; u < L; ++u) {
+    // Record slots that still have unspecified state variables.
+    std::uint64_t x_sv = 0;
+    for (std::size_t k = 0; k < c.num_dffs(); ++k) {
+      x_sv |= ~(state[k].ones | state[k].zeros);
+    }
+    for (unsigned s = 0; s < n_faults; ++s) {
+      if (first_x_sv[s] < 0 && ((x_sv >> s) & 1)) {
+        first_x_sv[s] = static_cast<int>(u);
+      }
+    }
+
+    // Drive primary inputs.
+    for (std::size_t k = 0; k < c.num_inputs(); ++k) {
+      const GateId pi = c.inputs()[k];
+      vals[pi] = pv_splat(test.at(u, k));
+      for (unsigned s : stem_faults[pi]) pv_set(vals[pi], s, faults[s].stuck);
+    }
+    for (std::size_t k = 0; k < c.num_dffs(); ++k) {
+      vals[c.dffs()[k]] = state[k];
+    }
+    for (GateId id = 0; id < c.num_gates(); ++id) {
+      const GateType t = c.gate(id).type;
+      if (t == GateType::Const0 || t == GateType::Const1) {
+        vals[id] = pv_splat(t == GateType::Const1 ? Val::One : Val::Zero);
+        scalar_fixup(id);
+      }
+    }
+
+    // Bulk evaluation with per-slot fault patching.
+    for (GateId id : c.topo_order()) {
+      const Gate& g = c.gate(id);
+      const GateId* fanins = g.fanins.data();
+      vals[id] = pv_eval_gate_fn(
+          g.type, g.fanins.size(),
+          [&](std::size_t k) -> const PVal& { return vals[fanins[k]]; });
+      scalar_fixup(id);
+    }
+
+    // Detection and output-pair tracking against the fault-free response.
+    std::uint64_t pair_mask = 0;
+    for (std::size_t o = 0; o < c.num_outputs(); ++o) {
+      const Val good = fault_free.outputs[u][o];
+      if (!is_specified(good)) continue;
+      const PVal& po = vals[c.outputs()[o]];
+      detected |= good == Val::One ? po.zeros : po.ones;
+      pair_mask |= ~(po.ones | po.zeros);
+    }
+    for (unsigned s = 0; s < n_faults; ++s) {
+      if ((pair_mask >> s) & 1) last_out_pair[s] = static_cast<int>(u);
+    }
+
+    // Latch next state with D-pin and Q-stem fault patching.
+    for (std::size_t k = 0; k < c.num_dffs(); ++k) {
+      const GateId q = c.dffs()[k];
+      PVal next = vals[c.dff_input(k)];
+      for (unsigned s : pin_faults[q]) pv_set(next, s, faults[s].stuck);
+      for (unsigned s : stem_faults[q]) pv_set(next, s, faults[s].stuck);
+      state[k] = next;
+    }
+  }
+
+  for (unsigned s = 0; s < n_faults; ++s) {
+    ConvOutcome& out = outcomes[s];
+    out.detected = (detected >> s) & 1;
+    out.passes_c = !out.detected && first_x_sv[s] >= 0 &&
+                   last_out_pair[s] >= first_x_sv[s];
+  }
+}
+
+std::vector<ConvOutcome> ParallelFaultSimulator::run(
+    const TestSequence& test, const SeqTrace& fault_free,
+    const std::vector<Fault>& faults) const {
+  assert(fault_free.length() == test.length());
+  std::vector<ConvOutcome> outcomes(faults.size());
+  GroupScratch scratch;
+  scratch.stem_faults.resize(circuit_->num_gates());
+  scratch.pin_faults.resize(circuit_->num_gates());
+  for (std::size_t base = 0; base < faults.size(); base += kGroup) {
+    const std::size_t n = std::min(kGroup, faults.size() - base);
+    run_group(test, fault_free, faults.data() + base, n, outcomes.data() + base,
+              scratch);
+  }
+  return outcomes;
+}
+
+}  // namespace motsim

@@ -1,0 +1,48 @@
+// Parallel-fault conventional simulation.
+//
+// Packs up to 63 faulty machines (plus the fault-free machine in slot 63)
+// into the two-word PVal encoding and simulates them simultaneously, one
+// bitwise gate evaluation serving all slots. Per-slot fault effects are
+// patched in scalar form after each bulk gate evaluation — cheap because a
+// group contains at most 63 faults.
+//
+// Semantically identical to ConventionalFaultSimulator (asserted by the
+// integration tests); used as the fast pre-pass that classifies the whole
+// fault universe before the per-fault MOT procedures run.
+#pragma once
+
+#include <vector>
+
+#include "faultsim/conventional.hpp"
+#include "logic/pval.hpp"
+
+namespace motsim {
+
+class ParallelFaultSimulator {
+ public:
+  explicit ParallelFaultSimulator(const Circuit& c) : circuit_(&c) {}
+
+  /// Detection + condition-(C) classification for every fault.
+  std::vector<ConvOutcome> run(const TestSequence& test,
+                               const SeqTrace& fault_free,
+                               const std::vector<Fault>& faults) const;
+
+ private:
+  /// Reusable per-run buffers (a fresh allocation per group dominated the
+  /// profile on the largest circuits).
+  struct GroupScratch {
+    std::vector<std::vector<unsigned>> stem_faults;  // per gate
+    std::vector<std::vector<unsigned>> pin_faults;   // per gate
+    std::vector<GateId> touched;                     // gates with entries
+    std::vector<PVal> vals;
+    std::vector<PVal> state;
+  };
+
+  void run_group(const TestSequence& test, const SeqTrace& fault_free,
+                 const Fault* faults, std::size_t n_faults,
+                 ConvOutcome* outcomes, GroupScratch& scratch) const;
+
+  const Circuit* circuit_;
+};
+
+}  // namespace motsim

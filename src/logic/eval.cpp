@@ -1,0 +1,54 @@
+#include "logic/eval.hpp"
+
+#include <cassert>
+
+namespace motsim {
+
+Val eval_gate(GateType t, std::span<const Val> ins) {
+  assert(t != GateType::Input && t != GateType::Dff &&
+         "inputs and flip-flops are not evaluated combinationally");
+  assert(required_fanins(t) < 0 ? !ins.empty()
+                                : ins.size() == static_cast<std::size_t>(
+                                                    required_fanins(t)));
+  return eval_gate_fn(t, ins.size(), [&](std::size_t k) { return ins[k]; });
+}
+
+bool eval_gate2(GateType t, std::span<const bool> ins) {
+  switch (t) {
+    case GateType::Const0:
+      return false;
+    case GateType::Const1:
+      return true;
+    case GateType::Buf:
+      assert(ins.size() == 1);
+      return ins[0];
+    case GateType::Not:
+      assert(ins.size() == 1);
+      return !ins[0];
+    case GateType::And:
+    case GateType::Nand: {
+      bool all = true;
+      for (bool b : ins) all = all && b;
+      return t == GateType::Nand ? !all : all;
+    }
+    case GateType::Or:
+    case GateType::Nor: {
+      bool any = false;
+      for (bool b : ins) any = any || b;
+      return t == GateType::Nor ? !any : any;
+    }
+    case GateType::Xor:
+    case GateType::Xnor: {
+      bool parity = (t == GateType::Xnor);
+      for (bool b : ins) parity ^= b;
+      return parity;
+    }
+    case GateType::Input:
+    case GateType::Dff:
+      assert(false && "inputs and flip-flops are not evaluated combinationally");
+      return false;
+  }
+  return false;
+}
+
+}  // namespace motsim

@@ -1,0 +1,71 @@
+// Forward three-valued evaluation of a single gate.
+#pragma once
+
+#include <span>
+
+#include "logic/gate_type.hpp"
+#include "logic/val.hpp"
+
+namespace motsim {
+
+/// Evaluates a combinational gate under three-valued logic.
+///
+/// For AND/NAND/OR/NOR: a controlling input forces the output even when other
+/// inputs are X; otherwise any X input makes the output X. For XOR/XNOR: any
+/// X input makes the output X. DFF is not evaluated here — its output is a
+/// present-state variable supplied by the sequential simulator.
+///
+/// Preconditions: `t` is not Input/Dff, and `ins.size()` satisfies
+/// required_fanins(t).
+Val eval_gate(GateType t, std::span<const Val> ins);
+
+/// Two-valued convenience used by exhaustive oracles: all inputs specified.
+bool eval_gate2(GateType t, std::span<const bool> ins);
+
+/// Zero-copy variant: reads input k through `get(k)`. This is the hot path
+/// of every simulator — it avoids materializing a fanin value array per
+/// gate evaluation. Semantics identical to eval_gate (tested against it).
+template <typename GetVal>
+Val eval_gate_fn(GateType t, std::size_t n, GetVal&& get) {
+  switch (t) {
+    case GateType::Const0:
+      return Val::Zero;
+    case GateType::Const1:
+      return Val::One;
+    case GateType::Buf:
+      return get(0);
+    case GateType::Not:
+      return v_not(get(0));
+    case GateType::And:
+    case GateType::Nand:
+    case GateType::Or:
+    case GateType::Nor: {
+      const Val ctrl = v_of(controlling_value(t));
+      bool any_x = false;
+      for (std::size_t k = 0; k < n; ++k) {
+        const Val v = get(k);
+        if (v == ctrl) return is_inverting(t) ? v_not(ctrl) : ctrl;
+        if (v == Val::X) any_x = true;
+      }
+      if (any_x) return Val::X;
+      const Val noncontrolled = v_not(ctrl);
+      return is_inverting(t) ? v_not(noncontrolled) : noncontrolled;
+    }
+    case GateType::Xor:
+    case GateType::Xnor: {
+      bool parity = (t == GateType::Xnor);
+      for (std::size_t k = 0; k < n; ++k) {
+        const Val v = get(k);
+        if (v == Val::X) return Val::X;
+        parity ^= v_to_bool(v);
+      }
+      return v_of(parity);
+    }
+    case GateType::Input:
+    case GateType::Dff:
+      return Val::X;
+  }
+  return Val::X;
+}
+
+}  // namespace motsim

@@ -1,0 +1,99 @@
+#include "logic/gate_type.hpp"
+
+#include <cassert>
+
+#include "util/strings.hpp"
+
+namespace motsim {
+
+bool has_controlling_value(GateType t) {
+  switch (t) {
+    case GateType::And:
+    case GateType::Nand:
+    case GateType::Or:
+    case GateType::Nor:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool controlling_value(GateType t) {
+  assert(has_controlling_value(t));
+  return t == GateType::Or || t == GateType::Nor;
+}
+
+bool is_inverting(GateType t) {
+  switch (t) {
+    case GateType::Nand:
+    case GateType::Nor:
+    case GateType::Not:
+    case GateType::Xnor:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_parity(GateType t) {
+  return t == GateType::Xor || t == GateType::Xnor;
+}
+
+int required_fanins(GateType t) {
+  switch (t) {
+    case GateType::Input:
+    case GateType::Const0:
+    case GateType::Const1:
+      return 0;
+    case GateType::Dff:
+    case GateType::Buf:
+    case GateType::Not:
+      return 1;
+    default:
+      return -1;
+  }
+}
+
+std::string_view gate_type_name(GateType t) {
+  switch (t) {
+    case GateType::Input: return "INPUT";
+    case GateType::Dff: return "DFF";
+    case GateType::Buf: return "BUF";
+    case GateType::Not: return "NOT";
+    case GateType::And: return "AND";
+    case GateType::Nand: return "NAND";
+    case GateType::Or: return "OR";
+    case GateType::Nor: return "NOR";
+    case GateType::Xor: return "XOR";
+    case GateType::Xnor: return "XNOR";
+    case GateType::Const0: return "CONST0";
+    case GateType::Const1: return "CONST1";
+  }
+  return "?";
+}
+
+bool gate_type_from_name(std::string_view name, GateType& out) {
+  struct Entry {
+    std::string_view name;
+    GateType type;
+  };
+  // BUFF is the spelling used by several ISCAS-89 distributions.
+  static constexpr Entry kEntries[] = {
+      {"INPUT", GateType::Input}, {"DFF", GateType::Dff},
+      {"BUF", GateType::Buf},     {"BUFF", GateType::Buf},
+      {"NOT", GateType::Not},     {"INV", GateType::Not},
+      {"AND", GateType::And},     {"NAND", GateType::Nand},
+      {"OR", GateType::Or},       {"NOR", GateType::Nor},
+      {"XOR", GateType::Xor},     {"XNOR", GateType::Xnor},
+      {"CONST0", GateType::Const0}, {"CONST1", GateType::Const1},
+  };
+  for (const Entry& e : kEntries) {
+    if (iequals(name, e.name)) {
+      out = e.type;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace motsim

@@ -1,0 +1,49 @@
+// Gate primitives of the ISCAS-89 netlist format plus constants.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace motsim {
+
+enum class GateType : std::uint8_t {
+  Input,   ///< primary input; no fanins
+  Dff,     ///< D flip-flop; one fanin (the next-state function / D pin)
+  Buf,
+  Not,
+  And,
+  Nand,
+  Or,
+  Nor,
+  Xor,
+  Xnor,
+  Const0,  ///< constant 0; no fanins
+  Const1,  ///< constant 1; no fanins
+};
+
+/// True for AND/NAND/OR/NOR — the gates with a controlling input value.
+bool has_controlling_value(GateType t);
+
+/// Controlling input value of AND/NAND (0) or OR/NOR (1).
+/// Precondition: has_controlling_value(t).
+bool controlling_value(GateType t);
+
+/// True for NAND/NOR/NOT/XNOR — gates whose output is inverted relative to
+/// the underlying AND/OR/BUF/XOR function.
+bool is_inverting(GateType t);
+
+/// True for XOR/XNOR.
+bool is_parity(GateType t);
+
+/// Number of fanins this type requires: 0 for inputs/constants, exactly 1
+/// for DFF/BUF/NOT, and -1 meaning "one or more" for the rest.
+int required_fanins(GateType t);
+
+/// Canonical upper-case name as used in .bench files ("NAND", "DFF", ...).
+std::string_view gate_type_name(GateType t);
+
+/// Parses a .bench function name, case-insensitively. Returns false for
+/// unknown names.
+bool gate_type_from_name(std::string_view name, GateType& out);
+
+}  // namespace motsim

@@ -1,0 +1,102 @@
+#include "logic/infer.hpp"
+
+#include <cassert>
+
+namespace motsim {
+
+namespace {
+
+/// Folds a refinement step result into a running aggregate.
+void fold(Refine& agg, Refine step) {
+  if (step == Refine::Conflict) {
+    agg = Refine::Conflict;
+  } else if (step == Refine::Changed && agg == Refine::NoChange) {
+    agg = Refine::Changed;
+  }
+}
+
+}  // namespace
+
+Refine infer_inputs(GateType t, Val out, std::span<Val> ins) {
+  if (!is_specified(out)) return Refine::NoChange;
+
+  Refine agg = Refine::NoChange;
+  switch (t) {
+    case GateType::Const0:
+      return out == Val::Zero ? Refine::NoChange : Refine::Conflict;
+    case GateType::Const1:
+      return out == Val::One ? Refine::NoChange : Refine::Conflict;
+    case GateType::Input:
+      // Primary inputs have no fanins; nothing to infer, never a conflict
+      // (the input value itself is checked by the caller against the test).
+      return Refine::NoChange;
+    case GateType::Buf:
+    case GateType::Dff:
+      assert(ins.size() == 1);
+      return refine_into(ins[0], out);
+    case GateType::Not:
+      assert(ins.size() == 1);
+      return refine_into(ins[0], v_not(out));
+    case GateType::And:
+    case GateType::Nand:
+    case GateType::Or:
+    case GateType::Nor: {
+      assert(!ins.empty());
+      const Val ctrl = v_of(controlling_value(t));
+      const Val noncontrolled = v_not(ctrl);
+      // Output value seen when all inputs are non-controlling.
+      const Val out_all_nc = is_inverting(t) ? v_not(noncontrolled) : noncontrolled;
+      if (out == out_all_nc) {
+        // Every input is forced to the non-controlling value.
+        for (Val& in : ins) fold(agg, refine_into(in, noncontrolled));
+        return agg;
+      }
+      // Output has the "controlled" value: at least one input must be
+      // controlling. If one already is, nothing is forced. If none is and
+      // exactly one input is X, that input is forced to the controlling
+      // value; if none is X the requirement is unsatisfiable.
+      std::size_t x_count = 0;
+      Val* last_x = nullptr;
+      for (Val& in : ins) {
+        if (in == ctrl) return Refine::NoChange;
+        if (in == Val::X) {
+          ++x_count;
+          last_x = &in;
+        }
+      }
+      if (x_count == 0) return Refine::Conflict;
+      if (x_count == 1) return refine_into(*last_x, ctrl);
+      return Refine::NoChange;
+    }
+    case GateType::Xor:
+    case GateType::Xnor: {
+      assert(!ins.empty());
+      std::size_t x_count = 0;
+      Val* last_x = nullptr;
+      bool parity = (t == GateType::Xnor);
+      for (Val& in : ins) {
+        if (in == Val::X) {
+          ++x_count;
+          last_x = &in;
+        } else {
+          parity ^= v_to_bool(in);
+        }
+      }
+      if (x_count == 0) {
+        return v_of(parity) == out ? Refine::NoChange : Refine::Conflict;
+      }
+      if (x_count == 1) {
+        // The lone unknown input must fix the parity.
+        const bool needed = parity ^ v_to_bool(out) ^ false;
+        // parity currently holds the XOR of known inputs (with XNOR's
+        // inversion folded in); out = parity XOR unknown, so
+        // unknown = parity XOR out.
+        return refine_into(*last_x, v_of(needed));
+      }
+      return Refine::NoChange;
+    }
+  }
+  return agg;
+}
+
+}  // namespace motsim

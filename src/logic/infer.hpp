@@ -1,0 +1,27 @@
+// Backward inference at a single gate: given the gate's output value and the
+// currently known input values, deduce input values that are *forced*.
+//
+// This is the local rule set behind the paper's backward implications
+// (Section 2): e.g. AND output 1 forces all inputs to 1; AND output 0 with
+// all inputs but one already at 1 forces the remaining input to 0. A
+// Conflict result means no assignment of the unspecified inputs can produce
+// the requested output — the seed value that started the implication pass is
+// impossible (paper's Figure 4 scenario).
+#pragma once
+
+#include <span>
+
+#include "logic/gate_type.hpp"
+#include "logic/val.hpp"
+
+namespace motsim {
+
+/// Refines `ins` in place with every input value forced by `out`.
+///
+/// Sound and locally complete for single gates: a value is written only if it
+/// holds in every completion, and Conflict is returned only if no completion
+/// exists. If `out` is X nothing can be inferred. DFF behaves like BUF (the
+/// D pin must equal the next-state value).
+Refine infer_inputs(GateType t, Val out, std::span<Val> ins);
+
+}  // namespace motsim

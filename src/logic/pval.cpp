@@ -1,0 +1,87 @@
+#include "logic/pval.hpp"
+
+#include <cassert>
+
+namespace motsim {
+
+Val pv_get(const PVal& p, unsigned k) {
+  assert(k < 64);
+  const std::uint64_t bit = 1ull << k;
+  if (p.ones & bit) return Val::One;
+  if (p.zeros & bit) return Val::Zero;
+  return Val::X;
+}
+
+void pv_set(PVal& p, unsigned k, Val v) {
+  assert(k < 64);
+  const std::uint64_t bit = 1ull << k;
+  p.ones &= ~bit;
+  p.zeros &= ~bit;
+  if (v == Val::One) p.ones |= bit;
+  if (v == Val::Zero) p.zeros |= bit;
+}
+
+bool pv_well_formed(const PVal& p) { return (p.ones & p.zeros) == 0; }
+
+PVal pv_not(const PVal& a) { return PVal{a.zeros, a.ones}; }
+
+PVal pv_and(const PVal& a, const PVal& b) {
+  return PVal{a.ones & b.ones, a.zeros | b.zeros};
+}
+
+PVal pv_or(const PVal& a, const PVal& b) {
+  return PVal{a.ones | b.ones, a.zeros & b.zeros};
+}
+
+PVal pv_xor(const PVal& a, const PVal& b) {
+  // Specified-and-differing -> 1; specified-and-equal -> 0; any X -> X.
+  return PVal{(a.ones & b.zeros) | (a.zeros & b.ones),
+              (a.ones & b.ones) | (a.zeros & b.zeros)};
+}
+
+PVal pv_eval_gate(GateType t, const PVal* ins, std::size_t n) {
+  switch (t) {
+    case GateType::Const0:
+      return pv_splat(Val::Zero);
+    case GateType::Const1:
+      return pv_splat(Val::One);
+    case GateType::Buf:
+      assert(n == 1);
+      return ins[0];
+    case GateType::Not:
+      assert(n == 1);
+      return pv_not(ins[0]);
+    case GateType::And:
+    case GateType::Nand: {
+      assert(n >= 1);
+      PVal acc = ins[0];
+      for (std::size_t i = 1; i < n; ++i) acc = pv_and(acc, ins[i]);
+      return t == GateType::Nand ? pv_not(acc) : acc;
+    }
+    case GateType::Or:
+    case GateType::Nor: {
+      assert(n >= 1);
+      PVal acc = ins[0];
+      for (std::size_t i = 1; i < n; ++i) acc = pv_or(acc, ins[i]);
+      return t == GateType::Nor ? pv_not(acc) : acc;
+    }
+    case GateType::Xor:
+    case GateType::Xnor: {
+      assert(n >= 1);
+      PVal acc = ins[0];
+      for (std::size_t i = 1; i < n; ++i) acc = pv_xor(acc, ins[i]);
+      return t == GateType::Xnor ? pv_not(acc) : acc;
+    }
+    case GateType::Input:
+    case GateType::Dff:
+      assert(false && "inputs and flip-flops are not evaluated combinationally");
+      return pv_all_x();
+  }
+  return pv_all_x();
+}
+
+std::uint64_t pv_conflict_mask(const PVal& a, const PVal& b) {
+  return (a.ones & b.zeros) | (a.zeros & b.ones);
+}
+
+}  // namespace motsim

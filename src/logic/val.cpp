@@ -1,0 +1,37 @@
+#include "logic/val.hpp"
+
+#include <cassert>
+
+namespace motsim {
+
+bool v_to_bool(Val v) {
+  assert(is_specified(v));
+  return v == Val::One;
+}
+
+char v_to_char(Val v) {
+  switch (v) {
+    case Val::Zero: return '0';
+    case Val::One: return '1';
+    default: return 'x';
+  }
+}
+
+bool v_from_char(char c, Val& out) {
+  switch (c) {
+    case '0': out = Val::Zero; return true;
+    case '1': out = Val::One; return true;
+    case 'x':
+    case 'X': out = Val::X; return true;
+    default: return false;
+  }
+}
+
+std::string vals_to_string(const Val* vals, std::size_t n) {
+  std::string s;
+  s.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) s.push_back(v_to_char(vals[i]));
+  return s;
+}
+
+}  // namespace motsim

@@ -1,0 +1,74 @@
+// Three-valued logic values.
+//
+// motsim simulates synchronous sequential circuits whose initial state is
+// unknown, so every line carries a value from {0, 1, X}. X means "this line
+// could be either 0 or 1 depending on the (unknown) initial state"; the
+// refinement order is X < 0 and X < 1 (specifying is always sound, the
+// reverse never happens during a simulation pass).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace motsim {
+
+enum class Val : std::uint8_t {
+  Zero = 0,
+  One = 1,
+  X = 2,
+};
+
+inline bool is_specified(Val v) { return v != Val::X; }
+
+/// Logical complement; X stays X.
+inline Val v_not(Val v) {
+  switch (v) {
+    case Val::Zero: return Val::One;
+    case Val::One: return Val::Zero;
+    default: return Val::X;
+  }
+}
+
+/// Binary value from bool.
+inline Val v_of(bool b) { return b ? Val::One : Val::Zero; }
+
+/// Precondition: is_specified(v).
+bool v_to_bool(Val v);
+
+/// '0', '1' or 'x'.
+char v_to_char(Val v);
+
+/// Parses '0'/'1'/'x'/'X'; returns false on anything else.
+bool v_from_char(char c, Val& out);
+
+/// Renders a sequence of values, e.g. "01x1".
+std::string vals_to_string(const Val* vals, std::size_t n);
+
+/// Two specified values that differ. This is the "observable difference"
+/// test used for fault detection: an X never conflicts with anything.
+inline bool conflicts(Val a, Val b) {
+  return is_specified(a) && is_specified(b) && a != b;
+}
+
+/// True if `a` refines `b`: a == b, or b == X. ("a is at least as specified
+/// as b and agrees with b wherever b is specified.")
+inline bool refines(Val a, Val b) { return a == b || b == Val::X; }
+
+/// Outcome of merging a new value into a stored one.
+enum class Refine : std::uint8_t {
+  NoChange,  ///< new value added no information
+  Changed,   ///< stored X became 0 or 1
+  Conflict,  ///< stored 0/1 contradicted by new 1/0
+};
+
+/// Merges `nv` into `cur` under the refinement order.
+inline Refine refine_into(Val& cur, Val nv) {
+  if (nv == Val::X || nv == cur) return Refine::NoChange;
+  if (cur == Val::X) {
+    cur = nv;
+    return Refine::Changed;
+  }
+  return Refine::Conflict;
+}
+
+}  // namespace motsim

@@ -1,0 +1,40 @@
+#include "mot/baseline.hpp"
+
+namespace motsim {
+
+namespace {
+
+MotOptions without_implications(MotOptions options) {
+  options.use_backward_implications = false;
+  return options;
+}
+
+}  // namespace
+
+ExpansionBaseline::ExpansionBaseline(const Circuit& c, MotOptions options)
+    : inner_(c, without_implications(options)) {}
+
+BaselineResult ExpansionBaseline::simulate_fault(const TestSequence& test,
+                                                 const SeqTrace& good,
+                                                 const Fault& f) {
+  return to_baseline(inner_.simulate_fault(test, good, f));
+}
+
+BaselineResult ExpansionBaseline::simulate_fault(const TestSequence& test,
+                                                 const SeqTrace& good,
+                                                 const Fault& f, SeqTrace& faulty) {
+  return to_baseline(inner_.simulate_fault(test, good, f, faulty));
+}
+
+BaselineResult ExpansionBaseline::to_baseline(const MotResult& r) {
+  BaselineResult out;
+  out.detected = r.detected;
+  out.detected_conventional = r.detected_conventional;
+  out.passes_c = r.passes_c;
+  out.expansions = r.expansions;
+  out.final_sequences = r.final_sequences;
+  out.aborted = r.passes_c && !r.detected;
+  return out;
+}
+
+}  // namespace motsim

@@ -1,0 +1,49 @@
+// The state-expansion fault simulation of [4] (Pomeranz & Reddy, "On Fault
+// Simulation for Synchronous Sequential Circuits", IEEE ToC Feb. 1995), as
+// characterized by this paper: the identical expansion-and-resimulation
+// skeleton but *without backward implications* —
+//
+//  * an expansion specifies only the selected state variable itself
+//    (extra(u,i,α) = {(i,α)}; criteria (3)-(4) become vacuous),
+//  * no conflict/detection information exists, so no §3.2 check and no
+//    in-place phase-1 assignments,
+//  * time units ranked by maximum N_out, then minimum N_sv (the paper
+//    credits heuristic (2) to [4]); same N_STATES budget.
+//
+// Implemented as MotFaultSimulator with use_backward_implications = false,
+// so the Table 2 "[4] vs proposed" comparison isolates exactly the paper's
+// contribution.
+#pragma once
+
+#include "mot/proposed.hpp"
+
+namespace motsim {
+
+struct BaselineResult {
+  bool detected = false;
+  bool detected_conventional = false;
+  bool passes_c = false;
+  std::size_t expansions = 0;
+  std::size_t final_sequences = 0;
+  /// Expansion budget exhausted (or no variable left) without detection.
+  bool aborted = false;
+};
+
+class ExpansionBaseline {
+ public:
+  explicit ExpansionBaseline(const Circuit& c, MotOptions options = {});
+
+  BaselineResult simulate_fault(const TestSequence& test, const SeqTrace& good,
+                                const Fault& f);
+
+  /// Shares a precomputed conventional trace (see MotFaultSimulator).
+  BaselineResult simulate_fault(const TestSequence& test, const SeqTrace& good,
+                                const Fault& f, SeqTrace& faulty);
+
+ private:
+  static BaselineResult to_baseline(const MotResult& r);
+
+  MotFaultSimulator inner_;
+};
+
+}  // namespace motsim

@@ -1,0 +1,135 @@
+#include "mot/collector.hpp"
+
+#include <cassert>
+
+namespace motsim {
+
+BackwardCollector::BackwardCollector(const Circuit& c, const MotOptions& opt)
+    : circuit_(&c), options_(opt) {
+  const int depth = std::max(1, options_.backward_depth);
+  implicators_.reserve(static_cast<std::size_t>(depth));
+  for (int d = 0; d < depth; ++d) implicators_.emplace_back(c);
+}
+
+ImplOutcome BackwardCollector::probe(const SeqTrace& good, SeqTrace& faulty,
+                                     const FaultView& fv, std::uint32_t u,
+                                     std::uint32_t i, int alpha, PairInfo& pair) {
+  const Circuit& c = *circuit_;
+  const Val a = alpha == 0 ? Val::Zero : Val::One;
+
+  // Seed Y_i = α at time unit u-1 and imply; optionally continue backward
+  // through earlier frames while new present-state values appear.
+  std::vector<std::pair<GateId, Val>> seeds = {{c.dff_input(i), a}};
+  ImplOutcome outcome = ImplOutcome::Ok;
+  std::size_t frames_used = 0;
+  for (std::size_t d = 0; d < implicators_.size(); ++d) {
+    const std::int64_t frame = static_cast<std::int64_t>(u) - 1 - static_cast<std::int64_t>(d);
+    assert(frame >= 0 || d > 0);
+    FrameImplicator& impl = implicators_[d];
+    outcome = impl.run(faulty.lines[static_cast<std::size_t>(frame)], fv,
+                       good.outputs[static_cast<std::size_t>(frame)], seeds,
+                       options_.impl_mode);
+    ++frames_used;
+    if (outcome != ImplOutcome::Ok) break;
+    if (d + 1 == implicators_.size() || frame == 0) break;
+    // Newly specified present-state variables at `frame` are next-state
+    // variables at frame-1.
+    seeds.clear();
+    for (const auto& [line, v] : impl.changes()) {
+      const auto j = c.dff_index(line);
+      if (j.has_value()) seeds.emplace_back(c.dff_input(*j), v);
+    }
+    if (seeds.empty()) break;
+  }
+
+  if (outcome == ImplOutcome::Conflict) {
+    pair.conf[alpha] = true;
+  } else if (outcome == ImplOutcome::Detected) {
+    pair.detect[alpha] = true;
+  } else {
+    // extra(u,i,α): present-state variables at u that became specified —
+    // read off the next-state (D-pin) values at frame u-1 for flip-flops
+    // that conventional simulation left unspecified at u.
+    const FrameVals& frame = faulty.lines[u - 1];
+    for (std::size_t j = 0; j < c.num_dffs(); ++j) {
+      if (is_specified(faulty.states[u][j])) continue;
+      const Val y = fv.next_state(j, frame);
+      if (is_specified(y)) {
+        pair.extra[alpha].emplace_back(static_cast<std::uint32_t>(j), y);
+      }
+    }
+  }
+
+  // Roll every probed frame back, newest first.
+  for (std::size_t d = frames_used; d-- > 0;) {
+    const std::size_t frame = u - 1 - d;
+    implicators_[d].undo(faulty.lines[frame]);
+  }
+  return outcome;
+}
+
+CollectionResult BackwardCollector::collect(const SeqTrace& good, SeqTrace& faulty,
+                                            const FaultView& fv) {
+  const Circuit& c = *circuit_;
+  assert(!faulty.lines.empty() && "collector needs a trace with line values");
+  const std::size_t L = good.length();
+
+  const std::vector<std::size_t> nout = count_nout(good, faulty);
+
+  CollectionResult result;
+
+  // Synthesized u = 0 pairs: plain expansion of the initial state, no
+  // backward implication possible (paper §3.1, last paragraph).
+  for (std::size_t i = 0; i < c.num_dffs(); ++i) {
+    if (is_specified(faulty.states[0][i])) continue;
+    if (result.pairs.size() >= options_.max_pairs) {
+      result.capped = true;
+      return result;
+    }
+    PairInfo pair;
+    pair.u = 0;
+    pair.i = static_cast<std::uint32_t>(i);
+    pair.extra[0].emplace_back(static_cast<std::uint32_t>(i), Val::Zero);
+    pair.extra[1].emplace_back(static_cast<std::uint32_t>(i), Val::One);
+    result.pairs.push_back(std::move(pair));
+  }
+
+  for (std::uint32_t u = 1; u <= L; ++u) {
+    if (nout[u - 1] == 0) continue;  // nothing left to specify from here on
+    for (std::uint32_t i = 0; i < c.num_dffs(); ++i) {
+      if (is_specified(faulty.states[u][i])) continue;
+      if (result.pairs.size() >= options_.max_pairs) {
+        result.capped = true;
+        return result;
+      }
+      PairInfo pair;
+      pair.u = u;
+      pair.i = i;
+      if (!options_.use_backward_implications) {
+        // [4]-style plain expansion: the pair specifies only itself.
+        pair.extra[0].emplace_back(i, Val::Zero);
+        pair.extra[1].emplace_back(i, Val::One);
+        result.pairs.push_back(std::move(pair));
+        continue;
+      }
+      probe(good, faulty, fv, u, i, 0, pair);
+      probe(good, faulty, fv, u, i, 1, pair);
+      // Sound implications cannot refute both values: some concrete run of
+      // the faulty machine realizes each reachable trace.
+      assert(!(pair.conf[0] && pair.conf[1]));
+
+      // §3.2: detection on one side and conflict-or-detection on the other
+      // closes the fault without any expansion.
+      if ((pair.detect[0] && pair.side_closed(1)) ||
+          (pair.detect[1] && pair.side_closed(0))) {
+        result.detected_by_check = true;
+        result.pairs.push_back(std::move(pair));
+        return result;
+      }
+      result.pairs.push_back(std::move(pair));
+    }
+  }
+  return result;
+}
+
+}  // namespace motsim

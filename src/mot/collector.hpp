@@ -1,0 +1,75 @@
+// Backward-implication collection — Procedure 1, steps 1-2 (paper §3.1-3.2).
+//
+// For every unspecified present-state variable y_i at time unit u (with
+// unspecified-but-detectable outputs remaining at u-1 or later), the
+// collector probes both values α ∈ {0,1}: it seeds Y_i = α into frame u-1 of
+// the conventionally simulated faulty trace, runs the frame implicator, and
+// records the first of
+//
+//   conf(u,i,α)    — the value is impossible,
+//   detect(u,i,α)  — a primary output at u-1 became opposite to the
+//                    fault-free value: the fault is detected for y_i = α,
+//   extra(u,i,α)   — the set of present-state variables at u that become
+//                    specified, including (i,α) itself.
+//
+// Synthesized pairs with u = 0 (extra = {(i,α)}) allow plain expansion of
+// the initial state. The §3.2 check — detect on one side, conflict or
+// detect on the other — concludes detection without any expansion.
+//
+// With options.backward_depth > 1, newly specified present-state variables
+// at u-1 are pushed further back (Y at u-2, and so on), the multi-time-unit
+// extension the paper describes at the end of its Section 2.
+#pragma once
+
+#include <vector>
+
+#include "mot/counters.hpp"
+#include "mot/implicator.hpp"
+#include "mot/options.hpp"
+
+namespace motsim {
+
+struct PairInfo {
+  std::uint32_t u = 0;  ///< time unit of the present-state variable
+  std::uint32_t i = 0;  ///< state-variable index
+  bool conf[2] = {false, false};
+  bool detect[2] = {false, false};
+  /// extra[a]: (j, β) pairs — PSV y_j = β at time u — valid only when side
+  /// `a` recorded neither conflict nor detection.
+  std::vector<std::pair<std::uint32_t, Val>> extra[2];
+
+  bool side_closed(int a) const { return conf[a] || detect[a]; }
+  bool one_sided() const { return side_closed(0) != side_closed(1); }
+  bool both_open() const { return !side_closed(0) && !side_closed(1); }
+  std::size_t n_extra(int a) const { return extra[a].size(); }
+};
+
+struct CollectionResult {
+  std::vector<PairInfo> pairs;
+  /// Fault concluded detected by the §3.2 check (detect one side,
+  /// conflict-or-detect the other).
+  bool detected_by_check = false;
+  /// True when options.max_pairs stopped the enumeration early.
+  bool capped = false;
+};
+
+class BackwardCollector {
+ public:
+  BackwardCollector(const Circuit& c, const MotOptions& opt);
+
+  /// `faulty` must carry line values (keep_lines); they are probed in place
+  /// and restored before returning. Requires good/faulty over the same test.
+  CollectionResult collect(const SeqTrace& good, SeqTrace& faulty,
+                           const FaultView& fv);
+
+ private:
+  /// Probes one (u, i, α); fills the pair's side. Returns outcome.
+  ImplOutcome probe(const SeqTrace& good, SeqTrace& faulty, const FaultView& fv,
+                    std::uint32_t u, std::uint32_t i, int alpha, PairInfo& pair);
+
+  const Circuit* circuit_;
+  MotOptions options_;
+  std::vector<FrameImplicator> implicators_;  // one per backward frame depth
+};
+
+}  // namespace motsim

@@ -1,0 +1,27 @@
+// Per-fault effectiveness counters (paper, Section 4 / Table 3).
+//
+// Incremented once per (time unit, state variable) pair *selected for
+// expansion*: a detection side adds to n_det, a conflict side to n_conf, and
+// n_extra accumulates the sizes of the applied extra() sets. Without
+// backward implications n_det = n_conf = 0 and n_extra <= 2 * expansions
+// (each plain expansion specifies only the selected variable, once per
+// value); values far above that measure what backward implications added.
+#pragma once
+
+#include <cstdint>
+
+namespace motsim {
+
+struct EffectivenessCounters {
+  std::uint64_t n_det = 0;
+  std::uint64_t n_conf = 0;
+  std::uint64_t n_extra = 0;
+
+  void operator+=(const EffectivenessCounters& o) {
+    n_det += o.n_det;
+    n_conf += o.n_conf;
+    n_extra += o.n_extra;
+  }
+};
+
+}  // namespace motsim

@@ -1,0 +1,37 @@
+#include "mot/implication_only.hpp"
+
+namespace motsim {
+
+ImplicationOnlySimulator::ImplicationOnlySimulator(const Circuit& c,
+                                                   MotOptions options)
+    : circuit_(&c), conv_(c), collector_(c, options) {}
+
+ImplicationOnlyResult ImplicationOnlySimulator::simulate_fault(
+    const TestSequence& test, const SeqTrace& good, const Fault& f) {
+  SeqTrace faulty = conv_.simulate_fault(test, f, /*keep_lines=*/true);
+  return simulate_fault(test, good, f, faulty);
+}
+
+ImplicationOnlyResult ImplicationOnlySimulator::simulate_fault(
+    const TestSequence& test, const SeqTrace& good, const Fault& f,
+    SeqTrace& faulty) {
+  (void)test;
+  ImplicationOnlyResult result;
+  const FaultView fv(*circuit_, f);
+
+  if (traces_conflict(good, faulty)) {
+    result.detected = true;
+    result.detected_conventional = true;
+    return result;
+  }
+  if (!passes_condition_c(good, faulty)) return result;
+  result.passes_c = true;
+
+  // Detection comes from the collected implications alone (§3.2): the
+  // collector stops early and flags it when a pair closes both ways.
+  const CollectionResult collected = collector_.collect(good, faulty, fv);
+  result.detected = collected.detected_by_check;
+  return result;
+}
+
+}  // namespace motsim

@@ -1,0 +1,48 @@
+// Implication-only MOT fault simulation, in the spirit of [6]
+// (Pomeranz & Reddy, "Low-Complexity Fault Simulation under the Multiple
+// Observation Time Testing Approach", ITC 1995).
+//
+// The procedure uses backward implications but *no state expansion*: a fault
+// is declared detected only when, for some unspecified state variable y_i at
+// time u, both values are closed — each side either conflicts (the value is
+// impossible) or detects (every run with that value disagrees with the
+// fault-free response). This is exactly the §3.2 check of the paper's
+// Procedure 1, run over every pair.
+//
+// The paper positions this method as cheap but *not accurate*: it misses
+// faults whose detection needs several interacting state variables, which is
+// what expansion provides. Implemented here as the third comparison point
+// (conventional ⊆ implication-only ⊆ proposed).
+#pragma once
+
+#include "faultsim/conventional.hpp"
+#include "mot/collector.hpp"
+#include "mot/options.hpp"
+
+namespace motsim {
+
+struct ImplicationOnlyResult {
+  bool detected = false;
+  bool detected_conventional = false;
+  bool passes_c = false;
+};
+
+class ImplicationOnlySimulator {
+ public:
+  explicit ImplicationOnlySimulator(const Circuit& c, MotOptions options = {});
+
+  ImplicationOnlyResult simulate_fault(const TestSequence& test,
+                                       const SeqTrace& good, const Fault& f);
+
+  /// Trace-sharing variant (see MotFaultSimulator).
+  ImplicationOnlyResult simulate_fault(const TestSequence& test,
+                                       const SeqTrace& good, const Fault& f,
+                                       SeqTrace& faulty);
+
+ private:
+  const Circuit* circuit_;
+  ConventionalFaultSimulator conv_;
+  BackwardCollector collector_;
+};
+
+}  // namespace motsim

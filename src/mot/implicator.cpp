@@ -1,0 +1,153 @@
+#include "mot/implicator.hpp"
+
+#include <cassert>
+
+#include "logic/infer.hpp"
+
+namespace motsim {
+
+FrameImplicator::FrameImplicator(const Circuit& c) : circuit_(&c) {
+  in_queue_.assign(c.num_gates(), 0);
+}
+
+Refine FrameImplicator::set_line(FrameVals& vals, GateId line, Val v) {
+  const Val old = vals[line];
+  const Refine r = refine_into(vals[line], v);
+  if (r == Refine::Changed) {
+    trail_.emplace_back(line, old);
+    changed_.emplace_back(line, vals[line]);
+  }
+  return r;
+}
+
+Refine FrameImplicator::backward_at(FrameVals& vals, const FaultView& fv, GateId g) {
+  const Gate& gate = circuit_->gate(g);
+  // Within one frame a DFF's output (present state) is unrelated to its D
+  // pin (next state); inputs have no fanins; a stem-stuck output constrains
+  // nothing behind the fault site.
+  if (gate.type == GateType::Input || gate.type == GateType::Dff || fv.out_fixed(g)) {
+    return Refine::NoChange;
+  }
+  if (!is_specified(vals[g])) return Refine::NoChange;
+
+  scratch_.clear();
+  for (std::size_t k = 0; k < gate.fanins.size(); ++k) {
+    scratch_.push_back(fv.read_pin(g, k, vals));
+  }
+  const Refine inferred = infer_inputs(gate.type, vals[g], scratch_);
+  if (inferred == Refine::Conflict) return Refine::Conflict;
+  if (inferred == Refine::NoChange) return Refine::NoChange;
+
+  Refine agg = Refine::NoChange;
+  for (std::size_t k = 0; k < gate.fanins.size(); ++k) {
+    if (fv.pin_fixed(g, k)) continue;  // a stuck pin never propagates back
+    const GateId driver = gate.fanins[k];
+    if (scratch_[k] == vals[driver]) continue;
+    const Refine r = set_line(vals, driver, scratch_[k]);
+    if (r == Refine::Conflict) return Refine::Conflict;
+    if (r == Refine::Changed) agg = Refine::Changed;
+  }
+  return agg;
+}
+
+Refine FrameImplicator::forward_at(FrameVals& vals, const FaultView& fv, GateId g) {
+  const GateType t = circuit_->gate(g).type;
+  if (t == GateType::Input || t == GateType::Dff || t == GateType::Const0 ||
+      t == GateType::Const1) {
+    return Refine::NoChange;
+  }
+  return set_line(vals, g, fv.eval(g, vals));
+}
+
+ImplOutcome FrameImplicator::detection_check(const FrameVals& vals,
+                                             std::span<const Val> good_out) const {
+  if (good_out.empty()) return ImplOutcome::Ok;
+  const auto outputs = circuit_->outputs();
+  assert(good_out.size() == outputs.size());
+  for (std::size_t o = 0; o < outputs.size(); ++o) {
+    if (conflicts(good_out[o], vals[outputs[o]])) return ImplOutcome::Detected;
+  }
+  return ImplOutcome::Ok;
+}
+
+ImplOutcome FrameImplicator::run_two_pass(FrameVals& vals, const FaultView& fv) {
+  const auto topo = circuit_->topo_order();
+  // One pass from outputs to inputs...
+  for (std::size_t k = topo.size(); k-- > 0;) {
+    if (backward_at(vals, fv, topo[k]) == Refine::Conflict) return ImplOutcome::Conflict;
+  }
+  // ...and one pass from inputs to outputs (paper, Section 2).
+  for (GateId g : topo) {
+    if (forward_at(vals, fv, g) == Refine::Conflict) return ImplOutcome::Conflict;
+  }
+  return ImplOutcome::Ok;
+}
+
+ImplOutcome FrameImplicator::run_fixpoint(FrameVals& vals, const FaultView& fv) {
+  auto enqueue = [&](GateId g) {
+    if (!in_queue_[g]) {
+      in_queue_[g] = 1;
+      queue_.push_back(g);
+    }
+  };
+  // Seed the worklist from the lines changed so far (the seeds): the gate
+  // itself (backward through it) and its readers (forward + backward).
+  for (const auto& [line, v] : changed_) {
+    (void)v;
+    enqueue(line);
+    for (GateId reader : circuit_->gate(line).fanouts) enqueue(reader);
+  }
+
+  ImplOutcome outcome = ImplOutcome::Ok;
+  while (!queue_.empty() && outcome == ImplOutcome::Ok) {
+    const GateId g = queue_.back();
+    queue_.pop_back();
+    in_queue_[g] = 0;
+
+    const std::size_t before = changed_.size();
+    if (forward_at(vals, fv, g) == Refine::Conflict ||
+        backward_at(vals, fv, g) == Refine::Conflict) {
+      outcome = ImplOutcome::Conflict;
+      break;
+    }
+    // Everything specified by this step wakes its neighbourhood.
+    for (std::size_t c = before; c < changed_.size(); ++c) {
+      const GateId line = changed_[c].first;
+      enqueue(line);
+      for (GateId reader : circuit_->gate(line).fanouts) enqueue(reader);
+    }
+  }
+  // Leave the queue clean for the next run (also on conflict abort).
+  for (GateId g : queue_) in_queue_[g] = 0;
+  queue_.clear();
+  return outcome;
+}
+
+ImplOutcome FrameImplicator::run(FrameVals& vals, const FaultView& fv,
+                                 std::span<const Val> good_out,
+                                 std::span<const std::pair<GateId, Val>> seeds,
+                                 ImplMode mode) {
+  assert(vals.size() == circuit_->num_gates());
+  trail_.clear();
+  changed_.clear();
+
+  for (const auto& [line, v] : seeds) {
+    if (set_line(vals, line, v) == Refine::Conflict) return ImplOutcome::Conflict;
+  }
+
+  const ImplOutcome propagated = mode == ImplMode::TwoPass
+                                     ? run_two_pass(vals, fv)
+                                     : run_fixpoint(vals, fv);
+  if (propagated != ImplOutcome::Ok) return propagated;
+  return detection_check(vals, good_out);
+}
+
+void FrameImplicator::undo(FrameVals& vals) {
+  for (std::size_t k = trail_.size(); k-- > 0;) {
+    vals[trail_[k].first] = trail_[k].second;
+  }
+  trail_.clear();
+  changed_.clear();
+}
+
+}  // namespace motsim

@@ -1,0 +1,79 @@
+// Frame-level implication engine.
+//
+// Given the line values of one time frame (as computed by conventional
+// simulation) plus newly seeded values, the implicator derives every value
+// forced by the seeds — "from outputs to inputs and then from inputs to
+// outputs" (paper, Section 2) — and classifies the outcome:
+//
+//   Conflict  — the seeds contradict the frame (no completion exists); the
+//               seeded next-state value is impossible (Figure 4),
+//   Detected  — a primary output became specified opposite to the fault-free
+//               value at this frame: the fault is detected for the seeded
+//               state-variable value,
+//   Ok        — neither; the newly specified lines are available via
+//               changes().
+//
+// The engine mutates the caller's frame array in place and records an undo
+// trail, so the collector can probe thousands of (time unit, variable,
+// value) seeds against one stored frame without copying it each time.
+#pragma once
+
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "fault/fault_view.hpp"
+#include "mot/options.hpp"
+#include "sim/seq_sim.hpp"
+
+namespace motsim {
+
+enum class ImplOutcome : std::uint8_t { Ok, Conflict, Detected };
+
+class FrameImplicator {
+ public:
+  explicit FrameImplicator(const Circuit& c);
+
+  /// Applies `seeds` to `vals` and propagates. `good_out` holds the
+  /// fault-free primary output values of this frame (pass empty to skip the
+  /// detection check). After the call, changes() lists every line whose
+  /// value became specified (seeds included); call undo(vals) to restore.
+  ///
+  /// A seed that contradicts an already specified line yields Conflict
+  /// immediately.
+  ImplOutcome run(FrameVals& vals, const FaultView& fv,
+                  std::span<const Val> good_out,
+                  std::span<const std::pair<GateId, Val>> seeds, ImplMode mode);
+
+  /// Lines specified by the last run(), in propagation order.
+  std::span<const std::pair<GateId, Val>> changes() const { return changed_; }
+
+  /// Rolls `vals` back to its state before the last run().
+  void undo(FrameVals& vals);
+
+ private:
+  ImplOutcome run_two_pass(FrameVals& vals, const FaultView& fv);
+  ImplOutcome run_fixpoint(FrameVals& vals, const FaultView& fv);
+
+  /// refine_into with trail recording; returns the refinement outcome.
+  Refine set_line(FrameVals& vals, GateId line, Val v);
+
+  /// Backward step at gate g: push g's (specified) output value into its
+  /// fanins. Returns Conflict on impossibility.
+  Refine backward_at(FrameVals& vals, const FaultView& fv, GateId g);
+  /// Forward step at gate g: re-evaluate and refine g's output.
+  Refine forward_at(FrameVals& vals, const FaultView& fv, GateId g);
+
+  ImplOutcome detection_check(const FrameVals& vals,
+                              std::span<const Val> good_out) const;
+
+  const Circuit* circuit_;
+  std::vector<std::pair<GateId, Val>> trail_;    // (line, previous value)
+  std::vector<std::pair<GateId, Val>> changed_;  // (line, new value)
+  // Fixpoint worklist state.
+  std::vector<GateId> queue_;
+  std::vector<std::uint8_t> in_queue_;
+  std::vector<Val> scratch_;
+};
+
+}  // namespace motsim

@@ -1,0 +1,71 @@
+// Configuration shared by the MOT fault-simulation procedures.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace motsim {
+
+/// How a frame-level implication pass propagates values.
+enum class ImplMode : std::uint8_t {
+  /// The paper's implementation: exactly one pass from outputs to inputs
+  /// followed by one pass from inputs to outputs (Section 2).
+  TwoPass,
+  /// Event-driven local-rule fixpoint: strictly more implications than
+  /// TwoPass (the paper notes "several passes ... may be required to
+  /// determine all the implications"), and faster on large circuits because
+  /// only the affected cone is touched.
+  Fixpoint,
+};
+
+/// Pair-selection policy for the second expansion phase (ablation handle;
+/// the paper uses Full).
+enum class SelectionPolicy : std::uint8_t {
+  Full,      ///< criteria (1)-(4) of Section 3.3
+  TimeOnly,  ///< criteria (1)-(2) only — the information available to [4]
+  Random,    ///< uniformly random valid pair
+};
+
+struct MotOptions {
+  /// The paper's N_STATES: expansion stops when this many state sequences
+  /// exist. 64 in all of the paper's experiments (6 doubling expansions).
+  std::size_t n_states = 64;
+
+  /// When false, the collector performs no backward implications: every
+  /// candidate pair degenerates to extra(u,i,α) = {(i,α)} with no conflict
+  /// or detection information, which makes the procedure the state-expansion
+  /// method of [4] (same expansion skeleton, same budget, criteria (3)-(4)
+  /// vacuous). This is the paper's controlled comparison.
+  bool use_backward_implications = true;
+
+  ImplMode impl_mode = ImplMode::Fixpoint;
+
+  /// How many time units backward implications may cross. The paper's
+  /// implementation uses 1; larger values are the extension discussed at the
+  /// end of its Section 2.
+  int backward_depth = 1;
+
+  /// Cap on the number of (time unit, state variable) pairs examined during
+  /// collection. Guards worst-case blowup on very large circuits; when the
+  /// cap fires the result records `collection_capped` so no truncation is
+  /// silent. The default never binds on the paper's benchmark sizes.
+  std::size_t max_pairs = 1u << 20;
+
+  /// Apply one-sided conflict/detection pairs in place (Procedure 2 step 2).
+  /// Disabling this is an ablation: conflicts/detections then contribute
+  /// nothing beyond ranking.
+  bool use_phase1 = true;
+
+  SelectionPolicy selection = SelectionPolicy::Full;
+  std::uint64_t selection_seed = 0x5eed;  ///< used only by SelectionPolicy::Random
+
+  /// When the implication-enriched expansion fails to resolve a fault within
+  /// the N_STATES budget, retry once with plain [4]-style expansion. The
+  /// enriched extra() sets are a selection heuristic — occasionally a plain
+  /// split of six individual variables resolves a fault the enriched split
+  /// does not — and the fallback makes the paper's observation that the
+  /// proposed procedure detects a superset of [4] hold by construction.
+  bool fallback_plain_expansion = true;
+};
+
+}  // namespace motsim

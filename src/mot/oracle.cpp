@@ -1,0 +1,33 @@
+#include "mot/oracle.hpp"
+
+#include "fault/fault_view.hpp"
+
+namespace motsim {
+
+OracleVerdict restricted_mot_oracle(const Circuit& c, const TestSequence& test,
+                                    const SeqTrace& good, const Fault& f,
+                                    std::size_t max_ffs) {
+  OracleVerdict verdict;
+  const std::size_t k = c.num_dffs();
+  if (k > max_ffs || k >= 64) return verdict;
+  verdict.computable = true;
+
+  const SequentialSimulator sim(c);
+  const FaultView fv(c, f);
+  std::vector<Val> init(k, Val::X);
+  for (std::uint64_t bits = 0; bits < (1ull << k); ++bits) {
+    for (std::size_t j = 0; j < k; ++j) {
+      init[j] = ((bits >> j) & 1) ? Val::One : Val::Zero;
+    }
+    const SeqTrace faulty = sim.run(test, fv, /*keep_lines=*/false, init);
+    if (!traces_conflict(good, faulty)) {
+      // This initial state's response is consistent with the fault-free
+      // response: an observer cannot distinguish them — not detected.
+      return verdict;
+    }
+  }
+  verdict.detected = true;
+  return verdict;
+}
+
+}  // namespace motsim

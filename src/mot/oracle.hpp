@@ -1,0 +1,28 @@
+// Exhaustive ground truth for the restricted multiple observation time
+// approach, used by the property tests and by the accuracy experiments.
+//
+// A fault is detected under restricted MOT iff *every* initial state of the
+// faulty machine produces a response that conflicts with the single
+// (three-valued) fault-free response somewhere. The oracle enumerates all
+// 2^k initial states, so it is exact whenever the test sequence is fully
+// specified (with partially specified tests it is still sound: "detected"
+// answers are always true detections).
+#pragma once
+
+#include "fault/fault.hpp"
+#include "sim/seq_sim.hpp"
+#include "sim/test_sequence.hpp"
+
+namespace motsim {
+
+struct OracleVerdict {
+  bool computable = false;  ///< false when the circuit exceeds max_ffs
+  bool detected = false;
+};
+
+/// `good` must be the fault-free trace of `test` from the all-X state.
+OracleVerdict restricted_mot_oracle(const Circuit& c, const TestSequence& test,
+                                    const SeqTrace& good, const Fault& f,
+                                    std::size_t max_ffs = 16);
+
+}  // namespace motsim

@@ -1,0 +1,60 @@
+// Potential fault detection, after [7] (Rudnick, Patel & Pomeranz, "On
+// Potential Fault Detection in Sequential Circuits", ITC 1996).
+//
+// A fault that conventional (and even MOT) simulation cannot declare
+// detected may still be detected for *some* of the faulty machine's initial
+// states. [7] quantifies this with limited state expansion; here both an
+// exact oracle (exhaustive initial-state enumeration) and a state-set
+// estimate from the expansion machinery are provided.
+//
+// Classification of an undetected fault f under test T:
+//   detected_states == total_states  -> detected (restricted MOT)
+//   0 < detected_states < total      -> potentially detected
+//   detected_states == 0             -> undetected for every initial state
+#pragma once
+
+#include "faultsim/conventional.hpp"
+#include "mot/options.hpp"
+
+namespace motsim {
+
+struct PotentialResult {
+  bool computable = false;
+  std::uint64_t total_states = 0;
+  std::uint64_t detected_states = 0;
+
+  bool fully_detected() const {
+    return computable && detected_states == total_states;
+  }
+  bool potentially_detected() const {
+    return computable && detected_states > 0 && detected_states < total_states;
+  }
+  /// Probability of detection under a uniformly random initial state —
+  /// the quantity [7]'s probabilistic analysis estimates.
+  double detection_probability() const {
+    return total_states == 0 ? 0.0
+                             : static_cast<double>(detected_states) /
+                                   static_cast<double>(total_states);
+  }
+};
+
+/// Exact: enumerates all 2^k initial states of the faulty machine and counts
+/// those whose response conflicts with the (single, three-valued) fault-free
+/// response — the restricted-MOT notion of per-state detection.
+PotentialResult potential_detection_oracle(const Circuit& c,
+                                           const TestSequence& test,
+                                           const SeqTrace& good, const Fault& f,
+                                           std::size_t max_ffs = 16);
+
+/// Estimate from state expansion: expands the faulty machine (plain splits,
+/// budget `n_states`), resimulates, and reports the fraction of *sequences*
+/// resolved as detected or infeasible. Sequences cover disjoint state-space
+/// halves of the expanded variables, so with a fully expanded prefix this
+/// equals the oracle fraction; with partial expansion it is an estimate.
+PotentialResult potential_detection_estimate(const Circuit& c,
+                                             const TestSequence& test,
+                                             const SeqTrace& good,
+                                             const Fault& f,
+                                             std::size_t n_states = 64);
+
+}  // namespace motsim

@@ -1,0 +1,224 @@
+#include "mot/proposed.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace motsim {
+
+MotFaultSimulator::MotFaultSimulator(const Circuit& c, MotOptions options)
+    : circuit_(&c),
+      options_(options),
+      conv_(c),
+      collector_(c, options),
+      selection_rng_(options.selection_seed) {}
+
+namespace {
+
+/// The candidate pool [4] works with: every unspecified (u, i) splits into
+/// exactly {(i,0)} / {(i,1)} with no implication information.
+std::vector<PairInfo> plain_pairs(const Circuit& c, const SeqTrace& faulty,
+                                  const std::vector<std::size_t>& nout) {
+  std::vector<PairInfo> pairs;
+  const std::size_t L = faulty.length();
+  for (std::uint32_t u = 0; u <= L; ++u) {
+    if (u > 0 && nout[u - 1] == 0) continue;
+    for (std::uint32_t i = 0; i < c.num_dffs(); ++i) {
+      if (is_specified(faulty.states[u][i])) continue;
+      PairInfo pair;
+      pair.u = u;
+      pair.i = i;
+      pair.extra[0].emplace_back(i, Val::Zero);
+      pair.extra[1].emplace_back(i, Val::One);
+      pairs.push_back(std::move(pair));
+    }
+  }
+  return pairs;
+}
+
+}  // namespace
+
+std::vector<const PairInfo*> MotFaultSimulator::sorted_candidates(
+    const std::vector<PairInfo>& pairs, const std::vector<std::size_t>& nout,
+    const std::vector<std::size_t>& nsv) const {
+  // Step 3's static part: candidates must be two-sided, with N_out(u) > 0
+  // and N_sv(u) > 0 (there must be something left to specify, and somewhere
+  // to observe it). Ranked once by the static criteria of steps 4-6; a
+  // later walk takes the first pair whose sv(u,i) constraint holds, which
+  // is exactly the filter cascade of Procedure 2 — state sequences only
+  // become more specified, so a pair that fails the constraint once can be
+  // discarded permanently.
+  std::vector<const PairInfo*> order;
+  for (const PairInfo& p : pairs) {
+    if (!p.both_open()) continue;
+    if (p.u >= nout.size() || nout[p.u] == 0 || nsv[p.u] == 0) continue;
+    order.push_back(&p);
+  }
+  const bool full = options_.selection == SelectionPolicy::Full;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](const PairInfo* a, const PairInfo* b) {
+                     if (nout[a->u] != nout[b->u]) return nout[a->u] > nout[b->u];
+                     if (nsv[a->u] != nsv[b->u]) return nsv[a->u] < nsv[b->u];
+                     if (!full) return false;
+                     const std::size_t amin = std::min(a->n_extra(0), a->n_extra(1));
+                     const std::size_t bmin = std::min(b->n_extra(0), b->n_extra(1));
+                     if (amin != bmin) return amin > bmin;
+                     const std::size_t amax = std::max(a->n_extra(0), a->n_extra(1));
+                     const std::size_t bmax = std::max(b->n_extra(0), b->n_extra(1));
+                     return amax > bmax;
+                   });
+  return order;
+}
+
+const PairInfo* MotFaultSimulator::select_pair(std::vector<const PairInfo*>& order,
+                                               std::size_t& cursor,
+                                               const StateSet& set) {
+  // The constraint of step 3: every variable of sv(u,i) — the union of the
+  // variables in both extra sets — must be unspecified at u in all active
+  // sequences. Checked without materializing the union; duplicates are
+  // cheaper to re-check than to deduplicate.
+  auto valid = [&](const PairInfo* p) {
+    for (int a : {0, 1}) {
+      for (const auto& [j, beta] : p->extra[a]) {
+        (void)beta;
+        if (!set.unspecified_everywhere(p->u, j)) return false;
+      }
+    }
+    return true;
+  };
+  if (options_.selection == SelectionPolicy::Random) {
+    std::erase_if(order, [&](const PairInfo* p) { return !valid(p); });
+    if (order.empty()) return nullptr;
+    return order[selection_rng_.next_below(order.size())];
+  }
+  // The ranking is static and specification is monotone: pairs skipped as
+  // invalid can never become valid again, so a cursor over the sorted order
+  // implements the paper's filter cascade in amortized linear time.
+  while (cursor < order.size()) {
+    if (valid(order[cursor])) return order[cursor];
+    ++cursor;
+  }
+  return nullptr;
+}
+
+bool MotFaultSimulator::expand_and_resimulate(
+    const std::vector<PairInfo>& pairs, const TestSequence& test,
+    const SeqTrace& good, const SeqTrace& faulty, const FaultView& fv,
+    const std::vector<std::size_t>& nout, const std::vector<std::size_t>& nsv,
+    bool apply_phase1, MotResult& result) {
+  StateSet set(*circuit_, test, good, fv, faulty);
+
+  // Procedure 2, step 2 (phase 1): one-sided pairs close one value of y_i —
+  // conflict means the value is impossible, detection means every run with
+  // that value is already detected. Either way only y_i = ᾱ survives, and
+  // the values implied for that side refine S0 in place.
+  if (apply_phase1) {
+    for (const PairInfo& p : pairs) {
+      if (!p.one_sided()) continue;
+      const int closed = p.side_closed(0) ? 0 : 1;
+      const int open = 1 - closed;
+      ++result.phase1_pairs;
+      if (p.detect[closed]) {
+        result.counters.n_det += 1;
+      } else {
+        result.counters.n_conf += 1;
+      }
+      result.counters.n_extra += p.n_extra(open);
+      for (const auto& [j, beta] : p.extra[open]) {
+        set.assign(0, p.u, j, beta);
+      }
+    }
+  }
+
+  // Procedure 2, steps 3-10 (phase 2): duplicating expansions.
+  std::vector<const PairInfo*> order = sorted_candidates(pairs, nout, nsv);
+  std::size_t cursor = 0;
+  while (set.size() * 2 <= options_.n_states) {
+    const PairInfo* pick = select_pair(order, cursor, set);
+    if (pick == nullptr) break;
+    ++result.expansions;
+    result.counters.n_extra += pick->n_extra(0) + pick->n_extra(1);
+
+    const std::size_t originals = set.size();
+    const std::vector<std::size_t> copies = set.duplicate_active();
+    // Originals take extra(u,i,0), copies take extra(u,i,1).
+    for (std::size_t s = 0; s < originals; ++s) {
+      if (set.seq(s).status != SeqStatus::Active) continue;
+      for (const auto& [j, beta] : pick->extra[0]) set.assign(s, pick->u, j, beta);
+    }
+    for (std::size_t s : copies) {
+      for (const auto& [j, beta] : pick->extra[1]) set.assign(s, pick->u, j, beta);
+    }
+  }
+
+  // §3.4: resimulate and check.
+  set.resimulate();
+  result.final_sequences = set.size();
+  return set.all_resolved();
+}
+
+MotResult MotFaultSimulator::simulate_fault(const TestSequence& test,
+                                            const SeqTrace& good, const Fault& f) {
+  // Conventional simulation (with line values kept: the collector probes
+  // them in place).
+  SeqTrace faulty = conv_.simulate_fault(test, f, /*keep_lines=*/true);
+  return simulate_fault(test, good, f, faulty);
+}
+
+MotResult MotFaultSimulator::simulate_fault(const TestSequence& test,
+                                            const SeqTrace& good, const Fault& f,
+                                            SeqTrace& faulty) {
+  MotResult result;
+  const FaultView fv(*circuit_, f);
+
+  if (traces_conflict(good, faulty)) {
+    result.detected = true;
+    result.detected_conventional = true;
+    result.phase = MotPhase::Conventional;
+    return result;
+  }
+
+  // Necessary condition (C).
+  if (!passes_condition_c(good, faulty)) {
+    result.phase = MotPhase::FailedCondC;
+    return result;
+  }
+  result.passes_c = true;
+
+  // Procedure 1, steps 1-2: collect and check.
+  CollectionResult collected = collector_.collect(good, faulty, fv);
+  result.collection_capped = collected.capped;
+  if (collected.detected_by_check) {
+    result.detected = true;
+    result.phase = MotPhase::Collection;
+    return result;
+  }
+
+  const std::vector<std::size_t> nout = count_nout(good, faulty);
+  const std::vector<std::size_t> nsv = count_nsv(faulty);
+
+  // Procedure 2 + §3.4 with the collected (implication-enriched) pairs.
+  if (expand_and_resimulate(collected.pairs, test, good, faulty, fv, nout, nsv,
+                            options_.use_phase1, result)) {
+    result.detected = true;
+    result.phase = MotPhase::Expansion;
+    return result;
+  }
+
+  // Optional fallback: plain [4]-style expansion (no extras, no phase 1).
+  if (options_.fallback_plain_expansion && options_.use_backward_implications) {
+    MotResult fallback;  // separate accounting; counters stay with the
+                         // enriched attempt, which reflects the paper's rules
+    if (expand_and_resimulate(plain_pairs(*circuit_, faulty, nout), test, good,
+                              faulty, fv, nout, nsv, /*apply_phase1=*/false,
+                              fallback)) {
+      result.detected = true;
+      result.via_fallback = true;
+      result.phase = MotPhase::Expansion;
+      result.final_sequences = fallback.final_sequences;
+      return result;
+    }
+  }
+  return result;
+}
+
+}  // namespace motsim

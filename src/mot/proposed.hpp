@@ -1,0 +1,96 @@
+// The paper's proposed fault-simulation procedure (Procedure 1):
+//
+//   (1) collect backward implications for every unspecified present-state
+//       variable / time unit (BackwardCollector),
+//   (2) conclude detection from the collected information alone when
+//       possible (§3.2),
+//   (3) select state variables and time units for expansion and perform the
+//       expansions followed by backward implications (Procedure 2):
+//       phase 1 applies one-sided conflict/detection pairs in place, phase 2
+//       duplicates sequences using the ranking criteria (1)-(4) until
+//       N_STATES sequences exist,
+//   (4) resimulate after expansion and check detection (§3.4).
+//
+// The fault is reported detected under the *restricted* multiple observation
+// time approach: one fault-free response, per-initial-state faulty
+// responses.
+#pragma once
+
+#include "faultsim/conventional.hpp"
+#include "mot/collector.hpp"
+#include "mot/options.hpp"
+#include "mot/state_set.hpp"
+#include "util/rng.hpp"
+
+namespace motsim {
+
+/// Which stage of the procedure settled the fault.
+enum class MotPhase : std::uint8_t {
+  NotDetected,   ///< procedure exhausted without establishing detection
+  Conventional,  ///< detected by conventional simulation already
+  FailedCondC,   ///< dropped by the necessary condition (C) — not detectable
+  Collection,    ///< §3.2 check on the collected implications
+  Expansion,     ///< expansion + resimulation (§3.3-3.4)
+};
+
+struct MotResult {
+  bool detected = false;  ///< under restricted MOT (includes conventional)
+  MotPhase phase = MotPhase::NotDetected;
+  bool detected_conventional = false;
+  bool passes_c = false;
+  EffectivenessCounters counters;  ///< Table 3 counters (selected pairs only)
+  std::size_t expansions = 0;      ///< phase-2 duplicating expansions
+  std::size_t phase1_pairs = 0;    ///< one-sided pairs applied in place
+  std::size_t final_sequences = 0;
+  bool collection_capped = false;
+  /// Resolved only by the plain-expansion fallback (see MotOptions).
+  bool via_fallback = false;
+};
+
+class MotFaultSimulator {
+ public:
+  explicit MotFaultSimulator(const Circuit& c, MotOptions options = {});
+
+  /// `good` is the fault-free trace of `test` (outputs required; line
+  /// values not needed).
+  MotResult simulate_fault(const TestSequence& test, const SeqTrace& good,
+                           const Fault& f);
+
+  /// Variant for callers that already simulated the fault conventionally
+  /// (e.g. to share one trace between the proposed procedure and the [4]
+  /// baseline): `faulty` must be the conventional trace of `f` *with line
+  /// values*; its frames are probed in place and restored.
+  MotResult simulate_fault(const TestSequence& test, const SeqTrace& good,
+                           const Fault& f, SeqTrace& faulty);
+
+  const MotOptions& options() const { return options_; }
+
+ private:
+  /// Step 3's static filtering plus the static ranking of steps 4-6 (done
+  /// once per fault; see proposed.cpp for why this is equivalent to the
+  /// paper's per-iteration filter cascade).
+  std::vector<const PairInfo*> sorted_candidates(
+      const std::vector<PairInfo>& pairs, const std::vector<std::size_t>& nout,
+      const std::vector<std::size_t>& nsv) const;
+
+  /// Procedure 2 steps 3-7: picks the next pair to expand, or nullptr.
+  const PairInfo* select_pair(std::vector<const PairInfo*>& order,
+                              std::size_t& cursor, const StateSet& set);
+
+  /// Procedure 2 (phases 1-2) + §3.4 over a given candidate pool. Returns
+  /// true when every sequence resolved (fault detected).
+  bool expand_and_resimulate(const std::vector<PairInfo>& pairs,
+                             const TestSequence& test, const SeqTrace& good,
+                             const SeqTrace& faulty, const FaultView& fv,
+                             const std::vector<std::size_t>& nout,
+                             const std::vector<std::size_t>& nsv,
+                             bool apply_phase1, MotResult& result);
+
+  const Circuit* circuit_;
+  MotOptions options_;
+  ConventionalFaultSimulator conv_;
+  BackwardCollector collector_;
+  Rng selection_rng_;
+};
+
+}  // namespace motsim

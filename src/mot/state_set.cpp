@@ -1,0 +1,161 @@
+#include "mot/state_set.hpp"
+
+#include <cassert>
+
+namespace motsim {
+
+StateSet::StateSet(const Circuit& c, const TestSequence& test, const SeqTrace& good,
+                   const FaultView& fv, const SeqTrace& faulty)
+    : circuit_(&c), test_(&test), good_(&good), fv_(&fv), faulty_(&faulty) {
+  StateSeq s0;
+  s0.states = faulty.states;
+  seqs_.push_back(std::move(s0));
+  marked_.assign(test.length(), 0);
+  frame_.assign(c.num_gates(), Val::X);
+  level_buckets_.assign(c.max_level() + 1, {});
+  pending_.assign(c.num_gates(), 0);
+}
+
+std::size_t StateSet::active_count() const {
+  std::size_t n = 0;
+  for (const StateSeq& s : seqs_) n += s.status == SeqStatus::Active;
+  return n;
+}
+
+bool StateSet::all_resolved() const {
+  for (const StateSeq& s : seqs_) {
+    if (s.status == SeqStatus::Active) return false;
+  }
+  return true;
+}
+
+void StateSet::assign(std::size_t s, std::size_t u, std::size_t j, Val v) {
+  StateSeq& seq = seqs_[s];
+  if (seq.status != SeqStatus::Active) return;
+  if (refine_into(seq.states[u][j], v) == Refine::Conflict) {
+    seq.status = SeqStatus::Infeasible;
+    return;
+  }
+  if (u < marked_.size()) marked_[u] = 1;
+  // Assignments to the final state (u == L) have no frame to resimulate but
+  // can still conflict, which the refine above captured.
+}
+
+bool StateSet::unspecified_everywhere(std::size_t u, std::size_t j) const {
+  for (const StateSeq& s : seqs_) {
+    if (s.status != SeqStatus::Active) continue;
+    if (is_specified(s.states[u][j])) return false;
+  }
+  return true;
+}
+
+std::vector<std::size_t> StateSet::duplicate_active() {
+  std::vector<std::size_t> copies;
+  const std::size_t n = seqs_.size();
+  for (std::size_t s = 0; s < n; ++s) {
+    if (seqs_[s].status != SeqStatus::Active) continue;
+    copies.push_back(seqs_.size());
+    seqs_.push_back(seqs_[s]);
+  }
+  return copies;
+}
+
+void StateSet::resimulate() {
+  for (StateSeq& seq : seqs_) {
+    if (seq.status == SeqStatus::Active) resimulate_one(seq, marked_);
+  }
+  marked_.assign(marked_.size(), 0);
+}
+
+void StateSet::eval_seq_frame(const StateSeq& seq, std::size_t u) {
+  const Circuit& c = *circuit_;
+  const bool incremental = !faulty_->lines.empty();
+  if (!incremental) {
+    // Full evaluation: drive inputs and present state, sweep in topo order.
+    for (std::size_t k = 0; k < c.num_inputs(); ++k) {
+      frame_[c.inputs()[k]] = fv_->input_value(k, test_->at(u, k));
+    }
+    for (std::size_t j = 0; j < c.num_dffs(); ++j) {
+      frame_[c.dffs()[j]] = seq.states[u][j];
+    }
+    SequentialSimulator(c).eval_frame(frame_, *fv_);
+    return;
+  }
+
+  // Incremental evaluation. The sequence's states refine the conventional
+  // trace, so starting from the stored frame and re-evaluating only the
+  // cone of the newly specified state variables is exact (monotone X ->
+  // specified refinement; asserted by the state_set tests against the full
+  // evaluation).
+  frame_ = faulty_->lines[u];
+  std::size_t max_dirty_level = 0;
+  bool any = false;
+  for (std::size_t j = 0; j < c.num_dffs(); ++j) {
+    const GateId q = c.dffs()[j];
+    if (frame_[q] == seq.states[u][j]) continue;
+    frame_[q] = seq.states[u][j];
+    any = true;
+    for (GateId reader : c.gate(q).fanouts) {
+      if (!pending_[reader] && c.gate(reader).type != GateType::Dff) {
+        pending_[reader] = 1;
+        level_buckets_[c.level(reader)].push_back(reader);
+        max_dirty_level = std::max<std::size_t>(max_dirty_level, c.level(reader));
+      }
+    }
+  }
+  if (!any) return;
+  for (std::size_t lvl = 0; lvl <= max_dirty_level; ++lvl) {
+    auto& bucket = level_buckets_[lvl];
+    for (std::size_t b = 0; b < bucket.size(); ++b) {
+      const GateId g = bucket[b];
+      pending_[g] = 0;
+      const Val newv = fv_->eval(g, frame_);
+      if (newv == frame_[g]) continue;
+      frame_[g] = newv;
+      for (GateId reader : c.gate(g).fanouts) {
+        if (!pending_[reader] && c.gate(reader).type != GateType::Dff) {
+          pending_[reader] = 1;
+          level_buckets_[c.level(reader)].push_back(reader);
+          max_dirty_level =
+              std::max<std::size_t>(max_dirty_level, c.level(reader));
+        }
+      }
+    }
+    bucket.clear();
+  }
+}
+
+void StateSet::resimulate_one(StateSeq& seq, std::vector<std::uint8_t> marked) {
+  const Circuit& c = *circuit_;
+  const std::size_t L = test_->length();
+
+  for (std::size_t u = 0; u < L; ++u) {
+    if (!marked[u]) continue;
+    eval_seq_frame(seq, u);
+
+    // Output conflict with the fault-free response: detected.
+    for (std::size_t o = 0; o < c.num_outputs(); ++o) {
+      if (conflicts(good_->outputs[u][o], frame_[c.outputs()[o]])) {
+        seq.status = SeqStatus::Detected;
+        return;
+      }
+    }
+    // Next-state comparison against the stored state at u+1.
+    for (std::size_t j = 0; j < c.num_dffs(); ++j) {
+      const Val next = fv_->present_state(j, fv_->next_state(j, frame_));
+      Val& stored = seq.states[u + 1][j];
+      switch (refine_into(stored, next)) {
+        case Refine::Conflict:
+          seq.status = SeqStatus::Infeasible;
+          return;
+        case Refine::Changed:
+          if (u + 1 < L) marked[u + 1] = 1;
+          break;
+        case Refine::NoChange:
+          break;
+      }
+    }
+  }
+}
+
+}  // namespace motsim

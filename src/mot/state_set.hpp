@@ -1,0 +1,91 @@
+// The set S of candidate state sequences maintained during state expansion
+// (paper, Procedure 2) and its resimulation (paper §3.4).
+//
+// Each sequence fixes the faulty machine's (partially specified) state at
+// every time unit 0..L. Expansion duplicates sequences and specifies state
+// variables; resimulation then re-runs marked time units forward:
+//
+//   * a primary-output conflict with the single fault-free response means
+//     the fault is *detected* for every run covered by the sequence,
+//   * a next-state conflict with the sequence's stored state means the
+//     sequence covers *no* feasible run,
+//   * otherwise newly specified next-state values refine the sequence and
+//     mark the following time unit.
+//
+// The fault is detected when every sequence ends Detected or Infeasible.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/fault_view.hpp"
+#include "mot/counters.hpp"
+#include "sim/seq_sim.hpp"
+#include "sim/test_sequence.hpp"
+
+namespace motsim {
+
+enum class SeqStatus : std::uint8_t { Active, Detected, Infeasible };
+
+struct StateSeq {
+  /// states[u][j]: y_j at time unit u, 0 <= u <= L.
+  std::vector<std::vector<Val>> states;
+  SeqStatus status = SeqStatus::Active;
+};
+
+class StateSet {
+ public:
+  /// Starts from S0 = the conventionally simulated faulty state sequence.
+  StateSet(const Circuit& c, const TestSequence& test, const SeqTrace& good,
+           const FaultView& fv, const SeqTrace& faulty);
+
+  std::size_t size() const { return seqs_.size(); }
+  std::size_t active_count() const;
+  const StateSeq& seq(std::size_t s) const { return seqs_[s]; }
+
+  /// True when every sequence is Detected or Infeasible — the paper's
+  /// detection criterion after resimulation.
+  bool all_resolved() const;
+
+  /// Sets y_j = v at time unit u in sequence s and marks u for
+  /// resimulation. A conflicting assignment makes the sequence Infeasible
+  /// (the values were independently implied, so no covered run can satisfy
+  /// both — for S0 in phase 1 this amounts to detection).
+  void assign(std::size_t s, std::size_t u, std::size_t j, Val v);
+
+  /// True if y_j is unspecified at time unit u in every *active* sequence —
+  /// the candidate constraint of Procedure 2 step 3.
+  bool unspecified_everywhere(std::size_t u, std::size_t j) const;
+
+  /// Duplicates every active sequence (Procedure 2 step 8); the copy of
+  /// sequence s gets index size()+k for the k-th active sequence. Returns
+  /// the indices of the new copies, ordered like the originals they mirror.
+  std::vector<std::size_t> duplicate_active();
+
+  /// §3.4 resimulation of all active sequences over the marked time units.
+  void resimulate();
+
+ private:
+  void resimulate_one(StateSeq& seq, std::vector<std::uint8_t> marked);
+
+  /// Evaluates time unit u of `seq` into frame_. When the faulty trace
+  /// carries line values, only the cone of state variables that differ from
+  /// the conventional simulation is re-evaluated (the expanded states are
+  /// refinements, so values move X -> specified monotonically); otherwise a
+  /// full frame evaluation runs.
+  void eval_seq_frame(const StateSeq& seq, std::size_t u);
+
+  const Circuit* circuit_;
+  const TestSequence* test_;
+  const SeqTrace* good_;
+  const FaultView* fv_;
+  const SeqTrace* faulty_;  ///< conventional trace (lines optional)
+  std::vector<StateSeq> seqs_;
+  std::vector<std::uint8_t> marked_;  // time units touched since last resim
+  FrameVals frame_;                   // scratch
+  // Event-driven scratch: per-level pending gates.
+  std::vector<std::vector<GateId>> level_buckets_;
+  std::vector<std::uint8_t> pending_;
+};
+
+}  // namespace motsim

@@ -1,0 +1,184 @@
+#include "netlist/bench_io.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "netlist/builder.hpp"
+#include "util/strings.hpp"
+
+namespace motsim {
+
+namespace {
+
+struct PendingOutput {
+  std::string name;
+  std::size_t line;
+};
+
+}  // namespace
+
+BenchParseResult parse_bench(std::string_view text, std::string name) {
+  BenchParseResult result;
+  CircuitBuilder builder(name);
+  std::vector<PendingOutput> pending_outputs;
+
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    std::string_view raw = text.substr(
+        pos, eol == std::string_view::npos ? text.size() - pos : eol - pos);
+    pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+    ++line_no;
+
+    const std::size_t hash = raw.find('#');
+    if (hash != std::string_view::npos) raw = raw.substr(0, hash);
+    const std::string_view line = trim(raw);
+    if (line.empty()) continue;
+
+    auto fail = [&](std::string msg) {
+      result.ok = false;
+      result.error = std::move(msg);
+      result.error_line = line_no;
+    };
+
+    const std::size_t eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      // INPUT(name) or OUTPUT(name)
+      const std::size_t lp = line.find('(');
+      const std::size_t rp = line.rfind(')');
+      if (lp == std::string_view::npos || rp == std::string_view::npos || rp < lp) {
+        fail("expected INPUT(name), OUTPUT(name) or name = FUNC(...)");
+        return result;
+      }
+      const std::string_view kw = trim(line.substr(0, lp));
+      const std::string_view arg = trim(line.substr(lp + 1, rp - lp - 1));
+      if (arg.empty()) {
+        fail("empty signal name");
+        return result;
+      }
+      if (iequals(kw, "INPUT")) {
+        builder.add_input(std::string(arg));
+      } else if (iequals(kw, "OUTPUT")) {
+        // The driving gate may not be defined yet; resolve after the pass.
+        pending_outputs.push_back({std::string(arg), line_no});
+      } else {
+        fail("unknown directive '" + std::string(kw) + "'");
+        return result;
+      }
+      continue;
+    }
+
+    // name = FUNC(a, b, ...)
+    const std::string_view lhs = trim(line.substr(0, eq));
+    const std::string_view rhs = trim(line.substr(eq + 1));
+    if (lhs.empty()) {
+      fail("missing gate name before '='");
+      return result;
+    }
+    const std::size_t lp = rhs.find('(');
+    const std::size_t rp = rhs.rfind(')');
+    if (lp == std::string_view::npos || rp == std::string_view::npos || rp < lp) {
+      fail("expected FUNC(args) after '='");
+      return result;
+    }
+    const std::string_view func = trim(rhs.substr(0, lp));
+    GateType type;
+    if (!gate_type_from_name(func, type)) {
+      fail("unknown gate function '" + std::string(func) + "'");
+      return result;
+    }
+    if (type == GateType::Input) {
+      fail("INPUT cannot appear on the right-hand side");
+      return result;
+    }
+    std::vector<GateId> fanins;
+    const std::string_view args = rhs.substr(lp + 1, rp - lp - 1);
+    for (std::string_view a : split(args, ',')) {
+      a = trim(a);
+      if (a.empty()) {
+        if (split(args, ',').size() == 1) break;  // FUNC() with no args
+        fail("empty fanin name");
+        return result;
+      }
+      fanins.push_back(builder.declare(std::string(a)));
+    }
+    const GateId id = builder.declare(std::string(lhs));
+    builder.define(id, type, std::move(fanins));
+  }
+
+  for (const PendingOutput& po : pending_outputs) {
+    builder.mark_output(builder.declare(po.name));
+  }
+
+  std::string error;
+  Circuit c;
+  if (!builder.build(c, error)) {
+    result.ok = false;
+    result.error = std::move(error);
+    result.error_line = 0;
+    return result;
+  }
+  result.ok = true;
+  result.circuit = std::move(c);
+  return result;
+}
+
+BenchParseResult parse_bench_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    BenchParseResult r;
+    r.error = "cannot open '" + path + "'";
+    return r;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  // Circuit name = file stem.
+  std::string name = path;
+  const std::size_t slash = name.find_last_of('/');
+  if (slash != std::string::npos) name = name.substr(slash + 1);
+  const std::size_t dot = name.find_last_of('.');
+  if (dot != std::string::npos) name = name.substr(0, dot);
+  return parse_bench(ss.str(), name);
+}
+
+Circuit must_parse_bench(std::string_view text, std::string name) {
+  BenchParseResult r = parse_bench(text, std::move(name));
+  if (!r.ok) {
+    std::fprintf(stderr, "motsim: fatal .bench error (line %zu): %s\n",
+                 r.error_line, r.error.c_str());
+    std::abort();
+  }
+  return std::move(r.circuit);
+}
+
+std::string write_bench(const Circuit& c) {
+  std::string out;
+  out += "# " + c.name() + "\n";
+  out += str_format("# %zu inputs, %zu outputs, %zu flip-flops\n",
+                    c.num_inputs(), c.num_outputs(), c.num_dffs());
+  for (GateId id : c.inputs()) out += "INPUT(" + c.gate(id).name + ")\n";
+  for (GateId id : c.outputs()) out += "OUTPUT(" + c.gate(id).name + ")\n";
+  out += "\n";
+  auto emit_gate = [&](GateId id) {
+    const Gate& g = c.gate(id);
+    out += g.name + " = " + std::string(gate_type_name(g.type)) + "(";
+    for (std::size_t i = 0; i < g.fanins.size(); ++i) {
+      if (i) out += ", ";
+      out += c.gate(g.fanins[i]).name;
+    }
+    out += ")\n";
+  };
+  for (GateId id : c.dffs()) emit_gate(id);
+  for (GateId id = 0; id < c.num_gates(); ++id) {
+    const GateType t = c.gate(id).type;
+    if (t == GateType::Const0 || t == GateType::Const1) emit_gate(id);
+  }
+  for (GateId id : c.topo_order()) emit_gate(id);
+  return out;
+}
+
+}  // namespace motsim

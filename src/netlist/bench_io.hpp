@@ -1,0 +1,39 @@
+// Reader and writer for the ISCAS-89 ".bench" netlist format.
+//
+// Grammar accepted (one statement per line, '#' starts a comment):
+//   INPUT(name)
+//   OUTPUT(name)
+//   name = FUNC(arg1, arg2, ...)
+// FUNC is one of AND/NAND/OR/NOR/XOR/XNOR/NOT/BUF/BUFF/DFF (case-insensitive).
+// Forward references are allowed; statement order is not significant.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "netlist/circuit.hpp"
+
+namespace motsim {
+
+struct BenchParseResult {
+  bool ok = false;
+  Circuit circuit;       ///< valid only when ok
+  std::string error;     ///< human-readable message when !ok
+  std::size_t error_line = 0;  ///< 1-based line of the offending statement
+};
+
+/// Parses .bench text. `name` becomes the circuit name.
+BenchParseResult parse_bench(std::string_view text, std::string name);
+
+/// Reads and parses a .bench file from disk.
+BenchParseResult parse_bench_file(const std::string& path);
+
+/// Parses embedded text that is known to be valid; aborts otherwise.
+Circuit must_parse_bench(std::string_view text, std::string name);
+
+/// Serializes a circuit back to .bench text: INPUTs, OUTPUTs, DFFs, then
+/// combinational gates in topological order. parse_bench(write_bench(c))
+/// reproduces an isomorphic circuit (same names, types and connections).
+std::string write_bench(const Circuit& c);
+
+}  // namespace motsim

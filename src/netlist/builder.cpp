@@ -1,0 +1,213 @@
+#include "netlist/builder.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/strings.hpp"
+
+namespace motsim {
+
+CircuitBuilder::CircuitBuilder(std::string name) : name_(std::move(name)) {}
+
+GateId CircuitBuilder::intern(const std::string& name) {
+  auto it = by_name_.find(name);
+  if (it != by_name_.end()) return it->second;
+  const GateId id = static_cast<GateId>(gates_.size());
+  gates_.push_back(Proto{GateType::Buf, name, {}, false});
+  by_name_.emplace(name, id);
+  return id;
+}
+
+GateId CircuitBuilder::declare(const std::string& name) { return intern(name); }
+
+GateId CircuitBuilder::add_input(const std::string& name) {
+  const GateId id = intern(name);
+  define(id, GateType::Input, {});
+  return id;
+}
+
+GateId CircuitBuilder::add_dff(const std::string& name, GateId d) {
+  const GateId id = intern(name);
+  define(id, GateType::Dff, {d});
+  return id;
+}
+
+GateId CircuitBuilder::add_gate(GateType type, const std::string& name,
+                                std::vector<GateId> fanins) {
+  const GateId id = intern(name);
+  define(id, type, std::move(fanins));
+  return id;
+}
+
+void CircuitBuilder::define(GateId id, GateType type, std::vector<GateId> fanins) {
+  Proto& p = gates_[id];
+  // Double definition is reported at build() time so the parser can surface
+  // a good error message with the line number; remember it via a sentinel.
+  if (p.defined) {
+    p.fanins.clear();
+    p.type = GateType::Buf;
+    p.name += "\x01" "dup";  // poisoned; build() rejects names with '\x01'
+    return;
+  }
+  p.type = type;
+  p.fanins = std::move(fanins);
+  p.defined = true;
+  if (type == GateType::Input) inputs_.push_back(id);
+  if (type == GateType::Dff) dffs_.push_back(id);
+}
+
+void CircuitBuilder::mark_output(GateId id) { outputs_.push_back(id); }
+
+bool CircuitBuilder::build(Circuit& out, std::string& error) {
+  const std::size_t n = gates_.size();
+  if (n == 0) {
+    error = "empty circuit";
+    return false;
+  }
+  for (GateId id = 0; id < n; ++id) {
+    const Proto& p = gates_[id];
+    if (p.name.find('\x01') != std::string::npos) {
+      error = "gate '" + p.name.substr(0, p.name.find('\x01')) +
+              "' is defined more than once";
+      return false;
+    }
+    if (!p.defined) {
+      error = "gate '" + p.name + "' is referenced but never defined";
+      return false;
+    }
+    const int req = required_fanins(p.type);
+    if (req >= 0 && p.fanins.size() != static_cast<std::size_t>(req)) {
+      error = str_format("gate '%s' (%s) has %zu fanins, expected %d",
+                         p.name.c_str(), std::string(gate_type_name(p.type)).c_str(),
+                         p.fanins.size(), req);
+      return false;
+    }
+    if (req < 0 && p.fanins.empty()) {
+      error = str_format("gate '%s' (%s) has no fanins", p.name.c_str(),
+                         std::string(gate_type_name(p.type)).c_str());
+      return false;
+    }
+    for (GateId f : p.fanins) {
+      if (f >= n) {
+        error = "gate '" + p.name + "' has an out-of-range fanin id";
+        return false;
+      }
+    }
+  }
+
+  // Kahn topological sort of the combinational network. Inputs, constants
+  // and DFF *outputs* are sources; a DFF's D pin is a sink (the edge into the
+  // flip-flop does not create a combinational dependency).
+  std::vector<std::uint32_t> pending(n, 0);
+  std::vector<std::vector<GateId>> comb_fanouts(n);
+  for (GateId id = 0; id < n; ++id) {
+    const Proto& p = gates_[id];
+    if (p.type == GateType::Input || p.type == GateType::Dff ||
+        p.type == GateType::Const0 || p.type == GateType::Const1) {
+      continue;  // not combinationally evaluated
+    }
+    pending[id] = static_cast<std::uint32_t>(p.fanins.size());
+    for (GateId f : p.fanins) comb_fanouts[f].push_back(id);
+  }
+
+  std::vector<GateId> topo;
+  topo.reserve(n);
+  std::vector<GateId> ready;
+  std::vector<unsigned> levels(n, 0);
+  for (GateId id = 0; id < n; ++id) {
+    const Proto& p = gates_[id];
+    const bool source = p.type == GateType::Input || p.type == GateType::Dff ||
+                        p.type == GateType::Const0 || p.type == GateType::Const1;
+    if (source) {
+      ready.push_back(id);
+    } else if (pending[id] == 0) {
+      // Combinational gate with zero fanins was rejected above; unreachable.
+      ready.push_back(id);
+    }
+  }
+  std::size_t scheduled_comb = 0;
+  while (!ready.empty()) {
+    const GateId id = ready.back();
+    ready.pop_back();
+    const Proto& p = gates_[id];
+    const bool source = p.type == GateType::Input || p.type == GateType::Dff ||
+                        p.type == GateType::Const0 || p.type == GateType::Const1;
+    if (!source) {
+      topo.push_back(id);
+      ++scheduled_comb;
+      unsigned lvl = 0;
+      for (GateId f : p.fanins) lvl = std::max(lvl, levels[f] + 1);
+      levels[id] = lvl;
+    }
+    for (GateId succ : comb_fanouts[id]) {
+      if (--pending[succ] == 0) ready.push_back(succ);
+    }
+  }
+
+  std::size_t total_comb = 0;
+  for (const Proto& p : gates_) {
+    if (p.type != GateType::Input && p.type != GateType::Dff &&
+        p.type != GateType::Const0 && p.type != GateType::Const1) {
+      ++total_comb;
+    }
+  }
+  if (scheduled_comb != total_comb) {
+    // Name one gate on a cycle to make the error actionable.
+    std::string cyclic;
+    for (GateId id = 0; id < n; ++id) {
+      if (pending[id] > 0) {
+        cyclic = gates_[id].name;
+        break;
+      }
+    }
+    error = "combinational cycle detected (involves gate '" + cyclic +
+            "'); feedback must go through a DFF";
+    return false;
+  }
+
+  Circuit c;
+  c.name_ = name_;
+  c.gates_.resize(n);
+  for (GateId id = 0; id < n; ++id) {
+    Gate& g = c.gates_[id];
+    g.type = gates_[id].type;
+    g.name = gates_[id].name;
+    g.fanins = gates_[id].fanins;
+  }
+  for (GateId id = 0; id < n; ++id) {
+    for (GateId f : c.gates_[id].fanins) c.gates_[f].fanouts.push_back(id);
+  }
+  c.inputs_ = inputs_;
+  c.outputs_ = outputs_;
+  c.dffs_ = dffs_;
+  c.topo_ = std::move(topo);
+  c.levels_ = std::move(levels);
+  c.dff_index_.assign(n, -1);
+  for (std::size_t k = 0; k < c.dffs_.size(); ++k) {
+    c.dff_index_[c.dffs_[k]] = static_cast<std::int32_t>(k);
+  }
+  c.output_index_.assign(n, -1);
+  for (std::size_t k = 0; k < c.outputs_.size(); ++k) {
+    c.output_index_[c.outputs_[k]] = static_cast<std::int32_t>(k);
+  }
+  c.max_level_ = 0;
+  for (unsigned lvl : c.levels_) c.max_level_ = std::max(c.max_level_, lvl);
+  c.num_pins_ = 0;
+  for (const Gate& g : c.gates_) c.num_pins_ += g.fanins.size();
+
+  out = std::move(c);
+  return true;
+}
+
+Circuit CircuitBuilder::build_or_die() {
+  Circuit c;
+  std::string error;
+  if (!build(c, error)) {
+    std::fprintf(stderr, "motsim: fatal netlist error in '%s': %s\n",
+                 name_.c_str(), error.c_str());
+    std::abort();
+  }
+  return c;
+}
+
+}  // namespace motsim

@@ -1,0 +1,67 @@
+// Mutable construction interface for Circuit.
+//
+// Gates can reference fanins by id before those fanins exist (forward
+// references are resolved at build() time through placeholder ids created
+// with declare()); this is what lets the .bench parser run in one pass over
+// arbitrarily ordered files.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "netlist/circuit.hpp"
+
+namespace motsim {
+
+class CircuitBuilder {
+ public:
+  explicit CircuitBuilder(std::string name);
+
+  /// Returns the id for `name`, creating an undefined placeholder if needed.
+  /// The placeholder must later be defined by one of the add_*/define calls.
+  GateId declare(const std::string& name);
+
+  GateId add_input(const std::string& name);
+  /// A flip-flop whose D pin is `d`. State-variable order == creation order.
+  GateId add_dff(const std::string& name, GateId d);
+  GateId add_gate(GateType type, const std::string& name,
+                  std::vector<GateId> fanins);
+
+  /// Defines a previously declare()d placeholder.
+  void define(GateId id, GateType type, std::vector<GateId> fanins);
+
+  /// Marks a gate as a primary output; order of calls == PO order.
+  void mark_output(GateId id);
+
+  /// Validates and freezes the netlist. On failure returns false and fills
+  /// `error` (undefined names, bad fanin counts, combinational cycles,
+  /// duplicate definitions). The builder is left unusable afterwards.
+  bool build(Circuit& out, std::string& error);
+
+  /// build() that aborts with a message on failure — for circuits embedded
+  /// in the source tree, where failure is a programming error.
+  Circuit build_or_die();
+
+  std::size_t num_gates() const { return gates_.size(); }
+  const std::string& gate_name(GateId id) const { return gates_[id].name; }
+
+ private:
+  GateId intern(const std::string& name);
+
+  struct Proto {
+    GateType type = GateType::Buf;
+    std::string name;
+    std::vector<GateId> fanins;
+    bool defined = false;
+  };
+
+  std::string name_;
+  std::vector<Proto> gates_;
+  std::unordered_map<std::string, GateId> by_name_;
+  std::vector<GateId> inputs_;
+  std::vector<GateId> outputs_;
+  std::vector<GateId> dffs_;
+};
+
+}  // namespace motsim

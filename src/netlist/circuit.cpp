@@ -1,0 +1,34 @@
+#include "netlist/circuit.hpp"
+
+#include <unordered_map>
+
+#include "util/strings.hpp"
+
+namespace motsim {
+
+std::optional<std::size_t> Circuit::dff_index(GateId id) const {
+  const std::int32_t k = dff_index_[id];
+  if (k < 0) return std::nullopt;
+  return static_cast<std::size_t>(k);
+}
+
+std::optional<std::size_t> Circuit::output_index(GateId id) const {
+  const std::int32_t k = output_index_[id];
+  if (k < 0) return std::nullopt;
+  return static_cast<std::size_t>(k);
+}
+
+GateId Circuit::find(std::string_view name) const {
+  for (GateId id = 0; id < gates_.size(); ++id) {
+    if (gates_[id].name == name) return id;
+  }
+  return kNoGate;
+}
+
+std::string Circuit::summary() const {
+  return str_format("%s: %zu PI, %zu PO, %zu FF, %zu gates (%zu combinational), depth %u",
+                    name_.c_str(), inputs_.size(), outputs_.size(), dffs_.size(),
+                    gates_.size(), topo_.size(), max_level_);
+}
+
+}  // namespace motsim

@@ -1,0 +1,103 @@
+// Gate-level model of a synchronous sequential circuit.
+//
+// The circuit is the standard Huffman model: a combinational network plus D
+// flip-flops. A DFF gate's *output* is a present-state variable (PSV) — it
+// acts as a pseudo primary input of the combinational network — and the value
+// on its single fanin (the D pin) is the corresponding next-state variable
+// (NSV), a pseudo primary output. The combinational part must be acyclic;
+// every feedback path goes through a DFF.
+//
+// Circuits are immutable once built (see CircuitBuilder), so simulators can
+// safely share one Circuit across faults and threads.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "logic/gate_type.hpp"
+
+namespace motsim {
+
+using GateId = std::uint32_t;
+inline constexpr GateId kNoGate = static_cast<GateId>(-1);
+
+struct Gate {
+  GateType type = GateType::Buf;
+  std::string name;
+  std::vector<GateId> fanins;
+  std::vector<GateId> fanouts;  ///< derived; gates that read this gate's output
+};
+
+class CircuitBuilder;
+
+class Circuit {
+ public:
+  /// An empty circuit; populated only through CircuitBuilder::build().
+  Circuit() = default;
+
+  const std::string& name() const { return name_; }
+
+  std::size_t num_gates() const { return gates_.size(); }
+  const Gate& gate(GateId id) const { return gates_[id]; }
+
+  /// Primary inputs in declaration order; T[u][k] drives inputs()[k].
+  std::span<const GateId> inputs() const { return inputs_; }
+  /// Primary outputs in declaration order (ids of the driving gates).
+  std::span<const GateId> outputs() const { return outputs_; }
+  /// Flip-flops in declaration order; state variable y_k is dffs()[k]'s
+  /// output and next-state variable Y_k is the value on its D pin.
+  std::span<const GateId> dffs() const { return dffs_; }
+
+  std::size_t num_inputs() const { return inputs_.size(); }
+  std::size_t num_outputs() const { return outputs_.size(); }
+  std::size_t num_dffs() const { return dffs_.size(); }
+
+  /// Combinational gates (everything except Input/Dff) in an order where
+  /// every gate appears after all of its fanins' drivers.
+  std::span<const GateId> topo_order() const { return topo_; }
+
+  /// Combinational depth: 0 for inputs/DFF outputs/constants, otherwise
+  /// 1 + max level of fanins.
+  unsigned level(GateId id) const { return levels_[id]; }
+  unsigned max_level() const { return max_level_; }
+
+  /// D pin driver of flip-flop index k.
+  GateId dff_input(std::size_t k) const { return gates_[dffs_[k]].fanins[0]; }
+
+  /// Index of `id` in dffs(), or nullopt if it is not a flip-flop.
+  std::optional<std::size_t> dff_index(GateId id) const;
+  /// Index of `id` in outputs(), or nullopt. (A gate can drive a PO and
+  /// still have fanout; ISCAS-89 allows both.)
+  std::optional<std::size_t> output_index(GateId id) const;
+
+  /// Lookup by name; kNoGate when absent.
+  GateId find(std::string_view name) const;
+
+  /// Total number of fanin pins, summed over all gates. Used for fault-list
+  /// sizing.
+  std::size_t num_pins() const { return num_pins_; }
+
+  /// Human-readable one-line summary: name, #PI, #PO, #FF, #gates.
+  std::string summary() const;
+
+ private:
+  friend class CircuitBuilder;
+
+  std::string name_;
+  std::vector<Gate> gates_;
+  std::vector<GateId> inputs_;
+  std::vector<GateId> outputs_;
+  std::vector<GateId> dffs_;
+  std::vector<GateId> topo_;
+  std::vector<unsigned> levels_;
+  std::vector<std::int32_t> dff_index_;     // per gate; -1 if not a DFF
+  std::vector<std::int32_t> output_index_;  // per gate; -1 if not a PO
+  unsigned max_level_ = 0;
+  std::size_t num_pins_ = 0;
+};
+
+}  // namespace motsim

@@ -1,0 +1,312 @@
+#include "netlist/transform.hpp"
+
+#include <cassert>
+#include <optional>
+
+#include "logic/eval.hpp"
+#include "netlist/builder.hpp"
+#include "util/strings.hpp"
+
+namespace motsim {
+
+namespace {
+
+/// Copies gate `id` (with fanins mapped through `map`) into the builder.
+/// `map[id]` must already be kNoGate; fills it with the new id.
+void copy_gate(const Circuit& c, GateId id, CircuitBuilder& b,
+               std::vector<GateId>& map) {
+  const Gate& g = c.gate(id);
+  switch (g.type) {
+    case GateType::Input:
+      map[id] = b.add_input(g.name);
+      return;
+    case GateType::Dff:
+      // D pin resolved later (two-phase to allow feedback).
+      map[id] = b.declare(g.name);
+      return;
+    default: {
+      std::vector<GateId> fanins;
+      fanins.reserve(g.fanins.size());
+      for (GateId f : g.fanins) {
+        assert(map[f] != kNoGate);
+        fanins.push_back(map[f]);
+      }
+      map[id] = b.add_gate(g.type, g.name, std::move(fanins));
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+Circuit sweep_dead_logic(const Circuit& c, TransformStats* stats) {
+  // Live = transitive fanin cone of the primary outputs, where marking a
+  // flip-flop also marks its next-state cone (fixpoint).
+  std::vector<std::uint8_t> live(c.num_gates(), 0);
+  std::vector<GateId> work;
+  for (GateId po : c.outputs()) {
+    if (!live[po]) {
+      live[po] = 1;
+      work.push_back(po);
+    }
+  }
+  while (!work.empty()) {
+    const GateId g = work.back();
+    work.pop_back();
+    for (GateId f : c.gate(g).fanins) {
+      if (!live[f]) {
+        live[f] = 1;
+        work.push_back(f);
+      }
+    }
+  }
+  // Keep the primary-input interface intact.
+  for (GateId pi : c.inputs()) live[pi] = 1;
+
+  CircuitBuilder b(c.name());
+  std::vector<GateId> map(c.num_gates(), kNoGate);
+  std::size_t removed = 0;
+  // Creation order: inputs, then live DFFs (preserving state-variable
+  // order), then combinational gates in topological order.
+  for (GateId pi : c.inputs()) copy_gate(c, pi, b, map);
+  for (GateId ff : c.dffs()) {
+    if (live[ff]) copy_gate(c, ff, b, map);
+  }
+  for (GateId id = 0; id < c.num_gates(); ++id) {
+    const GateType t = c.gate(id).type;
+    if (t != GateType::Const0 && t != GateType::Const1) continue;
+    if (live[id]) {
+      copy_gate(c, id, b, map);
+    } else {
+      ++removed;
+    }
+  }
+  for (GateId id : c.topo_order()) {
+    if (live[id]) {
+      copy_gate(c, id, b, map);
+    } else {
+      ++removed;
+    }
+  }
+  for (GateId ff : c.dffs()) {
+    if (!live[ff]) {
+      ++removed;
+      continue;
+    }
+    const GateId d = c.gate(ff).fanins[0];
+    assert(map[d] != kNoGate && "live DFF with dead next-state cone");
+    b.define(map[ff], GateType::Dff, {map[d]});
+  }
+  for (GateId po : c.outputs()) b.mark_output(map[po]);
+  if (stats) stats->removed_gates += removed;
+  return b.build_or_die();
+}
+
+Circuit propagate_constants(const Circuit& c, TransformStats* stats) {
+  // Lattice per gate: nullopt = not a constant; else its constant value.
+  std::vector<std::optional<bool>> constant(c.num_gates());
+  for (GateId id = 0; id < c.num_gates(); ++id) {
+    if (c.gate(id).type == GateType::Const0) constant[id] = false;
+    if (c.gate(id).type == GateType::Const1) constant[id] = true;
+  }
+  // Simplified fanin list + phase per combinational gate.
+  struct Simplified {
+    GateType type;
+    std::vector<GateId> fanins;  // original ids, constants removed
+  };
+  std::vector<Simplified> simp(c.num_gates());
+  std::size_t folded = 0;
+  std::size_t rewired = 0;
+
+  for (GateId id : c.topo_order()) {
+    const Gate& g = c.gate(id);
+    Simplified& s = simp[id];
+    s.type = g.type;
+    if (g.type == GateType::Buf || g.type == GateType::Not) {
+      const GateId f = g.fanins[0];
+      if (constant[f].has_value()) {
+        constant[id] = g.type == GateType::Not ? !*constant[f] : *constant[f];
+        ++folded;
+      } else {
+        s.fanins = {f};
+      }
+      continue;
+    }
+    if (has_controlling_value(g.type)) {
+      const bool ctrl = controlling_value(g.type);
+      const bool inverting = is_inverting(g.type);
+      bool controlled = false;
+      for (GateId f : g.fanins) {
+        if (constant[f].has_value()) {
+          if (*constant[f] == ctrl) controlled = true;
+          ++rewired;  // constant pin folded away either way
+        } else {
+          s.fanins.push_back(f);
+        }
+      }
+      if (controlled) {
+        // Output with a controlling input present.
+        constant[id] = inverting ? !ctrl : ctrl;
+        s.fanins.clear();
+        ++folded;
+      } else if (s.fanins.empty()) {
+        // All inputs were non-controlling constants.
+        constant[id] = inverting ? ctrl : !ctrl;
+        ++folded;
+      } else if (s.fanins.size() == 1) {
+        s.type = inverting ? GateType::Not : GateType::Buf;
+      }
+      continue;
+    }
+    // XOR/XNOR: fold constants into the phase.
+    bool phase = g.type == GateType::Xnor;
+    for (GateId f : g.fanins) {
+      if (constant[f].has_value()) {
+        phase ^= *constant[f];
+        ++rewired;
+      } else {
+        s.fanins.push_back(f);
+      }
+    }
+    if (s.fanins.empty()) {
+      constant[id] = phase;
+      ++folded;
+    } else if (s.fanins.size() == 1) {
+      s.type = phase ? GateType::Not : GateType::Buf;
+    } else {
+      s.type = phase ? GateType::Xnor : GateType::Xor;
+    }
+  }
+
+  CircuitBuilder b(c.name());
+  std::vector<GateId> map(c.num_gates(), kNoGate);
+  auto materialize_const = [&](GateId id) {
+    map[id] = b.add_gate(*constant[id] ? GateType::Const1 : GateType::Const0,
+                         c.gate(id).name, {});
+  };
+  for (GateId pi : c.inputs()) copy_gate(c, pi, b, map);
+  for (GateId ff : c.dffs()) map[ff] = b.declare(c.gate(ff).name);
+  for (GateId id = 0; id < c.num_gates(); ++id) {
+    const GateType t = c.gate(id).type;
+    if (t == GateType::Const0 || t == GateType::Const1) copy_gate(c, id, b, map);
+  }
+  for (GateId id : c.topo_order()) {
+    if (constant[id].has_value()) {
+      materialize_const(id);
+      continue;
+    }
+    const Simplified& s = simp[id];
+    std::vector<GateId> fanins;
+    fanins.reserve(s.fanins.size());
+    for (GateId f : s.fanins) fanins.push_back(map[f]);
+    map[id] = b.add_gate(s.type, c.gate(id).name, std::move(fanins));
+  }
+  for (GateId ff : c.dffs()) {
+    b.define(map[ff], GateType::Dff, {map[c.gate(ff).fanins[0]]});
+  }
+  for (GateId po : c.outputs()) b.mark_output(map[po]);
+  if (stats) {
+    stats->folded_gates += folded;
+    stats->rewired_pins += rewired;
+  }
+  return b.build_or_die();
+}
+
+Circuit remove_buffers(const Circuit& c, TransformStats* stats) {
+  // alias[g]: the gate whose output value equals g's (BUF bypass and double
+  // inverter collapse), computed in topological order.
+  std::vector<GateId> alias(c.num_gates());
+  for (GateId id = 0; id < c.num_gates(); ++id) alias[id] = id;
+  for (GateId id : c.topo_order()) {
+    const Gate& g = c.gate(id);
+    if (g.type == GateType::Buf) {
+      alias[id] = alias[g.fanins[0]];
+    } else if (g.type == GateType::Not) {
+      const GateId src = alias[g.fanins[0]];
+      if (c.gate(src).type == GateType::Not) {
+        alias[id] = alias[c.gate(src).fanins[0]];
+      }
+    }
+  }
+
+  std::size_t removed = 0;
+  std::size_t rewired = 0;
+  CircuitBuilder b(c.name());
+  std::vector<GateId> map(c.num_gates(), kNoGate);
+  for (GateId pi : c.inputs()) copy_gate(c, pi, b, map);
+  for (GateId ff : c.dffs()) map[ff] = b.declare(c.gate(ff).name);
+  for (GateId id = 0; id < c.num_gates(); ++id) {
+    const GateType t = c.gate(id).type;
+    if (t == GateType::Const0 || t == GateType::Const1) copy_gate(c, id, b, map);
+  }
+  for (GateId id : c.topo_order()) {
+    if (alias[id] != id) {
+      ++removed;
+      continue;  // bypassed
+    }
+    const Gate& g = c.gate(id);
+    std::vector<GateId> fanins;
+    fanins.reserve(g.fanins.size());
+    for (GateId f : g.fanins) {
+      if (alias[f] != f) ++rewired;
+      fanins.push_back(map[alias[f]]);
+    }
+    map[id] = b.add_gate(g.type, g.name, std::move(fanins));
+  }
+  for (GateId ff : c.dffs()) {
+    const GateId d = c.gate(ff).fanins[0];
+    if (alias[d] != d) ++rewired;
+    b.define(map[ff], GateType::Dff, {map[alias[d]]});
+  }
+  for (GateId po : c.outputs()) b.mark_output(map[alias[po]]);
+  if (stats) {
+    stats->removed_gates += removed;
+    stats->rewired_pins += rewired;
+  }
+  return b.build_or_die();
+}
+
+CircuitStats analyze(const Circuit& c) {
+  CircuitStats s;
+  std::size_t fanin_total = 0;
+  std::size_t comb = 0;
+  for (GateId id = 0; id < c.num_gates(); ++id) {
+    const Gate& g = c.gate(id);
+    ++s.gates_by_type[static_cast<std::size_t>(g.type)];
+    s.max_fanin = std::max(s.max_fanin, g.fanins.size());
+    s.max_fanout = std::max(s.max_fanout, g.fanouts.size());
+    if (g.type != GateType::Input && g.type != GateType::Dff) {
+      fanin_total += g.fanins.size();
+      ++comb;
+    }
+    if (g.fanouts.empty() && !c.output_index(id).has_value() &&
+        g.type != GateType::Input) {
+      ++s.dead_gates;
+    }
+  }
+  s.avg_fanin = comb == 0 ? 0.0
+                          : static_cast<double>(fanin_total) /
+                                static_cast<double>(comb);
+  s.depth = c.max_level();
+  return s;
+}
+
+std::string render_stats(const CircuitStats& s) {
+  std::string out;
+  static const GateType kTypes[] = {
+      GateType::Input, GateType::Dff,  GateType::Buf,  GateType::Not,
+      GateType::And,   GateType::Nand, GateType::Or,   GateType::Nor,
+      GateType::Xor,   GateType::Xnor, GateType::Const0, GateType::Const1};
+  for (GateType t : kTypes) {
+    const std::size_t n = s.gates_by_type[static_cast<std::size_t>(t)];
+    if (n > 0) {
+      out += str_format("%-6s %zu\n", std::string(gate_type_name(t)).c_str(), n);
+    }
+  }
+  out += str_format("max fanin %zu, max fanout %zu, avg fanin %.2f\n",
+                    s.max_fanin, s.max_fanout, s.avg_fanin);
+  out += str_format("depth %u, dead gates %zu\n", s.depth, s.dead_gates);
+  return out;
+}
+
+}  // namespace motsim

@@ -1,0 +1,52 @@
+// Netlist transformation passes.
+//
+// Cleanup passes a fault-simulation flow needs before (or after) importing a
+// netlist: removing logic that cannot reach any observation point, folding
+// constants, and bypassing buffer/inverter chains. Every pass builds a new
+// Circuit (Circuits are immutable) and is semantics-preserving on the
+// remaining interface — verified by the tests through random co-simulation.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/circuit.hpp"
+
+namespace motsim {
+
+struct TransformStats {
+  std::size_t removed_gates = 0;   ///< gates deleted by the pass
+  std::size_t rewired_pins = 0;    ///< fanin pins redirected
+  std::size_t folded_gates = 0;    ///< gates replaced by constants
+};
+
+/// Removes every gate that is in no primary output or flip-flop cone
+/// (transitively dead logic). Inputs are always kept, so the interface is
+/// unchanged.
+Circuit sweep_dead_logic(const Circuit& c, TransformStats* stats = nullptr);
+
+/// Propagates CONST0/CONST1 gates forward: gates with a controlling
+/// constant input become constants; constant inputs of XOR/parity gates are
+/// folded into the phase; single-input survivors become BUF/NOT. Constants
+/// feeding flip-flops are kept as constant gates (the state still takes a
+/// frame to settle, which matters under unknown initial state).
+Circuit propagate_constants(const Circuit& c, TransformStats* stats = nullptr);
+
+/// Bypasses BUF gates (and collapses NOT pairs) by rewiring readers to the
+/// source; dangling buffers are then removed. Primary outputs driven by a
+/// removed buffer are re-pointed at the source.
+Circuit remove_buffers(const Circuit& c, TransformStats* stats = nullptr);
+
+/// Netlist statistics for reports and sanity checks.
+struct CircuitStats {
+  std::size_t gates_by_type[12] = {};
+  std::size_t max_fanin = 0;
+  std::size_t max_fanout = 0;
+  double avg_fanin = 0.0;
+  unsigned depth = 0;
+  std::size_t dead_gates = 0;
+};
+CircuitStats analyze(const Circuit& c);
+std::string render_stats(const CircuitStats& stats);
+
+}  // namespace motsim

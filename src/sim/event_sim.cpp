@@ -1,0 +1,127 @@
+#include "sim/event_sim.hpp"
+
+#include <cassert>
+
+namespace motsim {
+
+EventDrivenSimulator::EventDrivenSimulator(const Circuit& c) : circuit_(&c) {}
+
+SeqTrace EventDrivenSimulator::run(const TestSequence& test, const FaultView& fv,
+                                   bool keep_lines,
+                                   std::span<const Val> init_state,
+                                   Activity* activity) const {
+  const Circuit& c = *circuit_;
+  assert(test.num_inputs() == c.num_inputs());
+  const std::size_t L = test.length();
+
+  SeqTrace trace;
+  trace.states.assign(L + 1, std::vector<Val>(c.num_dffs(), Val::X));
+  trace.outputs.assign(L, std::vector<Val>(c.num_outputs(), Val::X));
+  if (keep_lines) trace.lines.assign(L, FrameVals(c.num_gates(), Val::X));
+
+  // Current frame values; `kUnset` sentinel forces first-frame evaluation.
+  FrameVals vals(c.num_gates(), Val::X);
+  std::vector<std::uint8_t> initialized(c.num_gates(), 0);
+
+  std::vector<std::vector<GateId>> buckets(c.max_level() + 1);
+  std::vector<std::uint8_t> pending(c.num_gates(), 0);
+  std::size_t max_dirty = 0;
+
+  auto schedule_fanouts = [&](GateId line) {
+    for (GateId reader : c.gate(line).fanouts) {
+      const GateType t = c.gate(reader).type;
+      if (t == GateType::Dff) continue;  // latched, not combinational
+      if (!pending[reader]) {
+        pending[reader] = 1;
+        const std::size_t lvl = c.level(reader);
+        buckets[lvl].push_back(reader);
+        max_dirty = std::max<std::size_t>(max_dirty, lvl);
+      }
+    }
+  };
+
+  std::vector<Val> state(c.num_dffs(), Val::X);
+  for (std::size_t j = 0; j < c.num_dffs(); ++j) {
+    const Val intended = init_state.empty() ? Val::X : init_state[j];
+    state[j] = fv.present_state(j, intended);
+  }
+
+  std::size_t evaluations = 0;
+  for (std::size_t u = 0; u < L; ++u) {
+    trace.states[u] = state;
+
+    // Drive inputs and state; schedule the cones of everything that changed
+    // (or everything, on the first frame).
+    for (std::size_t i = 0; i < c.num_inputs(); ++i) {
+      const GateId pi = c.inputs()[i];
+      const Val v = fv.input_value(i, test.at(u, i));
+      if (!initialized[pi] || vals[pi] != v) {
+        vals[pi] = v;
+        initialized[pi] = 1;
+        schedule_fanouts(pi);
+      }
+    }
+    for (std::size_t j = 0; j < c.num_dffs(); ++j) {
+      const GateId q = c.dffs()[j];
+      if (!initialized[q] || vals[q] != state[j]) {
+        vals[q] = state[j];
+        initialized[q] = 1;
+        schedule_fanouts(q);
+      }
+    }
+    if (u == 0) {
+      for (GateId id = 0; id < c.num_gates(); ++id) {
+        const GateType t = c.gate(id).type;
+        if (t == GateType::Const0 || t == GateType::Const1) {
+          vals[id] = fv.out_fixed(id) ? fv.fault()->stuck
+                                      : (t == GateType::Const1 ? Val::One
+                                                               : Val::Zero);
+          initialized[id] = 1;
+          schedule_fanouts(id);
+        }
+      }
+      // Gates with no scheduled inputs still need their first value.
+      for (GateId id : c.topo_order()) {
+        if (!pending[id]) {
+          pending[id] = 1;
+          buckets[c.level(id)].push_back(id);
+          max_dirty = std::max<std::size_t>(max_dirty, c.level(id));
+        }
+      }
+    }
+
+    // Selective trace, levelized.
+    for (std::size_t lvl = 0; lvl <= max_dirty; ++lvl) {
+      auto& bucket = buckets[lvl];
+      for (std::size_t b = 0; b < bucket.size(); ++b) {
+        const GateId g = bucket[b];
+        pending[g] = 0;
+        ++evaluations;
+        const Val newv = fv.eval(g, vals);
+        if (initialized[g] && vals[g] == newv) continue;
+        vals[g] = newv;
+        initialized[g] = 1;
+        schedule_fanouts(g);
+      }
+      bucket.clear();
+    }
+    max_dirty = 0;
+
+    for (std::size_t o = 0; o < c.num_outputs(); ++o) {
+      trace.outputs[u][o] = vals[c.outputs()[o]];
+    }
+    if (keep_lines) trace.lines[u] = vals;
+    for (std::size_t j = 0; j < c.num_dffs(); ++j) {
+      state[j] = fv.present_state(j, fv.next_state(j, vals));
+    }
+  }
+  trace.states[L] = state;
+
+  if (activity != nullptr) {
+    activity->evaluations = evaluations;
+    activity->full_cost = c.topo_order().size() * L;
+  }
+  return trace;
+}
+
+}  // namespace motsim

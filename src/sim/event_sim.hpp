@@ -1,0 +1,41 @@
+// Event-driven sequential simulation.
+//
+// Semantically identical to SequentialSimulator (asserted by tests), but
+// between consecutive time frames only the fanout cones of *changed* values
+// are re-evaluated — the classic selective-trace technique. On low-activity
+// stimulus this evaluates a small fraction of the gates per frame; the
+// simulator reports that activity so benchmarks can show the factor.
+#pragma once
+
+#include <span>
+
+#include "fault/fault_view.hpp"
+#include "sim/seq_sim.hpp"
+#include "sim/test_sequence.hpp"
+
+namespace motsim {
+
+class EventDrivenSimulator {
+ public:
+  explicit EventDrivenSimulator(const Circuit& c);
+
+  struct Activity {
+    std::size_t evaluations = 0;  ///< gate evaluations performed
+    std::size_t full_cost = 0;    ///< evaluations a sweep simulator would do
+    double factor() const {
+      return full_cost == 0 ? 0.0
+                            : static_cast<double>(evaluations) /
+                                  static_cast<double>(full_cost);
+    }
+  };
+
+  /// Same contract as SequentialSimulator::run.
+  SeqTrace run(const TestSequence& test, const FaultView& fv,
+               bool keep_lines = false, std::span<const Val> init_state = {},
+               Activity* activity = nullptr) const;
+
+ private:
+  const Circuit* circuit_;
+};
+
+}  // namespace motsim

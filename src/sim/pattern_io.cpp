@@ -1,0 +1,83 @@
+#include "sim/pattern_io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace motsim {
+
+PatternParseResult parse_patterns(std::string_view text) {
+  PatternParseResult result;
+  TestSequence seq;
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    std::string_view raw = text.substr(
+        pos, eol == std::string_view::npos ? text.size() - pos : eol - pos);
+    pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+    ++line_no;
+    const std::size_t hash = raw.find('#');
+    if (hash != std::string_view::npos) raw = raw.substr(0, hash);
+    const std::string_view line = trim(raw);
+    if (line.empty()) continue;
+
+    std::vector<Val> pattern;
+    pattern.reserve(line.size());
+    for (char ch : line) {
+      Val v;
+      if (!v_from_char(ch, v)) {
+        result.error = str_format("invalid value character '%c'", ch);
+        result.error_line = line_no;
+        return result;
+      }
+      pattern.push_back(v);
+    }
+    if (seq.length() > 0 && pattern.size() != seq.num_inputs()) {
+      result.error = str_format("pattern width %zu differs from previous %zu",
+                                pattern.size(), seq.num_inputs());
+      result.error_line = line_no;
+      return result;
+    }
+    seq.append(std::move(pattern));
+  }
+  if (seq.length() == 0) {
+    result.error = "no patterns found";
+    return result;
+  }
+  result.ok = true;
+  result.sequence = std::move(seq);
+  return result;
+}
+
+PatternParseResult parse_patterns_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    PatternParseResult r;
+    r.error = "cannot open '" + path + "'";
+    return r;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return parse_patterns(ss.str());
+}
+
+std::string write_patterns(const TestSequence& t) {
+  std::string out;
+  out += str_format("# %zu patterns, %zu inputs\n", t.length(), t.num_inputs());
+  for (std::size_t u = 0; u < t.length(); ++u) {
+    out += vals_to_string(t.pattern(u).data(), t.num_inputs());
+    out += '\n';
+  }
+  return out;
+}
+
+bool write_patterns_file(const TestSequence& t, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << write_patterns(t);
+  return static_cast<bool>(out);
+}
+
+}  // namespace motsim

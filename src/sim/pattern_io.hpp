@@ -1,0 +1,27 @@
+// Test-sequence file format: one pattern per line ('0'/'1'/'x'), '#' starts
+// a comment, blank lines ignored. The same format the examples accept via
+// --patterns and the HITEC-like generator writes via --save.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "sim/test_sequence.hpp"
+
+namespace motsim {
+
+struct PatternParseResult {
+  bool ok = false;
+  TestSequence sequence;
+  std::string error;
+  std::size_t error_line = 0;
+};
+
+PatternParseResult parse_patterns(std::string_view text);
+PatternParseResult parse_patterns_file(const std::string& path);
+
+/// Inverse of parse_patterns (comments aside): one row per time unit.
+std::string write_patterns(const TestSequence& t);
+bool write_patterns_file(const TestSequence& t, const std::string& path);
+
+}  // namespace motsim

@@ -1,0 +1,48 @@
+#include "sim/test_sequence.hpp"
+
+#include <cassert>
+
+namespace motsim {
+
+void TestSequence::append(std::vector<Val> pattern) {
+  assert(pattern.size() == num_inputs_ || patterns_.empty());
+  if (patterns_.empty()) num_inputs_ = pattern.size();
+  patterns_.push_back(std::move(pattern));
+}
+
+void TestSequence::append_all(const TestSequence& tail) {
+  assert(tail.num_inputs() == num_inputs_ || length() == 0);
+  if (length() == 0) num_inputs_ = tail.num_inputs();
+  for (std::size_t u = 0; u < tail.length(); ++u) {
+    patterns_.push_back(tail.pattern(u));
+  }
+}
+
+std::string TestSequence::to_string() const {
+  std::string out;
+  for (const auto& p : patterns_) {
+    out += vals_to_string(p.data(), p.size());
+    out += '\n';
+  }
+  return out;
+}
+
+bool TestSequence::from_strings(const std::vector<std::string_view>& rows,
+                                TestSequence& out) {
+  TestSequence seq;
+  for (std::string_view row : rows) {
+    std::vector<Val> pattern;
+    pattern.reserve(row.size());
+    for (char c : row) {
+      Val v;
+      if (!v_from_char(c, v)) return false;
+      pattern.push_back(v);
+    }
+    if (seq.length() > 0 && pattern.size() != seq.num_inputs()) return false;
+    seq.append(std::move(pattern));
+  }
+  out = std::move(seq);
+  return true;
+}
+
+}  // namespace motsim

@@ -1,0 +1,46 @@
+// Test sequences: the stimulus applied to a circuit, one input pattern per
+// time unit (the paper's T, with T[u] applied at time unit u, 0 <= u < L).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "logic/val.hpp"
+
+namespace motsim {
+
+class TestSequence {
+ public:
+  TestSequence() = default;
+  TestSequence(std::size_t num_inputs, std::size_t length)
+      : num_inputs_(num_inputs),
+        patterns_(length, std::vector<Val>(num_inputs, Val::X)) {}
+
+  std::size_t length() const { return patterns_.size(); }
+  std::size_t num_inputs() const { return num_inputs_; }
+
+  Val at(std::size_t u, std::size_t input) const { return patterns_[u][input]; }
+  void set(std::size_t u, std::size_t input, Val v) { patterns_[u][input] = v; }
+
+  const std::vector<Val>& pattern(std::size_t u) const { return patterns_[u]; }
+
+  /// Appends one pattern; its size must equal num_inputs().
+  void append(std::vector<Val> pattern);
+  /// Appends all patterns of `tail` (same input count).
+  void append_all(const TestSequence& tail);
+
+  /// One line per pattern, e.g. "1001".
+  std::string to_string() const;
+
+  /// Parses strings like {"1001", "0xx1"}; all rows must have equal width.
+  /// Returns false on malformed input.
+  static bool from_strings(const std::vector<std::string_view>& rows,
+                           TestSequence& out);
+
+ private:
+  std::size_t num_inputs_ = 0;
+  std::vector<std::vector<Val>> patterns_;
+};
+
+}  // namespace motsim

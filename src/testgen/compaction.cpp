@@ -1,0 +1,61 @@
+#include "testgen/compaction.hpp"
+
+#include "faultsim/session.hpp"
+
+namespace motsim {
+
+namespace {
+
+std::size_t coverage_of(const Circuit& c, const TestSequence& t,
+                        const std::vector<Fault>& faults) {
+  ParallelFaultSession session(c, faults);
+  session.apply(t);
+  return session.detected_count();
+}
+
+/// `t` without patterns [from, from+count).
+TestSequence without_block(const TestSequence& t, std::size_t from,
+                           std::size_t count) {
+  TestSequence out(t.num_inputs(), 0);
+  for (std::size_t u = 0; u < t.length(); ++u) {
+    if (u >= from && u < from + count) continue;
+    out.append(t.pattern(u));
+  }
+  return out;
+}
+
+}  // namespace
+
+CompactionResult compact_sequence(const Circuit& c, const TestSequence& test,
+                                  const std::vector<Fault>& faults,
+                                  const CompactionParams& params) {
+  CompactionResult result;
+  result.original_length = test.length();
+  result.sequence = test;
+  result.detected = coverage_of(c, test, faults);
+
+  std::size_t block = params.initial_block > 0
+                          ? params.initial_block
+                          : std::max<std::size_t>(1, test.length() / 4);
+  while (block >= 1) {
+    for (std::size_t pass = 0; pass < params.passes_per_size; ++pass) {
+      // Scan back-to-front: deleting late patterns does not change what the
+      // earlier prefix detects, so tail deletions succeed most often.
+      std::size_t from = result.sequence.length();
+      while (from > 0) {
+        from = from > block ? from - block : 0;
+        if (result.sequence.length() <= block) break;
+        const TestSequence trial = without_block(result.sequence, from, block);
+        ++result.trials;
+        if (coverage_of(c, trial, faults) >= result.detected) {
+          result.sequence = trial;
+        }
+      }
+    }
+    if (block == 1) break;
+    block /= 2;
+  }
+  return result;
+}
+
+}  // namespace motsim

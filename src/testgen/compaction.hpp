@@ -1,0 +1,39 @@
+// Static test-sequence compaction by block deletion.
+//
+// Given a test sequence and a fault list, repeatedly tries to delete blocks
+// of patterns (halving the block size down to single patterns) and keeps a
+// deletion whenever the conventional fault coverage does not drop. This is
+// the classic sequence-compaction loop from the literature around [8]
+// (Rudnick's thesis); it pairs naturally with the MOT machinery because a
+// compacted sequence leaves more X-rich, harder faults for the multiple
+// observation time procedures to resolve — the situation of the paper's
+// final (HITEC) experiment.
+#pragma once
+
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "sim/test_sequence.hpp"
+
+namespace motsim {
+
+struct CompactionParams {
+  /// Initial deletion block size; halves until 1. 0 = length/4.
+  std::size_t initial_block = 0;
+  /// Passes over the sequence per block size.
+  std::size_t passes_per_size = 1;
+};
+
+struct CompactionResult {
+  TestSequence sequence;
+  std::size_t original_length = 0;
+  std::size_t detected = 0;  ///< coverage of both original and result
+  std::size_t trials = 0;    ///< deletion attempts simulated
+};
+
+/// Never reduces conventional coverage (post-condition, asserted by tests).
+CompactionResult compact_sequence(const Circuit& c, const TestSequence& test,
+                                  const std::vector<Fault>& faults,
+                                  const CompactionParams& params = {});
+
+}  // namespace motsim

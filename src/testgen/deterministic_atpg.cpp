@@ -1,0 +1,78 @@
+#include "testgen/deterministic_atpg.hpp"
+
+#include "fault/fault_view.hpp"
+#include "faultsim/session.hpp"
+#include "sim/seq_sim.hpp"
+#include "testgen/podem.hpp"
+
+namespace motsim {
+
+AtpgResult generate_deterministic(const Circuit& c,
+                                  const std::vector<Fault>& faults,
+                                  const AtpgParams& params) {
+  AtpgResult result;
+  result.sequence = TestSequence(c.num_inputs(), 0);
+  Rng rng(params.seed);
+
+  ParallelFaultSession session(c, faults);
+  // Good-machine state, advanced frame by frame.
+  std::vector<Val> state(c.num_dffs(), Val::X);
+  const SequentialSimulator sim(c);
+  const FaultView fault_free(c);
+  FrameVals frame(c.num_gates(), Val::X);
+  FramePodem podem(c);
+
+  std::size_t next_target = 0;
+  std::size_t stalled = 0;
+
+  while (result.sequence.length() < params.max_length &&
+         session.detected_count() < faults.size() &&
+         stalled < params.stall_limit) {
+    // Pick the next undetected fault (round robin).
+    std::size_t target = faults.size();
+    for (std::size_t probe = 0; probe < faults.size(); ++probe) {
+      const std::size_t k = (next_target + probe) % faults.size();
+      if (!session.is_detected(k)) {
+        target = k;
+        break;
+      }
+    }
+    if (target == faults.size()) break;
+    next_target = target + 1;
+
+    std::vector<Val> pattern(c.num_inputs(), Val::X);
+    const auto derived =
+        podem.generate(state, faults[target], params.max_backtracks);
+    if (derived.has_value()) {
+      pattern = *derived;
+      ++result.targeted_patterns;
+    } else {
+      ++result.random_patterns;
+    }
+    for (Val& v : pattern) {
+      if (!is_specified(v)) v = rng.next_bool() ? Val::One : Val::Zero;
+    }
+
+    // Advance the good machine and the fault universe by one frame.
+    TestSequence step(c.num_inputs(), 0);
+    step.append(pattern);
+    const std::size_t before = session.detected_count();
+    session.apply(step);
+    result.sequence.append(std::move(pattern));
+    stalled = session.detected_count() > before ? 0 : stalled + 1;
+
+    for (std::size_t i = 0; i < c.num_inputs(); ++i) {
+      frame[c.inputs()[i]] = result.sequence.at(result.sequence.length() - 1, i);
+    }
+    for (std::size_t j = 0; j < c.num_dffs(); ++j) frame[c.dffs()[j]] = state[j];
+    sim.eval_frame(frame, fault_free);
+    for (std::size_t j = 0; j < c.num_dffs(); ++j) {
+      state[j] = frame[c.dff_input(j)];
+    }
+  }
+
+  result.detected = session.detected_count();
+  return result;
+}
+
+}  // namespace motsim

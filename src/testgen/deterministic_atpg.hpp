@@ -1,0 +1,39 @@
+// Frame-by-frame deterministic test generation built on the PODEM engine —
+// the architecture of classic sequential generators (HITEC's combinational
+// core with simulation-based state tracking).
+//
+// The generator walks forward in time: it keeps the good machine's
+// three-valued state, targets one undetected fault at a time with FramePodem
+// (present state fixed), fills indifferent inputs randomly, and verifies
+// progress with the incremental parallel fault simulator (fault dropping).
+// When no targeted pattern can be derived it falls back to a random pattern,
+// so the sequence never stalls.
+#pragma once
+
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "sim/test_sequence.hpp"
+#include "util/rng.hpp"
+
+namespace motsim {
+
+struct AtpgParams {
+  std::size_t max_length = 200;       ///< sequence budget (frames)
+  std::size_t max_backtracks = 300;   ///< PODEM budget per target
+  std::size_t stall_limit = 20;       ///< frames without progress -> stop
+  std::uint64_t seed = 1;             ///< random fill / fallback patterns
+};
+
+struct AtpgResult {
+  TestSequence sequence;
+  std::size_t detected = 0;          ///< conventional coverage of `sequence`
+  std::size_t targeted_patterns = 0; ///< frames produced by PODEM
+  std::size_t random_patterns = 0;   ///< fallback frames
+};
+
+AtpgResult generate_deterministic(const Circuit& c,
+                                  const std::vector<Fault>& faults,
+                                  const AtpgParams& params = {});
+
+}  // namespace motsim

@@ -1,0 +1,212 @@
+#include "testgen/podem.hpp"
+
+#include <cassert>
+
+namespace motsim {
+
+FramePodem::FramePodem(const Circuit& c) : circuit_(&c) {}
+
+void FramePodem::imply(const FaultView& fv) {
+  const Circuit& c = *circuit_;
+  const SequentialSimulator sim(c);
+  const FaultView fault_free(c);
+  good_.assign(c.num_gates(), Val::X);
+  faulty_.assign(c.num_gates(), Val::X);
+  for (std::size_t i = 0; i < c.num_inputs(); ++i) {
+    good_[c.inputs()[i]] = inputs_[i];
+    faulty_[c.inputs()[i]] = fv.input_value(i, inputs_[i]);
+  }
+  for (std::size_t j = 0; j < c.num_dffs(); ++j) {
+    good_[c.dffs()[j]] = state_[j];
+    faulty_[c.dffs()[j]] = fv.present_state(j, state_[j]);
+  }
+  sim.eval_frame(good_, fault_free);
+  sim.eval_frame(faulty_, fv);
+}
+
+bool FramePodem::detected_at_po() const {
+  for (GateId po : circuit_->outputs()) {
+    if (conflicts(good_[po], faulty_[po])) return true;
+  }
+  return false;
+}
+
+bool FramePodem::effect_possible(const FaultView& fv) const {
+  (void)fv;
+  if (detected_at_po()) return true;
+  const Circuit& c = *circuit_;
+  // Relaxed D-frontier: a specified good/faulty difference on a line with a
+  // reader that is still unsettled can, in principle, move forward. A fault
+  // that is not excited yet is handled by the objective step instead.
+  bool any_difference = false;
+  for (GateId l = 0; l < c.num_gates(); ++l) {
+    if (!conflicts(good_[l], faulty_[l])) continue;
+    any_difference = true;
+    for (GateId reader : c.gate(l).fanouts) {
+      if (c.gate(reader).type == GateType::Dff) continue;  // next frame only
+      if (!is_specified(good_[reader]) || !is_specified(faulty_[reader])) {
+        return true;
+      }
+    }
+  }
+  return !any_difference;  // not excited yet: excitation objective decides
+}
+
+std::optional<std::pair<std::size_t, Val>> FramePodem::next_decision(
+    const FaultView& fv, const Fault& f) {
+  const Circuit& c = *circuit_;
+
+  // Backtrace an objective (line, value wanted in the good machine) to an
+  // unassigned primary input.
+  auto backtrace = [&](GateId line, Val v) -> std::optional<std::pair<std::size_t, Val>> {
+    for (int hops = 0; hops < 10000; ++hops) {
+      const Gate& g = c.gate(line);
+      if (g.type == GateType::Input) {
+        const auto idx = [&] {
+          for (std::size_t i = 0; i < c.num_inputs(); ++i) {
+            if (c.inputs()[i] == line) return i;
+          }
+          return c.num_inputs();
+        }();
+        if (idx == c.num_inputs() || is_specified(inputs_[idx])) return std::nullopt;
+        return std::make_pair(idx, v);
+      }
+      if (g.type == GateType::Dff || g.type == GateType::Const0 ||
+          g.type == GateType::Const1) {
+        return std::nullopt;  // present state / constants are not assignable
+      }
+      // Needed input value for this gate to (help) produce v.
+      Val want = v;
+      if (g.type == GateType::Not || g.type == GateType::Nand ||
+          g.type == GateType::Nor || g.type == GateType::Xnor) {
+        want = v_not(v);
+      }
+      if (has_controlling_value(g.type)) {
+        const Val ctrl = v_of(controlling_value(g.type));
+        const Val out_ctrl = is_inverting(g.type) ? v_not(ctrl) : ctrl;
+        // Controlled output: one controlling input suffices; otherwise all
+        // inputs need the non-controlling value — either way one X input at
+        // a time (PODEM re-derives the next objective after implication).
+        want = v == out_ctrl ? ctrl : v_not(ctrl);
+      } else if (g.type == GateType::Xor || g.type == GateType::Xnor) {
+        want = Val::One;  // any specified value moves an XOR; bias to 1
+      }
+      GateId next = kNoGate;
+      for (GateId in : g.fanins) {
+        if (!is_specified(good_[in])) {
+          next = in;
+          break;
+        }
+      }
+      if (next == kNoGate) return std::nullopt;
+      line = next;
+      v = want;
+    }
+    return std::nullopt;
+  };
+
+  // Objective 1: excite the fault (good value opposite the stuck value at
+  // the fault site).
+  const GateId site = f.pin == kOutputPin
+                          ? f.gate
+                          : c.gate(f.gate).fanins[static_cast<std::size_t>(f.pin)];
+  const Val good_site = good_[site];
+  if (!is_specified(good_site)) {
+    return backtrace(site, v_not(f.stuck));
+  }
+  if (good_site == f.stuck && f.pin == kOutputPin) {
+    return std::nullopt;  // unexcitable this frame
+  }
+
+  // Objective 2: extend the D-frontier — find a gate with a difference on
+  // an input and an unsettled output; ask for a side input value.
+  for (GateId g : c.topo_order()) {
+    if (is_specified(good_[g]) && is_specified(faulty_[g])) continue;
+    const Gate& gate = c.gate(g);
+    bool has_difference = false;
+    for (GateId in : gate.fanins) {
+      if (conflicts(good_[in], faulty_[in])) {
+        has_difference = true;
+        break;
+      }
+    }
+    if (!has_difference) continue;
+    const Val side = has_controlling_value(gate.type)
+                         ? v_not(v_of(controlling_value(gate.type)))
+                         : Val::One;
+    for (GateId in : gate.fanins) {
+      if (is_specified(good_[in])) continue;
+      if (auto d = backtrace(in, side)) return d;
+    }
+  }
+  // Excitation of pin faults whose site is specified opposite: nothing to
+  // decide here; or no objective reachable from free inputs.
+  (void)fv;
+  return std::nullopt;
+}
+
+std::optional<std::vector<Val>> FramePodem::generate(std::span<const Val> state,
+                                                     const Fault& f,
+                                                     std::size_t max_backtracks,
+                                                     Stats* stats) {
+  const Circuit& c = *circuit_;
+  assert(state.size() == c.num_dffs());
+  const FaultView fv(c, f);
+  inputs_.assign(c.num_inputs(), Val::X);
+  state_.assign(state.begin(), state.end());
+
+  struct Decision {
+    std::size_t input;
+    Val value;
+    bool flipped;
+  };
+  std::vector<Decision> stack;
+  std::size_t backtracks = 0;
+
+  for (;;) {
+    imply(fv);
+    if (detected_at_po()) {
+      if (stats != nullptr) {
+        stats->backtracks = backtracks;
+        stats->decisions = stack.size();
+      }
+      return inputs_;
+    }
+
+    bool need_backtrack = !effect_possible(fv);
+    std::optional<std::pair<std::size_t, Val>> decision;
+    if (!need_backtrack) {
+      decision = next_decision(fv, f);
+      need_backtrack = !decision.has_value();
+    }
+
+    if (!need_backtrack) {
+      inputs_[decision->first] = decision->second;
+      stack.push_back(Decision{decision->first, decision->second, false});
+      continue;
+    }
+
+    // Backtrack: flip the deepest unflipped decision.
+    for (;;) {
+      if (stack.empty() || backtracks >= max_backtracks) {
+        if (stats != nullptr) {
+          stats->backtracks = backtracks;
+          stats->decisions = 0;
+        }
+        return std::nullopt;
+      }
+      Decision& top = stack.back();
+      if (!top.flipped) {
+        ++backtracks;
+        top.flipped = true;
+        top.value = v_not(top.value);
+        inputs_[top.input] = top.value;
+        break;
+      }
+      inputs_[top.input] = Val::X;
+      stack.pop_back();
+    }
+  }
+}
+
+}  // namespace motsim

@@ -1,0 +1,74 @@
+// Single-time-frame deterministic test generation: PODEM over the
+// combinational network, with the present state as a fixed (partially
+// unknown) side input.
+//
+// This is the combinational engine every classic sequential ATPG (HITEC [9]
+// included) is built around. Given the machine's current three-valued state
+// and a target fault, it searches for a primary-input assignment that
+// excites the fault and propagates its effect to a primary output *within
+// the frame*, by simulating the good and faulty machines side by side:
+// decisions are made only on primary inputs (PODEM's defining property),
+// objectives are chosen from fault excitation and the D-frontier, and a
+// bounded number of backtracks keeps the search predictable.
+//
+// The full sequential generator (deterministic_atpg.hpp) drives this engine
+// frame by frame. Patterns returned here carry a guarantee the tests check:
+// simulating the frame from the given state produces a specified,
+// conflicting value pair on some primary output.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "fault/fault_view.hpp"
+#include "sim/seq_sim.hpp"
+
+namespace motsim {
+
+class FramePodem {
+ public:
+  explicit FramePodem(const Circuit& c);
+
+  struct Stats {
+    std::size_t backtracks = 0;
+    std::size_t decisions = 0;
+  };
+
+  /// Searches for an input pattern (X where indifferent) that makes some
+  /// primary output differ between the good and faulty machines in this
+  /// frame, with present state fixed to `state` (three-valued; X state bits
+  /// are genuinely unknown and cannot be assigned). Returns nullopt when the
+  /// backtrack budget is exhausted or the fault is untestable in this frame.
+  std::optional<std::vector<Val>> generate(std::span<const Val> state,
+                                           const Fault& f,
+                                           std::size_t max_backtracks = 500,
+                                           Stats* stats = nullptr);
+
+ private:
+  /// Re-simulates both machines from the current input assignment.
+  void imply(const FaultView& fv);
+
+  /// True when a primary output already carries a specified difference.
+  bool detected_at_po() const;
+
+  /// True when the fault effect can still possibly reach an output: either
+  /// a PO differs, or some gate has a specified good/faulty difference on a
+  /// line whose forward cone still contains X values (relaxed D-frontier).
+  bool effect_possible(const FaultView& fv) const;
+
+  /// Picks the next objective (line, value-in-good-machine) — fault
+  /// excitation first, then D-frontier side inputs — and backtraces it to
+  /// an unassigned primary input. Returns nullopt when no objective maps to
+  /// a free input.
+  std::optional<std::pair<std::size_t, Val>> next_decision(const FaultView& fv,
+                                                           const Fault& f);
+
+  const Circuit* circuit_;
+  std::vector<Val> inputs_;       // current PI assignment (X = unassigned)
+  std::vector<Val> state_;        // fixed present state
+  FrameVals good_;
+  FrameVals faulty_;
+};
+
+}  // namespace motsim

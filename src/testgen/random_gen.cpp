@@ -1,0 +1,29 @@
+#include "testgen/random_gen.hpp"
+
+namespace motsim {
+
+TestSequence random_sequence(std::size_t num_inputs, std::size_t length, Rng& rng) {
+  TestSequence t(num_inputs, length);
+  for (std::size_t u = 0; u < length; ++u) {
+    for (std::size_t k = 0; k < num_inputs; ++k) {
+      t.set(u, k, rng.next_bool() ? Val::One : Val::Zero);
+    }
+  }
+  return t;
+}
+
+TestSequence random_sequence_with_x(std::size_t num_inputs, std::size_t length,
+                                    double x_prob, Rng& rng) {
+  TestSequence t(num_inputs, length);
+  for (std::size_t u = 0; u < length; ++u) {
+    for (std::size_t k = 0; k < num_inputs; ++k) {
+      const Val v = rng.next_bool(x_prob)
+                        ? Val::X
+                        : (rng.next_bool() ? Val::One : Val::Zero);
+      t.set(u, k, v);
+    }
+  }
+  return t;
+}
+
+}  // namespace motsim

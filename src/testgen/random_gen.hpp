@@ -1,0 +1,17 @@
+// Random test sequences (the stimulus of the paper's Table 2 experiments).
+#pragma once
+
+#include "sim/test_sequence.hpp"
+#include "util/rng.hpp"
+
+namespace motsim {
+
+/// Fully specified sequence of `length` uniform random patterns.
+TestSequence random_sequence(std::size_t num_inputs, std::size_t length, Rng& rng);
+
+/// Random sequence where each bit is X with probability `x_prob` — used by
+/// property tests to exercise partially specified stimulus.
+TestSequence random_sequence_with_x(std::size_t num_inputs, std::size_t length,
+                                    double x_prob, Rng& rng);
+
+}  // namespace motsim

@@ -1,0 +1,59 @@
+// Deterministic, seedable pseudo-random number generation.
+//
+// All randomized pieces of motsim (workload generation, synthetic benchmark
+// circuits, random test sequences) draw from this generator so that every
+// experiment in EXPERIMENTS.md is exactly reproducible from its seed.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+namespace motsim {
+
+/// xoshiro256** by Blackman & Vigna: small, fast, and high quality.
+/// Deliberately not std::mt19937 so results are identical across standard
+/// library implementations.
+class Rng {
+ public:
+  /// Seeds the four 64-bit words of state from a single seed value using
+  /// splitmix64, per the reference implementation's recommendation.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform value in [0, bound). Precondition: bound > 0.
+  /// Uses rejection sampling, so the distribution is exactly uniform.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform value in [lo, hi] inclusive. Precondition: lo <= hi.
+  std::int64_t next_in(std::int64_t lo, std::int64_t hi);
+
+  /// True with probability p (clamped to [0,1]).
+  bool next_bool(double p = 0.5);
+
+  /// Uniform double in [0,1).
+  double next_double();
+
+  /// Fisher-Yates shuffle of a random-access container.
+  template <typename Container>
+  void shuffle(Container& c) {
+    if (c.size() < 2) return;
+    for (std::size_t i = c.size() - 1; i > 0; --i) {
+      const std::size_t j = static_cast<std::size_t>(next_below(i + 1));
+      using std::swap;
+      swap(c[i], c[j]);
+    }
+  }
+
+  /// Picks a uniformly random element. Precondition: !c.empty().
+  template <typename Container>
+  auto& pick(Container& c) {
+    return c[static_cast<std::size_t>(next_below(c.size()))];
+  }
+
+ private:
+  std::uint64_t state_[4];
+};
+
+}  // namespace motsim

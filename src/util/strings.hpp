@@ -1,0 +1,36 @@
+// Small string helpers shared by the .bench parser, the CLI layer and the
+// table/report printers. Kept dependency-free.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace motsim {
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view trim(std::string_view s);
+
+/// Splits on a single character; empty fields are kept.
+std::vector<std::string_view> split(std::string_view s, char sep);
+
+/// Splits on runs of ASCII whitespace; empty fields are dropped.
+std::vector<std::string_view> split_ws(std::string_view s);
+
+/// ASCII case-insensitive equality.
+bool iequals(std::string_view a, std::string_view b);
+
+/// Uppercases ASCII letters.
+std::string to_upper(std::string_view s);
+
+/// True if `s` begins with `prefix`.
+bool starts_with(std::string_view s, std::string_view prefix);
+
+/// Parses a non-negative integer; returns false on any malformed input or
+/// overflow instead of throwing.
+bool parse_u64(std::string_view s, std::uint64_t& out);
+
+/// printf-style formatting into a std::string.
+std::string str_format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace motsim

@@ -1,0 +1,85 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "util/strings.hpp"
+
+namespace motsim {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+Table& Table::new_row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+Table& Table::add(std::string cell) {
+  if (rows_.empty()) rows_.emplace_back();
+  rows_.back().push_back(std::move(cell));
+  return *this;
+}
+
+Table& Table::add(long long v) { return add(str_format("%lld", v)); }
+Table& Table::add(unsigned long long v) { return add(str_format("%llu", v)); }
+Table& Table::add(int v) { return add(str_format("%d", v)); }
+Table& Table::add(std::size_t v) {
+  return add(str_format("%llu", static_cast<unsigned long long>(v)));
+}
+Table& Table::add(double v, int precision) {
+  return add(str_format("%.*f", precision, v));
+}
+
+namespace {
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!(std::isdigit(static_cast<unsigned char>(c)) || c == '.' || c == '-' ||
+          c == '+')) {
+      return false;
+    }
+  }
+  return true;
+}
+}  // namespace
+
+std::string Table::render() const {
+  std::vector<std::size_t> width(header_.size(), 0);
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size() && c < width.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+
+  auto emit_row = [&](const std::vector<std::string>& row, std::string& out) {
+    out += "|";
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      const std::string cell = c < row.size() ? row[c] : std::string();
+      const std::size_t pad = width[c] - cell.size();
+      out += ' ';
+      if (looks_numeric(cell)) {
+        out.append(pad, ' ');
+        out += cell;
+      } else {
+        out += cell;
+        out.append(pad, ' ');
+      }
+      out += " |";
+    }
+    out += '\n';
+  };
+
+  std::string out;
+  emit_row(header_, out);
+  out += "|";
+  for (std::size_t c = 0; c < width.size(); ++c) {
+    out.append(width[c] + 2, '-');
+    out += "|";
+  }
+  out += '\n';
+  for (const auto& row : rows_) emit_row(row, out);
+  return out;
+}
+
+}  // namespace motsim

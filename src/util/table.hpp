@@ -1,0 +1,36 @@
+// ASCII table rendering used by the experiment harness to print rows in the
+// same layout as the paper's Tables 1-3.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace motsim {
+
+/// Column-aligned ASCII table. Cells are strings; numeric convenience
+/// overloads format with a fixed precision.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Starts a new row. Cells are then appended with add().
+  Table& new_row();
+  Table& add(std::string cell);
+  Table& add(long long v);
+  Table& add(unsigned long long v);
+  Table& add(int v);
+  Table& add(std::size_t v);
+  Table& add(double v, int precision = 2);
+
+  /// Renders with a header rule and right-aligned numeric-looking cells.
+  std::string render() const;
+
+  std::size_t row_count() const { return rows_.size(); }
+  const std::vector<std::string>& row(std::size_t i) const { return rows_[i]; }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace motsim

@@ -1,0 +1,222 @@
+// Tests for the backward-implication collector (Procedure 1, steps 1-2).
+#include <gtest/gtest.h>
+
+#include "circuits/embedded.hpp"
+#include "circuits/generator.hpp"
+#include "mot/collector.hpp"
+#include "netlist/builder.hpp"
+#include "testgen/random_gen.hpp"
+
+namespace motsim {
+namespace {
+
+TestSequence seq(const std::vector<std::string_view>& rows) {
+  TestSequence t;
+  EXPECT_TRUE(TestSequence::from_strings(rows, t));
+  return t;
+}
+
+struct TestBed {
+  Circuit c;
+  TestSequence test;
+  SeqTrace good;
+  SeqTrace faulty;
+  std::unique_ptr<FaultView> fv;
+};
+
+TestBed make_setup(Circuit circuit, const TestSequence& test,
+                 std::optional<Fault> fault = std::nullopt) {
+  TestBed s{std::move(circuit), test, {}, {}, nullptr};
+  const SequentialSimulator sim(s.c);
+  s.good = sim.run_fault_free(test);
+  s.fv = fault ? std::make_unique<FaultView>(s.c, *fault)
+               : std::make_unique<FaultView>(s.c);
+  s.faulty = sim.run(test, *s.fv, /*keep_lines=*/true);
+  return s;
+}
+
+TEST(Collector, SynthesizesTime0Pairs) {
+  TestBed s = make_setup(circuits::make_s27(), seq({"1011", "1011"}));
+  BackwardCollector collector(s.c, MotOptions{});
+  const CollectionResult r = collector.collect(s.good, s.faulty, *s.fv);
+  // All three state variables are unspecified at time 0.
+  std::size_t u0 = 0;
+  for (const PairInfo& p : r.pairs) {
+    if (p.u != 0) continue;
+    ++u0;
+    EXPECT_FALSE(p.conf[0] || p.conf[1] || p.detect[0] || p.detect[1]);
+    ASSERT_EQ(p.n_extra(0), 1u);
+    ASSERT_EQ(p.n_extra(1), 1u);
+    EXPECT_EQ(p.extra[0][0], (std::pair<std::uint32_t, Val>{p.i, Val::Zero}));
+    EXPECT_EQ(p.extra[1][0], (std::pair<std::uint32_t, Val>{p.i, Val::One}));
+  }
+  EXPECT_EQ(u0, 3u);
+}
+
+TEST(Collector, ExtraAlwaysContainsTheSeedPair) {
+  TestBed s = make_setup(circuits::make_s27(), seq({"1011", "1011", "1011"}));
+  BackwardCollector collector(s.c, MotOptions{});
+  const CollectionResult r = collector.collect(s.good, s.faulty, *s.fv);
+  for (const PairInfo& p : r.pairs) {
+    for (int a : {0, 1}) {
+      if (p.side_closed(a)) continue;
+      const Val v = a == 0 ? Val::Zero : Val::One;
+      bool found = false;
+      for (const auto& [j, beta] : p.extra[a]) {
+        found = found || (j == p.i && beta == v);
+      }
+      EXPECT_TRUE(found) << "u=" << p.u << " i=" << p.i << " a=" << a;
+    }
+  }
+}
+
+TEST(Collector, ExtraVariablesWereUnspecifiedInConventionalTrace) {
+  TestBed s = make_setup(circuits::make_s27(), seq({"1011", "0110", "1011"}));
+  BackwardCollector collector(s.c, MotOptions{});
+  const CollectionResult r = collector.collect(s.good, s.faulty, *s.fv);
+  for (const PairInfo& p : r.pairs) {
+    for (int a : {0, 1}) {
+      for (const auto& [j, beta] : p.extra[a]) {
+        (void)beta;
+        EXPECT_FALSE(is_specified(s.faulty.states[p.u][j]));
+      }
+    }
+  }
+}
+
+TEST(Collector, Fig4ConflictIsRecorded) {
+  // The Figure 4 circuit extended with a monitoring output z = AND(L1, L2):
+  // fault-free under input 0, z = 0 (specified). Faulting z's first pin
+  // stuck-at-1 makes the faulty z = L2 = X, so N_out(u) > 0 and the (u=1)
+  // pair is collected — where backward implication must find that the
+  // present-state value 1 is impossible (the paper's conflict).
+  CircuitBuilder b("fig4ext");
+  const GateId l1 = b.add_input("L1");
+  const GateId l2 = b.declare("L2");
+  const GateId l11 = b.declare("L11");
+  b.define(l2, GateType::Dff, {l11});
+  const GateId l3 = b.add_gate(GateType::And, "L3", {l1, l2});
+  const GateId l4 = b.add_gate(GateType::Buf, "L4", {l1});
+  const GateId l5 = b.add_gate(GateType::Or, "L5", {l3, l2});
+  const GateId l6 = b.add_gate(GateType::Or, "L6", {l4, l2});
+  const GateId l7 = b.add_gate(GateType::Not, "L7", {l6});
+  b.define(l11, GateType::And, {l5, l7});
+  const GateId z = b.add_gate(GateType::And, "z", {l1, l2});
+  b.mark_output(z);
+  const Circuit c = b.build_or_die();
+
+  const TestSequence t = seq({"0", "0"});
+  TestBed s = make_setup(c, t, Fault{z, 0, Val::One});
+  ASSERT_TRUE(passes_condition_c(s.good, s.faulty));
+  BackwardCollector collector(c, MotOptions{});
+  const CollectionResult r = collector.collect(s.good, s.faulty, *s.fv);
+  bool saw_u1 = false;
+  for (const PairInfo& p : r.pairs) {
+    if (p.u == 1) {
+      saw_u1 = true;
+      EXPECT_TRUE(p.conf[1]) << "value 1 at time 1 must conflict";
+      EXPECT_FALSE(p.conf[0]);
+    }
+  }
+  EXPECT_TRUE(saw_u1);
+}
+
+TEST(Collector, DetectsViaSection32Check) {
+  // One flip-flop that directly drives the only output through a buffer,
+  // with next-state = NOT(state): whatever the initial state, the output
+  // differs from the fault-free response once the fault forces the good
+  // output to a constant the faulty machine cannot hold for both values.
+  //
+  // Build: z = BUF(ff), ff' = NOT(ff). Good machine: output X forever.
+  // Fault: input stem I stuck... we need good specified & faulty X. Use:
+  // z = AND(i, ff_n) where ff_n toggles: good machine with i=0 gives z=0;
+  // fault i stuck-at-1 makes z = ff (X), and backward implication of either
+  // ff value sets z to that value at u-1 — value 1 detects (good z = 0),
+  // value 0 does not... to get both sides closed, route ff and NOT(ff) to
+  // two outputs.
+  CircuitBuilder b("sec32");
+  const GateId i = b.add_input("i");
+  const GateId ff = b.declare("ff");
+  const GateId ffn = b.add_gate(GateType::Not, "ffn", {ff});
+  b.define(ff, GateType::Dff, {ffn});  // ff' = NOT(ff): toggles, never inits
+  const GateId z1 = b.add_gate(GateType::And, "z1", {i, ff});
+  const GateId z2 = b.add_gate(GateType::And, "z2", {i, ffn});
+  b.mark_output(z1);
+  b.mark_output(z2);
+  const Circuit c = b.build_or_die();
+
+  // Good machine with i=0: z1 = z2 = 0. Faulty machine (i stuck-at-1):
+  // z1 = ff = X, z2 = NOT(ff) = X. For either value of ff at time 1,
+  // backward implication sets ff at time 0 (toggle), forcing one of the
+  // outputs to 1 at time 0 — conflicting with the good 0: detect on both
+  // sides, the fault is detected by the Section 3.2 check alone.
+  const TestSequence t = seq({"0", "0"});
+  TestBed s = make_setup(c, t, Fault{i, kOutputPin, Val::One});
+  ASSERT_TRUE(passes_condition_c(s.good, s.faulty));
+  BackwardCollector collector(c, MotOptions{});
+  const CollectionResult r = collector.collect(s.good, s.faulty, *s.fv);
+  EXPECT_TRUE(r.detected_by_check);
+}
+
+TEST(Collector, MaxPairsCapIsReportedNotSilent) {
+  TestBed s = make_setup(circuits::make_s27(), seq({"1011", "1011", "1011"}));
+  MotOptions opt;
+  opt.max_pairs = 2;  // s27 has three unspecified state variables at u = 0
+  BackwardCollector collector(s.c, opt);
+  const CollectionResult r = collector.collect(s.good, s.faulty, *s.fv);
+  EXPECT_TRUE(r.capped);
+  EXPECT_LE(r.pairs.size(), 2u);
+}
+
+TEST(Collector, PlainModeProducesTrivialPairs) {
+  TestBed s = make_setup(circuits::make_s27(), seq({"1011", "1011"}));
+  MotOptions opt;
+  opt.use_backward_implications = false;
+  BackwardCollector collector(s.c, opt);
+  const CollectionResult r = collector.collect(s.good, s.faulty, *s.fv);
+  EXPECT_FALSE(r.detected_by_check);
+  for (const PairInfo& p : r.pairs) {
+    EXPECT_TRUE(p.both_open());
+    EXPECT_EQ(p.n_extra(0), 1u);
+    EXPECT_EQ(p.n_extra(1), 1u);
+  }
+}
+
+TEST(Collector, TraceLinesAreRestoredAfterCollection) {
+  TestBed s = make_setup(circuits::make_s27(), seq({"1011", "0110", "1011"}));
+  const SeqTrace before = s.faulty;
+  BackwardCollector collector(s.c, MotOptions{});
+  collector.collect(s.good, s.faulty, *s.fv);
+  ASSERT_EQ(before.lines.size(), s.faulty.lines.size());
+  for (std::size_t u = 0; u < before.lines.size(); ++u) {
+    EXPECT_EQ(before.lines[u], s.faulty.lines[u]) << "frame " << u;
+  }
+}
+
+TEST(Collector, MultiFrameBackwardDepthIsSoundOnS27) {
+  // backward_depth = 2 pushes newly specified state variables one more
+  // frame back; the collected sets must still only contain PSVs that were
+  // unspecified, with the seed pair present.
+  TestBed s = make_setup(circuits::make_s27(), seq({"1011", "1011", "1011"}));
+  MotOptions opt;
+  opt.backward_depth = 2;
+  BackwardCollector collector(s.c, opt);
+  const CollectionResult r = collector.collect(s.good, s.faulty, *s.fv);
+  for (const PairInfo& p : r.pairs) {
+    for (int a : {0, 1}) {
+      for (const auto& [j, beta] : p.extra[a]) {
+        (void)beta;
+        EXPECT_LT(j, s.c.num_dffs());
+        EXPECT_FALSE(is_specified(s.faulty.states[p.u][j]));
+      }
+    }
+  }
+  // Line values restored despite multi-frame probing.
+  const SeqTrace fresh = SequentialSimulator(s.c).run(s.test, *s.fv, true);
+  for (std::size_t u = 0; u < fresh.lines.size(); ++u) {
+    EXPECT_EQ(fresh.lines[u], s.faulty.lines[u]);
+  }
+}
+
+}  // namespace
+}  // namespace motsim

@@ -1,0 +1,158 @@
+// Tests for the fault dictionary / diagnosis and test-sequence compaction.
+#include <gtest/gtest.h>
+
+#include "circuits/embedded.hpp"
+#include "circuits/generator.hpp"
+#include "faultsim/dictionary.hpp"
+#include "faultsim/parallel.hpp"
+#include "testgen/compaction.hpp"
+#include "testgen/random_gen.hpp"
+
+namespace motsim {
+namespace {
+
+struct World {
+  Circuit c;
+  TestSequence test;
+  SeqTrace good;
+  std::vector<Fault> faults;
+};
+
+World s27_world(std::uint64_t seed = 3, std::size_t length = 24) {
+  World w{circuits::make_s27(), {}, {}, {}};
+  Rng rng(seed);
+  w.test = random_sequence(w.c.num_inputs(), length, rng);
+  w.good = SequentialSimulator(w.c).run_fault_free(w.test);
+  w.faults = collapsed_fault_list(w.c);
+  return w;
+}
+
+// ---------------------------------------------------------- dictionary ----
+
+TEST(Dictionary, DetectionMatchesConventionalSimulator) {
+  World w = s27_world();
+  const FaultDictionary dict =
+      FaultDictionary::build(w.c, w.test, w.good, w.faults);
+  const ConventionalFaultSimulator conv(w.c);
+  ASSERT_EQ(dict.num_faults(), w.faults.size());
+  for (std::size_t k = 0; k < w.faults.size(); ++k) {
+    EXPECT_EQ(dict.is_detected(k), conv.analyze(w.test, w.good, w.faults[k]).detected)
+        << fault_name(w.c, w.faults[k]);
+  }
+}
+
+TEST(Dictionary, DiagnosisFindsTheInjectedFault) {
+  World w = s27_world();
+  const FaultDictionary dict =
+      FaultDictionary::build(w.c, w.test, w.good, w.faults);
+  // Observe the exact response of each detected fault: the fault itself
+  // must be among the candidates, and the fault-free machine must not be.
+  for (std::size_t k = 0; k < dict.num_faults(); ++k) {
+    if (!dict.is_detected(k)) continue;
+    bool fault_free_ok = true;
+    const auto candidates = dict.diagnose(dict.response(k), &fault_free_ok);
+    EXPECT_NE(std::find(candidates.begin(), candidates.end(), k),
+              candidates.end());
+    EXPECT_FALSE(fault_free_ok) << fault_name(w.c, w.faults[k]);
+  }
+}
+
+TEST(Dictionary, PartialObservationWidensTheCandidateSet) {
+  World w = s27_world();
+  const FaultDictionary dict =
+      FaultDictionary::build(w.c, w.test, w.good, w.faults);
+  std::size_t detected = 0;
+  for (std::size_t k = 0; k < dict.num_faults() && detected == 0; ++k) {
+    if (!dict.is_detected(k)) continue;
+    detected = 1;
+    const auto full = dict.diagnose(dict.response(k));
+    // Mask the second half of the observation.
+    auto partial = dict.response(k);
+    for (std::size_t u = partial.size() / 2; u < partial.size(); ++u) {
+      for (Val& v : partial[u]) v = Val::X;
+    }
+    const auto widened = dict.diagnose(partial);
+    EXPECT_GE(widened.size(), full.size());
+    for (std::size_t cand : full) {
+      EXPECT_NE(std::find(widened.begin(), widened.end(), cand), widened.end());
+    }
+  }
+  ASSERT_EQ(detected, 1u);
+}
+
+TEST(Dictionary, AllXObservationIsConsistentWithEverything) {
+  World w = s27_world(5, 8);
+  const FaultDictionary dict =
+      FaultDictionary::build(w.c, w.test, w.good, w.faults);
+  std::vector<std::vector<Val>> blind(
+      w.test.length(), std::vector<Val>(w.c.num_outputs(), Val::X));
+  bool fault_free_ok = false;
+  const auto candidates = dict.diagnose(blind, &fault_free_ok);
+  EXPECT_EQ(candidates.size(), dict.num_faults());
+  EXPECT_TRUE(fault_free_ok);
+}
+
+TEST(Dictionary, EquivalenceClassesPartitionTheFaultList) {
+  World w = s27_world();
+  const FaultDictionary dict =
+      FaultDictionary::build(w.c, w.test, w.good, w.faults);
+  const auto classes = dict.equivalence_classes();
+  std::size_t total = 0;
+  for (const auto& cls : classes) {
+    EXPECT_FALSE(cls.empty());
+    total += cls.size();
+    // All members share the response of the first member.
+    for (std::size_t k : cls) {
+      EXPECT_EQ(dict.response(k), dict.response(cls.front()));
+    }
+  }
+  EXPECT_EQ(total, dict.num_faults());
+  EXPECT_GT(classes.size(), 1u);
+}
+
+// ----------------------------------------------------------- compaction ----
+
+class CompactionProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CompactionProperty, NeverLosesCoverageAndUsuallyShrinks) {
+  circuits::GeneratorParams p;
+  p.name = "compact";
+  p.seed = GetParam();
+  p.num_inputs = 4;
+  p.num_outputs = 3;
+  p.num_dffs = 5;
+  p.num_comb_gates = 40;
+  p.uninit_fraction = 0.1;
+  const Circuit c = circuits::generate(p);
+  const auto faults = collapsed_fault_list(c);
+  Rng rng(GetParam() * 3 + 11);
+  const TestSequence t = random_sequence(c.num_inputs(), 48, rng);
+  const SeqTrace good = SequentialSimulator(c).run_fault_free(t);
+  const auto before = ParallelFaultSimulator(c).run(t, good, faults);
+  std::size_t before_detected = 0;
+  for (const auto& o : before) before_detected += o.detected;
+
+  const CompactionResult r = compact_sequence(c, t, faults);
+  EXPECT_EQ(r.original_length, t.length());
+  EXPECT_LE(r.sequence.length(), t.length());
+  EXPECT_GT(r.trials, 0u);
+
+  const SeqTrace good2 = SequentialSimulator(c).run_fault_free(r.sequence);
+  const auto after = ParallelFaultSimulator(c).run(r.sequence, good2, faults);
+  std::size_t after_detected = 0;
+  for (const auto& o : after) after_detected += o.detected;
+  EXPECT_GE(after_detected, before_detected);
+  EXPECT_EQ(r.detected, before_detected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CompactionProperty, ::testing::Values(1, 2, 3, 4));
+
+TEST(Compaction, RandomSequencesCompactSubstantially) {
+  // Random patterns are redundant; expect a real reduction on s27.
+  World w = s27_world(7, 64);
+  const CompactionResult r = compact_sequence(w.c, w.test, w.faults);
+  EXPECT_LT(r.sequence.length(), w.test.length());
+}
+
+}  // namespace
+}  // namespace motsim

@@ -1,0 +1,120 @@
+// Equivalence and activity tests for the event-driven simulator.
+#include <gtest/gtest.h>
+
+#include "circuits/embedded.hpp"
+#include "circuits/generator.hpp"
+#include "sim/event_sim.hpp"
+#include "testgen/random_gen.hpp"
+
+namespace motsim {
+namespace {
+
+struct EvCase {
+  std::uint64_t seed;
+  double x_prob;
+  bool with_fault;
+};
+
+class EventSimEquivalence : public ::testing::TestWithParam<EvCase> {};
+
+TEST_P(EventSimEquivalence, MatchesSweepSimulatorExactly) {
+  const EvCase ec = GetParam();
+  circuits::GeneratorParams p;
+  p.name = "ev";
+  p.seed = ec.seed;
+  p.num_inputs = 5;
+  p.num_outputs = 3;
+  p.num_dffs = 7;
+  p.num_comb_gates = 60;
+  p.uninit_fraction = 0.3;
+  const Circuit c = circuits::generate(p);
+  Rng rng(ec.seed * 13 + 1);
+  const TestSequence t =
+      ec.x_prob > 0 ? random_sequence_with_x(5, 24, ec.x_prob, rng)
+                    : random_sequence(5, 24, rng);
+  const auto faults = collapsed_fault_list(c);
+  const FaultView fv = ec.with_fault
+                           ? FaultView(c, faults[ec.seed % faults.size()])
+                           : FaultView(c);
+
+  const SequentialSimulator sweep(c);
+  const EventDrivenSimulator event(c);
+  for (bool keep_lines : {false, true}) {
+    const SeqTrace a = sweep.run(t, fv, keep_lines);
+    const SeqTrace b = event.run(t, fv, keep_lines);
+    ASSERT_EQ(a.outputs, b.outputs);
+    ASSERT_EQ(a.states, b.states);
+    if (keep_lines) ASSERT_EQ(a.lines, b.lines);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndModes, EventSimEquivalence,
+    ::testing::Values(EvCase{1, 0.0, false}, EvCase{2, 0.0, true},
+                      EvCase{3, 0.3, false}, EvCase{4, 0.3, true},
+                      EvCase{5, 0.0, true}, EvCase{6, 0.6, true},
+                      EvCase{7, 0.0, false}, EvCase{8, 0.1, true}));
+
+TEST(EventSim, MatchesOnS27WithInitState) {
+  const Circuit c = circuits::make_s27();
+  Rng rng(9);
+  const TestSequence t = random_sequence(4, 30, rng);
+  const std::vector<Val> init = {Val::One, Val::Zero, Val::One};
+  const SeqTrace a = SequentialSimulator(c).run(t, FaultView(c), true, init);
+  const SeqTrace b = EventDrivenSimulator(c).run(t, FaultView(c), true, init);
+  EXPECT_EQ(a.outputs, b.outputs);
+  EXPECT_EQ(a.states, b.states);
+  EXPECT_EQ(a.lines, b.lines);
+}
+
+TEST(EventSim, LowActivityStimulusEvaluatesFewGates) {
+  // A constant input sequence after the first frame: once the state
+  // converges, frames cost almost nothing.
+  circuits::GeneratorParams p;
+  p.name = "lowact";
+  p.seed = 21;
+  p.num_inputs = 4;
+  p.num_outputs = 3;
+  p.num_dffs = 6;
+  p.num_comb_gates = 80;
+  p.uninit_fraction = 0.0;  // fully initializable: state converges
+  const Circuit c = circuits::generate(p);
+  TestSequence t(c.num_inputs(), 0);
+  for (int u = 0; u < 50; ++u) {
+    t.append(std::vector<Val>(c.num_inputs(), Val::One));
+  }
+  EventDrivenSimulator::Activity activity;
+  EventDrivenSimulator(c).run(t, FaultView(c), false, {}, &activity);
+  EXPECT_GT(activity.full_cost, 0u);
+  EXPECT_LT(activity.factor(), 0.25)
+      << activity.evaluations << " of " << activity.full_cost;
+}
+
+TEST(EventSim, ActivityNeverExceedsFullSweepByMuch) {
+  // Even on maximum-activity stimulus the levelized selective trace
+  // evaluates each gate at most once per frame.
+  circuits::GeneratorParams p;
+  p.name = "highact";
+  p.seed = 33;
+  p.num_inputs = 4;
+  p.num_outputs = 2;
+  p.num_dffs = 5;
+  p.num_comb_gates = 50;
+  const Circuit c = circuits::generate(p);
+  Rng rng(3);
+  const TestSequence t = random_sequence(c.num_inputs(), 40, rng);
+  EventDrivenSimulator::Activity activity;
+  EventDrivenSimulator(c).run(t, FaultView(c), false, {}, &activity);
+  EXPECT_LE(activity.evaluations, activity.full_cost);
+}
+
+TEST(EventSim, EmptySequence) {
+  const Circuit c = circuits::make_s27();
+  const TestSequence t(c.num_inputs(), 0);
+  const SeqTrace trace = EventDrivenSimulator(c).run(t, FaultView(c));
+  EXPECT_EQ(trace.length(), 0u);
+  EXPECT_EQ(trace.states.size(), 1u);
+}
+
+}  // namespace
+}  // namespace motsim

@@ -1,0 +1,191 @@
+// Unit + property tests for src/fault: fault enumeration, equivalence
+// collapsing (verified behaviorally), names, and FaultView reads.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "circuits/embedded.hpp"
+#include "circuits/generator.hpp"
+#include "netlist/builder.hpp"
+#include "sim/seq_sim.hpp"
+#include "testgen/random_gen.hpp"
+
+namespace motsim {
+namespace {
+
+// ---------------------------------------------------------- enumeration ----
+
+TEST(Enumerate, CoversEveryStemTwice) {
+  const Circuit c = circuits::make_s27();
+  const auto faults = enumerate_faults(c);
+  for (GateId id = 0; id < c.num_gates(); ++id) {
+    int stems = 0;
+    for (const Fault& f : faults) {
+      stems += f.gate == id && f.pin == kOutputPin;
+    }
+    EXPECT_EQ(stems, 2) << c.gate(id).name;
+  }
+}
+
+TEST(Enumerate, BranchFaultsOnlyWhereStemIsShared) {
+  const Circuit c = circuits::make_s27();
+  for (const Fault& f : enumerate_faults(c)) {
+    if (f.pin == kOutputPin) continue;
+    const GateId driver = c.gate(f.gate).fanins[static_cast<std::size_t>(f.pin)];
+    EXPECT_TRUE(c.gate(driver).fanouts.size() > 1 ||
+                c.output_index(driver).has_value());
+  }
+}
+
+TEST(Enumerate, S27Counts) {
+  const Circuit c = circuits::make_s27();
+  // 17 gates -> 34 stem faults; fanout stems in s27: G14 (2 readers: G8,G10),
+  // G8 (G15,G16), G11 (G17,G10, DFF G6), G12 (G15,G13). 9 reading pins ->
+  // 18 branch faults.
+  EXPECT_EQ(enumerate_faults(c).size(), 34u + 18u);
+}
+
+TEST(FaultName, Formats) {
+  const Circuit c = circuits::make_s27();
+  const Fault stem{c.find("G11"), kOutputPin, Val::One};
+  EXPECT_EQ(fault_name(c, stem), "G11 stuck-at-1");
+  const GateId g8 = c.find("G8");
+  const Fault pin{g8, 0, Val::Zero};
+  EXPECT_EQ(fault_name(c, pin), "G8.in0 (G14) stuck-at-0");
+}
+
+// ------------------------------------------------------------ collapsing ----
+
+TEST(Collapse, KeepsSubsetAndDropsSomething) {
+  const Circuit c = circuits::make_s27();
+  const auto all = enumerate_faults(c);
+  const auto kept = collapse_faults(c, all);
+  EXPECT_LT(kept.size(), all.size());
+  for (const Fault& f : kept) {
+    EXPECT_NE(std::find(all.begin(), all.end(), f), all.end());
+  }
+}
+
+TEST(Collapse, NeverDropsXorOrDffStems) {
+  circuits::GeneratorParams p;
+  p.name = "xordff";
+  p.seed = 9;
+  p.num_inputs = 4;
+  p.num_outputs = 2;
+  p.num_dffs = 4;
+  p.num_comb_gates = 30;
+  const Circuit c = circuits::generate(p);
+  const auto kept = collapse_faults(c, enumerate_faults(c));
+  for (GateId id = 0; id < c.num_gates(); ++id) {
+    const GateType t = c.gate(id).type;
+    if (t != GateType::Xor && t != GateType::Xnor && t != GateType::Dff) continue;
+    for (Val v : {Val::Zero, Val::One}) {
+      const Fault f{id, kOutputPin, v};
+      EXPECT_NE(std::find(kept.begin(), kept.end(), f), kept.end())
+          << fault_name(c, f);
+    }
+  }
+}
+
+/// Behavioral check: every dropped fault must behave identically to some
+/// retained fault on every output/next-state value of random frames.
+class CollapseEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CollapseEquivalence, DroppedFaultsHaveEquivalentRepresentative) {
+  circuits::GeneratorParams p;
+  p.name = "collapse";
+  p.seed = GetParam();
+  p.num_inputs = 4;
+  p.num_outputs = 3;
+  p.num_dffs = 4;
+  p.num_comb_gates = 25;
+  const Circuit c = circuits::generate(p);
+  const auto all = enumerate_faults(c);
+  const auto kept = collapse_faults(c, all);
+
+  Rng rng(GetParam() * 1000 + 3);
+  const SequentialSimulator sim(c);
+  const TestSequence test = random_sequence(c.num_inputs(), 16, rng);
+
+  auto signature = [&](const Fault& f) {
+    const SeqTrace tr = sim.run(test, FaultView(c, f));
+    std::string sig;
+    for (const auto& row : tr.outputs) sig += vals_to_string(row.data(), row.size());
+    for (const auto& row : tr.states) sig += vals_to_string(row.data(), row.size());
+    return sig;
+  };
+
+  std::vector<std::string> kept_sigs;
+  kept_sigs.reserve(kept.size());
+  for (const Fault& f : kept) kept_sigs.push_back(signature(f));
+
+  for (const Fault& f : all) {
+    if (std::find(kept.begin(), kept.end(), f) != kept.end()) continue;
+    const std::string sig = signature(f);
+    EXPECT_NE(std::find(kept_sigs.begin(), kept_sigs.end(), sig),
+              kept_sigs.end())
+        << "dropped fault " << fault_name(c, f)
+        << " has no behaviorally equivalent representative";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CollapseEquivalence,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+// ------------------------------------------------------------ FaultView ----
+
+TEST(FaultView, FaultFreeReadsThroughLines) {
+  const Circuit c = circuits::make_s27();
+  const FaultView fv(c);
+  EXPECT_TRUE(fv.fault_free());
+  FrameVals vals(c.num_gates(), Val::X);
+  const GateId g14 = c.find("G14");
+  vals[c.find("G0")] = Val::One;
+  EXPECT_EQ(fv.eval(g14, vals), Val::Zero);
+  EXPECT_EQ(fv.read_pin(g14, 0, vals), Val::One);
+}
+
+TEST(FaultView, OutFixedAndPinFixed) {
+  const Circuit c = circuits::make_s27();
+  const GateId g14 = c.find("G14");
+  const FaultView stem(c, Fault{g14, kOutputPin, Val::One});
+  EXPECT_TRUE(stem.out_fixed(g14));
+  EXPECT_FALSE(stem.out_fixed(c.find("G8")));
+  FrameVals vals(c.num_gates(), Val::X);
+  vals[c.find("G0")] = Val::One;  // would make G14 = 0 fault-free
+  EXPECT_EQ(stem.eval(g14, vals), Val::One);
+
+  const GateId g8 = c.find("G8");
+  const FaultView pin(c, Fault{g8, 0, Val::One});
+  EXPECT_TRUE(pin.pin_fixed(g8, 0));
+  EXPECT_FALSE(pin.pin_fixed(g8, 1));
+  vals[g14] = Val::Zero;
+  vals[c.find("G6")] = Val::One;
+  // G8 = AND(G14, G6) but pin0 is stuck at 1 -> AND(1, 1) = 1.
+  EXPECT_EQ(pin.eval(g8, vals), Val::One);
+}
+
+TEST(FaultView, NextStateHonorsDPinFault) {
+  const Circuit c = circuits::make_s27();
+  const GateId g7 = c.find("G7");
+  const std::size_t k = *c.dff_index(g7);
+  const FaultView fv(c, Fault{g7, 0, Val::Zero});
+  FrameVals vals(c.num_gates(), Val::X);
+  vals[c.dff_input(k)] = Val::One;  // D driver says 1, pin stuck 0
+  EXPECT_EQ(fv.next_state(k, vals), Val::Zero);
+}
+
+TEST(FaultView, PresentStateAndInputValueFolding) {
+  const Circuit c = circuits::make_s27();
+  const GateId g5 = c.find("G5");
+  const FaultView q_stuck(c, Fault{g5, kOutputPin, Val::One});
+  EXPECT_EQ(q_stuck.present_state(0, Val::Zero), Val::One);
+  EXPECT_EQ(q_stuck.present_state(1, Val::Zero), Val::Zero);
+  const GateId g0 = c.find("G0");
+  const FaultView pi_stuck(c, Fault{g0, kOutputPin, Val::Zero});
+  EXPECT_EQ(pi_stuck.input_value(0, Val::One), Val::Zero);
+  EXPECT_EQ(pi_stuck.input_value(1, Val::One), Val::One);
+}
+
+}  // namespace
+}  // namespace motsim

@@ -1,0 +1,319 @@
+// Tests for the frame implication engine — including the paper's exact
+// Figure 1-4 values on s27 and an exhaustive soundness property: every value
+// the implicator derives holds in every concrete run consistent with the
+// seed, conflicts happen only when no consistent run exists, and detections
+// only when every consistent run conflicts with the fault-free output.
+#include <gtest/gtest.h>
+
+#include "circuits/embedded.hpp"
+#include "circuits/generator.hpp"
+#include "mot/implicator.hpp"
+#include "testgen/random_gen.hpp"
+
+namespace motsim {
+namespace {
+
+FrameVals s27_frame_1011(const Circuit& c) {
+  FrameVals vals(c.num_gates(), Val::X);
+  const Val pattern[] = {Val::One, Val::Zero, Val::One, Val::One};
+  for (std::size_t k = 0; k < 4; ++k) vals[c.inputs()[k]] = pattern[k];
+  SequentialSimulator(c).eval_frame(vals, FaultView(c));
+  return vals;
+}
+
+std::size_t specified_nsv_po(const Circuit& c, const FaultView& fv,
+                             const FrameVals& vals) {
+  std::size_t n = 0;
+  for (std::size_t j = 0; j < c.num_dffs(); ++j) {
+    n += is_specified(fv.next_state(j, vals));
+  }
+  for (GateId po : c.outputs()) n += is_specified(vals[po]);
+  return n;
+}
+
+// ------------------------------------------------ paper figures on s27 ----
+
+TEST(Implicator, Figure1ConventionalSimulationAllUnspecified) {
+  const Circuit c = circuits::make_s27();
+  const FrameVals vals = s27_frame_1011(c);
+  EXPECT_EQ(specified_nsv_po(c, FaultView(c), vals), 0u);
+}
+
+class S27Expansion : public ::testing::TestWithParam<ImplMode> {};
+
+TEST_P(S27Expansion, Figure2ExpansionCounts) {
+  const Circuit c = circuits::make_s27();
+  const FaultView fv(c);
+  const FrameVals base = s27_frame_1011(c);
+  FrameImplicator impl(c);
+
+  // Expected specified NSV+PO counts per expanded variable (both values
+  // summed): G5 -> 3, G6 -> 0, G7 -> 5 (the paper's Figure 2 discussion).
+  const std::size_t expected[] = {3, 0, 5};
+  for (std::size_t j = 0; j < 3; ++j) {
+    std::size_t total = 0;
+    for (Val v : {Val::Zero, Val::One}) {
+      FrameVals vals = base;
+      const std::pair<GateId, Val> seed{c.dffs()[j], v};
+      const ImplOutcome out = impl.run(vals, fv, {}, {&seed, 1}, GetParam());
+      EXPECT_EQ(out, ImplOutcome::Ok);
+      total += specified_nsv_po(c, fv, vals);
+      impl.undo(vals);
+      EXPECT_EQ(vals, base);  // undo restores exactly
+    }
+    EXPECT_EQ(total, expected[j]) << "state variable index " << j;
+  }
+}
+
+TEST_P(S27Expansion, Figure3BackwardImplicationOfG6) {
+  const Circuit c = circuits::make_s27();
+  const FaultView fv(c);
+  const FrameVals base = s27_frame_1011(c);
+  FrameImplicator impl(c);
+  // Setting y(G6)=a at time 1 implies Y(G6)=a at time 0, i.e. line G11 = a.
+  const GateId g11 = c.dff_input(1);
+  std::size_t total = 0;
+  for (Val v : {Val::Zero, Val::One}) {
+    FrameVals vals = base;
+    const std::pair<GateId, Val> seed{g11, v};
+    EXPECT_EQ(impl.run(vals, fv, {}, {&seed, 1}, GetParam()), ImplOutcome::Ok);
+    total += specified_nsv_po(c, fv, vals);
+    if (v == Val::One) {
+      // The paper's chain: G11=1 forces G5=0, G9=0, G15=1, G12=1, G7=0,
+      // G13=0, G10=0, G17=0.
+      EXPECT_EQ(vals[c.find("G5")], Val::Zero);
+      EXPECT_EQ(vals[c.find("G12")], Val::One);
+      EXPECT_EQ(vals[c.find("G7")], Val::Zero);
+      EXPECT_EQ(vals[c.find("G13")], Val::Zero);
+      EXPECT_EQ(vals[c.find("G10")], Val::Zero);
+      EXPECT_EQ(vals[c.find("G17")], Val::Zero);
+    }
+    impl.undo(vals);
+  }
+  // Seven specified values at time 0 — more than any time-0 expansion.
+  EXPECT_EQ(total, 7u);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothModes, S27Expansion,
+                         ::testing::Values(ImplMode::TwoPass, ImplMode::Fixpoint));
+
+TEST(Implicator, Figure4Conflict) {
+  const Circuit c = circuits::make_fig4_conflict();
+  const FaultView fv(c);
+  FrameVals base(c.num_gates(), Val::X);
+  base[c.inputs()[0]] = Val::Zero;
+  SequentialSimulator(c).eval_frame(base, fv);
+  EXPECT_EQ(base[c.find("L3")], Val::Zero);
+  EXPECT_EQ(base[c.find("L4")], Val::Zero);
+
+  FrameImplicator impl(c);
+  for (ImplMode mode : {ImplMode::TwoPass, ImplMode::Fixpoint}) {
+    FrameVals vals = base;
+    std::pair<GateId, Val> seed{c.find("L11"), Val::One};
+    EXPECT_EQ(impl.run(vals, fv, {}, {&seed, 1}, mode), ImplOutcome::Conflict);
+    impl.undo(vals);
+    seed.second = Val::Zero;
+    EXPECT_EQ(impl.run(vals, fv, {}, {&seed, 1}, mode), ImplOutcome::Ok);
+    impl.undo(vals);
+  }
+}
+
+// ------------------------------------------------------- engine basics ----
+
+TEST(Implicator, SeedConflictingWithFrameIsImmediate) {
+  const Circuit c = circuits::make_s27();
+  FrameVals vals = s27_frame_1011(c);
+  FrameImplicator impl(c);
+  // G14 = NOT(G0) = 0 in this frame; seeding G14 = 1 contradicts.
+  const std::pair<GateId, Val> seed{c.find("G14"), Val::One};
+  EXPECT_EQ(impl.run(vals, FaultView(c), {}, {&seed, 1}, ImplMode::Fixpoint),
+            ImplOutcome::Conflict);
+  impl.undo(vals);
+}
+
+TEST(Implicator, DetectionAgainstGoodOutputs) {
+  const Circuit c = circuits::make_s27();
+  FrameVals vals = s27_frame_1011(c);
+  FrameImplicator impl(c);
+  // Seeding G11 = 1 implies G17 = 0; a fault-free output of 1 conflicts.
+  const std::vector<Val> good_out = {Val::One};
+  const std::pair<GateId, Val> seed{c.find("G11"), Val::One};
+  EXPECT_EQ(impl.run(vals, FaultView(c), good_out, {&seed, 1}, ImplMode::Fixpoint),
+            ImplOutcome::Detected);
+  impl.undo(vals);
+  // With a matching fault-free value there is no detection.
+  const std::vector<Val> good_out2 = {Val::Zero};
+  EXPECT_EQ(impl.run(vals, FaultView(c), good_out2, {&seed, 1}, ImplMode::Fixpoint),
+            ImplOutcome::Ok);
+  impl.undo(vals);
+}
+
+TEST(Implicator, ChangesListsSeedsAndImplications) {
+  const Circuit c = circuits::make_fig4_conflict();
+  FrameVals vals(c.num_gates(), Val::X);
+  vals[c.inputs()[0]] = Val::Zero;
+  SequentialSimulator(c).eval_frame(vals, FaultView(c));
+  FrameImplicator impl(c);
+  const std::pair<GateId, Val> seed{c.find("L11"), Val::Zero};
+  ASSERT_EQ(impl.run(vals, FaultView(c), {}, {&seed, 1}, ImplMode::Fixpoint),
+            ImplOutcome::Ok);
+  bool seed_listed = false;
+  for (const auto& [line, v] : impl.changes()) {
+    EXPECT_EQ(vals[line], v);
+    if (line == c.find("L11")) seed_listed = v == Val::Zero;
+  }
+  EXPECT_TRUE(seed_listed);
+  impl.undo(vals);
+}
+
+// --------------------------------------- exhaustive soundness property ----
+
+struct SoundCase {
+  std::uint64_t seed;
+  ImplMode mode;
+  bool with_fault;
+};
+
+class ImplicationSoundness : public ::testing::TestWithParam<SoundCase> {};
+
+TEST_P(ImplicationSoundness, AgreesWithEveryConsistentConcreteRun) {
+  const SoundCase sc = GetParam();
+  circuits::GeneratorParams p;
+  p.name = "sound";
+  p.seed = sc.seed;
+  p.num_inputs = 3;
+  p.num_outputs = 2;
+  p.num_dffs = 5;
+  p.num_comb_gates = 30;
+  p.uninit_fraction = 0.4;
+  const Circuit c = circuits::generate(p);
+  Rng rng(sc.seed * 7 + 3);
+  const TestSequence t = random_sequence(3, 8, rng);
+
+  const auto faults = collapsed_fault_list(c);
+  const Fault fault = faults[sc.seed % faults.size()];
+  const FaultView fv = sc.with_fault ? FaultView(c, fault) : FaultView(c);
+
+  const SequentialSimulator sim(c);
+  const SeqTrace good = sim.run_fault_free(t);
+  SeqTrace trace = sim.run(t, fv.fault_free() ? FaultView(c) : fv, true);
+
+  // All concrete runs (per initial state), with line values.
+  std::vector<SeqTrace> runs;
+  std::vector<Val> init(c.num_dffs());
+  for (std::uint64_t bits = 0; bits < (1ull << c.num_dffs()); ++bits) {
+    for (std::size_t j = 0; j < c.num_dffs(); ++j) {
+      init[j] = ((bits >> j) & 1) ? Val::One : Val::Zero;
+    }
+    runs.push_back(sim.run(t, fv, true, init));
+  }
+
+  FrameImplicator impl(c);
+  for (std::size_t u = 1; u < t.length(); ++u) {
+    for (std::size_t i = 0; i < c.num_dffs(); ++i) {
+      if (is_specified(trace.states[u][i])) continue;
+      for (Val a : {Val::Zero, Val::One}) {
+        const std::pair<GateId, Val> seed{c.dff_input(i), a};
+        const ImplOutcome out =
+            impl.run(trace.lines[u - 1], fv, good.outputs[u - 1], {&seed, 1},
+                     sc.mode);
+        // Concrete runs whose state at u has y_i = a.
+        std::vector<const SeqTrace*> consistent;
+        for (const SeqTrace& r : runs) {
+          if (r.states[u][i] == a) consistent.push_back(&r);
+        }
+        if (out == ImplOutcome::Conflict) {
+          EXPECT_TRUE(consistent.empty())
+              << "conflict for satisfiable seed: u=" << u << " i=" << i
+              << " a=" << v_to_char(a);
+        } else {
+          for (const auto& [line, v] : impl.changes()) {
+            for (const SeqTrace* r : consistent) {
+              EXPECT_EQ(r->lines[u - 1][line], v)
+                  << "implied value wrong in a concrete run: u=" << u
+                  << " i=" << i << " line " << c.gate(line).name;
+            }
+          }
+          if (out == ImplOutcome::Detected) {
+            for (const SeqTrace* r : consistent) {
+              bool conflict_at_frame = false;
+              for (std::size_t o = 0; o < c.num_outputs(); ++o) {
+                conflict_at_frame =
+                    conflict_at_frame ||
+                    conflicts(good.outputs[u - 1][o], r->outputs[u - 1][o]);
+              }
+              EXPECT_TRUE(conflict_at_frame)
+                  << "detection claimed but a consistent run agrees with the "
+                     "fault-free outputs at u-1";
+            }
+          }
+        }
+        impl.undo(trace.lines[u - 1]);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsModesFaults, ImplicationSoundness,
+    ::testing::Values(SoundCase{1, ImplMode::TwoPass, false},
+                      SoundCase{1, ImplMode::Fixpoint, false},
+                      SoundCase{2, ImplMode::Fixpoint, true},
+                      SoundCase{3, ImplMode::TwoPass, true},
+                      SoundCase{4, ImplMode::Fixpoint, true},
+                      SoundCase{5, ImplMode::Fixpoint, true},
+                      SoundCase{6, ImplMode::TwoPass, false},
+                      SoundCase{7, ImplMode::Fixpoint, true},
+                      SoundCase{8, ImplMode::Fixpoint, true}));
+
+// ------------------------------------------- fixpoint refines two-pass ----
+
+class FixpointDominance : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FixpointDominance, FixpointSpecifiesAtLeastWhatTwoPassDoes) {
+  circuits::GeneratorParams p;
+  p.name = "dom";
+  p.seed = GetParam();
+  p.num_inputs = 3;
+  p.num_outputs = 2;
+  p.num_dffs = 6;
+  p.num_comb_gates = 40;
+  const Circuit c = circuits::generate(p);
+  Rng rng(GetParam() + 100);
+  const TestSequence t = random_sequence(3, 6, rng);
+  const SequentialSimulator sim(c);
+  SeqTrace trace = sim.run(t, FaultView(c), true);
+
+  FrameImplicator impl(c);
+  for (std::size_t u = 1; u < t.length(); ++u) {
+    for (std::size_t i = 0; i < c.num_dffs(); ++i) {
+      if (is_specified(trace.states[u][i])) continue;
+      for (Val a : {Val::Zero, Val::One}) {
+        const std::pair<GateId, Val> seed{c.dff_input(i), a};
+        FrameVals two = trace.lines[u - 1];
+        const ImplOutcome out_two =
+            impl.run(two, FaultView(c), {}, {&seed, 1}, ImplMode::TwoPass);
+        std::vector<std::pair<GateId, Val>> two_changes(
+            impl.changes().begin(), impl.changes().end());
+        impl.undo(two);
+        FrameVals fix = trace.lines[u - 1];
+        const ImplOutcome out_fix =
+            impl.run(fix, FaultView(c), {}, {&seed, 1}, ImplMode::Fixpoint);
+        if (out_two == ImplOutcome::Conflict) {
+          EXPECT_EQ(out_fix, ImplOutcome::Conflict);
+        } else if (out_fix != ImplOutcome::Conflict) {
+          for (const auto& [line, v] : two_changes) {
+            EXPECT_EQ(fix[line], v) << c.gate(line).name;
+          }
+        }
+        impl.undo(fix);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FixpointDominance,
+                         ::testing::Values(11, 22, 33, 44, 55));
+
+}  // namespace
+}  // namespace motsim

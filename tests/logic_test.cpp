@@ -1,0 +1,372 @@
+// Unit + property tests for src/logic: three-valued values, gate
+// evaluation, backward inference, and the 64-way parallel encoding.
+//
+// The two key properties, verified exhaustively over all gate types and all
+// three-valued input vectors up to arity 3:
+//
+//  * eval_gate is the *optimal abstraction* of the boolean gate function:
+//    its result is specified exactly when all boolean completions of the
+//    inputs agree, and then equals that common value.
+//  * infer_inputs computes exactly the *forced* input values: a value is
+//    written iff every completion consistent with the requested output
+//    agrees on it, and Conflict is returned iff no completion exists.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "logic/eval.hpp"
+#include "logic/infer.hpp"
+#include "logic/pval.hpp"
+#include "util/rng.hpp"
+
+namespace motsim {
+namespace {
+
+const GateType kCombTypes[] = {GateType::Buf, GateType::Not,  GateType::And,
+                               GateType::Nand, GateType::Or,  GateType::Nor,
+                               GateType::Xor, GateType::Xnor};
+
+const Val kVals[] = {Val::Zero, Val::One, Val::X};
+
+std::vector<std::vector<bool>> completions(const std::vector<Val>& ins) {
+  std::vector<std::vector<bool>> out;
+  std::vector<bool> cur(ins.size());
+  const std::size_t n = ins.size();
+  for (std::size_t mask = 0; mask < (1u << n); ++mask) {
+    bool ok = true;
+    for (std::size_t k = 0; k < n; ++k) {
+      cur[k] = (mask >> k) & 1;
+      if (is_specified(ins[k]) && v_to_bool(ins[k]) != cur[k]) ok = false;
+    }
+    if (ok) out.push_back(cur);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------- Val ----
+
+TEST(Val, NotTable) {
+  EXPECT_EQ(v_not(Val::Zero), Val::One);
+  EXPECT_EQ(v_not(Val::One), Val::Zero);
+  EXPECT_EQ(v_not(Val::X), Val::X);
+}
+
+TEST(Val, Chars) {
+  EXPECT_EQ(v_to_char(Val::Zero), '0');
+  EXPECT_EQ(v_to_char(Val::One), '1');
+  EXPECT_EQ(v_to_char(Val::X), 'x');
+  Val v;
+  EXPECT_TRUE(v_from_char('0', v));
+  EXPECT_EQ(v, Val::Zero);
+  EXPECT_TRUE(v_from_char('X', v));
+  EXPECT_EQ(v, Val::X);
+  EXPECT_FALSE(v_from_char('?', v));
+}
+
+TEST(Val, ValsToString) {
+  const Val vs[] = {Val::Zero, Val::X, Val::One};
+  EXPECT_EQ(vals_to_string(vs, 3), "0x1");
+}
+
+TEST(Val, ConflictsOnlyBetweenOppositeSpecified) {
+  EXPECT_TRUE(conflicts(Val::Zero, Val::One));
+  EXPECT_TRUE(conflicts(Val::One, Val::Zero));
+  EXPECT_FALSE(conflicts(Val::One, Val::One));
+  EXPECT_FALSE(conflicts(Val::X, Val::One));
+  EXPECT_FALSE(conflicts(Val::Zero, Val::X));
+  EXPECT_FALSE(conflicts(Val::X, Val::X));
+}
+
+TEST(Val, RefinesOrder) {
+  for (Val a : kVals) {
+    EXPECT_TRUE(refines(a, Val::X));
+    EXPECT_TRUE(refines(a, a));
+  }
+  EXPECT_FALSE(refines(Val::Zero, Val::One));
+  EXPECT_FALSE(refines(Val::X, Val::Zero));
+}
+
+TEST(Val, RefineInto) {
+  Val v = Val::X;
+  EXPECT_EQ(refine_into(v, Val::X), Refine::NoChange);
+  EXPECT_EQ(refine_into(v, Val::One), Refine::Changed);
+  EXPECT_EQ(v, Val::One);
+  EXPECT_EQ(refine_into(v, Val::One), Refine::NoChange);
+  EXPECT_EQ(refine_into(v, Val::X), Refine::NoChange);
+  EXPECT_EQ(v, Val::One);
+  EXPECT_EQ(refine_into(v, Val::Zero), Refine::Conflict);
+  EXPECT_EQ(v, Val::One);  // conflict leaves the stored value intact
+}
+
+// ----------------------------------------------------------- GateType ----
+
+TEST(GateType, ControllingValues) {
+  EXPECT_FALSE(controlling_value(GateType::And));
+  EXPECT_FALSE(controlling_value(GateType::Nand));
+  EXPECT_TRUE(controlling_value(GateType::Or));
+  EXPECT_TRUE(controlling_value(GateType::Nor));
+  EXPECT_FALSE(has_controlling_value(GateType::Xor));
+  EXPECT_FALSE(has_controlling_value(GateType::Not));
+}
+
+TEST(GateType, NameRoundTrip) {
+  for (GateType t : kCombTypes) {
+    GateType back;
+    ASSERT_TRUE(gate_type_from_name(gate_type_name(t), back));
+    EXPECT_EQ(back, t);
+  }
+  GateType t;
+  EXPECT_TRUE(gate_type_from_name("buff", t));  // ISCAS spelling
+  EXPECT_EQ(t, GateType::Buf);
+  EXPECT_TRUE(gate_type_from_name("INV", t));
+  EXPECT_EQ(t, GateType::Not);
+  EXPECT_FALSE(gate_type_from_name("MUX", t));
+}
+
+TEST(GateType, RequiredFanins) {
+  EXPECT_EQ(required_fanins(GateType::Input), 0);
+  EXPECT_EQ(required_fanins(GateType::Const1), 0);
+  EXPECT_EQ(required_fanins(GateType::Dff), 1);
+  EXPECT_EQ(required_fanins(GateType::Not), 1);
+  EXPECT_EQ(required_fanins(GateType::And), -1);
+}
+
+// ----------------------------------------------------- eval properties ----
+
+struct ArityCase {
+  GateType type;
+  std::size_t arity;
+};
+
+class EvalProperty : public ::testing::TestWithParam<ArityCase> {};
+
+TEST_P(EvalProperty, IsOptimalAbstractionOfBooleanFunction) {
+  const auto [type, arity] = GetParam();
+  std::vector<Val> ins(arity, Val::X);
+  std::size_t idx[3] = {0, 0, 0};
+  // Enumerate all 3^arity input vectors.
+  const std::size_t total = arity == 1 ? 3 : (arity == 2 ? 9 : 27);
+  for (std::size_t code = 0; code < total; ++code) {
+    std::size_t c = code;
+    for (std::size_t k = 0; k < arity; ++k) {
+      idx[k] = c % 3;
+      c /= 3;
+      ins[k] = kVals[idx[k]];
+    }
+    const Val got = eval_gate(type, ins);
+    bool all_true = true, all_false = true;
+    for (const auto& comp : completions(ins)) {
+      bool buf[3];
+      for (std::size_t k = 0; k < arity; ++k) buf[k] = comp[k];
+      const bool b = eval_gate2(type, std::span<const bool>(buf, arity));
+      all_true = all_true && b;
+      all_false = all_false && !b;
+    }
+    if (all_true) {
+      EXPECT_EQ(got, Val::One) << gate_type_name(type) << " code " << code;
+    } else if (all_false) {
+      EXPECT_EQ(got, Val::Zero) << gate_type_name(type) << " code " << code;
+    } else {
+      EXPECT_EQ(got, Val::X) << gate_type_name(type) << " code " << code;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllGatesAllArities, EvalProperty,
+    ::testing::Values(ArityCase{GateType::Buf, 1}, ArityCase{GateType::Not, 1},
+                      ArityCase{GateType::And, 2}, ArityCase{GateType::And, 3},
+                      ArityCase{GateType::Nand, 2}, ArityCase{GateType::Nand, 3},
+                      ArityCase{GateType::Or, 2}, ArityCase{GateType::Or, 3},
+                      ArityCase{GateType::Nor, 2}, ArityCase{GateType::Nor, 3},
+                      ArityCase{GateType::Xor, 2}, ArityCase{GateType::Xor, 3},
+                      ArityCase{GateType::Xnor, 2}, ArityCase{GateType::Xnor, 3}));
+
+TEST(Eval, Constants) {
+  EXPECT_EQ(eval_gate(GateType::Const0, {}), Val::Zero);
+  EXPECT_EQ(eval_gate(GateType::Const1, {}), Val::One);
+}
+
+TEST(Eval, ControllingInputDominatesX) {
+  const std::vector<Val> ins = {Val::Zero, Val::X};
+  EXPECT_EQ(eval_gate(GateType::And, ins), Val::Zero);
+  EXPECT_EQ(eval_gate(GateType::Nand, ins), Val::One);
+  const std::vector<Val> ins2 = {Val::One, Val::X};
+  EXPECT_EQ(eval_gate(GateType::Or, ins2), Val::One);
+  EXPECT_EQ(eval_gate(GateType::Nor, ins2), Val::Zero);
+}
+
+// ---------------------------------------------------- infer properties ----
+
+class InferProperty : public ::testing::TestWithParam<ArityCase> {};
+
+TEST_P(InferProperty, ComputesExactlyTheForcedValues) {
+  const auto [type, arity] = GetParam();
+  std::vector<Val> ins(arity, Val::X);
+  const std::size_t total = arity == 1 ? 3 : (arity == 2 ? 9 : 27);
+  for (Val out : {Val::Zero, Val::One}) {
+    for (std::size_t code = 0; code < total; ++code) {
+      std::size_t c = code;
+      for (std::size_t k = 0; k < arity; ++k) {
+        ins[k] = kVals[c % 3];
+        c /= 3;
+      }
+      // Completions of the inputs that realize the requested output.
+      std::vector<std::vector<bool>> feasible;
+      for (const auto& comp : completions(ins)) {
+        bool buf[3];
+        for (std::size_t k = 0; k < arity; ++k) buf[k] = comp[k];
+        if (eval_gate2(type, std::span<const bool>(buf, arity)) ==
+            v_to_bool(out)) {
+          feasible.push_back(comp);
+        }
+      }
+
+      std::vector<Val> work = ins;
+      const Refine r = infer_inputs(type, out, work);
+
+      if (feasible.empty()) {
+        EXPECT_EQ(r, Refine::Conflict)
+            << gate_type_name(type) << " out=" << v_to_char(out) << " code "
+            << code;
+        continue;
+      }
+      ASSERT_NE(r, Refine::Conflict)
+          << gate_type_name(type) << " out=" << v_to_char(out) << " code "
+          << code;
+      bool changed_any = false;
+      for (std::size_t k = 0; k < arity; ++k) {
+        bool all_true = true, all_false = true;
+        for (const auto& comp : feasible) {
+          all_true = all_true && comp[k];
+          all_false = all_false && !comp[k];
+        }
+        const Val forced =
+            all_true ? Val::One : (all_false ? Val::Zero : Val::X);
+        if (is_specified(ins[k])) {
+          EXPECT_EQ(work[k], ins[k]);  // never rewrites a specified input
+        } else {
+          EXPECT_EQ(work[k], forced)
+              << gate_type_name(type) << " out=" << v_to_char(out) << " code "
+              << code << " pin " << k;
+          changed_any = changed_any || forced != Val::X;
+        }
+      }
+      EXPECT_EQ(r == Refine::Changed, changed_any);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllGatesAllArities, InferProperty,
+    ::testing::Values(ArityCase{GateType::Buf, 1}, ArityCase{GateType::Not, 1},
+                      ArityCase{GateType::And, 2},
+                      ArityCase{GateType::And, 3}, ArityCase{GateType::Nand, 2},
+                      ArityCase{GateType::Nand, 3}, ArityCase{GateType::Or, 2},
+                      ArityCase{GateType::Or, 3}, ArityCase{GateType::Nor, 2},
+                      ArityCase{GateType::Nor, 3}, ArityCase{GateType::Xor, 2},
+                      ArityCase{GateType::Xor, 3}, ArityCase{GateType::Xnor, 2},
+                      ArityCase{GateType::Xnor, 3}));
+
+TEST(Infer, XOutputInfersNothing) {
+  std::vector<Val> ins = {Val::X, Val::X};
+  EXPECT_EQ(infer_inputs(GateType::And, Val::X, ins), Refine::NoChange);
+  EXPECT_EQ(ins[0], Val::X);
+}
+
+TEST(Infer, ConstConsistency) {
+  std::vector<Val> none;
+  EXPECT_EQ(infer_inputs(GateType::Const0, Val::Zero, none), Refine::NoChange);
+  EXPECT_EQ(infer_inputs(GateType::Const0, Val::One, none), Refine::Conflict);
+  EXPECT_EQ(infer_inputs(GateType::Const1, Val::Zero, none), Refine::Conflict);
+}
+
+// ---------------------------------------------------------------- PVal ----
+
+TEST(PVal, SplatAndGet) {
+  for (Val v : kVals) {
+    const PVal p = pv_splat(v);
+    EXPECT_TRUE(pv_well_formed(p));
+    for (unsigned k : {0u, 1u, 31u, 63u}) EXPECT_EQ(pv_get(p, k), v);
+  }
+}
+
+TEST(PVal, SetGetRoundTrip) {
+  PVal p = pv_all_x();
+  pv_set(p, 5, Val::One);
+  pv_set(p, 6, Val::Zero);
+  pv_set(p, 5, Val::Zero);  // overwrite
+  EXPECT_EQ(pv_get(p, 5), Val::Zero);
+  EXPECT_EQ(pv_get(p, 6), Val::Zero);
+  EXPECT_EQ(pv_get(p, 7), Val::X);
+  pv_set(p, 6, Val::X);
+  EXPECT_EQ(pv_get(p, 6), Val::X);
+  EXPECT_TRUE(pv_well_formed(p));
+}
+
+class PValGateEquivalence : public ::testing::TestWithParam<ArityCase> {};
+
+TEST_P(PValGateEquivalence, MatchesScalarEvalPerSlot) {
+  const auto [type, arity] = GetParam();
+  Rng rng(1234 + static_cast<std::uint64_t>(type) * 7 + arity);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<PVal> ins(arity, pv_all_x());
+    for (auto& in : ins) {
+      for (unsigned k = 0; k < 64; ++k) {
+        pv_set(in, k, kVals[rng.next_below(3)]);
+      }
+    }
+    const PVal out = pv_eval_gate(type, ins.data(), ins.size());
+    EXPECT_TRUE(pv_well_formed(out));
+    std::vector<Val> scalar(arity);
+    for (unsigned k = 0; k < 64; ++k) {
+      for (std::size_t a = 0; a < arity; ++a) scalar[a] = pv_get(ins[a], k);
+      EXPECT_EQ(pv_get(out, k), eval_gate(type, scalar))
+          << gate_type_name(type) << " slot " << k;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllGates, PValGateEquivalence,
+    ::testing::Values(ArityCase{GateType::Buf, 1}, ArityCase{GateType::Not, 1},
+                      ArityCase{GateType::And, 2}, ArityCase{GateType::And, 4},
+                      ArityCase{GateType::Nand, 3}, ArityCase{GateType::Or, 2},
+                      ArityCase{GateType::Nor, 4}, ArityCase{GateType::Xor, 2},
+                      ArityCase{GateType::Xor, 3}, ArityCase{GateType::Xnor, 2}));
+
+TEST(PVal, EvalFnMatchesEvalGate) {
+  Rng rng(321);
+  for (GateType t : {GateType::Buf, GateType::Not, GateType::And,
+                     GateType::Nand, GateType::Or, GateType::Nor,
+                     GateType::Xor, GateType::Xnor}) {
+    const std::size_t arity = required_fanins(t) == 1 ? 1 : 3;
+    for (int trial = 0; trial < 10; ++trial) {
+      std::vector<PVal> ins(arity);
+      for (auto& in : ins) {
+        for (unsigned k = 0; k < 64; ++k) pv_set(in, k, kVals[rng.next_below(3)]);
+      }
+      const PVal a = pv_eval_gate(t, ins.data(), ins.size());
+      const PVal b = pv_eval_gate_fn(
+          t, arity, [&](std::size_t k) -> const PVal& { return ins[k]; });
+      EXPECT_EQ(a, b) << gate_type_name(t);
+    }
+  }
+}
+
+TEST(PVal, ConflictMaskMatchesScalarConflicts) {
+  Rng rng(99);
+  PVal a = pv_all_x();
+  PVal b = pv_all_x();
+  for (unsigned k = 0; k < 64; ++k) {
+    pv_set(a, k, kVals[rng.next_below(3)]);
+    pv_set(b, k, kVals[rng.next_below(3)]);
+  }
+  const std::uint64_t mask = pv_conflict_mask(a, b);
+  for (unsigned k = 0; k < 64; ++k) {
+    EXPECT_EQ((mask >> k) & 1, conflicts(pv_get(a, k), pv_get(b, k)) ? 1u : 0u);
+  }
+}
+
+}  // namespace
+}  // namespace motsim

@@ -1,0 +1,292 @@
+// Unit tests for src/netlist: builder validation, circuit queries,
+// topological order, and .bench parsing/writing.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "circuits/embedded.hpp"
+#include "circuits/generator.hpp"
+#include "netlist/bench_io.hpp"
+#include "netlist/builder.hpp"
+
+namespace motsim {
+namespace {
+
+// -------------------------------------------------------------- builder ----
+
+TEST(Builder, MinimalCombinational) {
+  CircuitBuilder b("tiny");
+  const GateId a = b.add_input("a");
+  const GateId g = b.add_gate(GateType::Not, "g", {a});
+  b.mark_output(g);
+  Circuit c;
+  std::string err;
+  ASSERT_TRUE(b.build(c, err)) << err;
+  EXPECT_EQ(c.num_inputs(), 1u);
+  EXPECT_EQ(c.num_outputs(), 1u);
+  EXPECT_EQ(c.num_dffs(), 0u);
+  EXPECT_EQ(c.topo_order().size(), 1u);
+}
+
+TEST(Builder, RejectsUndefinedGate) {
+  CircuitBuilder b("bad");
+  const GateId ghost = b.declare("ghost");
+  b.mark_output(b.add_gate(GateType::Buf, "g", {ghost}));
+  Circuit c;
+  std::string err;
+  EXPECT_FALSE(b.build(c, err));
+  EXPECT_NE(err.find("ghost"), std::string::npos);
+  EXPECT_NE(err.find("never defined"), std::string::npos);
+}
+
+TEST(Builder, RejectsDoubleDefinition) {
+  CircuitBuilder b("bad");
+  const GateId a = b.add_input("a");
+  b.add_gate(GateType::Not, "g", {a});
+  b.add_gate(GateType::Buf, "g", {a});  // redefinition
+  Circuit c;
+  std::string err;
+  EXPECT_FALSE(b.build(c, err));
+  EXPECT_NE(err.find("more than once"), std::string::npos);
+}
+
+TEST(Builder, RejectsCombinationalCycle) {
+  CircuitBuilder b("loop");
+  const GateId a = b.add_input("a");
+  const GateId g1 = b.declare("g1");
+  const GateId g2 = b.add_gate(GateType::And, "g2", {a, g1});
+  b.define(g1, GateType::Not, {g2});
+  b.mark_output(g2);
+  Circuit c;
+  std::string err;
+  EXPECT_FALSE(b.build(c, err));
+  EXPECT_NE(err.find("cycle"), std::string::npos);
+}
+
+TEST(Builder, AcceptsFeedbackThroughDff) {
+  CircuitBuilder b("seqloop");
+  const GateId a = b.add_input("a");
+  const GateId ff = b.declare("ff");
+  const GateId g = b.add_gate(GateType::And, "g", {a, ff});
+  b.define(ff, GateType::Dff, {g});
+  b.mark_output(g);
+  Circuit c;
+  std::string err;
+  ASSERT_TRUE(b.build(c, err)) << err;
+  EXPECT_EQ(c.num_dffs(), 1u);
+  EXPECT_EQ(c.dff_input(0), g);
+}
+
+TEST(Builder, RejectsWrongFaninCount) {
+  CircuitBuilder b("bad");
+  const GateId a = b.add_input("a");
+  const GateId x = b.add_input("x");
+  b.mark_output(b.add_gate(GateType::Not, "g", {a, x}));  // NOT with 2 fanins
+  Circuit c;
+  std::string err;
+  EXPECT_FALSE(b.build(c, err));
+  EXPECT_NE(err.find("expected 1"), std::string::npos);
+}
+
+TEST(Builder, RejectsEmptyFaninsOnAnd) {
+  CircuitBuilder b("bad");
+  b.mark_output(b.add_gate(GateType::And, "g", {}));
+  Circuit c;
+  std::string err;
+  EXPECT_FALSE(b.build(c, err));
+  EXPECT_NE(err.find("no fanins"), std::string::npos);
+}
+
+TEST(Builder, RejectsEmptyCircuit) {
+  CircuitBuilder b("empty");
+  Circuit c;
+  std::string err;
+  EXPECT_FALSE(b.build(c, err));
+}
+
+// -------------------------------------------------------------- circuit ----
+
+TEST(Circuit, TopoOrderRespectsDependencies) {
+  const Circuit c = circuits::make_s27();
+  std::set<GateId> seen;
+  for (GateId id : c.inputs()) seen.insert(id);
+  for (GateId id : c.dffs()) seen.insert(id);
+  for (GateId id : c.topo_order()) {
+    for (GateId f : c.gate(id).fanins) {
+      EXPECT_TRUE(seen.count(f)) << "gate " << c.gate(id).name
+                                 << " scheduled before fanin "
+                                 << c.gate(f).name;
+    }
+    seen.insert(id);
+  }
+  EXPECT_EQ(seen.size(), c.num_gates());
+}
+
+TEST(Circuit, LevelsAreMonotone) {
+  const Circuit c = circuits::make_s27();
+  for (GateId id : c.topo_order()) {
+    for (GateId f : c.gate(id).fanins) {
+      EXPECT_GT(c.level(id), c.level(f));
+    }
+  }
+}
+
+TEST(Circuit, FanoutsMirrorFanins) {
+  const Circuit c = circuits::make_s27();
+  for (GateId id = 0; id < c.num_gates(); ++id) {
+    for (GateId f : c.gate(id).fanins) {
+      const auto& fo = c.gate(f).fanouts;
+      EXPECT_NE(std::find(fo.begin(), fo.end(), id), fo.end());
+    }
+  }
+}
+
+TEST(Circuit, IndexLookups) {
+  const Circuit c = circuits::make_s27();
+  const GateId g6 = c.find("G6");
+  ASSERT_NE(g6, kNoGate);
+  ASSERT_TRUE(c.dff_index(g6).has_value());
+  EXPECT_EQ(*c.dff_index(g6), 1u);
+  EXPECT_FALSE(c.dff_index(c.find("G9")).has_value());
+  const GateId g17 = c.find("G17");
+  ASSERT_TRUE(c.output_index(g17).has_value());
+  EXPECT_EQ(*c.output_index(g17), 0u);
+  EXPECT_EQ(c.find("nonexistent"), kNoGate);
+}
+
+TEST(Circuit, SummaryMentionsCounts) {
+  const std::string s = circuits::make_s27().summary();
+  EXPECT_NE(s.find("4 PI"), std::string::npos);
+  EXPECT_NE(s.find("3 FF"), std::string::npos);
+}
+
+// ------------------------------------------------------------- bench io ----
+
+TEST(BenchIo, ParsesS27Text) {
+  const BenchParseResult r = parse_bench(circuits::s27_bench_text(), "s27");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.circuit.num_inputs(), 4u);
+  EXPECT_EQ(r.circuit.num_dffs(), 3u);
+  EXPECT_EQ(r.circuit.num_outputs(), 1u);
+  EXPECT_EQ(r.circuit.topo_order().size(), 10u);
+}
+
+TEST(BenchIo, AcceptsForwardReferencesAndComments) {
+  const char* text = R"(
+# comment line
+OUTPUT(z)      # output before definition
+z = AND(a, b)  # trailing comment
+INPUT(a)
+INPUT(b)
+)";
+  const BenchParseResult r = parse_bench(text, "fwd");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.circuit.num_outputs(), 1u);
+}
+
+TEST(BenchIo, CaseInsensitiveFunctions) {
+  const char* text = "INPUT(a)\nOUTPUT(z)\nz = nand(a, a2)\nINPUT(a2)\n";
+  EXPECT_TRUE(parse_bench(text, "ci").ok);
+}
+
+TEST(BenchIo, ReportsUnknownFunctionWithLine) {
+  const char* text = "INPUT(a)\nz = MUX(a, a)\nOUTPUT(z)\n";
+  const BenchParseResult r = parse_bench(text, "bad");
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.error_line, 2u);
+  EXPECT_NE(r.error.find("MUX"), std::string::npos);
+}
+
+TEST(BenchIo, ReportsMalformedStatement) {
+  const BenchParseResult r = parse_bench("INPUT a\n", "bad");
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.error_line, 1u);
+}
+
+TEST(BenchIo, ReportsUndefinedSignal) {
+  const BenchParseResult r =
+      parse_bench("INPUT(a)\nOUTPUT(z)\nz = AND(a, ghost)\n", "bad");
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("ghost"), std::string::npos);
+}
+
+TEST(BenchIo, RejectsInputOnRhs) {
+  const BenchParseResult r = parse_bench("z = INPUT(a)\n", "bad");
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(BenchIo, WriteParseRoundTripIsIsomorphic) {
+  const Circuit original = circuits::make_s27();
+  const std::string text = write_bench(original);
+  const BenchParseResult r = parse_bench(text, "s27");
+  ASSERT_TRUE(r.ok) << r.error;
+  const Circuit& back = r.circuit;
+  ASSERT_EQ(back.num_gates(), original.num_gates());
+  ASSERT_EQ(back.num_inputs(), original.num_inputs());
+  ASSERT_EQ(back.num_outputs(), original.num_outputs());
+  ASSERT_EQ(back.num_dffs(), original.num_dffs());
+  // Same connections by name.
+  for (GateId id = 0; id < original.num_gates(); ++id) {
+    const Gate& g = original.gate(id);
+    const GateId bid = back.find(g.name);
+    ASSERT_NE(bid, kNoGate) << g.name;
+    const Gate& bg = back.gate(bid);
+    EXPECT_EQ(bg.type, g.type);
+    ASSERT_EQ(bg.fanins.size(), g.fanins.size());
+    for (std::size_t k = 0; k < g.fanins.size(); ++k) {
+      EXPECT_EQ(back.gate(bg.fanins[k]).name, original.gate(g.fanins[k]).name);
+    }
+  }
+  // PO/FF order preserved.
+  for (std::size_t k = 0; k < original.num_outputs(); ++k) {
+    EXPECT_EQ(back.gate(back.outputs()[k]).name,
+              original.gate(original.outputs()[k]).name);
+  }
+  for (std::size_t k = 0; k < original.num_dffs(); ++k) {
+    EXPECT_EQ(back.gate(back.dffs()[k]).name,
+              original.gate(original.dffs()[k]).name);
+  }
+}
+
+class GeneratedRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GeneratedRoundTrip, WriteParsePreservesStructure) {
+  circuits::GeneratorParams p;
+  p.name = "roundtrip";
+  p.seed = GetParam();
+  p.num_inputs = 5;
+  p.num_outputs = 3;
+  p.num_dffs = 6;
+  p.num_comb_gates = 40;
+  const Circuit original = circuits::generate(p);
+  const BenchParseResult r = parse_bench(write_bench(original), "roundtrip");
+  ASSERT_TRUE(r.ok) << r.error;
+  const Circuit& back = r.circuit;
+  ASSERT_EQ(back.num_gates(), original.num_gates());
+  EXPECT_EQ(back.num_pins(), original.num_pins());
+  // Isomorphism by name (topological emission order is not canonical, so
+  // byte-for-byte text equality is not expected).
+  for (GateId id = 0; id < original.num_gates(); ++id) {
+    const Gate& g = original.gate(id);
+    const GateId bid = back.find(g.name);
+    ASSERT_NE(bid, kNoGate) << g.name;
+    EXPECT_EQ(back.gate(bid).type, g.type);
+    ASSERT_EQ(back.gate(bid).fanins.size(), g.fanins.size());
+    for (std::size_t k = 0; k < g.fanins.size(); ++k) {
+      EXPECT_EQ(back.gate(back.gate(bid).fanins[k]).name,
+                original.gate(g.fanins[k]).name);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratedRoundTrip,
+                         ::testing::Values(1, 2, 3, 4, 5, 77, 123, 999));
+
+TEST(BenchIo, ParseFileMissing) {
+  const BenchParseResult r = parse_bench_file("/nonexistent/path.bench");
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("cannot open"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace motsim

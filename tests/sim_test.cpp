@@ -1,0 +1,299 @@
+// Unit + property tests for src/sim: test sequences, sequential simulation,
+// fault-injection semantics, and the trace metrics N_out/N_sv/(C).
+#include <gtest/gtest.h>
+
+#include "circuits/embedded.hpp"
+#include "circuits/generator.hpp"
+#include "netlist/builder.hpp"
+#include "sim/seq_sim.hpp"
+#include "testgen/random_gen.hpp"
+
+namespace motsim {
+namespace {
+
+TestSequence seq(const std::vector<std::string_view>& rows) {
+  TestSequence t;
+  EXPECT_TRUE(TestSequence::from_strings(rows, t));
+  return t;
+}
+
+// -------------------------------------------------------- TestSequence ----
+
+TEST(TestSequence, FromStringsAndAccessors) {
+  const TestSequence t = seq({"10x1", "0011"});
+  EXPECT_EQ(t.length(), 2u);
+  EXPECT_EQ(t.num_inputs(), 4u);
+  EXPECT_EQ(t.at(0, 2), Val::X);
+  EXPECT_EQ(t.at(1, 3), Val::One);
+  EXPECT_EQ(t.to_string(), "10x1\n0011\n");
+}
+
+TEST(TestSequence, FromStringsRejectsRaggedAndBadChars) {
+  TestSequence t;
+  EXPECT_FALSE(TestSequence::from_strings({"10", "101"}, t));
+  EXPECT_FALSE(TestSequence::from_strings({"102"}, t));
+}
+
+TEST(TestSequence, AppendAll) {
+  TestSequence t = seq({"01"});
+  t.append_all(seq({"10", "11"}));
+  EXPECT_EQ(t.length(), 3u);
+  EXPECT_EQ(t.at(2, 0), Val::One);
+}
+
+// ------------------------------------------------- s27 hand-simulation ----
+
+TEST(SeqSim, S27KnownFrameValues) {
+  const Circuit c = circuits::make_s27();
+  const SequentialSimulator sim(c);
+  // Pattern 1011 from the all-X state leaves everything unspecified
+  // (the paper's Figure 1); pattern 0000 then forces Y(G5)=0 and Y(G7)=1.
+  const TestSequence t = seq({"1011", "0000"});
+  const SeqTrace trace = sim.run_fault_free(t);
+  EXPECT_EQ(vals_to_string(trace.states[1].data(), 3), "xxx");
+  EXPECT_EQ(trace.outputs[0][0], Val::X);
+  EXPECT_EQ(vals_to_string(trace.states[2].data(), 3), "0x1");
+  EXPECT_EQ(trace.outputs[1][0], Val::X);
+}
+
+TEST(SeqSim, S27FullySpecifiedInitState) {
+  const Circuit c = circuits::make_s27();
+  const SequentialSimulator sim(c);
+  const TestSequence t = seq({"1011"});
+  const std::vector<Val> init = {Val::Zero, Val::One, Val::Zero};  // G5,G6,G7
+  const SeqTrace trace = sim.run(t, FaultView(c), false, init);
+  EXPECT_EQ(vals_to_string(trace.states[0].data(), 3), "010");
+  EXPECT_EQ(trace.outputs[0][0], Val::Zero);
+  EXPECT_EQ(vals_to_string(trace.states[1].data(), 3), "010");
+}
+
+TEST(SeqSim, KeepLinesMaterializesEveryFrame) {
+  const Circuit c = circuits::make_s27();
+  const SequentialSimulator sim(c);
+  const TestSequence t = seq({"1011", "0000", "1111"});
+  const SeqTrace trace = sim.run_fault_free(t, /*keep_lines=*/true);
+  ASSERT_EQ(trace.lines.size(), 3u);
+  for (const FrameVals& frame : trace.lines) {
+    EXPECT_EQ(frame.size(), c.num_gates());
+  }
+  // Line values agree with the recorded outputs.
+  EXPECT_EQ(trace.lines[0][c.outputs()[0]], trace.outputs[0][0]);
+}
+
+// ---------------------------------------------- fault-injection semantics ----
+
+Circuit make_chain() {
+  // a,b -> g = AND(a,b) -> z = NOT(g); plus FF: q = DFF(g).
+  CircuitBuilder b("chain");
+  const GateId a = b.add_input("a");
+  const GateId in_b = b.add_input("b");
+  const GateId g = b.add_gate(GateType::And, "g", {a, in_b});
+  const GateId z = b.add_gate(GateType::Not, "z", {g});
+  b.add_dff("q", g);
+  b.mark_output(z);
+  return b.build_or_die();
+}
+
+TEST(FaultView, StemFaultOverridesOutput) {
+  const Circuit c = make_chain();
+  const Fault f{c.find("g"), kOutputPin, Val::One};
+  const SequentialSimulator sim(c);
+  const SeqTrace trace = sim.run(seq({"00", "11"}), FaultView(c, f));
+  // z = NOT(g) = NOT(1) = 0 in both frames regardless of inputs.
+  EXPECT_EQ(trace.outputs[0][0], Val::Zero);
+  EXPECT_EQ(trace.outputs[1][0], Val::Zero);
+}
+
+TEST(FaultView, PinFaultAffectsOnlyThatReader) {
+  // g has two readers through a and b; fault one input pin of g only.
+  CircuitBuilder b("pins");
+  const GateId a = b.add_input("a");
+  const GateId g1 = b.add_gate(GateType::Not, "g1", {a});
+  const GateId g2 = b.add_gate(GateType::Buf, "g2", {g1});
+  const GateId g3 = b.add_gate(GateType::Buf, "g3", {g1});
+  b.mark_output(g2);
+  b.mark_output(g3);
+  const Circuit c = b.build_or_die();
+  // Branch fault: g2's input stuck at 1; g3 still sees NOT(a).
+  const Fault f{g2, 0, Val::One};
+  const SequentialSimulator sim(c);
+  const SeqTrace trace = sim.run(seq({"1"}), FaultView(c, f));
+  EXPECT_EQ(trace.outputs[0][0], Val::One);   // g2 observed stuck value
+  EXPECT_EQ(trace.outputs[0][1], Val::Zero);  // g3 unaffected
+}
+
+TEST(FaultView, PrimaryInputStemFault) {
+  const Circuit c = make_chain();
+  const Fault f{c.find("a"), kOutputPin, Val::One};
+  const SequentialSimulator sim(c);
+  const SeqTrace trace = sim.run(seq({"01"}), FaultView(c, f));
+  // a reads as 1, so g = AND(1,1) = 1, z = 0.
+  EXPECT_EQ(trace.outputs[0][0], Val::Zero);
+}
+
+TEST(FaultView, DffOutputStemFaultFixesStateAtAllTimes) {
+  const Circuit c = make_chain();
+  const GateId q = c.find("q");
+  const Fault f{q, kOutputPin, Val::One};
+  const SequentialSimulator sim(c);
+  const SeqTrace trace = sim.run(seq({"00", "00"}), FaultView(c, f));
+  // Including time 0, where the fault-free state would be X.
+  EXPECT_EQ(trace.states[0][0], Val::One);
+  EXPECT_EQ(trace.states[1][0], Val::One);
+  EXPECT_EQ(trace.states[2][0], Val::One);
+}
+
+TEST(FaultView, DffInputPinFaultLeavesTime0Free) {
+  const Circuit c = make_chain();
+  const GateId q = c.find("q");
+  const Fault f{q, 0, Val::One};
+  const SequentialSimulator sim(c);
+  const SeqTrace trace = sim.run(seq({"00", "00"}), FaultView(c, f));
+  EXPECT_EQ(trace.states[0][0], Val::X);    // initial state still unknown
+  EXPECT_EQ(trace.states[1][0], Val::One);  // latched stuck value afterwards
+  EXPECT_EQ(trace.states[2][0], Val::One);
+}
+
+// ----------------------------------------------------- trace metrics ----
+
+SeqTrace trace_from_outputs(const std::vector<std::string_view>& out_rows,
+                            const std::vector<std::string_view>& state_rows) {
+  SeqTrace t;
+  for (std::string_view row : out_rows) {
+    std::vector<Val> vals;
+    for (char ch : row) {
+      Val v;
+      EXPECT_TRUE(v_from_char(ch, v));
+      vals.push_back(v);
+    }
+    t.outputs.push_back(std::move(vals));
+  }
+  for (std::string_view row : state_rows) {
+    std::vector<Val> vals;
+    for (char ch : row) {
+      Val v;
+      EXPECT_TRUE(v_from_char(ch, v));
+      vals.push_back(v);
+    }
+    t.states.push_back(std::move(vals));
+  }
+  return t;
+}
+
+TEST(TraceMetrics, NoutMatchesThePapersTable1Example) {
+  // Table 1(a): fault-free outputs (xx0, 0x1, 111, 011), faulty outputs
+  // (x0x, xxx, 1x1, 011) => N_out = 4, 3, 1, 0.
+  const SeqTrace good =
+      trace_from_outputs({"xx0", "0x1", "111", "011"},
+                         {"xx", "x0", "1x", "00", "00"});
+  const SeqTrace faulty =
+      trace_from_outputs({"x0x", "xxx", "1x1", "011"},
+                         {"xx", "xx", "0x", "x1", "x1"});
+  const auto nout = count_nout(good, faulty);
+  ASSERT_EQ(nout.size(), 4u);
+  EXPECT_EQ(nout[0], 4u);
+  EXPECT_EQ(nout[1], 3u);
+  EXPECT_EQ(nout[2], 1u);
+  EXPECT_EQ(nout[3], 0u);
+}
+
+TEST(TraceMetrics, NsvCountsUnspecifiedStateVariables) {
+  const SeqTrace faulty = trace_from_outputs(
+      {"x", "x"}, {"xx", "x1", "11"});
+  const auto nsv = count_nsv(faulty);
+  ASSERT_EQ(nsv.size(), 3u);
+  EXPECT_EQ(nsv[0], 2u);
+  EXPECT_EQ(nsv[1], 1u);
+  EXPECT_EQ(nsv[2], 0u);
+}
+
+TEST(TraceMetrics, ConditionC) {
+  // Needs a time unit with both an unspecified state variable and a
+  // remaining fault-free-specified/faulty-X output pair.
+  const SeqTrace good = trace_from_outputs({"1", "1"}, {"xx", "xx", "xx"});
+  const SeqTrace faulty_yes = trace_from_outputs({"x", "1"}, {"xx", "x1", "11"});
+  EXPECT_TRUE(passes_condition_c(good, faulty_yes));
+  // Fully specified faulty state: no expansion possible.
+  const SeqTrace faulty_no_sv = trace_from_outputs({"x", "x"}, {"00", "01", "11"});
+  EXPECT_FALSE(passes_condition_c(good, faulty_no_sv));
+  // No unspecified-but-detectable output: nothing to gain.
+  const SeqTrace faulty_no_out = trace_from_outputs({"1", "1"}, {"xx", "xx", "xx"});
+  EXPECT_FALSE(passes_condition_c(good, faulty_no_out));
+}
+
+TEST(TraceMetrics, TracesConflict) {
+  const SeqTrace a = trace_from_outputs({"1x", "0x"}, {});
+  const SeqTrace b = trace_from_outputs({"xx", "1x"}, {});
+  EXPECT_TRUE(traces_conflict(a, b));
+  const SeqTrace c = trace_from_outputs({"1x", "xx"}, {});
+  EXPECT_FALSE(traces_conflict(a, c));
+}
+
+// ------------------------------------------------ monotonicity property ----
+
+class Monotonicity : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Monotonicity, RefiningInputsNeverUnspecifiesOutputs) {
+  const std::uint64_t seed = GetParam();
+  circuits::GeneratorParams p;
+  p.name = "mono";
+  p.seed = seed;
+  p.num_inputs = 4;
+  p.num_outputs = 3;
+  p.num_dffs = 5;
+  p.num_comb_gates = 40;
+  const Circuit c = circuits::generate(p);
+  Rng rng(seed * 31 + 5);
+  const TestSequence coarse = random_sequence_with_x(4, 12, 0.4, rng);
+  // Refine: replace every X input bit with a random binary value.
+  TestSequence fine = coarse;
+  for (std::size_t u = 0; u < fine.length(); ++u) {
+    for (std::size_t k = 0; k < fine.num_inputs(); ++k) {
+      if (fine.at(u, k) == Val::X) {
+        fine.set(u, k, rng.next_bool() ? Val::One : Val::Zero);
+      }
+    }
+  }
+  const SequentialSimulator sim(c);
+  const SeqTrace coarse_trace = sim.run_fault_free(coarse);
+  const SeqTrace fine_trace = sim.run_fault_free(fine);
+  for (std::size_t u = 0; u < coarse.length(); ++u) {
+    for (std::size_t o = 0; o < c.num_outputs(); ++o) {
+      EXPECT_TRUE(refines(fine_trace.outputs[u][o], coarse_trace.outputs[u][o]))
+          << "seed " << seed << " u=" << u << " o=" << o;
+    }
+    for (std::size_t j = 0; j < c.num_dffs(); ++j) {
+      EXPECT_TRUE(refines(fine_trace.states[u][j], coarse_trace.states[u][j]));
+    }
+  }
+}
+
+TEST_P(Monotonicity, SpecifiedInitStateRefinesAllXRun) {
+  const std::uint64_t seed = GetParam();
+  circuits::GeneratorParams p;
+  p.name = "mono2";
+  p.seed = seed;
+  p.num_inputs = 3;
+  p.num_outputs = 2;
+  p.num_dffs = 6;
+  p.num_comb_gates = 30;
+  const Circuit c = circuits::generate(p);
+  Rng rng(seed * 77 + 1);
+  const TestSequence t = random_sequence(3, 10, rng);
+  std::vector<Val> init(c.num_dffs());
+  for (Val& v : init) v = rng.next_bool() ? Val::One : Val::Zero;
+  const SequentialSimulator sim(c);
+  const SeqTrace all_x = sim.run_fault_free(t);
+  const SeqTrace specific = sim.run(t, FaultView(c), false, init);
+  for (std::size_t u = 0; u < t.length(); ++u) {
+    for (std::size_t o = 0; o < c.num_outputs(); ++o) {
+      EXPECT_TRUE(refines(specific.outputs[u][o], all_x.outputs[u][o]));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Monotonicity,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+}  // namespace
+}  // namespace motsim

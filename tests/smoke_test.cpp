@@ -1,0 +1,33 @@
+// End-to-end smoke: s27 parses, simulates, and the MOT pipeline runs.
+#include <gtest/gtest.h>
+
+#include "circuits/embedded.hpp"
+#include "experiments/experiments.hpp"
+#include "mot/proposed.hpp"
+#include "testgen/random_gen.hpp"
+
+namespace motsim {
+namespace {
+
+TEST(Smoke, S27Parses) {
+  const Circuit c = circuits::make_s27();
+  EXPECT_EQ(c.num_inputs(), 4u);
+  EXPECT_EQ(c.num_outputs(), 1u);
+  EXPECT_EQ(c.num_dffs(), 3u);
+}
+
+TEST(Smoke, MotPipelineRuns) {
+  const Circuit c = circuits::make_s27();
+  Rng rng(1);
+  const TestSequence test = random_sequence(c.num_inputs(), 20, rng);
+  const SequentialSimulator sim(c);
+  const SeqTrace good = sim.run_fault_free(test);
+  MotFaultSimulator mot(c);
+  for (const Fault& f : collapsed_fault_list(c)) {
+    const MotResult r = mot.simulate_fault(test, good, f);
+    (void)r;
+  }
+}
+
+}  // namespace
+}  // namespace motsim

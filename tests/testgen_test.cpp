@@ -1,0 +1,98 @@
+// Tests for src/testgen: random sequences and the HITEC-like generator.
+#include <gtest/gtest.h>
+
+#include "circuits/embedded.hpp"
+#include "circuits/generator.hpp"
+#include "faultsim/parallel.hpp"
+#include "testgen/hitec_like.hpp"
+#include "testgen/random_gen.hpp"
+
+namespace motsim {
+namespace {
+
+TEST(RandomGen, FullySpecifiedAndDeterministic) {
+  Rng a(42);
+  Rng b(42);
+  const TestSequence ta = random_sequence(5, 30, a);
+  const TestSequence tb = random_sequence(5, 30, b);
+  EXPECT_EQ(ta.to_string(), tb.to_string());
+  for (std::size_t u = 0; u < ta.length(); ++u) {
+    for (std::size_t k = 0; k < 5; ++k) {
+      EXPECT_TRUE(is_specified(ta.at(u, k)));
+    }
+  }
+}
+
+TEST(RandomGen, WithXRespectsProbabilityEdges) {
+  Rng rng(7);
+  const TestSequence none = random_sequence_with_x(4, 20, 0.0, rng);
+  for (std::size_t u = 0; u < none.length(); ++u) {
+    for (std::size_t k = 0; k < 4; ++k) EXPECT_NE(none.at(u, k), Val::X);
+  }
+  const TestSequence all = random_sequence_with_x(4, 20, 1.0, rng);
+  for (std::size_t u = 0; u < all.length(); ++u) {
+    for (std::size_t k = 0; k < 4; ++k) EXPECT_EQ(all.at(u, k), Val::X);
+  }
+}
+
+TEST(HitecLike, CoverageMatchesRecount) {
+  const Circuit c = circuits::make_s27();
+  const auto faults = collapsed_fault_list(c);
+  HitecLikeParams params;
+  params.max_length = 64;
+  params.seed = 3;
+  const HitecLikeResult r = generate_hitec_like(c, faults, params);
+  ASSERT_GT(r.sequence.length(), 0u);
+  ASSERT_LE(r.sequence.length(), params.max_length);
+
+  const SequentialSimulator sim(c);
+  const SeqTrace good = sim.run_fault_free(r.sequence);
+  const auto outcomes = ParallelFaultSimulator(c).run(r.sequence, good, faults);
+  std::size_t detected = 0;
+  for (const auto& o : outcomes) detected += o.detected;
+  EXPECT_EQ(detected, r.detected);
+}
+
+TEST(HitecLike, BeatsOrMatchesSingleRandomBurst) {
+  circuits::GeneratorParams p;
+  p.name = "tg";
+  p.seed = 12;
+  p.num_inputs = 5;
+  p.num_outputs = 3;
+  p.num_dffs = 6;
+  p.num_comb_gates = 60;
+  p.uninit_fraction = 0.1;
+  const Circuit c = circuits::generate(p);
+  const auto faults = collapsed_fault_list(c);
+
+  HitecLikeParams params;
+  params.max_length = 80;
+  params.segment_length = 8;
+  params.seed = 5;
+  const HitecLikeResult guided = generate_hitec_like(c, faults, params);
+
+  Rng rng(5);
+  const TestSequence plain = random_sequence(c.num_inputs(), 8, rng);
+  const SequentialSimulator sim(c);
+  const SeqTrace good = sim.run_fault_free(plain);
+  const auto outcomes = ParallelFaultSimulator(c).run(plain, good, faults);
+  std::size_t plain_detected = 0;
+  for (const auto& o : outcomes) plain_detected += o.detected;
+
+  EXPECT_GE(guided.detected, plain_detected);
+}
+
+TEST(HitecLike, DeterministicInSeed) {
+  const Circuit c = circuits::make_s27();
+  const auto faults = collapsed_fault_list(c);
+  HitecLikeParams params;
+  params.max_length = 40;
+  params.seed = 11;
+  const HitecLikeResult a = generate_hitec_like(c, faults, params);
+  const HitecLikeResult b = generate_hitec_like(c, faults, params);
+  EXPECT_EQ(a.sequence.to_string(), b.sequence.to_string());
+  EXPECT_EQ(a.detected, b.detected);
+}
+
+}  // namespace
+}  // namespace motsim

@@ -1,0 +1,272 @@
+// Tests for netlist transformation passes and pattern file I/O.
+#include <gtest/gtest.h>
+
+#include "circuits/embedded.hpp"
+#include "circuits/generator.hpp"
+#include "netlist/bench_io.hpp"
+#include "netlist/builder.hpp"
+#include "netlist/transform.hpp"
+#include "sim/pattern_io.hpp"
+#include "sim/seq_sim.hpp"
+#include "testgen/random_gen.hpp"
+
+namespace motsim {
+namespace {
+
+/// Outputs of both circuits must match on random stimulus (same PO order).
+void expect_equivalent(const Circuit& a, const Circuit& b, std::uint64_t seed,
+                       std::size_t length = 16) {
+  ASSERT_EQ(a.num_inputs(), b.num_inputs());
+  ASSERT_EQ(a.num_outputs(), b.num_outputs());
+  Rng rng(seed);
+  const TestSequence t = random_sequence(a.num_inputs(), length, rng);
+  const SeqTrace ta = SequentialSimulator(a).run_fault_free(t);
+  const SeqTrace tb = SequentialSimulator(b).run_fault_free(t);
+  EXPECT_EQ(ta.outputs, tb.outputs);
+}
+
+// ------------------------------------------------------------- sweep ----
+
+TEST(Sweep, RemovesUnobservableLogic) {
+  CircuitBuilder b("dead");
+  const GateId a = b.add_input("a");
+  const GateId x = b.add_input("x");
+  const GateId live = b.add_gate(GateType::Not, "live", {a});
+  b.add_gate(GateType::And, "dead1", {a, x});
+  const GateId dead2 = b.add_gate(GateType::Or, "dead2", {x, a});
+  b.add_gate(GateType::Not, "dead3", {dead2});
+  b.mark_output(live);
+  const Circuit c = b.build_or_die();
+
+  TransformStats stats;
+  const Circuit swept = sweep_dead_logic(c, &stats);
+  EXPECT_EQ(stats.removed_gates, 3u);
+  EXPECT_EQ(swept.num_gates(), 3u);  // a, x, live
+  EXPECT_EQ(swept.find("dead1"), kNoGate);
+  expect_equivalent(c, swept, 1);
+}
+
+TEST(Sweep, RemovesDeadFlipFlopsButKeepsLiveFeedback) {
+  CircuitBuilder b("ffdead");
+  const GateId a = b.add_input("a");
+  const GateId q_live = b.declare("q_live");
+  const GateId d_live = b.add_gate(GateType::And, "d_live", {a, q_live});
+  b.define(q_live, GateType::Dff, {d_live});
+  const GateId q_dead = b.declare("q_dead");
+  const GateId d_dead = b.add_gate(GateType::Or, "d_dead", {a, q_dead});
+  b.define(q_dead, GateType::Dff, {d_dead});
+  const GateId z = b.add_gate(GateType::Buf, "z", {q_live});
+  b.mark_output(z);
+  const Circuit c = b.build_or_die();
+
+  const Circuit swept = sweep_dead_logic(c);
+  EXPECT_EQ(swept.num_dffs(), 1u);
+  EXPECT_NE(swept.find("q_live"), kNoGate);
+  EXPECT_EQ(swept.find("q_dead"), kNoGate);
+  expect_equivalent(c, swept, 2);
+}
+
+TEST(Sweep, GeneratedCircuitsStayEquivalent) {
+  for (std::uint64_t seed : {1u, 5u, 9u}) {
+    circuits::GeneratorParams p;
+    p.name = "sweepgen";
+    p.seed = seed;
+    p.num_inputs = 4;
+    p.num_outputs = 3;
+    p.num_dffs = 6;
+    p.num_comb_gates = 50;
+    const Circuit c = circuits::generate(p);
+    expect_equivalent(c, sweep_dead_logic(c), seed * 3 + 1);
+  }
+}
+
+// --------------------------------------------------------- constants ----
+
+TEST(ConstProp, FoldsControlledGates) {
+  const char* text = R"(
+INPUT(a)
+OUTPUT(z)
+one = CONST1()
+zero = CONST0()
+g1 = AND(a, zero)      # -> constant 0
+g2 = OR(g1, a)         # -> OR(0, a) -> BUF(a)
+g3 = XOR(g2, one)      # -> NOT(a)
+z = NAND(g3, one)      # -> NOT(g3) -> a
+)";
+  BenchParseResult r = parse_bench(text, "cp");
+  ASSERT_TRUE(r.ok) << r.error;
+  TransformStats stats;
+  const Circuit folded = propagate_constants(r.circuit, &stats);
+  EXPECT_GT(stats.folded_gates + stats.rewired_pins, 0u);
+  expect_equivalent(r.circuit, folded, 3);
+  // g1 became a constant gate.
+  const GateId g1 = folded.find("g1");
+  ASSERT_NE(g1, kNoGate);
+  EXPECT_EQ(folded.gate(g1).type, GateType::Const0);
+  // z ends up single-input (NOT of g3).
+  const GateId z = folded.find("z");
+  EXPECT_EQ(folded.gate(z).type, GateType::Not);
+}
+
+TEST(ConstProp, XorPhaseFolding) {
+  const char* text = R"(
+INPUT(a)
+INPUT(b)
+OUTPUT(z)
+one = CONST1()
+z = XNOR(a, one, b)    # -> XOR(a, b)
+)";
+  BenchParseResult r = parse_bench(text, "xp");
+  ASSERT_TRUE(r.ok) << r.error;
+  const Circuit folded = propagate_constants(r.circuit);
+  const GateId z = folded.find("z");
+  EXPECT_EQ(folded.gate(z).type, GateType::Xor);
+  EXPECT_EQ(folded.gate(z).fanins.size(), 2u);
+  expect_equivalent(r.circuit, folded, 4);
+}
+
+TEST(ConstProp, ConstantFeedingFlipFlop) {
+  const char* text = R"(
+INPUT(a)
+OUTPUT(z)
+zero = CONST0()
+q = DFF(g)
+g = OR(zero, zero)     # constant 0 into the flip-flop
+z = AND(a, q)
+)";
+  BenchParseResult r = parse_bench(text, "cf");
+  ASSERT_TRUE(r.ok) << r.error;
+  const Circuit folded = propagate_constants(r.circuit);
+  // The state still takes one frame to settle from X.
+  expect_equivalent(r.circuit, folded, 5);
+  TestSequence t;
+  ASSERT_TRUE(TestSequence::from_strings({"1", "1"}, t));
+  const SeqTrace trace = SequentialSimulator(folded).run_fault_free(t);
+  EXPECT_EQ(trace.outputs[0][0], Val::X);     // unknown initial state
+  EXPECT_EQ(trace.outputs[1][0], Val::Zero);  // settled
+}
+
+TEST(ConstProp, NoConstantsIsIdentityModuloRebuild) {
+  const Circuit c = circuits::make_s27();
+  TransformStats stats;
+  const Circuit folded = propagate_constants(c, &stats);
+  EXPECT_EQ(stats.folded_gates, 0u);
+  EXPECT_EQ(folded.num_gates(), c.num_gates());
+  expect_equivalent(c, folded, 6);
+}
+
+// ----------------------------------------------------------- buffers ----
+
+TEST(Buffers, BypassesChainsAndDoubleInverters) {
+  const char* text = R"(
+INPUT(a)
+INPUT(b)
+OUTPUT(z)
+b1 = BUFF(a)
+b2 = BUFF(b1)
+n1 = NOT(b2)
+n2 = NOT(n1)          # n2 == a
+z = AND(n2, b)
+)";
+  BenchParseResult r = parse_bench(text, "bb");
+  ASSERT_TRUE(r.ok) << r.error;
+  TransformStats stats;
+  const Circuit out = remove_buffers(r.circuit, &stats);
+  EXPECT_GE(stats.removed_gates, 3u);  // b1, b2, n2 (n1 dead afterwards)
+  const GateId z = out.find("z");
+  ASSERT_NE(z, kNoGate);
+  // z's first fanin is now a directly.
+  EXPECT_EQ(out.gate(out.gate(z).fanins[0]).name, "a");
+  expect_equivalent(r.circuit, out, 7);
+}
+
+TEST(Buffers, RepointsOutputsAndDffInputs) {
+  const char* text = R"(
+INPUT(a)
+OUTPUT(zb)
+q = DFF(db)
+db = BUFF(n)
+n = NOT(q)
+zb = BUFF(q)
+)";
+  BenchParseResult r = parse_bench(text, "bo");
+  ASSERT_TRUE(r.ok) << r.error;
+  const Circuit out = remove_buffers(r.circuit);
+  // The PO now points at q directly; the DFF reads n directly.
+  EXPECT_EQ(out.gate(out.outputs()[0]).name, "q");
+  EXPECT_EQ(out.gate(out.dff_input(0)).name, "n");
+  expect_equivalent(r.circuit, out, 8);
+}
+
+TEST(Buffers, GeneratedCircuitsStayEquivalent) {
+  for (std::uint64_t seed : {2u, 6u, 10u}) {
+    circuits::GeneratorParams p;
+    p.name = "bufgen";
+    p.seed = seed;
+    p.num_inputs = 4;
+    p.num_outputs = 3;
+    p.num_dffs = 5;
+    p.num_comb_gates = 40;
+    const Circuit c = circuits::generate(p);
+    expect_equivalent(c, remove_buffers(c), seed * 11 + 3);
+  }
+}
+
+// ------------------------------------------------------------- stats ----
+
+TEST(Analyze, CountsAndDepth) {
+  const Circuit c = circuits::make_s27();
+  const CircuitStats s = analyze(c);
+  EXPECT_EQ(s.gates_by_type[static_cast<std::size_t>(GateType::Input)], 4u);
+  EXPECT_EQ(s.gates_by_type[static_cast<std::size_t>(GateType::Dff)], 3u);
+  EXPECT_EQ(s.gates_by_type[static_cast<std::size_t>(GateType::Nor)], 3u);
+  EXPECT_EQ(s.depth, c.max_level());
+  EXPECT_EQ(s.max_fanin, 2u);
+  const std::string rendered = render_stats(s);
+  EXPECT_NE(rendered.find("NOR"), std::string::npos);
+  EXPECT_NE(rendered.find("depth"), std::string::npos);
+}
+
+// --------------------------------------------------------- pattern io ----
+
+TEST(PatternIo, RoundTrip) {
+  Rng rng(3);
+  const TestSequence t = random_sequence_with_x(5, 12, 0.2, rng);
+  const PatternParseResult r = parse_patterns(write_patterns(t));
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.sequence.to_string(), t.to_string());
+}
+
+TEST(PatternIo, CommentsAndBlanksIgnored) {
+  const PatternParseResult r =
+      parse_patterns("# header\n\n 01x \n10x # trailing\n");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.sequence.length(), 2u);
+  EXPECT_EQ(r.sequence.at(0, 2), Val::X);
+}
+
+TEST(PatternIo, Errors) {
+  PatternParseResult r = parse_patterns("012\n");
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.error_line, 1u);
+  r = parse_patterns("01\n011\n");
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.error_line, 2u);
+  r = parse_patterns("# only comments\n");
+  EXPECT_FALSE(r.ok);
+  r = parse_patterns_file("/nonexistent.pat");
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(PatternIo, FileRoundTrip) {
+  Rng rng(9);
+  const TestSequence t = random_sequence(3, 8, rng);
+  const std::string path = ::testing::TempDir() + "/motsim_patterns.txt";
+  ASSERT_TRUE(write_patterns_file(t, path));
+  const PatternParseResult r = parse_patterns_file(path);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.sequence.to_string(), t.to_string());
+}
+
+}  // namespace
+}  // namespace motsim

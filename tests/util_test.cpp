@@ -1,0 +1,244 @@
+// Unit tests for src/util: rng, strings, table, cli.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace motsim {
+namespace {
+
+// ---------------------------------------------------------------- Rng ----
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int differing = 0;
+  for (int i = 0; i < 16; ++i) differing += a.next_u64() != b.next_u64();
+  EXPECT_GT(differing, 12);
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.next_below(bound), bound);
+  }
+}
+
+TEST(Rng, NextBelowCoversAllValues) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.next_below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, NextInInclusiveRange) {
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    const std::int64_t v = rng.next_in(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+  // Degenerate single-value range.
+  EXPECT_EQ(rng.next_in(9, 9), 9);
+}
+
+TEST(Rng, NextBoolProbabilityEdges) {
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.next_bool(0.0));
+    EXPECT_TRUE(rng.next_bool(1.0));
+  }
+}
+
+TEST(Rng, NextBoolRoughlyFair) {
+  Rng rng(13);
+  int heads = 0;
+  for (int i = 0; i < 10000; ++i) heads += rng.next_bool();
+  EXPECT_GT(heads, 4700);
+  EXPECT_LT(heads, 5300);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(17);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(23);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> orig = v;
+  rng.shuffle(v);
+  std::multiset<int> a(v.begin(), v.end());
+  std::multiset<int> b(orig.begin(), orig.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(Rng, ShuffleHandlesSmallContainers) {
+  Rng rng(29);
+  std::vector<int> empty;
+  rng.shuffle(empty);
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one = {42};
+  rng.shuffle(one);
+  EXPECT_EQ(one, std::vector<int>{42});
+}
+
+TEST(Rng, PickReturnsElementFromContainer) {
+  Rng rng(31);
+  std::vector<int> v = {10, 20, 30};
+  for (int i = 0; i < 50; ++i) {
+    const int x = rng.pick(v);
+    EXPECT_TRUE(x == 10 || x == 20 || x == 30);
+  }
+}
+
+// ------------------------------------------------------------ strings ----
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  abc  "), "abc");
+  EXPECT_EQ(trim("abc"), "abc");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("\t a b \n"), "a b");
+}
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  const auto parts = split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(Strings, SplitSingleField) {
+  const auto parts = split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(Strings, SplitWsDropsEmptyFields) {
+  const auto parts = split_ws("  a \t b\nc  ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Strings, IEquals) {
+  EXPECT_TRUE(iequals("NAND", "nand"));
+  EXPECT_TRUE(iequals("", ""));
+  EXPECT_FALSE(iequals("NAND", "NOR"));
+  EXPECT_FALSE(iequals("AB", "ABC"));
+}
+
+TEST(Strings, ToUpper) { EXPECT_EQ(to_upper("DfF7x"), "DFF7X"); }
+
+TEST(Strings, StartsWith) {
+  EXPECT_TRUE(starts_with("--flag", "--"));
+  EXPECT_FALSE(starts_with("-", "--"));
+}
+
+TEST(Strings, ParseU64) {
+  std::uint64_t v = 0;
+  EXPECT_TRUE(parse_u64("0", v));
+  EXPECT_EQ(v, 0u);
+  EXPECT_TRUE(parse_u64("18446744073709551615", v));
+  EXPECT_EQ(v, UINT64_MAX);
+  EXPECT_FALSE(parse_u64("18446744073709551616", v));  // overflow
+  EXPECT_FALSE(parse_u64("", v));
+  EXPECT_FALSE(parse_u64("12a", v));
+  EXPECT_FALSE(parse_u64("-1", v));
+}
+
+TEST(Strings, StrFormat) {
+  EXPECT_EQ(str_format("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(str_format("%.2f", 1.5), "1.50");
+  EXPECT_EQ(str_format("empty"), "empty");
+}
+
+// -------------------------------------------------------------- Table ----
+
+TEST(Table, RendersHeaderRuleAndAlignment) {
+  Table t({"name", "count"});
+  t.new_row().add("alpha").add(7);
+  t.new_row().add("b").add(12345);
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| name  |"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("12345"), std::string::npos);
+  // Numeric cells right-align: " 7" not "7 " within its column.
+  EXPECT_NE(out.find("|     7 |"), std::string::npos);
+}
+
+TEST(Table, DoubleFormatting) {
+  Table t({"v"});
+  t.new_row().add(3.14159, 3);
+  EXPECT_NE(t.render().find("3.142"), std::string::npos);
+}
+
+TEST(Table, RowAccessors) {
+  Table t({"a", "b"});
+  t.new_row().add("x").add(1);
+  ASSERT_EQ(t.row_count(), 1u);
+  EXPECT_EQ(t.row(0)[0], "x");
+}
+
+// ------------------------------------------------------------ CliArgs ----
+
+TEST(Cli, ParsesFlagsAndPositionals) {
+  const char* argv[] = {"prog", "pos1", "--name", "value", "--flag",
+                        "--k=v", "pos2"};
+  CliArgs args(7, argv);
+  EXPECT_TRUE(args.ok());
+  EXPECT_EQ(args.get("name", ""), "value");
+  EXPECT_EQ(args.get("k", ""), "v");
+  EXPECT_TRUE(args.get_bool("flag"));
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[0], "pos1");
+  EXPECT_EQ(args.positional()[1], "pos2");
+}
+
+TEST(Cli, Defaults) {
+  const char* argv[] = {"prog"};
+  CliArgs args(1, argv);
+  EXPECT_EQ(args.get("missing", "def"), "def");
+  EXPECT_EQ(args.get_int("missing", 42), 42);
+  EXPECT_FALSE(args.get_bool("missing"));
+  EXPECT_TRUE(args.get_bool("missing", true));
+}
+
+TEST(Cli, GetInt) {
+  const char* argv[] = {"prog", "--n", "128", "--neg", "-5"};
+  CliArgs args(5, argv);
+  EXPECT_EQ(args.get_int("n", 0), 128);
+  // "-5" is treated as a value (not a flag) because it lacks "--".
+  EXPECT_EQ(args.get_int("neg", 0), -5);
+}
+
+TEST(Cli, UnusedReportsUnqueriedFlags) {
+  const char* argv[] = {"prog", "--used", "1", "--typo", "2"};
+  CliArgs args(5, argv);
+  args.get("used", "");
+  const auto unused = args.unused();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "typo");
+}
+
+}  // namespace
+}  // namespace motsim
