@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_nstates.dir/bench_ablation_nstates.cpp.o"
+  "CMakeFiles/bench_ablation_nstates.dir/bench_ablation_nstates.cpp.o.d"
+  "bench_ablation_nstates"
+  "bench_ablation_nstates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_nstates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

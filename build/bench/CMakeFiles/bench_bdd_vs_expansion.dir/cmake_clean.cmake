@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bdd_vs_expansion.dir/bench_bdd_vs_expansion.cpp.o"
+  "CMakeFiles/bench_bdd_vs_expansion.dir/bench_bdd_vs_expansion.cpp.o.d"
+  "bench_bdd_vs_expansion"
+  "bench_bdd_vs_expansion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bdd_vs_expansion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_3_s27.dir/bench_fig1_3_s27.cpp.o"
+  "CMakeFiles/bench_fig1_3_s27.dir/bench_fig1_3_s27.cpp.o.d"
+  "bench_fig1_3_s27"
+  "bench_fig1_3_s27.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_3_s27.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_conflict.dir/bench_fig4_conflict.cpp.o"
+  "CMakeFiles/bench_fig4_conflict.dir/bench_fig4_conflict.cpp.o.d"
+  "bench_fig4_conflict"
+  "bench_fig4_conflict.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_conflict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

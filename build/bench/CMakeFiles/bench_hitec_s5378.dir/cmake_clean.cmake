@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hitec_s5378.dir/bench_hitec_s5378.cpp.o"
+  "CMakeFiles/bench_hitec_s5378.dir/bench_hitec_s5378.cpp.o.d"
+  "bench_hitec_s5378"
+  "bench_hitec_s5378.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hitec_s5378.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/benchmark_sweep.dir/benchmark_sweep.cpp.o"
+  "CMakeFiles/benchmark_sweep.dir/benchmark_sweep.cpp.o.d"
+  "benchmark_sweep"
+  "benchmark_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/benchmark_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

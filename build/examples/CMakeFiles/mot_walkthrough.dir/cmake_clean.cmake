@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mot_walkthrough.dir/mot_walkthrough.cpp.o"
+  "CMakeFiles/mot_walkthrough.dir/mot_walkthrough.cpp.o.d"
+  "mot_walkthrough"
+  "mot_walkthrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mot_walkthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

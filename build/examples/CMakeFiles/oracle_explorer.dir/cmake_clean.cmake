@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oracle_explorer.dir/oracle_explorer.cpp.o"
+  "CMakeFiles/oracle_explorer.dir/oracle_explorer.cpp.o.d"
+  "oracle_explorer"
+  "oracle_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oracle_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/experiments/CMakeFiles/motsim_experiments.dir/DependInfo.cmake"
+  "/root/repo/build/src/mot/CMakeFiles/motsim_mot.dir/DependInfo.cmake"
+  "/root/repo/build/src/bdd/CMakeFiles/motsim_bdd.dir/DependInfo.cmake"
+  "/root/repo/build/src/testgen/CMakeFiles/motsim_testgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuits/CMakeFiles/motsim_circuits.dir/DependInfo.cmake"
+  "/root/repo/build/src/faultsim/CMakeFiles/motsim_faultsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/motsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/motsim_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/motsim_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/logic/CMakeFiles/motsim_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/motsim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/motsim_bdd.dir/bdd.cpp.o"
+  "CMakeFiles/motsim_bdd.dir/bdd.cpp.o.d"
+  "CMakeFiles/motsim_bdd.dir/symbolic.cpp.o"
+  "CMakeFiles/motsim_bdd.dir/symbolic.cpp.o.d"
+  "libmotsim_bdd.a"
+  "libmotsim_bdd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/motsim_bdd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

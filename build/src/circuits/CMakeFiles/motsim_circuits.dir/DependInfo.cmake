@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/circuits/embedded.cpp" "src/circuits/CMakeFiles/motsim_circuits.dir/embedded.cpp.o" "gcc" "src/circuits/CMakeFiles/motsim_circuits.dir/embedded.cpp.o.d"
+  "/root/repo/src/circuits/generator.cpp" "src/circuits/CMakeFiles/motsim_circuits.dir/generator.cpp.o" "gcc" "src/circuits/CMakeFiles/motsim_circuits.dir/generator.cpp.o.d"
+  "/root/repo/src/circuits/registry.cpp" "src/circuits/CMakeFiles/motsim_circuits.dir/registry.cpp.o" "gcc" "src/circuits/CMakeFiles/motsim_circuits.dir/registry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/motsim_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/motsim_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/logic/CMakeFiles/motsim_logic.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/motsim_circuits.dir/embedded.cpp.o"
+  "CMakeFiles/motsim_circuits.dir/embedded.cpp.o.d"
+  "CMakeFiles/motsim_circuits.dir/generator.cpp.o"
+  "CMakeFiles/motsim_circuits.dir/generator.cpp.o.d"
+  "CMakeFiles/motsim_circuits.dir/registry.cpp.o"
+  "CMakeFiles/motsim_circuits.dir/registry.cpp.o.d"
+  "libmotsim_circuits.a"
+  "libmotsim_circuits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/motsim_circuits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

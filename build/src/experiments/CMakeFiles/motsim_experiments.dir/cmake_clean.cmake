@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/motsim_experiments.dir/experiments.cpp.o"
+  "CMakeFiles/motsim_experiments.dir/experiments.cpp.o.d"
+  "CMakeFiles/motsim_experiments.dir/report.cpp.o"
+  "CMakeFiles/motsim_experiments.dir/report.cpp.o.d"
+  "libmotsim_experiments.a"
+  "libmotsim_experiments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/motsim_experiments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/motsim_fault.dir/collapse.cpp.o"
+  "CMakeFiles/motsim_fault.dir/collapse.cpp.o.d"
+  "CMakeFiles/motsim_fault.dir/fault.cpp.o"
+  "CMakeFiles/motsim_fault.dir/fault.cpp.o.d"
+  "CMakeFiles/motsim_fault.dir/fault_view.cpp.o"
+  "CMakeFiles/motsim_fault.dir/fault_view.cpp.o.d"
+  "libmotsim_fault.a"
+  "libmotsim_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/motsim_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/faultsim/conventional.cpp" "src/faultsim/CMakeFiles/motsim_faultsim.dir/conventional.cpp.o" "gcc" "src/faultsim/CMakeFiles/motsim_faultsim.dir/conventional.cpp.o.d"
+  "/root/repo/src/faultsim/dictionary.cpp" "src/faultsim/CMakeFiles/motsim_faultsim.dir/dictionary.cpp.o" "gcc" "src/faultsim/CMakeFiles/motsim_faultsim.dir/dictionary.cpp.o.d"
+  "/root/repo/src/faultsim/parallel.cpp" "src/faultsim/CMakeFiles/motsim_faultsim.dir/parallel.cpp.o" "gcc" "src/faultsim/CMakeFiles/motsim_faultsim.dir/parallel.cpp.o.d"
+  "/root/repo/src/faultsim/session.cpp" "src/faultsim/CMakeFiles/motsim_faultsim.dir/session.cpp.o" "gcc" "src/faultsim/CMakeFiles/motsim_faultsim.dir/session.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/motsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/motsim_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/motsim_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/logic/CMakeFiles/motsim_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/motsim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

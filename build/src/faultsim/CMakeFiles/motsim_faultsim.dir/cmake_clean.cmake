@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/motsim_faultsim.dir/conventional.cpp.o"
+  "CMakeFiles/motsim_faultsim.dir/conventional.cpp.o.d"
+  "CMakeFiles/motsim_faultsim.dir/dictionary.cpp.o"
+  "CMakeFiles/motsim_faultsim.dir/dictionary.cpp.o.d"
+  "CMakeFiles/motsim_faultsim.dir/parallel.cpp.o"
+  "CMakeFiles/motsim_faultsim.dir/parallel.cpp.o.d"
+  "CMakeFiles/motsim_faultsim.dir/session.cpp.o"
+  "CMakeFiles/motsim_faultsim.dir/session.cpp.o.d"
+  "libmotsim_faultsim.a"
+  "libmotsim_faultsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/motsim_faultsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/logic/eval.cpp" "src/logic/CMakeFiles/motsim_logic.dir/eval.cpp.o" "gcc" "src/logic/CMakeFiles/motsim_logic.dir/eval.cpp.o.d"
+  "/root/repo/src/logic/gate_type.cpp" "src/logic/CMakeFiles/motsim_logic.dir/gate_type.cpp.o" "gcc" "src/logic/CMakeFiles/motsim_logic.dir/gate_type.cpp.o.d"
+  "/root/repo/src/logic/infer.cpp" "src/logic/CMakeFiles/motsim_logic.dir/infer.cpp.o" "gcc" "src/logic/CMakeFiles/motsim_logic.dir/infer.cpp.o.d"
+  "/root/repo/src/logic/pval.cpp" "src/logic/CMakeFiles/motsim_logic.dir/pval.cpp.o" "gcc" "src/logic/CMakeFiles/motsim_logic.dir/pval.cpp.o.d"
+  "/root/repo/src/logic/val.cpp" "src/logic/CMakeFiles/motsim_logic.dir/val.cpp.o" "gcc" "src/logic/CMakeFiles/motsim_logic.dir/val.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/motsim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/motsim_logic.dir/eval.cpp.o"
+  "CMakeFiles/motsim_logic.dir/eval.cpp.o.d"
+  "CMakeFiles/motsim_logic.dir/gate_type.cpp.o"
+  "CMakeFiles/motsim_logic.dir/gate_type.cpp.o.d"
+  "CMakeFiles/motsim_logic.dir/infer.cpp.o"
+  "CMakeFiles/motsim_logic.dir/infer.cpp.o.d"
+  "CMakeFiles/motsim_logic.dir/pval.cpp.o"
+  "CMakeFiles/motsim_logic.dir/pval.cpp.o.d"
+  "CMakeFiles/motsim_logic.dir/val.cpp.o"
+  "CMakeFiles/motsim_logic.dir/val.cpp.o.d"
+  "libmotsim_logic.a"
+  "libmotsim_logic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/motsim_logic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

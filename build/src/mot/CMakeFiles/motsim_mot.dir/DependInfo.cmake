@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mot/baseline.cpp" "src/mot/CMakeFiles/motsim_mot.dir/baseline.cpp.o" "gcc" "src/mot/CMakeFiles/motsim_mot.dir/baseline.cpp.o.d"
+  "/root/repo/src/mot/collector.cpp" "src/mot/CMakeFiles/motsim_mot.dir/collector.cpp.o" "gcc" "src/mot/CMakeFiles/motsim_mot.dir/collector.cpp.o.d"
+  "/root/repo/src/mot/general.cpp" "src/mot/CMakeFiles/motsim_mot.dir/general.cpp.o" "gcc" "src/mot/CMakeFiles/motsim_mot.dir/general.cpp.o.d"
+  "/root/repo/src/mot/implication_only.cpp" "src/mot/CMakeFiles/motsim_mot.dir/implication_only.cpp.o" "gcc" "src/mot/CMakeFiles/motsim_mot.dir/implication_only.cpp.o.d"
+  "/root/repo/src/mot/implicator.cpp" "src/mot/CMakeFiles/motsim_mot.dir/implicator.cpp.o" "gcc" "src/mot/CMakeFiles/motsim_mot.dir/implicator.cpp.o.d"
+  "/root/repo/src/mot/oracle.cpp" "src/mot/CMakeFiles/motsim_mot.dir/oracle.cpp.o" "gcc" "src/mot/CMakeFiles/motsim_mot.dir/oracle.cpp.o.d"
+  "/root/repo/src/mot/potential.cpp" "src/mot/CMakeFiles/motsim_mot.dir/potential.cpp.o" "gcc" "src/mot/CMakeFiles/motsim_mot.dir/potential.cpp.o.d"
+  "/root/repo/src/mot/proposed.cpp" "src/mot/CMakeFiles/motsim_mot.dir/proposed.cpp.o" "gcc" "src/mot/CMakeFiles/motsim_mot.dir/proposed.cpp.o.d"
+  "/root/repo/src/mot/state_set.cpp" "src/mot/CMakeFiles/motsim_mot.dir/state_set.cpp.o" "gcc" "src/mot/CMakeFiles/motsim_mot.dir/state_set.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/faultsim/CMakeFiles/motsim_faultsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/motsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/motsim_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/motsim_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/logic/CMakeFiles/motsim_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/motsim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

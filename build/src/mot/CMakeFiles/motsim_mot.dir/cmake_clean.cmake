@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/motsim_mot.dir/baseline.cpp.o"
+  "CMakeFiles/motsim_mot.dir/baseline.cpp.o.d"
+  "CMakeFiles/motsim_mot.dir/collector.cpp.o"
+  "CMakeFiles/motsim_mot.dir/collector.cpp.o.d"
+  "CMakeFiles/motsim_mot.dir/general.cpp.o"
+  "CMakeFiles/motsim_mot.dir/general.cpp.o.d"
+  "CMakeFiles/motsim_mot.dir/implication_only.cpp.o"
+  "CMakeFiles/motsim_mot.dir/implication_only.cpp.o.d"
+  "CMakeFiles/motsim_mot.dir/implicator.cpp.o"
+  "CMakeFiles/motsim_mot.dir/implicator.cpp.o.d"
+  "CMakeFiles/motsim_mot.dir/oracle.cpp.o"
+  "CMakeFiles/motsim_mot.dir/oracle.cpp.o.d"
+  "CMakeFiles/motsim_mot.dir/potential.cpp.o"
+  "CMakeFiles/motsim_mot.dir/potential.cpp.o.d"
+  "CMakeFiles/motsim_mot.dir/proposed.cpp.o"
+  "CMakeFiles/motsim_mot.dir/proposed.cpp.o.d"
+  "CMakeFiles/motsim_mot.dir/state_set.cpp.o"
+  "CMakeFiles/motsim_mot.dir/state_set.cpp.o.d"
+  "libmotsim_mot.a"
+  "libmotsim_mot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/motsim_mot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/motsim_netlist.dir/bench_io.cpp.o"
+  "CMakeFiles/motsim_netlist.dir/bench_io.cpp.o.d"
+  "CMakeFiles/motsim_netlist.dir/builder.cpp.o"
+  "CMakeFiles/motsim_netlist.dir/builder.cpp.o.d"
+  "CMakeFiles/motsim_netlist.dir/circuit.cpp.o"
+  "CMakeFiles/motsim_netlist.dir/circuit.cpp.o.d"
+  "CMakeFiles/motsim_netlist.dir/transform.cpp.o"
+  "CMakeFiles/motsim_netlist.dir/transform.cpp.o.d"
+  "libmotsim_netlist.a"
+  "libmotsim_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/motsim_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/event_sim.cpp" "src/sim/CMakeFiles/motsim_sim.dir/event_sim.cpp.o" "gcc" "src/sim/CMakeFiles/motsim_sim.dir/event_sim.cpp.o.d"
+  "/root/repo/src/sim/pattern_io.cpp" "src/sim/CMakeFiles/motsim_sim.dir/pattern_io.cpp.o" "gcc" "src/sim/CMakeFiles/motsim_sim.dir/pattern_io.cpp.o.d"
+  "/root/repo/src/sim/seq_sim.cpp" "src/sim/CMakeFiles/motsim_sim.dir/seq_sim.cpp.o" "gcc" "src/sim/CMakeFiles/motsim_sim.dir/seq_sim.cpp.o.d"
+  "/root/repo/src/sim/test_sequence.cpp" "src/sim/CMakeFiles/motsim_sim.dir/test_sequence.cpp.o" "gcc" "src/sim/CMakeFiles/motsim_sim.dir/test_sequence.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/motsim_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/motsim_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/logic/CMakeFiles/motsim_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/motsim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

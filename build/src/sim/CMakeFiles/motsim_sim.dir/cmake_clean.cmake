@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/motsim_sim.dir/event_sim.cpp.o"
+  "CMakeFiles/motsim_sim.dir/event_sim.cpp.o.d"
+  "CMakeFiles/motsim_sim.dir/pattern_io.cpp.o"
+  "CMakeFiles/motsim_sim.dir/pattern_io.cpp.o.d"
+  "CMakeFiles/motsim_sim.dir/seq_sim.cpp.o"
+  "CMakeFiles/motsim_sim.dir/seq_sim.cpp.o.d"
+  "CMakeFiles/motsim_sim.dir/test_sequence.cpp.o"
+  "CMakeFiles/motsim_sim.dir/test_sequence.cpp.o.d"
+  "libmotsim_sim.a"
+  "libmotsim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/motsim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmotsim_sim.a"
+)

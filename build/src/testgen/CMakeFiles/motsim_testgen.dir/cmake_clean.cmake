@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/motsim_testgen.dir/compaction.cpp.o"
+  "CMakeFiles/motsim_testgen.dir/compaction.cpp.o.d"
+  "CMakeFiles/motsim_testgen.dir/deterministic_atpg.cpp.o"
+  "CMakeFiles/motsim_testgen.dir/deterministic_atpg.cpp.o.d"
+  "CMakeFiles/motsim_testgen.dir/hitec_like.cpp.o"
+  "CMakeFiles/motsim_testgen.dir/hitec_like.cpp.o.d"
+  "CMakeFiles/motsim_testgen.dir/podem.cpp.o"
+  "CMakeFiles/motsim_testgen.dir/podem.cpp.o.d"
+  "CMakeFiles/motsim_testgen.dir/random_gen.cpp.o"
+  "CMakeFiles/motsim_testgen.dir/random_gen.cpp.o.d"
+  "libmotsim_testgen.a"
+  "libmotsim_testgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/motsim_testgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

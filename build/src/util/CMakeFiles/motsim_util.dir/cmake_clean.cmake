@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/motsim_util.dir/cli.cpp.o"
+  "CMakeFiles/motsim_util.dir/cli.cpp.o.d"
+  "CMakeFiles/motsim_util.dir/rng.cpp.o"
+  "CMakeFiles/motsim_util.dir/rng.cpp.o.d"
+  "CMakeFiles/motsim_util.dir/strings.cpp.o"
+  "CMakeFiles/motsim_util.dir/strings.cpp.o.d"
+  "CMakeFiles/motsim_util.dir/table.cpp.o"
+  "CMakeFiles/motsim_util.dir/table.cpp.o.d"
+  "libmotsim_util.a"
+  "libmotsim_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/motsim_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

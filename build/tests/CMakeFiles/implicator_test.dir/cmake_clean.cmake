@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/implicator_test.dir/implicator_test.cpp.o"
+  "CMakeFiles/implicator_test.dir/implicator_test.cpp.o.d"
+  "implicator_test"
+  "implicator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/implicator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

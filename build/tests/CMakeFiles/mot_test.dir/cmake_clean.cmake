@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mot_test.dir/mot_test.cpp.o"
+  "CMakeFiles/mot_test.dir/mot_test.cpp.o.d"
+  "mot_test"
+  "mot_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mot_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/state_set_test.dir/state_set_test.cpp.o"
+  "CMakeFiles/state_set_test.dir/state_set_test.cpp.o.d"
+  "state_set_test"
+  "state_set_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/state_set_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
