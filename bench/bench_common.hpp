@@ -5,10 +5,95 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
 
 namespace motsim::benchutil {
+
+/// Machine-readable benchmark results: each reproduction records metric rows
+/// and writes `BENCH_<name>.json` so the perf trajectory can be tracked
+/// across commits. Output lands in $MOTSIM_BENCH_JSON_DIR (scripts/bench.sh
+/// points it at the repo root) or the working directory.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string bench_name) : name_(std::move(bench_name)) {}
+
+  class Row {
+   public:
+    Row& add(const std::string& key, double v) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.9g", v);
+      entries_.emplace_back(key, buf);
+      return *this;
+    }
+    Row& add(const std::string& key, std::uint64_t v) {
+      entries_.emplace_back(key, std::to_string(v));
+      return *this;
+    }
+    Row& add(const std::string& key, bool v) {
+      entries_.emplace_back(key, v ? "true" : "false");
+      return *this;
+    }
+    Row& add(const std::string& key, const std::string& v) {
+      std::string quoted = "\"";
+      for (char c : v) {
+        if (c == '"' || c == '\\') quoted += '\\';
+        quoted += c;
+      }
+      quoted += '"';
+      entries_.emplace_back(key, std::move(quoted));
+      return *this;
+    }
+
+   private:
+    friend class JsonReport;
+    std::vector<std::pair<std::string, std::string>> entries_;
+  };
+
+  Row& add_row() {
+    rows_.emplace_back();
+    return rows_.back();
+  }
+
+  std::string path() const {
+    const char* dir = std::getenv("MOTSIM_BENCH_JSON_DIR");
+    std::string p = (dir != nullptr && *dir != '\0') ? std::string(dir) + "/"
+                                                     : std::string();
+    return p + "BENCH_" + name_ + ".json";
+  }
+
+  /// Writes the report; prints the destination (or a warning on failure).
+  void write() const {
+    const std::string p = path();
+    std::FILE* f = std::fopen(p.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "warning: cannot write %s\n", p.c_str());
+      return;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"rows\": [", name_.c_str());
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+      std::fprintf(f, "%s\n    {", r == 0 ? "" : ",");
+      const auto& entries = rows_[r].entries_;
+      for (std::size_t i = 0; i < entries.size(); ++i) {
+        std::fprintf(f, "%s\"%s\": %s", i == 0 ? "" : ", ",
+                     entries[i].first.c_str(), entries[i].second.c_str());
+      }
+      std::fprintf(f, "}");
+    }
+    std::fprintf(f, "\n  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", p.c_str());
+  }
+
+ private:
+  std::string name_;
+  std::vector<Row> rows_;
+};
 
 inline void heading(const char* title) {
   std::printf("\n==============================================================\n");

@@ -6,6 +6,7 @@
 //   benchmark_sweep --circuits s298,s344  # explicit subset
 //   benchmark_sweep --all                 # full suite incl. heavy circuits
 //   benchmark_sweep --nstates 32 --seed 3
+//   benchmark_sweep --threads 4           # MOT worker threads (0 = all cores)
 #include <algorithm>
 #include <cstdio>
 
@@ -24,6 +25,9 @@ int main(int argc, char** argv) {
   RunConfig config;
   config.mot.n_states = static_cast<std::size_t>(args.get_int("nstates", 64));
   config.test_seed = static_cast<std::uint64_t>(args.get_int("seed", 7));
+  // 0 = every hardware thread; 1 = the serial path. Results are identical
+  // for every value (see README "Parallel execution").
+  config.mot.num_threads = static_cast<std::size_t>(args.get_int("threads", 0));
   for (const std::string& flag : args.unused()) {
     std::fprintf(stderr, "warning: unknown flag --%s\n", flag.c_str());
   }

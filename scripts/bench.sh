@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Builds the Release tree, runs the benchmark suite, and collects the
+# machine-readable BENCH_*.json reports into the repo root.
+#
+# Usage:
+#   scripts/bench.sh                 # every bench binary
+#   scripts/bench.sh hitec_s5378     # only bench_hitec_s5378
+#   scripts/bench.sh table2 table3   # a subset
+#
+# Each bench prints its paper-reproduction output and then its
+# google-benchmark timings; the JSON reports land next to this script's
+# repo root regardless of the working directory.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${repo_root}/build-release"
+
+cmake -B "${build_dir}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release
+cmake --build "${build_dir}" -j "$(nproc)"
+
+# The benches write their BENCH_<name>.json here (see bench_common.hpp).
+export MOTSIM_BENCH_JSON_DIR="${repo_root}"
+
+if [ "$#" -gt 0 ]; then
+  benches=()
+  for name in "$@"; do
+    benches+=("${build_dir}/bench/bench_${name}")
+  done
+else
+  mapfile -t benches < <(find "${build_dir}/bench" -maxdepth 1 -type f \
+    -name 'bench_*' -executable | sort)
+fi
+
+for bench in "${benches[@]}"; do
+  echo "=== $(basename "${bench}") ==="
+  "${bench}"
+done
+
+echo
+echo "Collected reports:"
+ls -l "${repo_root}"/BENCH_*.json 2>/dev/null || echo "  (none written)"

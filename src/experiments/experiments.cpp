@@ -2,9 +2,11 @@
 
 #include <chrono>
 
+#include "faultsim/batch.hpp"
 #include "faultsim/parallel.hpp"
 #include "testgen/hitec_like.hpp"
 #include "testgen/random_gen.hpp"
+#include "util/thread_pool.hpp"
 
 namespace motsim::experiments {
 
@@ -16,13 +18,29 @@ double seconds_since(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
 }
 
+// Bound the per-fault work on the largest stand-ins so the harness stays
+// interactive. Both caps are reported in the diagnostics, never silent.
+void apply_caps(const circuits::BenchmarkProfile& profile, RunConfig& config) {
+  if (config.max_mot_faults == 0) config.max_mot_faults = profile.mot_cap;
+  if (profile.pair_cap > 0 && config.mot.max_pairs == MotOptions{}.max_pairs) {
+    config.mot.max_pairs = profile.pair_cap;
+  }
+}
+
 }  // namespace
+
+void apply_profile_caps(const std::string& benchmark_name, RunConfig& config) {
+  if (const auto* profile = circuits::find_profile(benchmark_name)) {
+    apply_caps(*profile, config);
+  }
+}
 
 RunResult run_circuit(const Circuit& c, const TestSequence& test,
                       const RunConfig& config) {
   const auto start = Clock::now();
   RunResult result;
   result.circuit = c.name();
+  result.threads = resolve_thread_count(config.mot.num_threads);
 
   const std::vector<Fault> faults = collapsed_fault_list(c);
   result.total_faults = faults.size();
@@ -32,7 +50,8 @@ RunResult run_circuit(const Circuit& c, const TestSequence& test,
 
   // Fast conventional classification of the whole fault universe.
   const ParallelFaultSimulator pfs(c);
-  const std::vector<ConvOutcome> conv = pfs.run(test, good, faults);
+  const std::vector<ConvOutcome> conv =
+      pfs.run(test, good, faults, result.threads);
 
   std::vector<std::size_t> candidates;
   for (std::size_t k = 0; k < faults.size(); ++k) {
@@ -49,23 +68,23 @@ RunResult run_circuit(const Circuit& c, const TestSequence& test,
   }
   result.processed = candidates.size();
 
-  MotFaultSimulator proposed(c, config.mot);
-  ExpansionBaseline baseline(c, config.mot);
   result.baseline_available = config.run_baseline;
 
+  // Per-fault MOT simulation, sharded across worker threads. The runner
+  // returns one item per candidate in candidate order regardless of the
+  // schedule, so the aggregation below is deterministic.
+  const MotBatchRunner runner(c, config.mot, config.run_baseline);
+  const std::vector<MotBatchItem> items =
+      runner.run(test, good, faults, candidates);
+
   EffectivenessCounters sum;
-  const ConventionalFaultSimulator conv_sim(c);
-  for (std::size_t k : candidates) {
-    // One conventional simulation per fault, shared by both procedures.
-    SeqTrace faulty = conv_sim.simulate_fault(test, faults[k], /*keep_lines=*/true);
-    const MotResult pr = proposed.simulate_fault(test, good, faults[k], faulty);
+  for (const MotBatchItem& item : items) {
+    const MotResult& pr = item.mot;
     bool baseline_detected = false;
     bool baseline_aborted = false;
     if (config.run_baseline) {
-      const BaselineResult br =
-          baseline.simulate_fault(test, good, faults[k], faulty);
-      baseline_detected = br.detected;
-      baseline_aborted = br.aborted;
+      baseline_detected = item.baseline.detected;
+      baseline_aborted = item.baseline.aborted;
       if (baseline_detected) ++result.baseline_extra;
     }
     if (pr.collection_capped) ++result.collection_capped_faults;
@@ -98,12 +117,7 @@ RunResult run_benchmark(const circuits::BenchmarkProfile& profile,
     // (paper, Section 4) — report NA.
     config.run_baseline = false;
   }
-  // Bound the per-fault work on the largest stand-ins so the harness stays
-  // interactive. Both caps are reported in the diagnostics, never silent.
-  if (config.max_mot_faults == 0) config.max_mot_faults = profile.mot_cap;
-  if (profile.pair_cap > 0 && config.mot.max_pairs == MotOptions{}.max_pairs) {
-    config.mot.max_pairs = profile.pair_cap;
-  }
+  apply_caps(profile, config);
   return run_circuit(c, test, config);
 }
 
@@ -113,21 +127,15 @@ HitecExperimentResult run_hitec_experiment(const std::string& benchmark_name,
   const std::vector<Fault> faults = collapsed_fault_list(c);
   HitecLikeParams params;
   params.seed = config.test_seed * 131 + 17;
-  const HitecLikeResult gen = generate_hitec_like(c, faults, params);
+  HitecLikeResult gen = generate_hitec_like(c, faults, params);
 
   // The registry's per-circuit caps apply here too (reported, never silent).
-  const auto* profile = circuits::find_profile(benchmark_name);
-  if (profile != nullptr) {
-    if (config.max_mot_faults == 0) config.max_mot_faults = profile->mot_cap;
-    if (profile->pair_cap > 0 &&
-        config.mot.max_pairs == MotOptions{}.max_pairs) {
-      config.mot.max_pairs = profile->pair_cap;
-    }
-  }
+  apply_profile_caps(benchmark_name, config);
 
   HitecExperimentResult out;
   out.sequence_length = gen.sequence.length();
   out.run = run_circuit(c, gen.sequence, config);
+  out.sequence = std::move(gen.sequence);
   return out;
 }
 

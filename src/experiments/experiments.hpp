@@ -61,6 +61,10 @@ struct RunResult {
 
   std::size_t candidates = 0;  ///< undetected faults passing condition (C)
   std::size_t processed = 0;   ///< candidates actually run (cap applied)
+  /// Worker threads of the conventional pre-pass and the MOT batch stage
+  /// (resolved from RunConfig::mot.num_threads; results are identical for
+  /// every value).
+  std::size_t threads = 1;
   bool capped = false;
   /// Faults whose backward-implication collection hit MotOptions::max_pairs.
   std::size_t collection_capped_faults = 0;
@@ -84,9 +88,18 @@ RunResult run_benchmark(const circuits::BenchmarkProfile& profile,
 /// extra detections.
 struct HitecExperimentResult {
   std::size_t sequence_length = 0;
+  /// The generated sequence, so callers can rerun the pipeline on it (e.g.
+  /// the scaling benchmarks) without paying for generation again.
+  TestSequence sequence;
   RunResult run;
 };
 HitecExperimentResult run_hitec_experiment(const std::string& benchmark_name,
                                            RunConfig config);
+
+/// Applies the registry's per-circuit interactivity caps (MOT candidate cap,
+/// backward-pair cap) for `benchmark_name` to `config` — the same adjustment
+/// run_benchmark and run_hitec_experiment make internally. Caps the config
+/// already overrides are left alone; unknown names are a no-op.
+void apply_profile_caps(const std::string& benchmark_name, RunConfig& config);
 
 }  // namespace motsim::experiments

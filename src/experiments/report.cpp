@@ -29,13 +29,14 @@ std::string render_table3(const std::vector<RunResult>& rows) {
 }
 
 std::string render_diagnostics(const std::vector<RunResult>& rows) {
-  Table t({"circuit", "cand. (C)", "processed", "capped", "pair-capped",
-           "baseline-only", "prop-det/[4]-abort", "seconds"});
+  Table t({"circuit", "cand. (C)", "processed", "threads", "capped",
+           "pair-capped", "baseline-only", "prop-det/[4]-abort", "seconds"});
   for (const RunResult& r : rows) {
     t.new_row()
         .add(r.circuit)
         .add(r.candidates)
         .add(r.processed)
+        .add(r.threads)
         .add(r.capped ? "yes" : "no")
         .add(r.collection_capped_faults)
         .add(r.baseline_available ? str_format("%zu", r.baseline_only) : "NA")

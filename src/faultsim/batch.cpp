@@ -1,0 +1,95 @@
+#include "faultsim/batch.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <numeric>
+
+#include "faultsim/conventional.hpp"
+#include "util/thread_pool.hpp"
+
+namespace motsim {
+
+std::uint64_t per_fault_selection_seed(std::uint64_t base,
+                                       std::uint64_t fault_index) {
+  std::uint64_t z = base + 0x9e3779b97f4a7c15ull * (fault_index + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+MotBatchRunner::MotBatchRunner(const Circuit& c, MotOptions options,
+                               bool run_baseline)
+    : circuit_(&c),
+      options_(options),
+      run_baseline_(run_baseline),
+      threads_(resolve_thread_count(options.num_threads)) {}
+
+namespace {
+
+/// Everything one worker lane owns: simulators with private scratch.
+struct Lane {
+  ConventionalFaultSimulator conv;
+  MotFaultSimulator proposed;
+  std::unique_ptr<ExpansionBaseline> baseline;
+
+  Lane(const Circuit& c, const MotOptions& opt, bool run_baseline)
+      : conv(c), proposed(c, opt) {
+    if (run_baseline) baseline = std::make_unique<ExpansionBaseline>(c, opt);
+  }
+};
+
+}  // namespace
+
+std::vector<MotBatchItem> MotBatchRunner::run(
+    const TestSequence& test, const SeqTrace& good,
+    const std::vector<Fault>& faults,
+    std::span<const std::size_t> indices) const {
+  std::vector<MotBatchItem> items(indices.size());
+  if (indices.empty()) return items;
+  const std::size_t threads = std::min(threads_, indices.size());
+
+  std::vector<std::unique_ptr<Lane>> lanes;
+  lanes.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) {
+    lanes.push_back(std::make_unique<Lane>(*circuit_, options_, run_baseline_));
+  }
+
+  auto simulate_range = [&](std::size_t begin, std::size_t end,
+                            std::size_t lane_id) {
+    Lane& lane = *lanes[lane_id];
+    for (std::size_t i = begin; i < end; ++i) {
+      const std::size_t k = indices[i];
+      const Fault& f = faults[k];
+      MotBatchItem& item = items[i];
+      item.fault_index = k;
+      // One conventional simulation per fault, shared by both procedures.
+      SeqTrace faulty = lane.conv.simulate_fault(test, f, /*keep_lines=*/true);
+      lane.proposed.reseed_selection(
+          per_fault_selection_seed(options_.selection_seed, k));
+      item.mot = lane.proposed.simulate_fault(test, good, f, faulty);
+      if (lane.baseline) {
+        lane.baseline->reseed_selection(
+            per_fault_selection_seed(~options_.selection_seed, k));
+        item.baseline = lane.baseline->simulate_fault(test, good, f, faulty);
+      }
+    }
+  };
+
+  if (threads <= 1) {
+    simulate_range(0, indices.size(), 0);
+  } else {
+    ThreadPool pool(threads);
+    pool.parallel_for_dynamic(indices.size(), /*grain=*/1, simulate_range);
+  }
+  return items;
+}
+
+std::vector<MotBatchItem> MotBatchRunner::run_all(
+    const TestSequence& test, const SeqTrace& good,
+    const std::vector<Fault>& faults) const {
+  std::vector<std::size_t> indices(faults.size());
+  std::iota(indices.begin(), indices.end(), std::size_t{0});
+  return run(test, good, faults, indices);
+}
+
+}  // namespace motsim

@@ -1,9 +1,11 @@
 #include "faultsim/parallel.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 #include "logic/eval.hpp"
 #include "logic/pval.hpp"
+#include "util/thread_pool.hpp"
 
 namespace motsim {
 
@@ -151,17 +153,41 @@ void ParallelFaultSimulator::run_group(const TestSequence& test,
 
 std::vector<ConvOutcome> ParallelFaultSimulator::run(
     const TestSequence& test, const SeqTrace& fault_free,
-    const std::vector<Fault>& faults) const {
+    const std::vector<Fault>& faults, std::size_t num_threads) const {
   assert(fault_free.length() == test.length());
   std::vector<ConvOutcome> outcomes(faults.size());
-  GroupScratch scratch;
-  scratch.stem_faults.resize(circuit_->num_gates());
-  scratch.pin_faults.resize(circuit_->num_gates());
-  for (std::size_t base = 0; base < faults.size(); base += kGroup) {
-    const std::size_t n = std::min(kGroup, faults.size() - base);
-    run_group(test, fault_free, faults.data() + base, n, outcomes.data() + base,
-              scratch);
+  const std::size_t n_groups = (faults.size() + kGroup - 1) / kGroup;
+  const std::size_t threads =
+      std::min(std::max<std::size_t>(n_groups, 1), resolve_thread_count(num_threads));
+  if (threads <= 1) {
+    GroupScratch scratch;
+    scratch.stem_faults.resize(circuit_->num_gates());
+    scratch.pin_faults.resize(circuit_->num_gates());
+    for (std::size_t base = 0; base < faults.size(); base += kGroup) {
+      const std::size_t n = std::min(kGroup, faults.size() - base);
+      run_group(test, fault_free, faults.data() + base, n,
+                outcomes.data() + base, scratch);
+    }
+    return outcomes;
   }
+  // Each lane owns one scratch; each group writes a disjoint outcome slice,
+  // so the merge is the identity and the result is schedule-independent.
+  std::vector<GroupScratch> scratch(threads);
+  for (GroupScratch& s : scratch) {
+    s.stem_faults.resize(circuit_->num_gates());
+    s.pin_faults.resize(circuit_->num_gates());
+  }
+  ThreadPool pool(threads);
+  pool.parallel_for_dynamic(
+      n_groups, /*grain=*/1,
+      [&](std::size_t gb, std::size_t ge, std::size_t lane) {
+        for (std::size_t g = gb; g < ge; ++g) {
+          const std::size_t base = g * kGroup;
+          const std::size_t n = std::min(kGroup, faults.size() - base);
+          run_group(test, fault_free, faults.data() + base, n,
+                    outcomes.data() + base, scratch[lane]);
+        }
+      });
   return outcomes;
 }
 

@@ -23,9 +23,16 @@ class ParallelFaultSimulator {
   explicit ParallelFaultSimulator(const Circuit& c) : circuit_(&c) {}
 
   /// Detection + condition-(C) classification for every fault.
+  ///
+  /// `num_threads` spreads the 63-fault PVal groups over a thread pool with
+  /// one GroupScratch per worker (0 = all hardware threads, 1 = serial).
+  /// Every group writes a disjoint slice of the outcome vector, so the
+  /// result is identical for every thread count; with 1 the pool is never
+  /// constructed and the code path is exactly the historical serial loop.
   std::vector<ConvOutcome> run(const TestSequence& test,
                                const SeqTrace& fault_free,
-                               const std::vector<Fault>& faults) const;
+                               const std::vector<Fault>& faults,
+                               std::size_t num_threads = 1) const;
 
  private:
   /// Reusable per-run buffers (a fresh allocation per group dominated the

@@ -27,6 +27,8 @@ struct BaselineResult {
   std::size_t final_sequences = 0;
   /// Expansion budget exhausted (or no variable left) without detection.
   bool aborted = false;
+
+  friend bool operator==(const BaselineResult&, const BaselineResult&) = default;
 };
 
 class ExpansionBaseline {
@@ -39,6 +41,9 @@ class ExpansionBaseline {
   /// Shares a precomputed conventional trace (see MotFaultSimulator).
   BaselineResult simulate_fault(const TestSequence& test, const SeqTrace& good,
                                 const Fault& f, SeqTrace& faulty);
+
+  /// Forwards to MotFaultSimulator::reseed_selection.
+  void reseed_selection(std::uint64_t seed) { inner_.reseed_selection(seed); }
 
  private:
   static BaselineResult to_baseline(const MotResult& r);

@@ -17,6 +17,9 @@ struct EffectivenessCounters {
   std::uint64_t n_conf = 0;
   std::uint64_t n_extra = 0;
 
+  friend bool operator==(const EffectivenessCounters&,
+                         const EffectivenessCounters&) = default;
+
   void operator+=(const EffectivenessCounters& o) {
     n_det += o.n_det;
     n_conf += o.n_conf;

@@ -59,6 +59,14 @@ struct MotOptions {
   SelectionPolicy selection = SelectionPolicy::Full;
   std::uint64_t selection_seed = 0x5eed;  ///< used only by SelectionPolicy::Random
 
+  /// Worker threads used by the batch drivers (MotBatchRunner and the
+  /// ParallelFaultSimulator pre-pass). 0 = std::thread::hardware_concurrency();
+  /// 1 = fully serial, bit-identical to the single-threaded code path. The
+  /// per-fault procedures themselves are single-threaded and one
+  /// MotFaultSimulator / BackwardCollector instance must never be shared
+  /// across threads — the batch drivers build one instance per worker.
+  std::size_t num_threads = 0;
+
   /// When the implication-enriched expansion fails to resolve a fault within
   /// the N_STATES budget, retry once with plain [4]-style expansion. The
   /// enriched extra() sets are a selection heuristic — occasionally a plain

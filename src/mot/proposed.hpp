@@ -45,6 +45,8 @@ struct MotResult {
   bool collection_capped = false;
   /// Resolved only by the plain-expansion fallback (see MotOptions).
   bool via_fallback = false;
+
+  friend bool operator==(const MotResult&, const MotResult&) = default;
 };
 
 class MotFaultSimulator {
@@ -64,6 +66,12 @@ class MotFaultSimulator {
                            const Fault& f, SeqTrace& faulty);
 
   const MotOptions& options() const { return options_; }
+
+  /// Restarts the SelectionPolicy::Random stream. MotBatchRunner derives a
+  /// per-fault seed so Random-policy results are independent of which thread
+  /// simulates which fault; a no-op for the other policies, which never draw
+  /// from the stream.
+  void reseed_selection(std::uint64_t seed) { selection_rng_ = Rng(seed); }
 
  private:
   /// Step 3's static filtering plus the static ranking of steps 4-6 (done

@@ -24,17 +24,21 @@ SeqTrace SequentialSimulator::run(const TestSequence& test, const FaultView& fv,
   assert(test.num_inputs() == c.num_inputs());
   assert(init_state.empty() || init_state.size() == c.num_dffs());
 
-  const std::size_t L = test.length();
-  SeqTrace trace;
-  trace.states.assign(L + 1, std::vector<Val>(c.num_dffs(), Val::X));
-  trace.outputs.assign(L, std::vector<Val>(c.num_outputs(), Val::X));
-  if (keep_lines) trace.lines.assign(L, FrameVals(c.num_gates(), Val::X));
-
+  // Snapshot the initial state into the frame buffer before any other
+  // allocation or write: callers may pass a span into storage that this
+  // simulation replaces (e.g. a states row of a trace being rebuilt), so no
+  // read of `init_state` is legal once anything else has been touched.
   std::vector<Val> state(c.num_dffs(), Val::X);
   for (std::size_t k = 0; k < c.num_dffs(); ++k) {
     const Val intended = init_state.empty() ? Val::X : init_state[k];
     state[k] = fv.present_state(k, intended);
   }
+
+  const std::size_t L = test.length();
+  SeqTrace trace;
+  trace.states.assign(L + 1, std::vector<Val>(c.num_dffs(), Val::X));
+  trace.outputs.assign(L, std::vector<Val>(c.num_outputs(), Val::X));
+  if (keep_lines) trace.lines.assign(L, FrameVals(c.num_gates(), Val::X));
 
   FrameVals vals(c.num_gates(), Val::X);
   for (std::size_t u = 0; u < L; ++u) {

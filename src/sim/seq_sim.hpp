@@ -41,7 +41,9 @@ class SequentialSimulator {
   void eval_frame(FrameVals& vals, const FaultView& fv) const;
 
   /// Simulates the whole sequence. `init_state` (size num_dffs) overrides
-  /// the all-X initial state when non-empty. `keep_lines` materializes
+  /// the all-X initial state when non-empty; it is copied before anything
+  /// else happens, so a span into storage the caller is about to overwrite
+  /// with the returned trace is legal. `keep_lines` materializes
   /// SeqTrace::lines.
   SeqTrace run(const TestSequence& test, const FaultView& fv,
                bool keep_lines = false,
