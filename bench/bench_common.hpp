@@ -10,10 +10,20 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
 namespace motsim::benchutil {
+
+/// Hardware threads of this host (never 0). Benchmarks that compare a
+/// serial row against an all-cores row must consult this: on a single-core
+/// host the "parallel" row silently degenerates into a second serial
+/// measurement and any 1-vs-N comparison drawn from it is bogus.
+inline std::uint64_t hardware_threads() {
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : hc;
+}
 
 /// Machine-readable benchmark results: each reproduction records metric rows
 /// and writes `BENCH_<name>.json` so the perf trajectory can be tracked
@@ -75,7 +85,14 @@ class JsonReport {
       std::fprintf(stderr, "warning: cannot write %s\n", p.c_str());
       return;
     }
-    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"rows\": [", name_.c_str());
+    // hardware_threads / single_core_host let report consumers discard
+    // thread-scaling rows measured on a host that cannot actually scale.
+    std::fprintf(f,
+                 "{\n  \"bench\": \"%s\",\n  \"hardware_threads\": %llu,\n"
+                 "  \"single_core_host\": %s,\n  \"rows\": [",
+                 name_.c_str(),
+                 static_cast<unsigned long long>(hardware_threads()),
+                 hardware_threads() <= 1 ? "true" : "false");
     for (std::size_t r = 0; r < rows_.size(); ++r) {
       std::fprintf(f, "%s\n    {", r == 0 ? "" : ",");
       const auto& entries = rows_[r].entries_;

@@ -26,11 +26,16 @@ namespace {
 using namespace motsim;
 using namespace motsim::experiments;
 
-void add_json_row(benchutil::JsonReport& report, const RunResult& r) {
+// `measures_scaling` marks the all-threads row; it is emitted false on a
+// single-core host, where that row degenerates to a second serial run.
+void add_json_row(benchutil::JsonReport& report, const RunResult& r,
+                  bool measures_scaling) {
   const double fps =
       r.seconds > 0.0 ? static_cast<double>(r.total_faults) / r.seconds : 0.0;
   report.add_row()
       .add("circuit", r.circuit)
+      .add("measures_scaling",
+           measures_scaling && benchutil::hardware_threads() > 1)
       .add("stage", std::string("full_pipeline"))
       .add("threads", static_cast<std::uint64_t>(r.threads))
       .add("wall_seconds", r.seconds)
@@ -60,6 +65,15 @@ void reproduction() {
   // Scaling row: the same circuit and sequence through the sharded MOT
   // dispatch on every hardware thread. Detection counts must not move.
   benchutil::heading("Thread scaling (same sequence, sharded MOT dispatch)");
+  const bool single_core = benchutil::hardware_threads() <= 1;
+  if (single_core) {
+    std::fprintf(stderr,
+                 "WARNING: this host reports a single hardware thread; the "
+                 "\"parallel\" row below is a second serial measurement and "
+                 "the 1-vs-N speedup is meaningless.\n"
+                 "WARNING: rerun scripts/bench.sh on a multi-core host to get "
+                 "a real thread-scaling row.\n");
+  }
   RunConfig par_config;
   par_config.mot.num_threads = 0;  // all hardware threads
   apply_profile_caps("s5378", par_config);
@@ -77,8 +91,8 @@ void reproduction() {
               identical ? "yes" : "NO");
 
   benchutil::JsonReport report("hitec_s5378");
-  add_json_row(report, r.run);
-  add_json_row(report, par);
+  add_json_row(report, r.run, /*measures_scaling=*/false);
+  add_json_row(report, par, /*measures_scaling=*/true);
   report.write();
 }
 

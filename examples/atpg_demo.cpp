@@ -24,7 +24,13 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "warning: unknown flag --%s\n", flag.c_str());
   }
 
-  const Circuit c = circuits::build_benchmark(name);
+  Circuit c;
+  try {
+    c = circuits::build_benchmark(name);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
   std::printf("circuit: %s\n", c.summary().c_str());
   const auto faults = collapsed_fault_list(c);
 

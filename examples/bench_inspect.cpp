@@ -32,7 +32,12 @@ int main(int argc, char** argv) {
 
   Circuit c;
   if (!generate.empty()) {
-    c = circuits::build_benchmark(generate);
+    try {
+      c = circuits::build_benchmark(generate);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
   } else if (!args.positional().empty()) {
     BenchParseResult parsed = parse_bench_file(args.positional().front());
     if (!parsed.ok) {

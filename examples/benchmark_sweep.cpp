@@ -7,6 +7,13 @@
 //   benchmark_sweep --all                 # full suite incl. heavy circuits
 //   benchmark_sweep --nstates 32 --seed 3
 //   benchmark_sweep --threads 4           # MOT worker threads (0 = all cores)
+//
+// Long campaigns (see README "Long campaigns"):
+//   --per-fault-ms N    per-fault wall-clock budget (0 = unlimited)
+//   --per-fault-work N  per-fault work-unit budget, deterministic (0 = unlimited)
+//   --campaign-ms N     whole-campaign wall-clock budget (0 = unlimited)
+//   --journal PATH      append outcomes to a crash-safe journal (one circuit only)
+//   --resume PATH       resume from PATH, skipping already-resolved faults
 #include <algorithm>
 #include <cstdio>
 
@@ -28,6 +35,20 @@ int main(int argc, char** argv) {
   // 0 = every hardware thread; 1 = the serial path. Results are identical
   // for every value (see README "Parallel execution").
   config.mot.num_threads = static_cast<std::size_t>(args.get_int("threads", 0));
+  config.mot.per_fault_time_ms =
+      static_cast<std::uint64_t>(args.get_int("per-fault-ms", 0));
+  config.mot.per_fault_work_limit =
+      static_cast<std::uint64_t>(args.get_int("per-fault-work", 0));
+  config.mot.campaign_time_ms =
+      static_cast<std::uint64_t>(args.get_int("campaign-ms", 0));
+  const std::string journal_flag = args.get("journal", "");
+  const std::string resume_flag = args.get("resume", "");
+  if (!journal_flag.empty() && !resume_flag.empty()) {
+    std::fprintf(stderr, "error: --journal and --resume are exclusive\n");
+    return 1;
+  }
+  config.journal_path = resume_flag.empty() ? journal_flag : resume_flag;
+  config.resume = !resume_flag.empty();
   for (const std::string& flag : args.unused()) {
     std::fprintf(stderr, "warning: unknown flag --%s\n", flag.c_str());
   }
@@ -39,17 +60,47 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::vector<RunResult> rows;
+  std::vector<const circuits::BenchmarkProfile*> chosen;
   for (const auto& profile : circuits::benchmark_suite()) {
-    const bool chosen =
+    const bool selected =
         !selection.empty()
             ? std::find(selection.begin(), selection.end(), profile.name) !=
                   selection.end()
             : (all || !profile.heavy);
-    if (!chosen) continue;
-    std::printf("running %-8s ...\n", profile.name.c_str());
+    if (selected) chosen.push_back(&profile);
+  }
+  // A journal records one campaign: one circuit, one fault list. Running a
+  // multi-circuit sweep into a single journal file would overwrite or
+  // cross-validate against the wrong campaign.
+  if (!config.journal_path.empty() && chosen.size() != 1) {
+    std::fprintf(stderr,
+                 "error: --journal/--resume need exactly one circuit "
+                 "(use --circuits <name>); %zu selected\n",
+                 chosen.size());
+    return 1;
+  }
+
+  std::vector<RunResult> rows;
+  for (const auto* profile : chosen) {
+    std::printf("running %-8s ...\n", profile->name.c_str());
     std::fflush(stdout);
-    rows.push_back(run_benchmark(profile, config));
+    RunResult r = run_benchmark(*profile, config);
+    if (!r.journal_error.empty()) {
+      std::fprintf(stderr, "error: %s\n", r.journal_error.c_str());
+      return 1;
+    }
+    if (config.resume) {
+      std::printf("  resumed %zu fault(s) from %s\n", r.resumed_faults,
+                  config.journal_path.c_str());
+    }
+    if (r.incomplete_faults > 0) {
+      std::printf("  campaign stopped early: %zu fault(s) without a result%s\n",
+                  r.incomplete_faults,
+                  config.journal_path.empty()
+                      ? ""
+                      : " (rerun with --resume to finish them)");
+    }
+    rows.push_back(std::move(r));
   }
 
   std::printf("\nTable 2 — detected faults (random patterns, N_STATES=%zu):\n%s\n",

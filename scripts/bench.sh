@@ -21,6 +21,16 @@ cmake --build "${build_dir}" -j "$(nproc)"
 # The benches write their BENCH_<name>.json here (see bench_common.hpp).
 export MOTSIM_BENCH_JSON_DIR="${repo_root}"
 
+# Thread-scaling rows (e.g. bench_hitec_s5378's 1-vs-N comparison) are
+# meaningless on a single-core host: the "parallel" run is just a second
+# serial measurement. The JSON reports carry single_core_host/measures_scaling
+# fields so consumers can discard such rows, but warn up front too.
+if [ "$(nproc)" -le 1 ]; then
+  echo "WARNING: single-core host ($(nproc) CPU); thread-scaling rows in the" >&2
+  echo "WARNING: BENCH_*.json reports will be marked invalid. Rerun on a" >&2
+  echo "WARNING: multi-core machine for real 1-vs-N numbers." >&2
+fi
+
 if [ "$#" -gt 0 ]; then
   benches=()
   for name in "$@"; do

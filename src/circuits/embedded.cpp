@@ -1,5 +1,8 @@
 #include "circuits/embedded.hpp"
 
+#include <stdexcept>
+#include <string>
+
 #include "netlist/bench_io.hpp"
 #include "netlist/builder.hpp"
 
@@ -34,7 +37,16 @@ G13 = NAND(G2, G12)
 
 std::string_view s27_bench_text() { return kS27Bench; }
 
-Circuit make_s27() { return must_parse_bench(kS27Bench, "s27"); }
+Circuit make_s27() {
+  BenchParseResult r = parse_bench(kS27Bench, "s27");
+  if (!r.ok) {
+    // The embedded text is known-valid; reaching this is a programming
+    // error, reported by exception rather than by killing the process.
+    throw std::runtime_error("embedded s27 failed to parse (line " +
+                             std::to_string(r.error_line) + "): " + r.error);
+  }
+  return std::move(r.circuit);
+}
 
 Circuit make_fig4_conflict() {
   // Under input L1 = 0: L3 = L4 = 0 and nothing else is implied (the
@@ -53,7 +65,7 @@ Circuit make_fig4_conflict() {
   const GateId l7 = b.add_gate(GateType::Not, "L7", {l6});
   b.define(l11, GateType::And, {l5, l7});
   b.mark_output(l5);
-  return b.build_or_die();
+  return b.build_or_throw();
 }
 
 Circuit make_table1_example() {
@@ -79,7 +91,7 @@ Circuit make_table1_example() {
   b.mark_output(o1);
   b.mark_output(o2);
   b.mark_output(o3);
-  return b.build_or_die();
+  return b.build_or_throw();
 }
 
 }  // namespace motsim::circuits

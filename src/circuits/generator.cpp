@@ -201,7 +201,7 @@ Circuit generate(const GeneratorParams& p) {
   while (pos.size() < p.num_outputs && k < ffs.size()) pos.push_back(ffs[k++]);
   for (GateId id : pos) b.mark_output(id);
 
-  return b.build_or_die();
+  return b.build_or_throw();
 }
 
 }  // namespace motsim::circuits

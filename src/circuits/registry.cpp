@@ -1,7 +1,6 @@
 #include "circuits/registry.hpp"
 
-#include <cstdio>
-#include <cstdlib>
+#include <stdexcept>
 
 #include "circuits/embedded.hpp"
 
@@ -67,8 +66,7 @@ Circuit build_benchmark(const std::string& name) {
   if (name == "s27") return make_s27();
   const BenchmarkProfile* p = find_profile(name);
   if (p == nullptr) {
-    std::fprintf(stderr, "motsim: unknown benchmark '%s'\n", name.c_str());
-    std::abort();
+    throw std::runtime_error("unknown benchmark '" + name + "'");
   }
   return generate(p->params);
 }

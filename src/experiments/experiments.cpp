@@ -1,8 +1,10 @@
 #include "experiments/experiments.hpp"
 
 #include <chrono>
+#include <memory>
 
 #include "faultsim/batch.hpp"
+#include "faultsim/checkpoint.hpp"
 #include "faultsim/parallel.hpp"
 #include "testgen/hitec_like.hpp"
 #include "testgen/random_gen.hpp"
@@ -45,6 +47,26 @@ RunResult run_circuit(const Circuit& c, const TestSequence& test,
   const std::vector<Fault> faults = collapsed_fault_list(c);
   result.total_faults = faults.size();
 
+  // Journal setup happens before any simulation so a bad journal fails fast
+  // instead of after hours of work. Fault indices into the collapsed list
+  // are the journal keys; the list is a deterministic function of the
+  // circuit, which the meta's circuit/fault-count check pins down.
+  std::unique_ptr<CampaignJournal> journal;
+  if (!config.journal_path.empty()) {
+    const JournalMeta meta = make_journal_meta(
+        c.name(), faults.size(), test, config.mot, config.run_baseline);
+    std::string err;
+    journal = config.resume
+                  ? CampaignJournal::open_resume(config.journal_path, meta, err)
+                  : CampaignJournal::create(config.journal_path, meta, err);
+    if (!journal) {
+      result.journal_error = err;
+      result.seconds = seconds_since(start);
+      return result;
+    }
+    result.resumed_faults = journal->resumed_count();
+  }
+
   const SequentialSimulator sim(c);
   const SeqTrace good = sim.run_fault_free(test);
 
@@ -75,11 +97,19 @@ RunResult run_circuit(const Circuit& c, const TestSequence& test,
   // schedule, so the aggregation below is deterministic.
   const MotBatchRunner runner(c, config.mot, config.run_baseline);
   const std::vector<MotBatchItem> items =
-      runner.run(test, good, faults, candidates);
+      runner.run(test, good, faults, candidates, journal.get());
 
   EffectivenessCounters sum;
   for (const MotBatchItem& item : items) {
     const MotResult& pr = item.mot;
+    if (!item.completed) {
+      ++result.incomplete_faults;
+      continue;
+    }
+    if (pr.unresolved == UnresolvedReason::Deadline ||
+        pr.unresolved == UnresolvedReason::WorkLimit) {
+      ++result.budget_stopped_faults;
+    }
     bool baseline_detected = false;
     bool baseline_aborted = false;
     if (config.run_baseline) {

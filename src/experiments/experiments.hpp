@@ -30,6 +30,14 @@ struct RunConfig {
   /// result records it — no silent truncation.
   std::size_t max_mot_faults = 0;
   std::uint64_t test_seed = 7;  ///< seed of the random test sequence
+
+  /// When non-empty, every resolved MOT outcome is appended (fsync'd) to a
+  /// crash-safe journal at this path, making the campaign resumable after a
+  /// crash or deadline stop. With `resume` set the journal is opened instead
+  /// of created and faults it already holds are merged without re-simulation
+  /// (the journal header must match this campaign — see checkpoint.hpp).
+  std::string journal_path;
+  bool resume = false;
 };
 
 struct RunResult {
@@ -68,6 +76,19 @@ struct RunResult {
   bool capped = false;
   /// Faults whose backward-implication collection hit MotOptions::max_pairs.
   std::size_t collection_capped_faults = 0;
+
+  /// Candidates whose per-fault budget (per_fault_time_ms or
+  /// per_fault_work_limit) stopped the procedure: unresolved, not undetected.
+  std::size_t budget_stopped_faults = 0;
+  /// Candidates without a final outcome because the campaign deadline
+  /// expired (or it was cancelled) first. A journaled campaign re-runs
+  /// exactly these on resume.
+  std::size_t incomplete_faults = 0;
+  /// Candidate outcomes merged from a resume journal instead of re-run.
+  std::size_t resumed_faults = 0;
+  /// Non-empty when RunConfig requested a journal that could not be created
+  /// or resumed; the run stops before simulating anything in that case.
+  std::string journal_error;
 
   double seconds = 0.0;
 };

@@ -4,6 +4,7 @@
 #include <memory>
 #include <numeric>
 
+#include "faultsim/checkpoint.hpp"
 #include "faultsim/conventional.hpp"
 #include "util/thread_pool.hpp"
 
@@ -42,16 +43,36 @@ struct Lane {
 
 std::vector<MotBatchItem> MotBatchRunner::run(
     const TestSequence& test, const SeqTrace& good,
-    const std::vector<Fault>& faults,
-    std::span<const std::size_t> indices) const {
+    const std::vector<Fault>& faults, std::span<const std::size_t> indices,
+    CampaignJournal* journal, const CancelToken* cancel) const {
   std::vector<MotBatchItem> items(indices.size());
   if (indices.empty()) return items;
   const std::size_t threads = std::min(threads_, indices.size());
+
+  // Campaign-wide controls, shared by every lane. The deadline is armed
+  // here, so campaign_time_ms bounds this call, not the runner's lifetime.
+  // `stop` latches once any lane notices the deadline or the external token:
+  // later lanes then skim their remaining faults as incomplete instead of
+  // simulating them.
+  const Deadline campaign = Deadline::after_ms(options_.campaign_time_ms);
+  CancelToken stop;
+  auto stop_requested = [&] {
+    if (stop.cancelled()) return true;
+    if ((cancel != nullptr && cancel->cancelled()) || campaign.expired()) {
+      stop.cancel();
+      return true;
+    }
+    return false;
+  };
 
   std::vector<std::unique_ptr<Lane>> lanes;
   lanes.reserve(threads);
   for (std::size_t t = 0; t < threads; ++t) {
     lanes.push_back(std::make_unique<Lane>(*circuit_, options_, run_baseline_));
+    lanes.back()->proposed.set_campaign(&campaign, &stop);
+    if (lanes.back()->baseline) {
+      lanes.back()->baseline->set_campaign(&campaign, &stop);
+    }
   }
 
   auto simulate_range = [&](std::size_t begin, std::size_t end,
@@ -62,6 +83,19 @@ std::vector<MotBatchItem> MotBatchRunner::run(
       const Fault& f = faults[k];
       MotBatchItem& item = items[i];
       item.fault_index = k;
+      // Resume: outcomes the journal already holds are merged, not re-run.
+      if (journal != nullptr) {
+        if (const MotBatchItem* done = journal->lookup(k)) {
+          item = *done;
+          continue;
+        }
+      }
+      if (stop_requested()) {
+        item.completed = false;
+        item.mot.unresolved = UnresolvedReason::Cancelled;
+        if (run_baseline_) item.baseline.unresolved = UnresolvedReason::Cancelled;
+        continue;
+      }
       // One conventional simulation per fault, shared by both procedures.
       SeqTrace faulty = lane.conv.simulate_fault(test, f, /*keep_lines=*/true);
       lane.proposed.reseed_selection(
@@ -72,6 +106,14 @@ std::vector<MotBatchItem> MotBatchRunner::run(
             per_fault_selection_seed(~options_.selection_seed, k));
         item.baseline = lane.baseline->simulate_fault(test, good, f, faulty);
       }
+      // A fault whose own budget was still open but that stopped on the
+      // campaign controls is incomplete — resume must re-run it.
+      if (item.mot.unresolved == UnresolvedReason::Cancelled) {
+        item.completed = false;
+        stop.cancel();
+        continue;
+      }
+      if (journal != nullptr) journal->append(item);
     }
   };
 

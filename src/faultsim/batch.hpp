@@ -18,6 +18,13 @@
 // pool is constructed and faults run in input order on the calling thread,
 // matching the historical serial loop (bit-identical for the default
 // selection policy, which never draws from the RNG).
+//
+// Campaign resilience: the runner arms a campaign-wide deadline
+// (MotOptions::campaign_time_ms), accepts an external CancelToken, and can
+// append every completed outcome to a crash-safe CampaignJournal so an
+// interrupted campaign resumes where it stopped (see checkpoint.hpp). A
+// stopped campaign still returns one item per requested fault — unprocessed
+// faults come back incomplete with Unresolved{Cancelled}.
 #pragma once
 
 #include <span>
@@ -25,15 +32,25 @@
 
 #include "mot/baseline.hpp"
 #include "mot/proposed.hpp"
+#include "util/deadline.hpp"
 
 namespace motsim {
 
+class CampaignJournal;
+
 struct MotBatchItem {
   std::size_t fault_index = 0;  ///< index into the fault list passed to run()
+  /// False when the campaign stopped (deadline or cancellation) before this
+  /// fault was simulated: `mot` then carries only Unresolved{Cancelled}.
+  /// Incomplete items are never journaled, so a resumed campaign re-runs
+  /// exactly these faults.
+  bool completed = true;
   MotResult mot;
   /// The [4] expansion baseline on the same shared conventional trace.
   /// Meaningful only when the runner was constructed with run_baseline.
   BaselineResult baseline;
+
+  friend bool operator==(const MotBatchItem&, const MotBatchItem&) = default;
 };
 
 class MotBatchRunner {
@@ -46,9 +63,30 @@ class MotBatchRunner {
 
   /// Simulates faults[k] for every k in `indices` (typically the undetected
   /// faults passing condition (C)). Result i corresponds to indices[i].
+  ///
+  /// Campaign resilience (all optional):
+  ///  * options.campaign_time_ms arms a campaign deadline at the top of this
+  ///    call; when it expires, in-flight faults stop via their budget polls
+  ///    and every remaining fault is returned as an incomplete item with
+  ///    Unresolved{Cancelled} — there is exactly one outcome per index,
+  ///    never a hang, never a silent drop, and the input-order merge of the
+  ///    completed faults is unchanged.
+  ///  * `cancel` stops the batch the same way from another thread.
+  ///  * `journal` makes the campaign crash-safe and resumable: faults whose
+  ///    outcome the journal already holds are not re-simulated (their
+  ///    recorded items are merged in place) and every newly completed fault
+  ///    is appended (fsync'd) as soon as it finishes.
   std::vector<MotBatchItem> run(const TestSequence& test, const SeqTrace& good,
                                 const std::vector<Fault>& faults,
-                                std::span<const std::size_t> indices) const;
+                                std::span<const std::size_t> indices,
+                                CampaignJournal* journal,
+                                const CancelToken* cancel = nullptr) const;
+
+  std::vector<MotBatchItem> run(const TestSequence& test, const SeqTrace& good,
+                                const std::vector<Fault>& faults,
+                                std::span<const std::size_t> indices) const {
+    return run(test, good, faults, indices, nullptr, nullptr);
+  }
 
   /// Convenience: simulates every fault in the list.
   std::vector<MotBatchItem> run_all(const TestSequence& test,

@@ -1,0 +1,315 @@
+#include "faultsim/checkpoint.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace motsim {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+void fnv_mix(std::uint64_t& h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xffu;
+    h *= kFnvPrime;
+  }
+}
+
+bool write_all(int fd, const char* data, std::size_t len) {
+  while (len > 0) {
+    const ssize_t n = ::write(fd, data, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::string format_header(const JournalMeta& meta) {
+  std::ostringstream os;
+  os << "motsim-journal 1\n"
+     << "circuit " << meta.circuit << '\n'
+     << "faults " << meta.num_faults << '\n'
+     << "test-length " << meta.test_length << '\n'
+     << "test-hash " << std::hex << meta.test_hash << '\n'
+     << "options-hash " << meta.options_hash << std::dec << '\n'
+     << "baseline " << (meta.baseline ? 1 : 0) << '\n'
+     << "end\n";
+  return os.str();
+}
+
+std::string format_record(const MotBatchItem& item, bool baseline) {
+  std::ostringstream os;
+  const MotResult& m = item.mot;
+  os << "f " << item.fault_index << ' ' << int(m.detected) << ' '
+     << unsigned(static_cast<std::uint8_t>(m.phase)) << ' '
+     << int(m.detected_conventional) << ' ' << int(m.passes_c) << ' '
+     << m.counters.n_det << ' ' << m.counters.n_conf << ' '
+     << m.counters.n_extra << ' ' << m.expansions << ' ' << m.phase1_pairs
+     << ' ' << m.final_sequences << ' ' << int(m.collection_capped) << ' '
+     << int(m.via_fallback) << ' '
+     << unsigned(static_cast<std::uint8_t>(m.unresolved)) << ' '
+     << m.work_used;
+  if (baseline) {
+    const BaselineResult& b = item.baseline;
+    os << " b " << int(b.detected) << ' ' << int(b.detected_conventional)
+       << ' ' << int(b.passes_c) << ' ' << b.expansions << ' '
+       << b.final_sequences << ' ' << int(b.aborted) << ' '
+       << unsigned(static_cast<std::uint8_t>(b.unresolved));
+  }
+  os << " ;\n";
+  return os.str();
+}
+
+bool read_bool(std::istringstream& is, bool& out) {
+  int v = -1;
+  if (!(is >> v) || (v != 0 && v != 1)) return false;
+  out = v != 0;
+  return true;
+}
+
+/// Parses one "f ... ;" record line. Returns false on any malformation —
+/// the caller decides whether that is a torn tail or corruption.
+bool parse_record(const std::string& line, bool baseline, MotBatchItem& out) {
+  std::istringstream is(line);
+  std::string tag;
+  if (!(is >> tag) || tag != "f") return false;
+  MotResult& m = out.mot;
+  unsigned phase = 0, unresolved = 0;
+  if (!(is >> out.fault_index)) return false;
+  if (!read_bool(is, m.detected)) return false;
+  if (!(is >> phase) || phase > static_cast<unsigned>(MotPhase::Expansion)) {
+    return false;
+  }
+  m.phase = static_cast<MotPhase>(phase);
+  if (!read_bool(is, m.detected_conventional)) return false;
+  if (!read_bool(is, m.passes_c)) return false;
+  if (!(is >> m.counters.n_det >> m.counters.n_conf >> m.counters.n_extra >>
+        m.expansions >> m.phase1_pairs >> m.final_sequences)) {
+    return false;
+  }
+  if (!read_bool(is, m.collection_capped)) return false;
+  if (!read_bool(is, m.via_fallback)) return false;
+  if (!(is >> unresolved) ||
+      unresolved > static_cast<unsigned>(UnresolvedReason::Cancelled)) {
+    return false;
+  }
+  m.unresolved = static_cast<UnresolvedReason>(unresolved);
+  if (!(is >> m.work_used)) return false;
+  if (baseline) {
+    BaselineResult& b = out.baseline;
+    if (!(is >> tag) || tag != "b") return false;
+    if (!read_bool(is, b.detected)) return false;
+    if (!read_bool(is, b.detected_conventional)) return false;
+    if (!read_bool(is, b.passes_c)) return false;
+    if (!(is >> b.expansions >> b.final_sequences)) return false;
+    if (!read_bool(is, b.aborted)) return false;
+    if (!(is >> unresolved) ||
+        unresolved > static_cast<unsigned>(UnresolvedReason::Cancelled)) {
+      return false;
+    }
+    b.unresolved = static_cast<UnresolvedReason>(unresolved);
+  }
+  // A complete record ends with the sentinel and nothing after it: the
+  // sentinel is what distinguishes a fully flushed record from a torn one.
+  if (!(is >> tag) || tag != ";") return false;
+  if (is >> tag) return false;
+  out.completed = true;
+  return true;
+}
+
+/// fsync the directory containing `path` so a rename into it is durable.
+void fsync_parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int fd = ::open(dir.empty() ? "/" : dir.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+}
+
+}  // namespace
+
+std::uint64_t hash_test(const TestSequence& test) {
+  std::uint64_t h = kFnvOffset;
+  fnv_mix(h, test.length());
+  fnv_mix(h, test.num_inputs());
+  for (std::size_t u = 0; u < test.length(); ++u) {
+    for (std::size_t i = 0; i < test.num_inputs(); ++i) {
+      fnv_mix(h, static_cast<std::uint64_t>(test.at(u, i)));
+    }
+  }
+  return h;
+}
+
+std::uint64_t hash_options(const MotOptions& o) {
+  std::uint64_t h = kFnvOffset;
+  fnv_mix(h, o.n_states);
+  fnv_mix(h, o.use_backward_implications ? 1 : 0);
+  fnv_mix(h, static_cast<std::uint64_t>(o.impl_mode));
+  fnv_mix(h, static_cast<std::uint64_t>(o.backward_depth));
+  fnv_mix(h, o.max_pairs);
+  fnv_mix(h, o.use_phase1 ? 1 : 0);
+  fnv_mix(h, static_cast<std::uint64_t>(o.selection));
+  fnv_mix(h, o.selection_seed);
+  fnv_mix(h, o.per_fault_time_ms);
+  fnv_mix(h, o.per_fault_work_limit);
+  fnv_mix(h, o.fallback_plain_expansion ? 1 : 0);
+  return h;
+}
+
+JournalMeta make_journal_meta(const std::string& circuit_name,
+                              std::size_t num_faults, const TestSequence& test,
+                              const MotOptions& options, bool baseline) {
+  JournalMeta meta;
+  meta.circuit = circuit_name;
+  meta.num_faults = num_faults;
+  meta.test_length = test.length();
+  meta.test_hash = hash_test(test);
+  meta.options_hash = hash_options(options);
+  meta.baseline = baseline;
+  return meta;
+}
+
+std::unique_ptr<CampaignJournal> CampaignJournal::create(
+    const std::string& path, const JournalMeta& meta, std::string& error) {
+  const std::string tmp = path + ".tmp";
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    error = "cannot create " + tmp + ": " + std::strerror(errno);
+    return nullptr;
+  }
+  const std::string header = format_header(meta);
+  if (!write_all(fd, header.data(), header.size()) || ::fsync(fd) != 0) {
+    error = "cannot write " + tmp + ": " + std::strerror(errno);
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return nullptr;
+  }
+  ::close(fd);
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    error = "cannot rename " + tmp + " to " + path + ": " + std::strerror(errno);
+    ::unlink(tmp.c_str());
+    return nullptr;
+  }
+  fsync_parent_dir(path);
+  fd = ::open(path.c_str(), O_WRONLY | O_APPEND);
+  if (fd < 0) {
+    error = "cannot reopen " + path + ": " + std::strerror(errno);
+    return nullptr;
+  }
+  auto journal = std::unique_ptr<CampaignJournal>(new CampaignJournal());
+  journal->path_ = path;
+  journal->meta_ = meta;
+  journal->fd_ = fd;
+  return journal;
+}
+
+std::unique_ptr<CampaignJournal> CampaignJournal::open_resume(
+    const std::string& path, const JournalMeta& expected, std::string& error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    error = "cannot open " + path;
+    return nullptr;
+  }
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  in.close();
+
+  // Header: must match format_header(expected) verbatim — any field
+  // mismatch (circuit, fault count, test, options) makes the journal
+  // unusable for this campaign.
+  const std::string header = format_header(expected);
+  if (content.compare(0, header.size(), header) != 0) {
+    error = path + ": journal header does not match this campaign "
+            "(different circuit, fault list, test sequence or options)";
+    return nullptr;
+  }
+
+  auto journal = std::unique_ptr<CampaignJournal>(new CampaignJournal());
+  journal->path_ = path;
+  journal->meta_ = expected;
+
+  // Records. `valid_end` tracks the byte offset just past the last complete
+  // record so a torn tail can be truncated away before appending.
+  std::size_t pos = header.size();
+  std::size_t valid_end = pos;
+  std::size_t line_no =
+      static_cast<std::size_t>(std::count(header.begin(), header.end(), '\n'));
+  while (pos < content.size()) {
+    ++line_no;
+    std::size_t eol = content.find('\n', pos);
+    const bool has_newline = eol != std::string::npos;
+    if (!has_newline) eol = content.size();
+    const std::string line = content.substr(pos, eol - pos);
+    const std::size_t next = has_newline ? eol + 1 : content.size();
+    if (!line.empty()) {
+      MotBatchItem item;
+      if (parse_record(line, expected.baseline, item)) {
+        journal->resumed_[item.fault_index] = item;
+        valid_end = next;
+      } else if (next >= content.size()) {
+        // Torn final record (crash mid-append): drop it.
+        break;
+      } else {
+        error = path + ":" + std::to_string(line_no) +
+                ": malformed journal record";
+        return nullptr;
+      }
+    } else if (has_newline) {
+      valid_end = next;  // tolerate a blank line only if fully written
+    }
+    pos = next;
+  }
+
+  const int fd = ::open(path.c_str(), O_WRONLY | O_APPEND);
+  if (fd < 0) {
+    error = "cannot open " + path + " for append: " + std::strerror(errno);
+    return nullptr;
+  }
+  if (valid_end < content.size() &&
+      ::ftruncate(fd, static_cast<off_t>(valid_end)) != 0) {
+    error = "cannot truncate torn record in " + path + ": " +
+            std::strerror(errno);
+    ::close(fd);
+    return nullptr;
+  }
+  journal->fd_ = fd;
+  return journal;
+}
+
+CampaignJournal::~CampaignJournal() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+const MotBatchItem* CampaignJournal::lookup(std::size_t fault_index) const {
+  const auto it = resumed_.find(fault_index);
+  return it == resumed_.end() ? nullptr : &it->second;
+}
+
+bool CampaignJournal::append(const MotBatchItem& item) {
+  const std::string record = format_record(item, meta_.baseline);
+  std::lock_guard<std::mutex> lk(mu_);
+  if (failed_ || fd_ < 0) return false;
+  if (!write_all(fd_, record.data(), record.size()) || ::fsync(fd_) != 0) {
+    failed_ = true;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace motsim

@@ -1,0 +1,116 @@
+// Crash-safe campaign journal: resume a long fault-simulation run.
+//
+// A campaign over tens of thousands of faults can run for hours; a crash,
+// OOM kill, or cluster preemption should not throw the finished work away.
+// CampaignJournal makes MotBatchRunner::run() restartable:
+//
+//  * create() writes a versioned header describing the campaign (circuit,
+//    fault count, a hash of the test sequence, the options fingerprint) to a
+//    temporary file, fsyncs it and renames it into place — a crash during
+//    creation leaves either no journal or a complete header, never a torn
+//    one. The directory entry is fsync'd too, so the rename itself is
+//    durable.
+//  * append() writes one complete record per resolved fault, terminated by
+//    a sentinel, and fsyncs before returning. A crash mid-append therefore
+//    loses at most the record being written, and that loss is detectable:
+//    the torn line has no terminator.
+//  * open_resume() validates the header against the campaign about to run
+//    (resuming against a different circuit, fault list, test sequence or
+//    option set would silently mix incompatible results — that is an error,
+//    not a best effort), loads every complete record, discards a torn final
+//    record if present (truncating the file so the next append starts on a
+//    fresh line), and rejects corruption anywhere else.
+//
+// Records are plain text, one line per fault, so a journal is inspectable
+// with standard tools and diffable across runs. Faults are keyed by their
+// index into the campaign's fault list; lookup() is lock-free because the
+// resume map is immutable once opened — during a run each fault index is
+// visited exactly once, so appends never need to feed back into the map.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "faultsim/batch.hpp"
+#include "mot/options.hpp"
+
+namespace motsim {
+
+/// Campaign identity stamped into the journal header. open_resume() refuses
+/// a journal whose meta does not match the run being resumed.
+struct JournalMeta {
+  std::string circuit;          ///< circuit name (e.g. "s5378")
+  std::uint64_t num_faults = 0; ///< size of the campaign's fault list
+  std::uint64_t test_length = 0;
+  std::uint64_t test_hash = 0;  ///< hash_test() of the stimulus
+  std::uint64_t options_hash = 0;  ///< fingerprint of result-affecting options
+  bool baseline = false;        ///< records carry [4]-baseline fields too
+
+  friend bool operator==(const JournalMeta&, const JournalMeta&) = default;
+};
+
+/// FNV-1a over every (time unit, input) value of the sequence.
+std::uint64_t hash_test(const TestSequence& test);
+
+/// Fingerprint of the MotOptions fields that affect per-fault outcomes.
+/// num_threads and campaign_time_ms are excluded on purpose: neither changes
+/// any individual fault's result, and a resumed campaign may legitimately
+/// use a different thread count or a fresh campaign budget.
+std::uint64_t hash_options(const MotOptions& options);
+
+/// Convenience assembler for the meta block of a campaign.
+JournalMeta make_journal_meta(const std::string& circuit_name,
+                              std::size_t num_faults, const TestSequence& test,
+                              const MotOptions& options, bool baseline);
+
+class CampaignJournal {
+ public:
+  /// Starts a fresh journal at `path` (overwriting any existing file) via
+  /// write-temp-then-rename. Returns nullptr and sets `error` on I/O
+  /// failure.
+  static std::unique_ptr<CampaignJournal> create(const std::string& path,
+                                                 const JournalMeta& meta,
+                                                 std::string& error);
+
+  /// Opens an existing journal for resumption. Fails (nullptr + `error`)
+  /// when the file is missing, the header does not match `expected`, or any
+  /// record other than a torn final one is malformed. On success the journal
+  /// is positioned for appending new records.
+  static std::unique_ptr<CampaignJournal> open_resume(
+      const std::string& path, const JournalMeta& expected, std::string& error);
+
+  ~CampaignJournal();
+  CampaignJournal(const CampaignJournal&) = delete;
+  CampaignJournal& operator=(const CampaignJournal&) = delete;
+
+  /// The recorded outcome for a fault, or nullptr if the journal has none.
+  /// Lock-free: the resume map never changes after open.
+  const MotBatchItem* lookup(std::size_t fault_index) const;
+
+  /// Appends one resolved fault (fsync'd before returning). Thread-safe.
+  /// Returns false on I/O failure; the first failure disables the journal
+  /// (later appends return false immediately) so a full disk degrades the
+  /// campaign to journal-less operation instead of spamming syscalls.
+  bool append(const MotBatchItem& item);
+
+  /// Number of records loaded by open_resume() (0 for a fresh journal).
+  std::size_t resumed_count() const { return resumed_.size(); }
+
+  const std::string& path() const { return path_; }
+  const JournalMeta& meta() const { return meta_; }
+
+ private:
+  CampaignJournal() = default;
+
+  std::string path_;
+  JournalMeta meta_;
+  int fd_ = -1;
+  bool failed_ = false;  // guarded by mu_
+  std::mutex mu_;
+  std::unordered_map<std::size_t, MotBatchItem> resumed_;
+};
+
+}  // namespace motsim

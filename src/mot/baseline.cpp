@@ -34,6 +34,7 @@ BaselineResult ExpansionBaseline::to_baseline(const MotResult& r) {
   out.expansions = r.expansions;
   out.final_sequences = r.final_sequences;
   out.aborted = r.passes_c && !r.detected;
+  out.unresolved = r.unresolved;
   return out;
 }
 

@@ -27,6 +27,10 @@ struct BaselineResult {
   std::size_t final_sequences = 0;
   /// Expansion budget exhausted (or no variable left) without detection.
   bool aborted = false;
+  /// Mirrors MotResult::unresolved for the baseline run (NStates covers the
+  /// classic `aborted` case; Deadline/WorkLimit/Cancelled are campaign-layer
+  /// stops).
+  UnresolvedReason unresolved = UnresolvedReason::None;
 
   friend bool operator==(const BaselineResult&, const BaselineResult&) = default;
 };
@@ -44,6 +48,11 @@ class ExpansionBaseline {
 
   /// Forwards to MotFaultSimulator::reseed_selection.
   void reseed_selection(std::uint64_t seed) { inner_.reseed_selection(seed); }
+
+  /// Forwards to MotFaultSimulator::set_campaign.
+  void set_campaign(const Deadline* campaign, const CancelToken* cancel) {
+    inner_.set_campaign(campaign, cancel);
+  }
 
  private:
   static BaselineResult to_baseline(const MotResult& r);

@@ -69,7 +69,8 @@ ImplOutcome BackwardCollector::probe(const SeqTrace& good, SeqTrace& faulty,
 }
 
 CollectionResult BackwardCollector::collect(const SeqTrace& good, SeqTrace& faulty,
-                                            const FaultView& fv) {
+                                            const FaultView& fv,
+                                            WorkBudget* budget) {
   const Circuit& c = *circuit_;
   assert(!faulty.lines.empty() && "collector needs a trace with line values");
   const std::size_t L = good.length();
@@ -102,6 +103,9 @@ CollectionResult BackwardCollector::collect(const SeqTrace& good, SeqTrace& faul
         result.capped = true;
         return result;
       }
+      // Two backward probes per pair; the budget poll is what lets a
+      // pathological fault stop mid-collection instead of hanging.
+      if (budget != nullptr && budget->poll(2)) return result;
       PairInfo pair;
       pair.u = u;
       pair.i = i;

@@ -26,6 +26,7 @@
 #include "mot/counters.hpp"
 #include "mot/implicator.hpp"
 #include "mot/options.hpp"
+#include "util/deadline.hpp"
 
 namespace motsim {
 
@@ -59,8 +60,13 @@ class BackwardCollector {
 
   /// `faulty` must carry line values (keep_lines); they are probed in place
   /// and restored before returning. Requires good/faulty over the same test.
+  ///
+  /// `budget` (optional) is polled once per backward probe; when it runs out
+  /// the enumeration stops and the partial pair list is returned — the
+  /// caller must treat the fault as unresolved (budget.stop() says why), the
+  /// same contract as `capped`.
   CollectionResult collect(const SeqTrace& good, SeqTrace& faulty,
-                           const FaultView& fv);
+                           const FaultView& fv, WorkBudget* budget = nullptr);
 
  private:
   /// Probes one (u, i, α); fills the pair's side. Returns outcome.

@@ -12,11 +12,14 @@ namespace {
 /// Procedure 2 are detection-oriented and do not apply to the fault-free
 /// machine, which has no reference response to conflict with.)
 void plain_expand(StateSet& set, const Circuit& c, const TestSequence& test,
-                  std::size_t budget) {
+                  std::size_t n_states, WorkBudget& budget) {
   // all_resolved() also guards the vacuous case where no active sequence is
   // left: unspecified_everywhere() would then hold for every variable and
   // the empty duplication would loop forever.
-  while (!set.all_resolved() && set.size() * 2 <= budget) {
+  while (!set.all_resolved() && set.size() * 2 <= n_states) {
+    // Charge by set size: each split duplicates every active sequence, and
+    // the doubling growth would otherwise outrun the poll clock stride.
+    if (budget.poll(set.size())) return;  // fault reported as unresolved
     bool found = false;
     for (std::size_t u = 0; u <= test.length() && !found; ++u) {
       for (std::size_t i = 0; i < c.num_dffs() && !found; ++i) {
@@ -32,7 +35,7 @@ void plain_expand(StateSet& set, const Circuit& c, const TestSequence& test,
       }
     }
     if (!found) break;
-    set.resimulate();
+    set.resimulate(&budget);
     if (set.all_resolved()) break;
   }
 }
@@ -76,6 +79,13 @@ bool output_seqs_conflict(const std::vector<std::vector<Val>>& a,
 GeneralMotSimulator::GeneralMotSimulator(const Circuit& c, GeneralMotOptions options)
     : circuit_(&c), options_(options), restricted_(c, options.mot), conv_(c) {}
 
+void GeneralMotSimulator::set_campaign(const Deadline* campaign,
+                                       const CancelToken* cancel) {
+  campaign_ = campaign;
+  cancel_ = cancel;
+  restricted_.set_campaign(campaign, cancel);
+}
+
 GeneralMotResult GeneralMotSimulator::simulate_fault(const TestSequence& test,
                                                      const SeqTrace& good,
                                                      const Fault& f) {
@@ -93,17 +103,35 @@ GeneralMotResult GeneralMotSimulator::simulate_fault(const TestSequence& test,
     return result;
   }
 
+  // The general pass runs under its own per-fault budget (the restricted
+  // pass above already consumed one full budget of its own); the campaign
+  // controls are shared.
+  WorkBudget budget(Deadline::after_ms(options_.mot.per_fault_time_ms),
+                    options_.mot.per_fault_work_limit, campaign_, cancel_);
+  const auto unresolved_verdict = [&]() {
+    switch (budget.stop()) {
+      case BudgetStop::Deadline: result.unresolved = UnresolvedReason::Deadline; break;
+      case BudgetStop::WorkLimit: result.unresolved = UnresolvedReason::WorkLimit; break;
+      case BudgetStop::Cancelled: result.unresolved = UnresolvedReason::Cancelled; break;
+      case BudgetStop::None: break;
+    }
+    result.detected = false;
+    return result;
+  };
+
   // Expand the fault-free machine into a (small) set of responses...
   const FaultView fault_free(c);
   const SequentialSimulator sim(c);
   SeqTrace good_lines = sim.run_fault_free(test, /*keep_lines=*/true);
   StateSet good_set(c, test, good, fault_free, good_lines);
-  plain_expand(good_set, c, test, options_.good_n_states);
+  plain_expand(good_set, c, test, options_.good_n_states, budget);
+  if (budget.exhausted()) return unresolved_verdict();
 
   // ...and the faulty machine into its set of undistinguished responses.
   const FaultView fv(c, f);
   StateSet faulty_set(c, test, good, fv, faulty);
-  plain_expand(faulty_set, c, test, options_.mot.n_states);
+  plain_expand(faulty_set, c, test, options_.mot.n_states, budget);
+  if (budget.exhausted()) return unresolved_verdict();
 
   std::vector<std::vector<std::vector<Val>>> good_outputs;
   for (std::size_t g = 0; g < good_set.size(); ++g) {
@@ -117,6 +145,8 @@ GeneralMotResult GeneralMotSimulator::simulate_fault(const TestSequence& test,
   bool all_distinguished = true;
   for (std::size_t s = 0; s < faulty_set.size(); ++s) {
     if (faulty_set.seq(s).status != SeqStatus::Active) continue;
+    // Deriving one output sequence evaluates test.length() frames.
+    if (budget.poll(test.length())) return unresolved_verdict();
     ++result.faulty_sequences;
     const auto fo = outputs_of(c, test, fv, faulty_set.seq(s));
     for (const auto& go : good_outputs) {

@@ -45,6 +45,10 @@ struct GeneralMotResult {
   bool detected_conventional = false;
   std::size_t good_sequences = 0;    ///< feasible fault-free sequences compared
   std::size_t faulty_sequences = 0;  ///< surviving faulty sequences compared
+  /// Budget verdict: when a per-fault or campaign budget stopped the
+  /// general-MOT expansion/comparison early, `detected` is a sound "no" and
+  /// this records why the fault is unresolved rather than undetected.
+  UnresolvedReason unresolved = UnresolvedReason::None;
 };
 
 class GeneralMotSimulator {
@@ -54,11 +58,17 @@ class GeneralMotSimulator {
   GeneralMotResult simulate_fault(const TestSequence& test, const SeqTrace& good,
                                   const Fault& f);
 
+  /// Campaign-wide controls, shared with the restricted pass (see
+  /// MotFaultSimulator::set_campaign).
+  void set_campaign(const Deadline* campaign, const CancelToken* cancel);
+
  private:
   const Circuit* circuit_;
   GeneralMotOptions options_;
   MotFaultSimulator restricted_;
   ConventionalFaultSimulator conv_;
+  const Deadline* campaign_ = nullptr;
+  const CancelToken* cancel_ = nullptr;
 };
 
 /// Exhaustive general-MOT ground truth: enumerates the initial states of

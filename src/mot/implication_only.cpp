@@ -4,7 +4,7 @@ namespace motsim {
 
 ImplicationOnlySimulator::ImplicationOnlySimulator(const Circuit& c,
                                                    MotOptions options)
-    : circuit_(&c), conv_(c), collector_(c, options) {}
+    : circuit_(&c), options_(options), conv_(c), collector_(c, options) {}
 
 ImplicationOnlyResult ImplicationOnlySimulator::simulate_fault(
     const TestSequence& test, const SeqTrace& good, const Fault& f) {
@@ -28,9 +28,13 @@ ImplicationOnlyResult ImplicationOnlySimulator::simulate_fault(
   result.passes_c = true;
 
   // Detection comes from the collected implications alone (§3.2): the
-  // collector stops early and flags it when a pair closes both ways.
-  const CollectionResult collected = collector_.collect(good, faulty, fv);
+  // collector stops early and flags it when a pair closes both ways. The
+  // per-fault budget bounds the probe sweep like every other procedure.
+  WorkBudget budget(Deadline::after_ms(options_.per_fault_time_ms),
+                    options_.per_fault_work_limit);
+  const CollectionResult collected = collector_.collect(good, faulty, fv, &budget);
   result.detected = collected.detected_by_check;
+  result.budget_stopped = budget.exhausted();
   return result;
 }
 

@@ -25,6 +25,10 @@ struct ImplicationOnlyResult {
   bool detected = false;
   bool detected_conventional = false;
   bool passes_c = false;
+  /// The per-fault budget (MotOptions::per_fault_time_ms / work limit)
+  /// stopped the probe sweep early: `detected == false` then means
+  /// "unresolved", not "checked every pair".
+  bool budget_stopped = false;
 };
 
 class ImplicationOnlySimulator {
@@ -41,6 +45,7 @@ class ImplicationOnlySimulator {
 
  private:
   const Circuit* circuit_;
+  MotOptions options_;
   ConventionalFaultSimulator conv_;
   BackwardCollector collector_;
 };

@@ -67,6 +67,26 @@ struct MotOptions {
   /// across threads — the batch drivers build one instance per worker.
   std::size_t num_threads = 0;
 
+  /// Per-fault wall-clock budget in milliseconds (0 = unlimited). Polled at
+  /// step granularity (backward probe / expansion / resimulated frame); a
+  /// fault that exceeds it returns Unresolved{Deadline} instead of running
+  /// on. Time-based budgets make results machine-dependent — keep this 0
+  /// when bit-identical reruns matter and use per_fault_work_limit instead.
+  std::uint64_t per_fault_time_ms = 0;
+
+  /// Per-fault work-unit cap (0 = unlimited). One unit is one backward
+  /// probe, one duplicated sequence during expansion, or one resimulated
+  /// (sequence, frame) pair, so the count is a deterministic function of
+  /// the fault — the same limit yields the same Unresolved{WorkLimit}
+  /// outcomes at every thread count.
+  std::uint64_t per_fault_work_limit = 0;
+
+  /// Whole-campaign wall-clock budget for the batch drivers (0 = unlimited).
+  /// When it expires, in-flight faults stop and every fault without a result
+  /// is returned as Unresolved{Cancelled} — the campaign ends cleanly with
+  /// one outcome per fault, never a hang and never a silent drop.
+  std::uint64_t campaign_time_ms = 0;
+
   /// When the implication-enriched expansion fails to resolve a fault within
   /// the N_STATES budget, retry once with plain [4]-style expansion. The
   /// enriched extra() sets are a selection heuristic — occasionally a plain

@@ -5,6 +5,18 @@
 
 namespace motsim {
 
+const char* to_string(UnresolvedReason r) {
+  switch (r) {
+    case UnresolvedReason::None: return "none";
+    case UnresolvedReason::Deadline: return "deadline";
+    case UnresolvedReason::WorkLimit: return "work_limit";
+    case UnresolvedReason::PairCap: return "pair_cap";
+    case UnresolvedReason::NStates: return "n_states";
+    case UnresolvedReason::Cancelled: return "cancelled";
+  }
+  return "?";
+}
+
 MotFaultSimulator::MotFaultSimulator(const Circuit& c, MotOptions options)
     : circuit_(&c),
       options_(options),
@@ -33,6 +45,16 @@ std::vector<PairInfo> plain_pairs(const Circuit& c, const SeqTrace& faulty,
     }
   }
   return pairs;
+}
+
+UnresolvedReason reason_of(BudgetStop stop) {
+  switch (stop) {
+    case BudgetStop::Deadline: return UnresolvedReason::Deadline;
+    case BudgetStop::WorkLimit: return UnresolvedReason::WorkLimit;
+    case BudgetStop::Cancelled: return UnresolvedReason::Cancelled;
+    case BudgetStop::None: break;
+  }
+  return UnresolvedReason::None;
 }
 
 }  // namespace
@@ -100,11 +122,16 @@ const PairInfo* MotFaultSimulator::select_pair(std::vector<const PairInfo*>& ord
   return nullptr;
 }
 
+WorkBudget MotFaultSimulator::make_budget() const {
+  return WorkBudget(Deadline::after_ms(options_.per_fault_time_ms),
+                    options_.per_fault_work_limit, campaign_, cancel_);
+}
+
 bool MotFaultSimulator::expand_and_resimulate(
     const std::vector<PairInfo>& pairs, const TestSequence& test,
     const SeqTrace& good, const SeqTrace& faulty, const FaultView& fv,
     const std::vector<std::size_t>& nout, const std::vector<std::size_t>& nsv,
-    bool apply_phase1, MotResult& result) {
+    bool apply_phase1, WorkBudget& budget, MotResult& result) {
   StateSet set(*circuit_, test, good, fv, faulty);
 
   // Procedure 2, step 2 (phase 1): one-sided pairs close one value of y_i —
@@ -133,6 +160,11 @@ bool MotFaultSimulator::expand_and_resimulate(
   std::vector<const PairInfo*> order = sorted_candidates(pairs, nout, nsv);
   std::size_t cursor = 0;
   while (set.size() * 2 <= options_.n_states) {
+    // An expansion duplicates every active sequence, so its cost scales
+    // with the set size — charge that many units (not 1) or the doubling
+    // growth would reach a huge N_STATES in too few polls for the clock
+    // stride to ever observe the deadline.
+    if (budget.poll(set.size())) return false;  // caller reads the reason
     const PairInfo* pick = select_pair(order, cursor, set);
     if (pick == nullptr) break;
     ++result.expansions;
@@ -151,8 +183,11 @@ bool MotFaultSimulator::expand_and_resimulate(
   }
 
   // §3.4: resimulate and check.
-  set.resimulate();
+  set.resimulate(&budget);
   result.final_sequences = set.size();
+  // An Active sequence left by an exhausted budget correctly reads as
+  // "not all resolved": budget overrun can only lose detections, never
+  // fabricate one.
   return set.all_resolved();
 }
 
@@ -184,41 +219,60 @@ MotResult MotFaultSimulator::simulate_fault(const TestSequence& test,
   }
   result.passes_c = true;
 
+  // One budget covers the whole per-fault pipeline (collection, expansion,
+  // resimulation, fallback); every early return below records its verdict.
+  WorkBudget budget = make_budget();
+  const auto finish = [&](MotResult& r) -> MotResult& {
+    r.work_used = budget.work_used();
+    if (!r.detected && r.phase == MotPhase::NotDetected) {
+      if (budget.exhausted()) {
+        r.unresolved = reason_of(budget.stop());
+      } else if (r.collection_capped) {
+        r.unresolved = UnresolvedReason::PairCap;
+      } else {
+        r.unresolved = UnresolvedReason::NStates;
+      }
+    }
+    return r;
+  };
+
   // Procedure 1, steps 1-2: collect and check.
-  CollectionResult collected = collector_.collect(good, faulty, fv);
+  CollectionResult collected = collector_.collect(good, faulty, fv, &budget);
   result.collection_capped = collected.capped;
   if (collected.detected_by_check) {
     result.detected = true;
     result.phase = MotPhase::Collection;
-    return result;
+    return finish(result);
   }
+  if (budget.exhausted()) return finish(result);
 
   const std::vector<std::size_t> nout = count_nout(good, faulty);
   const std::vector<std::size_t> nsv = count_nsv(faulty);
 
   // Procedure 2 + §3.4 with the collected (implication-enriched) pairs.
   if (expand_and_resimulate(collected.pairs, test, good, faulty, fv, nout, nsv,
-                            options_.use_phase1, result)) {
+                            options_.use_phase1, budget, result)) {
     result.detected = true;
     result.phase = MotPhase::Expansion;
-    return result;
+    return finish(result);
   }
 
   // Optional fallback: plain [4]-style expansion (no extras, no phase 1).
-  if (options_.fallback_plain_expansion && options_.use_backward_implications) {
+  if (!budget.exhausted() && options_.fallback_plain_expansion &&
+      options_.use_backward_implications) {
     MotResult fallback;  // separate accounting; counters stay with the
                          // enriched attempt, which reflects the paper's rules
     if (expand_and_resimulate(plain_pairs(*circuit_, faulty, nout), test, good,
                               faulty, fv, nout, nsv, /*apply_phase1=*/false,
-                              fallback)) {
+                              budget, fallback)) {
       result.detected = true;
       result.via_fallback = true;
       result.phase = MotPhase::Expansion;
       result.final_sequences = fallback.final_sequences;
-      return result;
+      return finish(result);
     }
   }
-  return result;
+  return finish(result);
 }
 
 }  // namespace motsim

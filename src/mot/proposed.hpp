@@ -20,6 +20,7 @@
 #include "mot/collector.hpp"
 #include "mot/options.hpp"
 #include "mot/state_set.hpp"
+#include "util/deadline.hpp"
 #include "util/rng.hpp"
 
 namespace motsim {
@@ -33,6 +34,22 @@ enum class MotPhase : std::uint8_t {
   Expansion,     ///< expansion + resimulation (§3.3-3.4)
 };
 
+/// Why an undetected fault is *unresolved* rather than proven undetectable.
+/// `None` means the result is definitive (detected, or failed condition (C)
+/// so no observation time can expose the fault). Every other value records
+/// which budget gave out first — an unresolved fault is never silently
+/// folded into "undetected".
+enum class UnresolvedReason : std::uint8_t {
+  None,      ///< result is definitive
+  Deadline,  ///< MotOptions::per_fault_time_ms expired
+  WorkLimit, ///< MotOptions::per_fault_work_limit reached
+  PairCap,   ///< collection stopped at MotOptions::max_pairs
+  NStates,   ///< expansion exhausted the N_STATES budget (the paper's abort)
+  Cancelled, ///< campaign deadline or external cancellation
+};
+
+const char* to_string(UnresolvedReason r);
+
 struct MotResult {
   bool detected = false;  ///< under restricted MOT (includes conventional)
   MotPhase phase = MotPhase::NotDetected;
@@ -45,6 +62,13 @@ struct MotResult {
   bool collection_capped = false;
   /// Resolved only by the plain-expansion fallback (see MotOptions).
   bool via_fallback = false;
+  /// Set iff the fault is neither detected nor proven undetectable; records
+  /// which budget stopped the procedure (NStates when it simply exhausted
+  /// the paper's expansion budget).
+  UnresolvedReason unresolved = UnresolvedReason::None;
+  /// Work units consumed (probes + expansions + resimulated frames); a
+  /// deterministic function of the fault, independent of thread count.
+  std::uint64_t work_used = 0;
 
   friend bool operator==(const MotResult&, const MotResult&) = default;
 };
@@ -73,6 +97,15 @@ class MotFaultSimulator {
   /// from the stream.
   void reseed_selection(std::uint64_t seed) { selection_rng_ = Rng(seed); }
 
+  /// Attaches campaign-wide controls: every subsequent simulate_fault() call
+  /// also stops (as Unresolved{Cancelled}) when `campaign` expires or
+  /// `cancel` fires. Either may be null; both must outlive the simulator's
+  /// use. The batch drivers share one pair across all worker lanes.
+  void set_campaign(const Deadline* campaign, const CancelToken* cancel) {
+    campaign_ = campaign;
+    cancel_ = cancel;
+  }
+
  private:
   /// Step 3's static filtering plus the static ranking of steps 4-6 (done
   /// once per fault; see proposed.cpp for why this is equivalent to the
@@ -92,13 +125,19 @@ class MotFaultSimulator {
                              const SeqTrace& faulty, const FaultView& fv,
                              const std::vector<std::size_t>& nout,
                              const std::vector<std::size_t>& nsv,
-                             bool apply_phase1, MotResult& result);
+                             bool apply_phase1, WorkBudget& budget,
+                             MotResult& result);
+
+  /// Fresh per-fault budget from the options plus the campaign controls.
+  WorkBudget make_budget() const;
 
   const Circuit* circuit_;
   MotOptions options_;
   ConventionalFaultSimulator conv_;
   BackwardCollector collector_;
   Rng selection_rng_;
+  const Deadline* campaign_ = nullptr;
+  const CancelToken* cancel_ = nullptr;
 };
 
 }  // namespace motsim

@@ -60,9 +60,10 @@ std::vector<std::size_t> StateSet::duplicate_active() {
   return copies;
 }
 
-void StateSet::resimulate() {
+void StateSet::resimulate(WorkBudget* budget) {
   for (StateSeq& seq : seqs_) {
-    if (seq.status == SeqStatus::Active) resimulate_one(seq, marked_);
+    if (budget != nullptr && budget->exhausted()) break;
+    if (seq.status == SeqStatus::Active) resimulate_one(seq, marked_, budget);
   }
   marked_.assign(marked_.size(), 0);
 }
@@ -125,12 +126,14 @@ void StateSet::eval_seq_frame(const StateSeq& seq, std::size_t u) {
   }
 }
 
-void StateSet::resimulate_one(StateSeq& seq, std::vector<std::uint8_t> marked) {
+void StateSet::resimulate_one(StateSeq& seq, std::vector<std::uint8_t> marked,
+                              WorkBudget* budget) {
   const Circuit& c = *circuit_;
   const std::size_t L = test_->length();
 
   for (std::size_t u = 0; u < L; ++u) {
     if (!marked[u]) continue;
+    if (budget != nullptr && budget->poll()) return;  // sequence stays Active
     eval_seq_frame(seq, u);
 
     // Output conflict with the fault-free response: detected.

@@ -22,6 +22,7 @@
 #include "mot/counters.hpp"
 #include "sim/seq_sim.hpp"
 #include "sim/test_sequence.hpp"
+#include "util/deadline.hpp"
 
 namespace motsim {
 
@@ -63,10 +64,16 @@ class StateSet {
   std::vector<std::size_t> duplicate_active();
 
   /// §3.4 resimulation of all active sequences over the marked time units.
-  void resimulate();
+  ///
+  /// `budget` (optional) is polled once per evaluated (sequence, frame);
+  /// when it runs out the pass stops early with some sequences left Active —
+  /// sound, because the caller treats an exhausted budget as "fault
+  /// unresolved" and an Active sequence can never prove detection anyway.
+  void resimulate(WorkBudget* budget = nullptr);
 
  private:
-  void resimulate_one(StateSeq& seq, std::vector<std::uint8_t> marked);
+  void resimulate_one(StateSeq& seq, std::vector<std::uint8_t> marked,
+                      WorkBudget* budget);
 
   /// Evaluates time unit u of `seq` into frame_. When the faulty trace
   /// carries line values, only the cone of state variables that differ from

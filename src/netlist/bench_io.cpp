@@ -1,9 +1,8 @@
 #include "netlist/bench_io.hpp"
 
-#include <cstdio>
-#include <cstdlib>
 #include <fstream>
 #include <sstream>
+#include <unordered_set>
 #include <vector>
 
 #include "netlist/builder.hpp"
@@ -24,6 +23,8 @@ BenchParseResult parse_bench(std::string_view text, std::string name) {
   BenchParseResult result;
   CircuitBuilder builder(name);
   std::vector<PendingOutput> pending_outputs;
+  std::unordered_set<std::string> output_names;
+  std::unordered_set<std::string> defined_names;
 
   std::size_t line_no = 0;
   std::size_t pos = 0;
@@ -61,8 +62,16 @@ BenchParseResult parse_bench(std::string_view text, std::string name) {
         return result;
       }
       if (iequals(kw, "INPUT")) {
+        if (!defined_names.insert(std::string(arg)).second) {
+          fail("duplicate definition of '" + std::string(arg) + "'");
+          return result;
+        }
         builder.add_input(std::string(arg));
       } else if (iequals(kw, "OUTPUT")) {
+        if (!output_names.insert(std::string(arg)).second) {
+          fail("duplicate OUTPUT declaration for '" + std::string(arg) + "'");
+          return result;
+        }
         // The driving gate may not be defined yet; resolve after the pass.
         pending_outputs.push_back({std::string(arg), line_no});
       } else {
@@ -95,6 +104,10 @@ BenchParseResult parse_bench(std::string_view text, std::string name) {
       fail("INPUT cannot appear on the right-hand side");
       return result;
     }
+    if (!defined_names.insert(std::string(lhs)).second) {
+      fail("duplicate definition of '" + std::string(lhs) + "'");
+      return result;
+    }
     std::vector<GateId> fanins;
     const std::string_view args = rhs.substr(lp + 1, rp - lp - 1);
     for (std::string_view a : split(args, ',')) {
@@ -102,6 +115,13 @@ BenchParseResult parse_bench(std::string_view text, std::string name) {
       if (a.empty()) {
         if (split(args, ',').size() == 1) break;  // FUNC() with no args
         fail("empty fanin name");
+        return result;
+      }
+      // A combinational gate feeding itself is a zero-length cycle; report
+      // it here with the line number instead of as an anonymous cycle at
+      // build time. (A DFF reading its own output is ordinary feedback.)
+      if (type != GateType::Dff && a == lhs) {
+        fail("gate '" + std::string(lhs) + "' feeds itself");
         return result;
       }
       fanins.push_back(builder.declare(std::string(a)));
@@ -143,16 +163,6 @@ BenchParseResult parse_bench_file(const std::string& path) {
   const std::size_t dot = name.find_last_of('.');
   if (dot != std::string::npos) name = name.substr(0, dot);
   return parse_bench(ss.str(), name);
-}
-
-Circuit must_parse_bench(std::string_view text, std::string name) {
-  BenchParseResult r = parse_bench(text, std::move(name));
-  if (!r.ok) {
-    std::fprintf(stderr, "motsim: fatal .bench error (line %zu): %s\n",
-                 r.error_line, r.error.c_str());
-    std::abort();
-  }
-  return std::move(r.circuit);
 }
 
 std::string write_bench(const Circuit& c) {

@@ -28,9 +28,6 @@ BenchParseResult parse_bench(std::string_view text, std::string name);
 /// Reads and parses a .bench file from disk.
 BenchParseResult parse_bench_file(const std::string& path);
 
-/// Parses embedded text that is known to be valid; aborts otherwise.
-Circuit must_parse_bench(std::string_view text, std::string name);
-
 /// Serializes a circuit back to .bench text: INPUTs, OUTPUTs, DFFs, then
 /// combinational gates in topological order. parse_bench(write_bench(c))
 /// reproduces an isomorphic circuit (same names, types and connections).

@@ -1,7 +1,6 @@
 #include "netlist/builder.hpp"
 
-#include <cstdio>
-#include <cstdlib>
+#include <stdexcept>
 
 #include "util/strings.hpp"
 
@@ -199,13 +198,11 @@ bool CircuitBuilder::build(Circuit& out, std::string& error) {
   return true;
 }
 
-Circuit CircuitBuilder::build_or_die() {
+Circuit CircuitBuilder::build_or_throw() {
   Circuit c;
   std::string error;
   if (!build(c, error)) {
-    std::fprintf(stderr, "motsim: fatal netlist error in '%s': %s\n",
-                 name_.c_str(), error.c_str());
-    std::abort();
+    throw std::runtime_error("netlist error in '" + name_ + "': " + error);
   }
   return c;
 }

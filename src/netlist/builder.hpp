@@ -39,9 +39,11 @@ class CircuitBuilder {
   /// duplicate definitions). The builder is left unusable afterwards.
   bool build(Circuit& out, std::string& error);
 
-  /// build() that aborts with a message on failure — for circuits embedded
-  /// in the source tree, where failure is a programming error.
-  Circuit build_or_die();
+  /// build() that throws std::runtime_error on failure — for circuits
+  /// embedded in the source tree, where failure is a programming error.
+  /// Library code never terminates the process; callers that cannot recover
+  /// let the exception propagate.
+  Circuit build_or_throw();
 
   std::size_t num_gates() const { return gates_.size(); }
   const std::string& gate_name(GateId id) const { return gates_[id].name; }

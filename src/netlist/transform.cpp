@@ -99,7 +99,7 @@ Circuit sweep_dead_logic(const Circuit& c, TransformStats* stats) {
   }
   for (GateId po : c.outputs()) b.mark_output(map[po]);
   if (stats) stats->removed_gates += removed;
-  return b.build_or_die();
+  return b.build_or_throw();
 }
 
 Circuit propagate_constants(const Circuit& c, TransformStats* stats) {
@@ -209,7 +209,7 @@ Circuit propagate_constants(const Circuit& c, TransformStats* stats) {
     stats->folded_gates += folded;
     stats->rewired_pins += rewired;
   }
-  return b.build_or_die();
+  return b.build_or_throw();
 }
 
 Circuit remove_buffers(const Circuit& c, TransformStats* stats) {
@@ -263,7 +263,7 @@ Circuit remove_buffers(const Circuit& c, TransformStats* stats) {
     stats->removed_gates += removed;
     stats->rewired_pins += rewired;
   }
-  return b.build_or_die();
+  return b.build_or_throw();
 }
 
 CircuitStats analyze(const Circuit& c) {

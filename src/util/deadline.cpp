@@ -1,0 +1,13 @@
+#include "util/deadline.hpp"
+
+namespace motsim {
+
+Deadline Deadline::after_ms(std::uint64_t ms) {
+  Deadline d;
+  if (ms == 0) return d;
+  d.armed_ = true;
+  d.at_ = Clock::now() + std::chrono::milliseconds(ms);
+  return d;
+}
+
+}  // namespace motsim

@@ -1,0 +1,121 @@
+// Work budgets for long-running fault-simulation campaigns.
+//
+// Per-fault MOT cost is wildly skewed: one pathological fault can run
+// backward probes and expansions orders of magnitude longer than the rest of
+// the batch combined. The paper's own N_STATES budget bounds only the
+// sequence count, not wall-clock, so the campaign layer adds three
+// cooperative controls that every inner loop polls at step granularity
+// (one backward probe, one expansion, one resimulated frame = one unit):
+//
+//   Deadline    — a wall-clock cutoff on the monotonic clock,
+//   CancelToken — an external "stop now" flag, settable from any thread,
+//   WorkBudget  — combines a per-item deadline, a work-unit cap, a shared
+//                 campaign deadline and a cancel token into one cheap poll.
+//
+// poll() counts work units on every call but consults the clock only every
+// kClockStride units, so placing it inside the hottest loops costs a
+// counter increment, not a syscall. Exhaustion is sticky: once a budget
+// stops, every later poll reports the same stop reason.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace motsim {
+
+/// Why a budgeted computation stopped early. `Cancelled` covers both the
+/// campaign-wide deadline and an external CancelToken — either way the stop
+/// was imposed from outside the item being processed.
+enum class BudgetStop : std::uint8_t { None, Deadline, WorkLimit, Cancelled };
+
+/// A wall-clock cutoff. Default-constructed deadlines never expire, which
+/// lets "no budget configured" share the code path with real deadlines.
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  Deadline() = default;  ///< never expires
+
+  /// Expires `ms` milliseconds from now; `ms == 0` means "never" (the
+  /// convention of the MotOptions knobs, where 0 disables the budget).
+  static Deadline after_ms(std::uint64_t ms);
+
+  bool unlimited() const { return !armed_; }
+  bool expired() const { return armed_ && Clock::now() >= at_; }
+
+ private:
+  bool armed_ = false;
+  Clock::time_point at_{};
+};
+
+/// A one-way stop flag shared between the thread that requests cancellation
+/// and the workers that poll it. Relaxed ordering suffices: the flag carries
+/// no data, only "stop claiming new work".
+class CancelToken {
+ public:
+  void cancel() { flag_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const { return flag_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+class WorkBudget {
+ public:
+  WorkBudget() = default;  ///< unlimited
+
+  /// `work_limit == 0` means no work cap. `campaign` and `cancel` may be
+  /// null; when set they must outlive the budget (they are shared across
+  /// every per-fault budget of a campaign).
+  WorkBudget(Deadline deadline, std::uint64_t work_limit,
+             const Deadline* campaign = nullptr,
+             const CancelToken* cancel = nullptr)
+      : deadline_(deadline),
+        limit_(work_limit),
+        campaign_(campaign),
+        cancel_(cancel) {}
+
+  /// Records `units` of work and returns true when the budget is exhausted.
+  /// The work cap is checked on every call; the clock and the cancel token
+  /// only every kClockStride units (cheap enough for per-step polling).
+  bool poll(std::uint64_t units = 1) {
+    if (stop_ != BudgetStop::None) return true;
+    used_ += units;
+    if (limit_ != 0 && used_ >= limit_) {
+      stop_ = BudgetStop::WorkLimit;
+      return true;
+    }
+    if (used_ >= next_check_) {
+      next_check_ = used_ + kClockStride;
+      if ((cancel_ != nullptr && cancel_->cancelled()) ||
+          (campaign_ != nullptr && campaign_->expired())) {
+        stop_ = BudgetStop::Cancelled;
+      } else if (deadline_.expired()) {
+        stop_ = BudgetStop::Deadline;
+      }
+    }
+    return stop_ != BudgetStop::None;
+  }
+
+  bool exhausted() const { return stop_ != BudgetStop::None; }
+  BudgetStop stop() const { return stop_; }
+  std::uint64_t work_used() const { return used_; }
+
+ private:
+  /// Units between clock/token checks. At the granularity the MOT loops
+  /// poll (a backward probe, an expansion, a resimulated frame each cost
+  /// well over a microsecond) 32 units keep the overshoot past a deadline
+  /// far below a millisecond while making the common poll branch-only.
+  static constexpr std::uint64_t kClockStride = 32;
+
+  Deadline deadline_;
+  std::uint64_t limit_ = 0;
+  const Deadline* campaign_ = nullptr;
+  const CancelToken* cancel_ = nullptr;
+  std::uint64_t used_ = 0;
+  std::uint64_t next_check_ = 0;  // first poll always checks the clock
+  BudgetStop stop_ = BudgetStop::None;
+};
+
+}  // namespace motsim

@@ -119,20 +119,34 @@ void ThreadPool::wait_idle() {
 }
 
 void ThreadPool::parallel_for_dynamic(std::size_t n, std::size_t grain,
-                                      const RangeFn& fn) {
+                                      const RangeFn& fn,
+                                      const CancelToken* cancel) {
   if (n == 0) return;
+  if (cancel != nullptr && cancel->cancelled()) return;
   if (grain == 0) grain = 1;
   if (tl_in_chunk) {
     // Nested call from inside a chunk: helpers would queue behind this very
-    // thread, so run the whole range inline on the caller's lane.
-    fn(0, n, tl_lane);
+    // thread, so run the whole range inline on the caller's lane (chunked,
+    // so cancellation still takes effect between grains).
+    for (std::size_t b = 0; b < n; b += grain) {
+      if (cancel != nullptr && cancel->cancelled()) return;
+      fn(b, std::min(n, b + grain), tl_lane);
+    }
     return;
   }
   const std::size_t chunks = (n + grain - 1) / grain;
   if (lanes_ < 2 || chunks < 2) {
     tl_in_chunk = true;
     tl_lane = 0;
-    fn(0, n, 0);
+    for (std::size_t b = 0; b < n; b += grain) {
+      if (cancel != nullptr && cancel->cancelled()) break;
+      try {
+        fn(b, std::min(n, b + grain), 0);
+      } catch (...) {
+        tl_in_chunk = false;
+        throw;
+      }
+    }
     tl_in_chunk = false;
     return;
   }
@@ -149,10 +163,11 @@ void ThreadPool::parallel_for_dynamic(std::size_t n, std::size_t grain,
   // Chunk loop every lane runs. `fn` is captured by pointer: the caller
   // blocks below until every helper has signalled, so the reference is safe.
   const RangeFn* body = &fn;
-  auto drive = [st, body, n, grain](std::size_t lane) {
+  auto drive = [st, body, n, grain, cancel](std::size_t lane) {
     tl_in_chunk = true;
     tl_lane = lane;
     for (;;) {
+      if (cancel != nullptr && cancel->cancelled()) break;
       const std::size_t b = st->cursor.fetch_add(grain, std::memory_order_relaxed);
       if (b >= n) break;
       const std::size_t e = std::min(n, b + grain);

@@ -36,6 +36,8 @@
 #include <thread>
 #include <vector>
 
+#include "util/deadline.hpp"
+
 namespace motsim {
 
 /// Maps a requested thread count to an effective one: 0 means "all hardware
@@ -59,8 +61,16 @@ class ThreadPool {
   /// executing lane in [0, num_threads()). Chunks are claimed dynamically in
   /// units of `grain` indices. Blocks until every index is processed;
   /// rethrows the first exception any lane raised.
+  ///
+  /// `cancel` (optional) makes the loop cooperatively cancellable: once the
+  /// token fires, no lane claims another chunk (in-flight chunks finish).
+  /// Cancellation is not an error — the call returns normally with the
+  /// remaining chunks never run, so a caller that needs one result per index
+  /// must account for the tail itself (as MotBatchRunner does by marking
+  /// skipped faults Unresolved{Cancelled} instead of cancelling the loop).
   using RangeFn = std::function<void(std::size_t, std::size_t, std::size_t)>;
-  void parallel_for_dynamic(std::size_t n, std::size_t grain, const RangeFn& fn);
+  void parallel_for_dynamic(std::size_t n, std::size_t grain, const RangeFn& fn,
+                            const CancelToken* cancel = nullptr);
 
   /// Enqueues a fire-and-forget task on the least recently used worker
   /// deque. Exceptions are held and rethrown by wait_idle().

@@ -44,7 +44,7 @@ TEST(Podem, SimpleCombinationalTarget) {
   const GateId in_b = b.add_input("b");
   const GateId z = b.add_gate(GateType::And, "z", {a, in_b});
   b.mark_output(z);
-  const Circuit c = b.build_or_die();
+  const Circuit c = b.build_or_throw();
   FramePodem podem(c);
   const Fault f{a, kOutputPin, Val::Zero};
   const auto pattern = podem.generate({}, f);
@@ -63,7 +63,7 @@ TEST(Podem, RespectsUnknownState) {
   const GateId z = b.add_gate(GateType::And, "z", {a, q});
   b.define(q, GateType::Dff, {z});
   b.mark_output(z);
-  const Circuit c = b.build_or_die();
+  const Circuit c = b.build_or_throw();
   FramePodem podem(c);
   const Fault f{a, kOutputPin, Val::Zero};
   const std::vector<Val> unknown = {Val::X};
@@ -82,7 +82,7 @@ TEST(Podem, UnexcitableFaultFailsCleanly) {
   const GateId an = b.add_gate(GateType::Not, "an", {a});
   const GateId z = b.add_gate(GateType::Or, "z", {a, an});
   b.mark_output(z);
-  const Circuit c = b.build_or_die();
+  const Circuit c = b.build_or_throw();
   FramePodem podem(c);
   EXPECT_FALSE(podem.generate({}, Fault{z, kOutputPin, Val::One}).has_value());
 }

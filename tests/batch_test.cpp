@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "circuits/embedded.hpp"
+#include "circuits/generator.hpp"
 #include "circuits/registry.hpp"
 #include "experiments/experiments.hpp"
 #include "faultsim/batch.hpp"
@@ -134,6 +135,66 @@ TEST(MotBatchRunner, RunAllCoversEveryFaultInOrder) {
   ASSERT_EQ(all.size(), p.faults.size());
   for (std::size_t i = 0; i < all.size(); ++i) {
     EXPECT_EQ(all[i].fault_index, i);
+  }
+}
+
+// A cancelled campaign still yields one outcome per requested fault, in
+// order, with every skipped fault explicitly Unresolved{Cancelled}.
+TEST(MotBatchRunner, PreCancelledCampaignLosesNoOutcome) {
+  const Pipeline p = prepare(circuits::make_table1_example(), 20, 3);
+  ASSERT_FALSE(p.candidates.empty());
+  MotOptions opt;
+  opt.num_threads = 4;
+  const MotBatchRunner runner(p.circuit, opt, /*run_baseline=*/true);
+  CancelToken cancel;
+  cancel.cancel();
+  const std::vector<MotBatchItem> items =
+      runner.run(p.test, p.good, p.faults, p.candidates, nullptr, &cancel);
+  ASSERT_EQ(items.size(), p.candidates.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    EXPECT_EQ(items[i].fault_index, p.candidates[i]);
+    EXPECT_FALSE(items[i].completed);
+    EXPECT_EQ(items[i].mot.unresolved, UnresolvedReason::Cancelled);
+    EXPECT_EQ(items[i].baseline.unresolved, UnresolvedReason::Cancelled);
+  }
+}
+
+// A campaign deadline mid-batch: lanes stop claiming faults, the in-flight
+// ones stop through their budget polls, and the result still has exactly
+// one outcome per fault — every completed item identical to the
+// uninterrupted run's, every other item marked Unresolved{Cancelled}.
+TEST(MotBatchRunner, CampaignDeadlineStopsCleanlyWithoutLosingOutcomes) {
+  circuits::GeneratorParams params;
+  params.name = "grind";
+  params.num_inputs = 6;
+  params.num_outputs = 4;
+  params.num_dffs = 18;
+  params.num_comb_gates = 90;
+  params.uninit_fraction = 0.8;
+  params.seed = 5;
+  Pipeline p = prepare(circuits::generate(params), 40, 23);
+  ASSERT_GE(p.candidates.size(), 4u);
+  if (p.candidates.size() > 10) p.candidates.resize(10);
+
+  MotOptions opt;
+  opt.n_states = 256;
+  opt.num_threads = 4;
+  const MotBatchRunner unbounded(p.circuit, opt, /*run_baseline=*/false);
+  const std::vector<MotBatchItem> reference =
+      unbounded.run(p.test, p.good, p.faults, p.candidates);
+
+  opt.campaign_time_ms = 1;
+  const MotBatchRunner bounded(p.circuit, opt, /*run_baseline=*/false);
+  const std::vector<MotBatchItem> items =
+      bounded.run(p.test, p.good, p.faults, p.candidates);
+  ASSERT_EQ(items.size(), p.candidates.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    EXPECT_EQ(items[i].fault_index, p.candidates[i]);
+    if (items[i].completed) {
+      EXPECT_EQ(items[i], reference[i]) << "item " << i;
+    } else {
+      EXPECT_EQ(items[i].mot.unresolved, UnresolvedReason::Cancelled);
+    }
   }
 }
 

@@ -1,0 +1,321 @@
+// Campaign resilience tests: per-fault budgets, campaign stops, and the
+// crash-safe journal (kill-and-resume determinism, torn-record recovery,
+// meta validation).
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "circuits/embedded.hpp"
+#include "circuits/generator.hpp"
+#include "faultsim/batch.hpp"
+#include "faultsim/checkpoint.hpp"
+#include "faultsim/parallel.hpp"
+#include "testgen/random_gen.hpp"
+
+namespace motsim {
+namespace {
+
+struct Pipeline {
+  Circuit circuit;
+  TestSequence test;
+  SeqTrace good;
+  std::vector<Fault> faults;
+  std::vector<std::size_t> candidates;  // undetected, passes condition (C)
+};
+
+Pipeline prepare(Circuit c, std::size_t length, std::uint64_t seed) {
+  Rng rng(seed);
+  TestSequence test = random_sequence(c.num_inputs(), length, rng);
+  const SequentialSimulator sim(c);
+  SeqTrace good = sim.run_fault_free(test);
+  std::vector<Fault> faults = collapsed_fault_list(c);
+  const ParallelFaultSimulator pfs(c);
+  const std::vector<ConvOutcome> conv = pfs.run(test, good, faults);
+  std::vector<std::size_t> candidates;
+  for (std::size_t k = 0; k < faults.size(); ++k) {
+    if (!conv[k].detected && conv[k].passes_c) candidates.push_back(k);
+  }
+  return {std::move(c), std::move(test), std::move(good), std::move(faults),
+          std::move(candidates)};
+}
+
+/// A circuit with many uninitializable state variables: its undetected MOT
+/// candidates grind through the expansion budget, which is exactly the load
+/// the budget/campaign controls exist for.
+Pipeline prepare_grinding() {
+  circuits::GeneratorParams params;
+  params.name = "grind";
+  params.num_inputs = 6;
+  params.num_outputs = 4;
+  params.num_dffs = 18;
+  params.num_comb_gates = 90;
+  params.uninit_fraction = 0.8;
+  params.seed = 5;
+  return prepare(circuits::generate(params), 40, 23);
+}
+
+std::string temp_path(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+void expect_items_identical(const std::vector<MotBatchItem>& a,
+                            const std::vector<MotBatchItem>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i], b[i]) << "item " << i;
+  }
+}
+
+TEST(CampaignJournal, RoundTripPreservesEveryField) {
+  const std::string path = temp_path("roundtrip.journal");
+  JournalMeta meta;
+  meta.circuit = "unit";
+  meta.num_faults = 100;
+  meta.test_length = 7;
+  meta.test_hash = 0x1234;
+  meta.options_hash = 0xabcd;
+  meta.baseline = true;
+
+  MotBatchItem item;
+  item.fault_index = 42;
+  item.mot.detected = true;
+  item.mot.phase = MotPhase::Expansion;
+  item.mot.detected_conventional = false;
+  item.mot.passes_c = true;
+  item.mot.counters = {3, 5, 77};
+  item.mot.expansions = 12;
+  item.mot.phase1_pairs = 4;
+  item.mot.final_sequences = 64;
+  item.mot.collection_capped = true;
+  item.mot.via_fallback = true;
+  item.mot.unresolved = UnresolvedReason::None;
+  item.mot.work_used = 123456789;
+  item.baseline.detected = false;
+  item.baseline.passes_c = true;
+  item.baseline.expansions = 63;
+  item.baseline.final_sequences = 64;
+  item.baseline.aborted = true;
+  item.baseline.unresolved = UnresolvedReason::NStates;
+
+  MotBatchItem other;
+  other.fault_index = 7;
+  other.mot.unresolved = UnresolvedReason::WorkLimit;
+  other.mot.work_used = 1000;
+  other.baseline.unresolved = UnresolvedReason::Deadline;
+
+  {
+    std::string err;
+    auto journal = CampaignJournal::create(path, meta, err);
+    ASSERT_NE(journal, nullptr) << err;
+    EXPECT_EQ(journal->resumed_count(), 0u);
+    EXPECT_TRUE(journal->append(item));
+    EXPECT_TRUE(journal->append(other));
+  }
+  std::string err;
+  auto journal = CampaignJournal::open_resume(path, meta, err);
+  ASSERT_NE(journal, nullptr) << err;
+  EXPECT_EQ(journal->resumed_count(), 2u);
+  ASSERT_NE(journal->lookup(42), nullptr);
+  EXPECT_EQ(*journal->lookup(42), item);
+  ASSERT_NE(journal->lookup(7), nullptr);
+  EXPECT_EQ(*journal->lookup(7), other);
+  EXPECT_EQ(journal->lookup(0), nullptr);
+}
+
+TEST(CampaignJournal, MetaMismatchIsRejected) {
+  const std::string path = temp_path("meta.journal");
+  JournalMeta meta;
+  meta.circuit = "unit";
+  meta.num_faults = 10;
+  {
+    std::string err;
+    ASSERT_NE(CampaignJournal::create(path, meta, err), nullptr) << err;
+  }
+  JournalMeta wrong = meta;
+  wrong.options_hash = 999;
+  std::string err;
+  EXPECT_EQ(CampaignJournal::open_resume(path, wrong, err), nullptr);
+  EXPECT_NE(err.find("does not match"), std::string::npos) << err;
+
+  err.clear();
+  EXPECT_EQ(CampaignJournal::open_resume(temp_path("missing.journal"), meta, err),
+            nullptr);
+  EXPECT_FALSE(err.empty());
+}
+
+TEST(CampaignJournal, TornFinalRecordIsDiscardedAndOverwritten) {
+  const std::string path = temp_path("torn.journal");
+  JournalMeta meta;
+  meta.circuit = "unit";
+  meta.num_faults = 10;
+  MotBatchItem a;
+  a.fault_index = 1;
+  a.mot.detected = true;
+  a.mot.phase = MotPhase::Collection;
+  {
+    std::string err;
+    auto journal = CampaignJournal::create(path, meta, err);
+    ASSERT_NE(journal, nullptr) << err;
+    EXPECT_TRUE(journal->append(a));
+  }
+  // Emulate a crash mid-append: a record prefix without the terminator.
+  {
+    std::ofstream out(path, std::ios::app | std::ios::binary);
+    out << "f 9 1 4 0";
+  }
+  std::string err;
+  auto journal = CampaignJournal::open_resume(path, meta, err);
+  ASSERT_NE(journal, nullptr) << err;
+  EXPECT_EQ(journal->resumed_count(), 1u);
+  EXPECT_EQ(journal->lookup(9), nullptr);
+
+  // The torn bytes were truncated away, so appending keeps the file valid.
+  MotBatchItem b;
+  b.fault_index = 2;
+  EXPECT_TRUE(journal->append(b));
+  journal.reset();
+  auto reopened = CampaignJournal::open_resume(path, meta, err);
+  ASSERT_NE(reopened, nullptr) << err;
+  EXPECT_EQ(reopened->resumed_count(), 2u);
+  ASSERT_NE(reopened->lookup(2), nullptr);
+  EXPECT_EQ(*reopened->lookup(2), b);
+}
+
+TEST(CampaignJournal, CorruptionBeforeTheEndIsAnError) {
+  const std::string path = temp_path("corrupt.journal");
+  JournalMeta meta;
+  meta.circuit = "unit";
+  meta.num_faults = 10;
+  {
+    std::string err;
+    auto journal = CampaignJournal::create(path, meta, err);
+    ASSERT_NE(journal, nullptr) << err;
+  }
+  {
+    std::ofstream out(path, std::ios::app | std::ios::binary);
+    out << "garbage line\n";
+    out << "f 1 0 0 0 0 0 0 0 0 0 0 0 0 0 0 ;\n";
+  }
+  std::string err;
+  EXPECT_EQ(CampaignJournal::open_resume(path, meta, err), nullptr);
+  EXPECT_NE(err.find("malformed"), std::string::npos) << err;
+}
+
+// The acceptance scenario: a campaign interrupted after k faults and then
+// resumed must produce bit-identical results to an uninterrupted run, at
+// 1 thread and at 8 threads.
+TEST(CampaignJournal, KillAndResumeMatchesUninterruptedRun) {
+  const Pipeline p = prepare(circuits::make_table1_example(), 24, 11);
+  ASSERT_GE(p.candidates.size(), 4u);
+  const std::size_t k = p.candidates.size() / 2;
+
+  MotOptions opt;
+  for (std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
+    opt.num_threads = threads;
+    const MotBatchRunner runner(p.circuit, opt, /*run_baseline=*/true);
+    const std::vector<MotBatchItem> reference =
+        runner.run(p.test, p.good, p.faults, p.candidates);
+
+    const JournalMeta meta = make_journal_meta(
+        p.circuit.name(), p.faults.size(), p.test, opt, /*baseline=*/true);
+    const std::string path =
+        temp_path("resume" + std::to_string(threads) + ".journal");
+    std::string err;
+    {
+      // "Killed" campaign: only the first k candidates ever ran.
+      auto journal = CampaignJournal::create(path, meta, err);
+      ASSERT_NE(journal, nullptr) << err;
+      runner.run(p.test, p.good, p.faults,
+                 std::span<const std::size_t>(p.candidates.data(), k),
+                 journal.get());
+    }
+    auto journal = CampaignJournal::open_resume(path, meta, err);
+    ASSERT_NE(journal, nullptr) << err;
+    EXPECT_EQ(journal->resumed_count(), k);
+    const std::vector<MotBatchItem> resumed =
+        runner.run(p.test, p.good, p.faults, p.candidates, journal.get());
+    expect_items_identical(resumed, reference);
+
+    // After the resumed run the journal holds every candidate, so a second
+    // resume re-simulates nothing and still matches.
+    journal.reset();
+    auto full = CampaignJournal::open_resume(path, meta, err);
+    ASSERT_NE(full, nullptr) << err;
+    EXPECT_EQ(full->resumed_count(), p.candidates.size());
+    expect_items_identical(
+        runner.run(p.test, p.good, p.faults, p.candidates, full.get()),
+        reference);
+  }
+}
+
+// A deterministic work-unit cap must produce identical outcomes at every
+// thread count — Unresolved{WorkLimit} included.
+TEST(Budgets, WorkLimitOutcomesAreThreadCountInvariant) {
+  Pipeline p = prepare_grinding();
+  ASSERT_GE(p.candidates.size(), 4u);
+  if (p.candidates.size() > 12) p.candidates.resize(12);
+
+  MotOptions opt;
+  opt.n_states = 256;
+  opt.per_fault_work_limit = 2000;
+  std::vector<std::vector<MotBatchItem>> runs;
+  for (std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
+    opt.num_threads = threads;
+    const MotBatchRunner runner(p.circuit, opt, /*run_baseline=*/false);
+    runs.push_back(runner.run(p.test, p.good, p.faults, p.candidates));
+  }
+  expect_items_identical(runs[0], runs[1]);
+
+  std::size_t limited = 0;
+  for (const MotBatchItem& item : runs[0]) {
+    EXPECT_TRUE(item.completed);
+    if (item.mot.unresolved == UnresolvedReason::WorkLimit) {
+      ++limited;
+      EXPECT_FALSE(item.mot.detected);
+      EXPECT_GE(item.mot.work_used, opt.per_fault_work_limit);
+    }
+  }
+  EXPECT_GT(limited, 0u) << "grinding circuit produced no work-limited fault";
+}
+
+// The acceptance scenario: a worst-case fault under a 10 ms per-fault
+// deadline comes back Unresolved{Deadline} within about twice the budget,
+// and the rest of the batch still completes.
+TEST(Budgets, PerFaultDeadlineStopsWorstCaseFaultPromptly) {
+  Pipeline p = prepare_grinding();
+  ASSERT_GE(p.candidates.size(), 3u);
+  if (p.candidates.size() > 6) p.candidates.resize(6);
+
+  MotOptions opt;
+  opt.num_threads = 1;
+  // Effectively unbounded expansion: without a deadline the grinding faults
+  // would churn through this budget for a very long time.
+  opt.n_states = 1u << 16;
+  opt.per_fault_time_ms = 10;
+
+  const MotBatchRunner runner(p.circuit, opt, /*run_baseline=*/false);
+  const auto start = std::chrono::steady_clock::now();
+  const std::vector<MotBatchItem> items =
+      runner.run(p.test, p.good, p.faults, p.candidates);
+  const double ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+
+  ASSERT_EQ(items.size(), p.candidates.size());
+  std::size_t deadline_stopped = 0;
+  for (const MotBatchItem& item : items) {
+    EXPECT_TRUE(item.completed);
+    if (item.mot.unresolved == UnresolvedReason::Deadline) ++deadline_stopped;
+  }
+  EXPECT_GT(deadline_stopped, 0u) << "no fault hit the 10 ms deadline";
+  // Every fault is bounded by ~2x its budget (polling granularity); allow
+  // generous slack for conventional simulation and CI jitter on top.
+  EXPECT_LT(ms, static_cast<double>(p.candidates.size()) * 2.0 * 10.0 + 500.0);
+}
+
+}  // namespace
+}  // namespace motsim

@@ -2,6 +2,8 @@
 // synthetic benchmark generator, and the registry.
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "circuits/embedded.hpp"
 #include "circuits/registry.hpp"
 #include "netlist/bench_io.hpp"
@@ -67,7 +69,7 @@ TEST_P(GeneratorProperty, ProducesValidCircuitWithRequestedInterface) {
   EXPECT_EQ(c.num_dffs(), gc.ff);
   // The requested combinational gates exist (next-state logic adds more).
   EXPECT_GE(c.topo_order().size(), gc.gates);
-  // build_or_die already validated acyclicity; verify levels exist.
+  // build_or_throw already validated acyclicity; verify levels exist.
   EXPECT_GT(c.max_level(), 0u);
 }
 
@@ -175,6 +177,10 @@ TEST(Registry, BuildBenchmarkS27IsGenuine) {
   const Circuit c = circuits::build_benchmark("s27");
   EXPECT_EQ(c.num_gates(), 17u);
   EXPECT_NE(c.find("G17"), kNoGate);
+}
+
+TEST(Registry, UnknownBenchmarkThrowsInsteadOfTerminating) {
+  EXPECT_THROW(circuits::build_benchmark("s999999"), std::runtime_error);
 }
 
 }  // namespace

@@ -103,7 +103,7 @@ TEST(Collector, Fig4ConflictIsRecorded) {
   b.define(l11, GateType::And, {l5, l7});
   const GateId z = b.add_gate(GateType::And, "z", {l1, l2});
   b.mark_output(z);
-  const Circuit c = b.build_or_die();
+  const Circuit c = b.build_or_throw();
 
   const TestSequence t = seq({"0", "0"});
   TestBed s = make_setup(c, t, Fault{z, 0, Val::One});
@@ -143,7 +143,7 @@ TEST(Collector, DetectsViaSection32Check) {
   const GateId z2 = b.add_gate(GateType::And, "z2", {i, ffn});
   b.mark_output(z1);
   b.mark_output(z2);
-  const Circuit c = b.build_or_die();
+  const Circuit c = b.build_or_throw();
 
   // Good machine with i=0: z1 = z2 = 0. Faulty machine (i stuck-at-1):
   // z1 = ff = X, z2 = NOT(ff) = X. For either value of ff at time 1,

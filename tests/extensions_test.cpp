@@ -161,7 +161,7 @@ TEST(GeneralMot, FindsAGeneralOnlyFault) {
   b.define(q, GateType::Dff, {qn});
   const GateId z1 = b.add_gate(GateType::Buf, "z1", {q});
   b.mark_output(z1);
-  const Circuit c = b.build_or_die();
+  const Circuit c = b.build_or_throw();
 
   TestSequence t;
   ASSERT_TRUE(TestSequence::from_strings({"0", "0", "0"}, t));

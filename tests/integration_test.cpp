@@ -65,7 +65,7 @@ TEST(Integration, RegressionPoDriverBranchFaultIsDistinct) {
   const GateId z2 = b.add_gate(GateType::Buf, "z2", {q});
   b.mark_output(n);   // n: one reader (buf) AND a primary output
   b.mark_output(z2);
-  const Circuit c = b.build_or_die();
+  const Circuit c = b.build_or_throw();
 
   // The branch fault (buf.in0) must be enumerated even though n has a
   // single reader.

@@ -60,7 +60,7 @@ TEST(Oracle, DetectsTheClassicMotExample) {
   b.define(q, GateType::Dff, {qn});
   const GateId z = b.add_gate(GateType::Or, "z", {q, qn, r});
   b.mark_output(z);
-  const Circuit c = b.build_or_die();
+  const Circuit c = b.build_or_throw();
 
   // Good: z = 1 whenever r = 1; with r = 0, z = OR(q, NOT q) = 1 in every
   // completion but X under three-valued simulation.

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <stdexcept>
+#include <string>
 
 #include "circuits/embedded.hpp"
 #include "circuits/generator.hpp"
@@ -213,6 +215,70 @@ TEST(BenchIo, ReportsUndefinedSignal) {
 TEST(BenchIo, RejectsInputOnRhs) {
   const BenchParseResult r = parse_bench("z = INPUT(a)\n", "bad");
   EXPECT_FALSE(r.ok);
+}
+
+// Malformed-input robustness: every loader failure is a recoverable error
+// with the offending line, never a crash or a process exit.
+
+TEST(BenchIo, TruncatedStatementIsARecoverableError) {
+  // A file cut off mid-statement (no closing parenthesis, no newline).
+  const BenchParseResult r =
+      parse_bench("INPUT(a)\nOUTPUT(z)\nz = AND(a,", "trunc");
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.error_line, 3u);
+  EXPECT_FALSE(r.error.empty());
+}
+
+TEST(BenchIo, DuplicateOutputDeclarationReportsSecondLine) {
+  const BenchParseResult r = parse_bench(
+      "INPUT(a)\nOUTPUT(z)\nOUTPUT(z)\nz = NOT(a)\n", "dupout");
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.error_line, 3u);
+  EXPECT_NE(r.error.find("OUTPUT"), std::string::npos);
+  EXPECT_NE(r.error.find('z'), std::string::npos);
+}
+
+TEST(BenchIo, DuplicateDefinitionReportsSecondLine) {
+  const BenchParseResult r = parse_bench(
+      "INPUT(a)\nOUTPUT(z)\nz = NOT(a)\nz = BUF(a)\n", "dupdef");
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.error_line, 4u);
+  EXPECT_NE(r.error.find("duplicate"), std::string::npos);
+}
+
+TEST(BenchIo, CombinationalSelfLoopReportsItsLine) {
+  const BenchParseResult r =
+      parse_bench("INPUT(a)\nOUTPUT(z)\nz = AND(a, z)\n", "selfloop");
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.error_line, 3u);
+  EXPECT_NE(r.error.find("feeds itself"), std::string::npos);
+}
+
+TEST(BenchIo, DffSelfFeedbackIsLegal) {
+  const BenchParseResult r =
+      parse_bench("INPUT(a)\nOUTPUT(q)\ns = DFF(s)\nq = AND(a, s)\n", "dffloop");
+  EXPECT_TRUE(r.ok) << r.error;
+}
+
+TEST(BenchIo, GarbageBytesAreARecoverableError) {
+  const std::string garbage = {'\x01', '\x02', '\xff', '\x00', '(', ')',
+                               '=',    '\n',   '\x7f', '\xfe', 'A'};
+  const BenchParseResult r = parse_bench(garbage, "garbage");
+  EXPECT_FALSE(r.ok);
+  EXPECT_GE(r.error_line, 1u);
+  EXPECT_FALSE(r.error.empty());
+}
+
+TEST(BenchIo, MissingFileIsARecoverableError) {
+  const BenchParseResult r = parse_bench_file("/nonexistent/nope.bench");
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("cannot open"), std::string::npos);
+}
+
+TEST(Builder, BuildOrThrowThrowsInsteadOfTerminating) {
+  CircuitBuilder b("broken");
+  b.mark_output(b.declare("ghost"));  // never defined
+  EXPECT_THROW(b.build_or_throw(), std::runtime_error);
 }
 
 TEST(BenchIo, WriteParseRoundTripIsIsomorphic) {

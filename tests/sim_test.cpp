@@ -91,7 +91,7 @@ Circuit make_chain() {
   const GateId z = b.add_gate(GateType::Not, "z", {g});
   b.add_dff("q", g);
   b.mark_output(z);
-  return b.build_or_die();
+  return b.build_or_throw();
 }
 
 TEST(FaultView, StemFaultOverridesOutput) {
@@ -113,7 +113,7 @@ TEST(FaultView, PinFaultAffectsOnlyThatReader) {
   const GateId g3 = b.add_gate(GateType::Buf, "g3", {g1});
   b.mark_output(g2);
   b.mark_output(g3);
-  const Circuit c = b.build_or_die();
+  const Circuit c = b.build_or_throw();
   // Branch fault: g2's input stuck at 1; g3 still sees NOT(a).
   const Fault f{g2, 0, Val::One};
   const SequentialSimulator sim(c);

@@ -90,7 +90,7 @@ TEST(StateSet, ResimulationDetectsOutputConflict) {
   const GateId z = b.add_gate(GateType::Buf, "z", {q});
   b.define(q, GateType::Dff, {a});
   b.mark_output(z);
-  const Circuit c = b.build_or_die();
+  const Circuit c = b.build_or_throw();
   TestBed s = make_setup(c, seq({"x", "0"}));
   // Input x at u=0 keeps q@1 unspecified so the assignment is admissible.
   StateSet set(c, s.test, s.good, *s.fv, s.faulty);
@@ -115,7 +115,7 @@ TEST(StateSet, ResimulationFindsInfeasibleSequences) {
   b.define(q, GateType::Dff, {qn});
   const GateId z = b.add_gate(GateType::Buf, "z", {q});
   b.mark_output(z);
-  const Circuit c = b.build_or_die();
+  const Circuit c = b.build_or_throw();
   TestBed s = make_setup(c, seq({"0", "0"}));
   StateSet set(c, s.test, s.good, *s.fv, s.faulty);
   set.assign(0, 0, 0, Val::One);
@@ -135,7 +135,7 @@ TEST(StateSet, ResimulationDetectsFaultViaExpandedState) {
   const GateId qn = b.add_gate(GateType::Not, "qn", {q});
   b.define(q, GateType::Dff, {qn});
   b.mark_output(z);
-  const Circuit c = b.build_or_die();
+  const Circuit c = b.build_or_throw();
   // Fault: input a stuck-at-1. Good with a=0: z = q = X; nothing specified,
   // no conventional detection. Oracle view: faulty z = NOT(q)... both good
   // and faulty outputs are X — nothing detectable, and resimulation of the
@@ -163,7 +163,7 @@ TEST(StateSet, ResimulationPropagatesRefinementsForward) {
   b.define(q2, GateType::Dff, {q1buf});
   const GateId z = b.add_gate(GateType::Buf, "z", {q2});
   b.mark_output(z);
-  const Circuit c = b.build_or_die();
+  const Circuit c = b.build_or_throw();
 
   TestBed s = make_setup(c, seq({"x", "x", "x"}));  // inputs unknown: no init
   StateSet set(c, s.test, s.good, *s.fv, s.faulty);

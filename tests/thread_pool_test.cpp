@@ -160,6 +160,88 @@ TEST(ThreadPool, NestedParallelForRunsInline) {
   EXPECT_EQ(inner.load(), 8 * 16);
 }
 
+// Serial (single-lane) cancellation is exact: the token is checked before
+// every chunk, so cancelling inside chunk j means chunks 0..j ran and
+// nothing after.
+TEST(ThreadPool, CancelOnSingleLaneStopsAtTheNextChunkBoundary) {
+  ThreadPool pool(1);
+  CancelToken cancel;
+  std::vector<int> hits(100, 0);
+  pool.parallel_for_dynamic(
+      hits.size(), 10,
+      [&](std::size_t b, std::size_t e, std::size_t) {
+        for (std::size_t i = b; i < e; ++i) ++hits[i];
+        if (b == 20) cancel.cancel();  // mid-range: chunks 0..2 complete
+      },
+      &cancel);
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i], i < 30 ? 1 : 0) << i;
+  }
+}
+
+// Multi-lane cancellation: once the token fires no lane claims another
+// chunk, the in-flight chunks finish (no index is half-done), and no index
+// runs twice or is resurrected later.
+TEST(ThreadPool, CancelMidRunStopsPromptlyWithoutDuplicates) {
+  ThreadPool pool(4);
+  CancelToken cancel;
+  constexpr std::size_t kN = 10000;
+  std::vector<std::atomic<int>> hits(kN);
+  std::atomic<std::size_t> processed{0};
+  pool.parallel_for_dynamic(
+      kN, 1,
+      [&](std::size_t b, std::size_t e, std::size_t) {
+        for (std::size_t i = b; i < e; ++i) {
+          hits[i].fetch_add(1, std::memory_order_relaxed);
+        }
+        if (processed.fetch_add(e - b) + (e - b) >= 50) cancel.cancel();
+      },
+      &cancel);
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < kN; ++i) {
+    const int h = hits[i].load();
+    EXPECT_LE(h, 1) << "index " << i << " ran twice";
+    total += static_cast<std::size_t>(h);
+  }
+  EXPECT_GE(total, 50u);
+  // Prompt: only chunks claimed before the flag became visible may still
+  // run — a handful, not the remaining ~9950.
+  EXPECT_LE(total, 150u);
+}
+
+TEST(ThreadPool, PreCancelledTokenRunsNothing) {
+  for (std::size_t threads : {1u, 4u}) {
+    ThreadPool pool(threads);
+    CancelToken cancel;
+    cancel.cancel();
+    std::atomic<int> ran{0};
+    pool.parallel_for_dynamic(
+        64, 4,
+        [&](std::size_t, std::size_t, std::size_t) { ran.fetch_add(1); },
+        &cancel);
+    EXPECT_EQ(ran.load(), 0);
+  }
+}
+
+// The nested-inline path must honor the token between grains too.
+TEST(ThreadPool, CancelInsideNestedInlineLoop) {
+  ThreadPool pool(2);
+  CancelToken cancel;
+  std::atomic<int> inner{0};
+  pool.submit([&] {
+    pool.parallel_for_dynamic(
+        100, 10,
+        [&](std::size_t b, std::size_t e, std::size_t) {
+          inner.fetch_add(static_cast<int>(e - b));
+          if (b == 0) cancel.cancel();
+        },
+        &cancel);
+  });
+  pool.wait_idle();
+  EXPECT_GT(inner.load(), 0);
+  EXPECT_LT(inner.load(), 100);
+}
+
 TEST(ThreadPool, DynamicChunkingBalancesSkewedCosts) {
   // One expensive index plus many cheap ones: with grain 1 every lane keeps
   // claiming work, so total coverage stays exact even under heavy skew.

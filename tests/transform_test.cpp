@@ -36,7 +36,7 @@ TEST(Sweep, RemovesUnobservableLogic) {
   const GateId dead2 = b.add_gate(GateType::Or, "dead2", {x, a});
   b.add_gate(GateType::Not, "dead3", {dead2});
   b.mark_output(live);
-  const Circuit c = b.build_or_die();
+  const Circuit c = b.build_or_throw();
 
   TransformStats stats;
   const Circuit swept = sweep_dead_logic(c, &stats);
@@ -57,7 +57,7 @@ TEST(Sweep, RemovesDeadFlipFlopsButKeepsLiveFeedback) {
   b.define(q_dead, GateType::Dff, {d_dead});
   const GateId z = b.add_gate(GateType::Buf, "z", {q_live});
   b.mark_output(z);
-  const Circuit c = b.build_or_die();
+  const Circuit c = b.build_or_throw();
 
   const Circuit swept = sweep_dead_logic(c);
   EXPECT_EQ(swept.num_dffs(), 1u);
