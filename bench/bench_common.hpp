@@ -6,6 +6,8 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
+
+#include "util/bench_guard.hpp"
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -78,8 +80,19 @@ class JsonReport {
   }
 
   /// Writes the report; prints the destination (or a warning on failure).
+  /// Refuses to replace a multicore measurement with a single-core-host one
+  /// — rerunning the suite on a CI container must not downgrade committed
+  /// scaling rows to placeholders.
   void write() const {
     const std::string p = path();
+    if (refuse_single_core_overwrite_file(p, hardware_threads() <= 1)) {
+      std::fprintf(stderr,
+                   "warning: %s holds a multicore measurement; refusing to "
+                   "overwrite it from a single-core host (delete the file to "
+                   "force)\n",
+                   p.c_str());
+      return;
+    }
     std::FILE* f = std::fopen(p.c_str(), "w");
     if (f == nullptr) {
       std::fprintf(stderr, "warning: cannot write %s\n", p.c_str());

@@ -29,6 +29,9 @@ if [ "$(nproc)" -le 1 ]; then
   echo "WARNING: single-core host ($(nproc) CPU); thread-scaling rows in the" >&2
   echo "WARNING: BENCH_*.json reports will be marked invalid. Rerun on a" >&2
   echo "WARNING: multi-core machine for real 1-vs-N numbers." >&2
+  echo "WARNING: existing reports that hold a multicore measurement" >&2
+  echo "WARNING: (single_core_host: false) are left untouched: the benches" >&2
+  echo "WARNING: refuse to overwrite them from this host." >&2
 fi
 
 if [ "$#" -gt 0 ]; then

@@ -46,23 +46,26 @@ BddRef eval_gate_bdd(BddManager& mgr, GateType t, const std::vector<BddRef>& ins
   return kBddFalse;
 }
 
-}  // namespace
+/// Shared core of the two public entry points: the BDD (over the faulty
+/// machine's initial-state variables) of "this initial state's response
+/// conflicts with the good trace at some observation". `computable` is false
+/// when the node budget was exceeded or the test is not fully specified.
+struct ConflictBuild {
+  bool computable = false;
+  BddRef conflict = kBddFalse;
+};
 
-SymbolicVerdict symbolic_mot_detect(const Circuit& c, const TestSequence& test,
-                                    const SeqTrace& good, const Fault& f,
-                                    const SymbolicOptions& options) {
-  SymbolicVerdict verdict;
+ConflictBuild build_conflict(BddManager& mgr, const Circuit& c,
+                             const TestSequence& test, const SeqTrace& good,
+                             const Fault& f) {
+  ConflictBuild out;
   const std::size_t k = c.num_dffs();
-  // One BDD variable per unknown initial-state bit. The node budget is
-  // enforced inside the manager (soft exhaustion), so a single frame cannot
-  // blow past it.
-  BddManager mgr(static_cast<unsigned>(k), options.node_budget);
   const FaultView fv(c, f);
 
   // The test must be fully specified (constants in the symbolic domain).
   for (std::size_t u = 0; u < test.length(); ++u) {
     for (std::size_t i = 0; i < test.num_inputs(); ++i) {
-      if (!is_specified(test.at(u, i))) return verdict;
+      if (!is_specified(test.at(u, i))) return out;
     }
   }
 
@@ -109,10 +112,7 @@ SymbolicVerdict symbolic_mot_detect(const Circuit& c, const TestSequence& test,
       }
       vals[id] = eval_gate_bdd(mgr, g.type, ins);
     }
-    if (mgr.exhausted()) {
-      verdict.peak_nodes = mgr.num_nodes();
-      return verdict;  // the "BDDs cannot be derived" regime
-    }
+    if (mgr.exhausted()) return out;  // the "BDDs cannot be derived" regime
 
     // Accumulate "this initial state conflicts at some observation so far".
     for (std::size_t o = 0; o < c.num_outputs(); ++o) {
@@ -134,17 +134,53 @@ SymbolicVerdict symbolic_mot_detect(const Circuit& c, const TestSequence& test,
         state[j] = vals[c.dff_input(j)];
       }
     }
-    if (mgr.exhausted()) {
-      verdict.peak_nodes = mgr.num_nodes();
-      return verdict;
-    }
+    if (mgr.exhausted()) return out;
   }
 
-  verdict.computable = true;
+  out.computable = true;
+  out.conflict = conflict;
+  return out;
+}
+
+}  // namespace
+
+SymbolicVerdict symbolic_mot_detect(const Circuit& c, const TestSequence& test,
+                                    const SeqTrace& good, const Fault& f,
+                                    const SymbolicOptions& options) {
+  SymbolicVerdict verdict;
+  const std::size_t k = c.num_dffs();
+  // One BDD variable per unknown initial-state bit. The node budget is
+  // enforced inside the manager (soft exhaustion), so a single frame cannot
+  // blow past it.
+  BddManager mgr(static_cast<unsigned>(k), options.node_budget);
+  const ConflictBuild cb = build_conflict(mgr, c, test, good, f);
   verdict.peak_nodes = mgr.num_nodes();
-  verdict.detected = mgr.is_true(conflict);
-  verdict.detected_states = k < 64 ? mgr.sat_count(conflict) : 0;
+  if (!cb.computable) return verdict;
+  verdict.computable = true;
+  verdict.detected = mgr.is_true(cb.conflict);
+  verdict.detected_states = k < 64 ? mgr.sat_count(cb.conflict) : 0;
   return verdict;
+}
+
+SymbolicEnumeration symbolic_enumerate_initial_states(
+    const Circuit& c, const TestSequence& test, const SeqTrace& good,
+    const Fault& f, const SymbolicOptions& options) {
+  SymbolicEnumeration e;
+  const std::size_t k = c.num_dffs();
+  if (k >= 64) return e;  // sat_count / witness encoding need < 64 bits
+  BddManager mgr(static_cast<unsigned>(k), options.node_budget);
+  const ConflictBuild cb = build_conflict(mgr, c, test, good, f);
+  e.peak_nodes = mgr.num_nodes();
+  if (!cb.computable) return e;
+  e.computable = true;
+  e.num_states = 1ull << k;
+  e.detected_states = mgr.sat_count(cb.conflict);
+  e.detected = e.detected_states == e.num_states;
+  if (!e.detected) {
+    const BddRef miss = mgr.bdd_not(cb.conflict);
+    e.undetected_witness = mgr.any_sat(miss);
+  }
+  return e;
 }
 
 }  // namespace motsim

@@ -17,6 +17,8 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <optional>
 
 #include "fault/fault.hpp"
 #include "sim/seq_sim.hpp"
@@ -47,5 +49,26 @@ struct SymbolicVerdict {
 SymbolicVerdict symbolic_mot_detect(const Circuit& c, const TestSequence& test,
                                     const SeqTrace& good, const Fault& f,
                                     const SymbolicOptions& options = {});
+
+/// Exact enumeration of the faulty machine's initial states, partitioned
+/// into detected (response conflicts with the good trace somewhere) and
+/// undetected. This is the ground-truth entry point of the differential
+/// verification harness (src/verify): `detected` equals the exhaustive
+/// oracle's answer, and when a fault is *not* detected the witness names a
+/// concrete initial state an engine claiming detection cannot explain.
+struct SymbolicEnumeration {
+  bool computable = false;  ///< node budget exceeded, or test not fully specified
+  std::uint64_t num_states = 0;       ///< 2^num_dffs (requires num_dffs < 64)
+  std::uint64_t detected_states = 0;  ///< initial states whose response conflicts
+  bool detected = false;              ///< detected_states == num_states
+  /// An initial state (bit j = flip-flop j) whose faulty response never
+  /// conflicts with the fault-free response; present iff not detected.
+  std::optional<std::uint64_t> undetected_witness;
+  std::size_t peak_nodes = 0;
+};
+
+SymbolicEnumeration symbolic_enumerate_initial_states(
+    const Circuit& c, const TestSequence& test, const SeqTrace& good,
+    const Fault& f, const SymbolicOptions& options = {});
 
 }  // namespace motsim

@@ -97,7 +97,12 @@ Circuit generate(const GeneratorParams& p) {
       if (r < 0.30) {
         idx = rng.next_below(num_base);
       } else if (r < 0.30 + p.locality * 0.7 && signals.size() > num_base + 8) {
-        const std::size_t window = std::max<std::size_t>(8, signals.size() / 8);
+        // Reconvergent mode shrinks the window so consecutive gates keep
+        // reading the same few signals — dense shared-cone reconvergence.
+        const std::size_t window =
+            p.mode == StructureMode::Reconvergent
+                ? std::max<std::size_t>(3, signals.size() / 16)
+                : std::max<std::size_t>(8, signals.size() / 8);
         idx = signals.size() - window + rng.next_below(window);
       } else {
         idx = rng.next_below(signals.size());
@@ -144,7 +149,15 @@ Circuit generate(const GeneratorParams& p) {
   const std::size_t n_uninit = static_cast<std::size_t>(
       p.uninit_fraction * static_cast<double>(p.num_dffs) + 0.5);
   for (std::size_t i = 0; i < p.num_dffs; ++i) {
-    if (i < n_uninit && p.num_dffs >= 2) {
+    if (i < n_uninit && p.mode == StructureMode::OscillatorRing) {
+      // Inverting ring over the uninitializable prefix: FF_i <- NOT FF_{i+1}
+      // (itself when the prefix has one member — the single-FF oscillator).
+      // Like the parity feedback below, three-valued simulation can never
+      // leave X, but the ring also oscillates under every concrete state.
+      const std::size_t next = i + 1 < n_uninit ? i + 1 : 0;
+      consume(p.num_inputs + next);
+      b.define(ff_d[i], GateType::Not, {ffs[next]});
+    } else if (i < n_uninit && p.num_dffs >= 2) {
       const std::size_t other_ff =
           (i + 1 + rng.next_below(p.num_dffs - 1)) % p.num_dffs;
       std::vector<GateId> ins = {ffs[i], ffs[other_ff]};

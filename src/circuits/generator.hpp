@@ -27,6 +27,26 @@
 
 namespace motsim::circuits {
 
+/// Structural variants layered on the base construction. The differential
+/// verification fuzzer (src/verify) draws circuits from every mode so the
+/// engines are exercised on shapes the profile-matched default underweights.
+/// Standard is bit-identical to the pre-mode generator for every seed — the
+/// Table 2/3 stand-ins must not drift.
+enum class StructureMode : std::uint8_t {
+  Standard,       ///< profile-matched default (the benchmark stand-ins)
+  /// Fanins drawn from a much tighter recent window, producing dense
+  /// shared-cone reconvergent fanout (self-loop-free by construction, like
+  /// everything the generator emits: feedback only through DFFs).
+  Reconvergent,
+  /// The uninitializable flip-flops form an inverting ring
+  /// (FF_i <- NOT FF_{i+1 mod n}); with one such flip-flop this is the
+  /// single-FF oscillator, the classic never-initializing state variable.
+  OscillatorRing,
+  /// Meant to be combined with locality = 0: wide, shallow logic where most
+  /// gates read primary inputs and state variables directly.
+  ShallowWide,
+};
+
 struct GeneratorParams {
   std::string name = "synth";
   std::size_t num_inputs = 4;
@@ -42,6 +62,7 @@ struct GeneratorParams {
   /// (locality); the rest are uniform over all existing signals, which
   /// creates reconvergence and long feedback paths.
   double locality = 0.7;
+  StructureMode mode = StructureMode::Standard;
 };
 
 /// Generates a circuit. Deterministic in `params` (including seed).

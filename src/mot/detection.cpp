@@ -1,0 +1,55 @@
+#include "mot/detection.hpp"
+
+namespace motsim {
+
+std::string_view engine_name(Engine e) {
+  switch (e) {
+    case Engine::Conventional: return "conventional";
+    case Engine::ImplicationOnly: return "implication-only";
+    case Engine::Baseline: return "baseline";
+    case Engine::Proposed: return "proposed";
+    case Engine::GeneralMot: return "general";
+  }
+  return "?";
+}
+
+std::string_view detection_class_name(DetectionClass d) {
+  switch (d) {
+    case DetectionClass::Detected: return "detected";
+    case DetectionClass::Undetected: return "undetected";
+    case DetectionClass::Unresolved: return "unresolved";
+  }
+  return "?";
+}
+
+DetectionClass classify(const ConvOutcome& r) {
+  // Conventional three-valued simulation always runs to completion: its
+  // answer is definitive for its own (single observation time) criterion.
+  return r.detected ? DetectionClass::Detected : DetectionClass::Undetected;
+}
+
+DetectionClass classify(const ImplicationOnlyResult& r) {
+  if (r.detected) return DetectionClass::Detected;
+  return r.budget_stopped ? DetectionClass::Unresolved
+                          : DetectionClass::Undetected;
+}
+
+DetectionClass classify(const MotResult& r) {
+  if (r.detected) return DetectionClass::Detected;
+  return r.unresolved != UnresolvedReason::None ? DetectionClass::Unresolved
+                                                : DetectionClass::Undetected;
+}
+
+DetectionClass classify(const BaselineResult& r) {
+  if (r.detected) return DetectionClass::Detected;
+  return r.unresolved != UnresolvedReason::None ? DetectionClass::Unresolved
+                                                : DetectionClass::Undetected;
+}
+
+DetectionClass classify(const GeneralMotResult& r) {
+  if (r.detected) return DetectionClass::Detected;
+  return r.unresolved != UnresolvedReason::None ? DetectionClass::Unresolved
+                                                : DetectionClass::Undetected;
+}
+
+}  // namespace motsim

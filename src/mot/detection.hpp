@@ -1,0 +1,52 @@
+// Uniform detection-outcome extraction across the five fault-simulation
+// engines (conventional, implication-only, [4] expansion baseline, the
+// paper's proposed procedure, and general MOT).
+//
+// Every engine reports its verdict through its own result struct, each with
+// its own budget/abort vocabulary. The differential verification harness
+// (src/verify) needs one question answered uniformly: did this engine
+// *definitively* detect the fault, definitively not detect it, or give up
+// before deciding? Folding an unresolved outcome into "undetected" would
+// make the subsumption lattice report false violations (a budget-stopped
+// superset engine is not a missing detection), so the three-way split is
+// load-bearing, not cosmetic.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "faultsim/conventional.hpp"
+#include "mot/baseline.hpp"
+#include "mot/general.hpp"
+#include "mot/implication_only.hpp"
+#include "mot/proposed.hpp"
+
+namespace motsim {
+
+/// The engines compared by the differential harness, in subsumption order:
+/// detection sets grow (or stay equal) left to right.
+enum class Engine : std::uint8_t {
+  Conventional,
+  ImplicationOnly,
+  Baseline,  ///< the [4] expansion method (no backward implications)
+  Proposed,
+  GeneralMot,
+};
+
+std::string_view engine_name(Engine e);
+
+enum class DetectionClass : std::uint8_t {
+  Detected,    ///< the engine established detection (always sound to act on)
+  Undetected,  ///< the engine ran to completion without detecting
+  Unresolved,  ///< a budget/abort stopped the engine before it could decide
+};
+
+std::string_view detection_class_name(DetectionClass d);
+
+DetectionClass classify(const ConvOutcome& r);
+DetectionClass classify(const ImplicationOnlyResult& r);
+DetectionClass classify(const MotResult& r);
+DetectionClass classify(const BaselineResult& r);
+DetectionClass classify(const GeneralMotResult& r);
+
+}  // namespace motsim

@@ -1,0 +1,37 @@
+#include "util/bench_guard.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace motsim::benchutil {
+
+bool refuse_single_core_overwrite(std::string_view existing_json,
+                                  bool new_report_single_core) {
+  if (!new_report_single_core) return false;  // real measurements always win
+  // String-scan rather than a JSON parser: the reports are written by
+  // JsonReport with this exact key, and a guard must not gain a parser
+  // dependency just to read one boolean.
+  const std::size_t key = existing_json.find("\"single_core_host\"");
+  if (key == std::string_view::npos) return false;
+  std::size_t pos = existing_json.find(':', key);
+  if (pos == std::string_view::npos) return false;
+  ++pos;
+  while (pos < existing_json.size() &&
+         (existing_json[pos] == ' ' || existing_json[pos] == '\t' ||
+          existing_json[pos] == '\n')) {
+    ++pos;
+  }
+  return existing_json.substr(pos, 5) == "false";
+}
+
+bool refuse_single_core_overwrite_file(const std::string& path,
+                                       bool new_report_single_core) {
+  if (!new_report_single_core) return false;
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream text;
+  text << in.rdbuf();
+  return refuse_single_core_overwrite(text.str(), new_report_single_core);
+}
+
+}  // namespace motsim::benchutil

@@ -1,0 +1,29 @@
+// Guard against downgrading benchmark reports.
+//
+// The BENCH_*.json reports are committed alongside the code so the perf
+// trajectory is reviewable. Thread-scaling rows measured on a single-core
+// host are placeholders (the "parallel" run is a second serial measurement),
+// and a CI container or laptop rerun must not silently replace a real
+// multicore measurement with one. The guard compares the existing report's
+// `single_core_host` field against the new run's host before overwriting.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace motsim::benchutil {
+
+/// True when writing a new report would replace a multicore measurement
+/// with a single-core-host one: `existing_json` says
+/// `"single_core_host": false` while the new report was produced on a
+/// single-core host. Malformed or empty existing content never refuses (the
+/// overwrite can only improve it).
+bool refuse_single_core_overwrite(std::string_view existing_json,
+                                  bool new_report_single_core);
+
+/// Reads `path` and applies refuse_single_core_overwrite to its content.
+/// A missing/unreadable file never refuses.
+bool refuse_single_core_overwrite_file(const std::string& path,
+                                       bool new_report_single_core);
+
+}  // namespace motsim::benchutil

@@ -1,0 +1,280 @@
+#include "verify/bundle.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+
+#include "netlist/bench_io.hpp"
+#include "util/strings.hpp"
+
+namespace motsim::verify {
+
+namespace {
+
+constexpr std::string_view kMagic = "motsim-verify-bundle 1";
+
+/// Splits off the next '\n'-terminated line (without the terminator).
+/// Returns false when `text` is exhausted.
+bool next_line(std::string_view& text, std::string_view& line) {
+  if (text.empty()) return false;
+  const std::size_t nl = text.find('\n');
+  if (nl == std::string_view::npos) {
+    line = text;
+    text = {};
+  } else {
+    line = text.substr(0, nl);
+    text.remove_prefix(nl + 1);
+  }
+  return true;
+}
+
+/// Splits off the next whitespace-delimited token of `line`.
+bool next_token(std::string_view& line, std::string_view& tok) {
+  while (!line.empty() && (line.front() == ' ' || line.front() == '\t')) {
+    line.remove_prefix(1);
+  }
+  if (line.empty()) return false;
+  std::size_t end = 0;
+  while (end < line.size() && line[end] != ' ' && line[end] != '\t') ++end;
+  tok = line.substr(0, end);
+  line.remove_prefix(end);
+  return true;
+}
+
+template <typename T>
+bool parse_int(std::string_view tok, T& out) {
+  const char* first = tok.data();
+  const char* last = tok.data() + tok.size();
+  const auto [ptr, ec] = std::from_chars(first, last, out);
+  return ec == std::errc{} && ptr == last;
+}
+
+}  // namespace
+
+FailureBundle make_bundle(CheckId check, Mutant mutant, std::uint64_t seed,
+                          std::size_t n_states, const Circuit& c,
+                          const TestSequence& test, std::vector<Fault> faults,
+                          std::string note) {
+  FailureBundle b;
+  b.check = check;
+  b.mutant = mutant;
+  b.seed = seed;
+  b.n_states = n_states;
+  b.note = std::move(note);
+  b.bench = write_bench(c);
+  b.circuit = c;
+  b.test = test;
+  b.faults = std::move(faults);
+  return b;
+}
+
+std::string write_bundle(const FailureBundle& b) {
+  std::ostringstream out;
+  out << kMagic << "\n";
+  out << "check " << check_name(b.check) << "\n";
+  out << "mutant " << mutant_name(b.mutant) << "\n";
+  out << "seed " << b.seed << "\n";
+  out << "nstates " << b.n_states << "\n";
+  if (!b.note.empty()) out << "note " << b.note << "\n";
+  for (const Fault& f : b.faults) {
+    out << "fault " << b.circuit.gate(f.gate).name << " " << f.pin << " "
+        << (f.stuck == Val::One ? 1 : 0) << "\n";
+  }
+  out << "test " << b.test.num_inputs() << " " << b.test.length() << "\n";
+  out << b.test.to_string();  // one row per line, '\n'-terminated
+  std::size_t bench_lines = 0;
+  for (const char ch : b.bench) bench_lines += ch == '\n';
+  out << "bench " << bench_lines << "\n";
+  out << b.bench;
+  out << "end\n";
+  return out.str();
+}
+
+bool parse_bundle(std::string_view text, FailureBundle& out,
+                  std::string& error) {
+  out = FailureBundle{};
+  std::string_view line;
+  if (!next_line(text, line) || line != kMagic) {
+    error = "not a motsim-verify-bundle file";
+    return false;
+  }
+  struct FaultSpec {
+    std::string gate;
+    int pin = kOutputPin;
+    int stuck = 0;
+  };
+  std::vector<FaultSpec> fault_specs;
+  std::vector<std::string> test_rows;
+  bool have_test = false;
+  bool have_bench = false;
+  bool have_end = false;
+  std::size_t lineno = 1;
+  while (next_line(text, line)) {
+    ++lineno;
+    std::string_view rest = line;
+    std::string_view key;
+    if (!next_token(rest, key)) continue;  // blank line
+    const auto fail = [&](const std::string& why) {
+      error = str_format("line %zu: %s", lineno, why.c_str());
+      return false;
+    };
+    if (key == "check") {
+      std::string_view v;
+      if (!next_token(rest, v) || !check_from_name(v, out.check)) {
+        return fail("unknown check name");
+      }
+    } else if (key == "mutant") {
+      std::string_view v;
+      if (!next_token(rest, v) || !mutant_from_name(v, out.mutant)) {
+        return fail("unknown mutant name");
+      }
+    } else if (key == "seed") {
+      std::string_view v;
+      if (!next_token(rest, v) || !parse_int(v, out.seed)) {
+        return fail("malformed seed");
+      }
+    } else if (key == "nstates") {
+      std::string_view v;
+      if (!next_token(rest, v) || !parse_int(v, out.n_states) ||
+          out.n_states == 0) {
+        return fail("malformed nstates");
+      }
+    } else if (key == "note") {
+      while (!rest.empty() && (rest.front() == ' ' || rest.front() == '\t')) {
+        rest.remove_prefix(1);
+      }
+      out.note = std::string(rest);
+    } else if (key == "fault") {
+      FaultSpec spec;
+      std::string_view gate, pin, stuck;
+      if (!next_token(rest, gate) || !next_token(rest, pin) ||
+          !next_token(rest, stuck) || !parse_int(pin, spec.pin) ||
+          !parse_int(stuck, spec.stuck) ||
+          (spec.stuck != 0 && spec.stuck != 1)) {
+        return fail("malformed fault line (want: fault <gate> <pin> <0|1>)");
+      }
+      spec.gate = std::string(gate);
+      fault_specs.push_back(std::move(spec));
+    } else if (key == "test") {
+      std::string_view ni, len;
+      std::size_t num_inputs = 0;
+      std::size_t length = 0;
+      if (!next_token(rest, ni) || !next_token(rest, len) ||
+          !parse_int(ni, num_inputs) || !parse_int(len, length)) {
+        return fail("malformed test header (want: test <inputs> <length>)");
+      }
+      for (std::size_t u = 0; u < length; ++u) {
+        std::string_view row;
+        if (!next_line(text, row)) return fail("truncated test section");
+        ++lineno;
+        if (row.size() != num_inputs) return fail("test row has wrong width");
+        test_rows.emplace_back(row);
+      }
+      std::vector<std::string_view> views(test_rows.begin(), test_rows.end());
+      if (!TestSequence::from_strings(views, out.test)) {
+        return fail("malformed test pattern");
+      }
+      have_test = true;
+    } else if (key == "bench") {
+      std::string_view count_tok;
+      std::size_t count = 0;
+      if (!next_token(rest, count_tok) || !parse_int(count_tok, count)) {
+        return fail("malformed bench header (want: bench <line-count>)");
+      }
+      std::string bench;
+      for (std::size_t i = 0; i < count; ++i) {
+        std::string_view row;
+        if (!next_line(text, row)) return fail("truncated bench section");
+        ++lineno;
+        bench.append(row);
+        bench.push_back('\n');
+      }
+      BenchParseResult parsed = parse_bench(bench, "bundle");
+      if (!parsed.ok) return fail("embedded bench: " + parsed.error);
+      out.bench = std::move(bench);
+      out.circuit = std::move(parsed.circuit);
+      have_bench = true;
+    } else if (key == "end") {
+      have_end = true;
+      break;
+    } else {
+      return fail("unknown keyword '" + std::string(key) + "'");
+    }
+  }
+  if (!have_end) {
+    error = "missing 'end' terminator (truncated bundle?)";
+    return false;
+  }
+  if (!have_bench) {
+    error = "bundle has no bench section";
+    return false;
+  }
+  if (!have_test) {
+    error = "bundle has no test section";
+    return false;
+  }
+  if (out.test.num_inputs() != out.circuit.num_inputs()) {
+    error = str_format("test width %zu != circuit inputs %zu",
+                       out.test.num_inputs(), out.circuit.num_inputs());
+    return false;
+  }
+  if (fault_specs.empty()) {
+    error = "bundle has no fault lines";
+    return false;
+  }
+  for (const auto& spec : fault_specs) {
+    const GateId id = out.circuit.find(spec.gate);
+    if (id == kNoGate) {
+      error = "fault names unknown gate '" + spec.gate + "'";
+      return false;
+    }
+    if (spec.pin != kOutputPin &&
+        (spec.pin < 0 || static_cast<std::size_t>(spec.pin) >=
+                             out.circuit.gate(id).fanins.size())) {
+      error = "fault pin out of range for gate '" + spec.gate + "'";
+      return false;
+    }
+    out.faults.push_back(
+        Fault{id, spec.pin, spec.stuck == 1 ? Val::One : Val::Zero});
+  }
+  return true;
+}
+
+bool save_bundle(const FailureBundle& b, const std::string& path,
+                 std::string& error) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    error = "cannot open " + path + " for writing";
+    return false;
+  }
+  out << write_bundle(b);
+  out.flush();
+  if (!out) {
+    error = "short write to " + path;
+    return false;
+  }
+  return true;
+}
+
+bool load_bundle(const std::string& path, FailureBundle& out,
+                 std::string& error) {
+  std::ifstream in(path);
+  if (!in) {
+    error = "cannot open " + path;
+    return false;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  return parse_bundle(text.str(), out, error);
+}
+
+std::vector<Violation> replay_bundle(const FailureBundle& b,
+                                     const VerifyOptions& base) {
+  VerifyOptions opts = base;
+  opts.mot.n_states = b.n_states;
+  opts.mutant = b.mutant;
+  opts.only = b.check;
+  return verify_case(b.circuit, b.test, b.faults, opts);
+}
+
+}  // namespace motsim::verify

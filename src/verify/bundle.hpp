@@ -1,0 +1,56 @@
+// Replayable failure bundles.
+//
+// When the fuzzer finds an invariant violation it packages everything needed
+// to reproduce it — the circuit (as .bench text), the test sequence, the
+// fault(s), the check that fired, the mutant in effect, the generator seed
+// and the N_STATES budget — into one self-contained text file. Bundles are
+// what land in tests/corpus/: the shrinker minimises them, corpus_test
+// replays them on every run, and `verify_fuzz --replay file` reproduces one
+// interactively. The format is deliberately line-oriented and diffable so a
+// shrunk bundle reads as documentation of the failure.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "verify/checks.hpp"
+
+namespace motsim::verify {
+
+struct FailureBundle {
+  CheckId check = CheckId::All;  ///< All = "this is a regression case, run
+                                 ///  every check" (corpus seeds)
+  Mutant mutant = Mutant::None;
+  std::uint64_t seed = 0;    ///< fuzzer seed that produced the case
+  std::size_t n_states = 8;  ///< MotOptions::n_states the case ran under
+  std::string note;          ///< one-line provenance ("" = none)
+  std::string bench;         ///< .bench text; source of truth for `circuit`
+  Circuit circuit;           ///< parsed from `bench`
+  TestSequence test;
+  std::vector<Fault> faults;  ///< resolved against `circuit`
+};
+
+/// Builds a bundle from a live case; serialises `c` to canonical .bench text.
+FailureBundle make_bundle(CheckId check, Mutant mutant, std::uint64_t seed,
+                          std::size_t n_states, const Circuit& c,
+                          const TestSequence& test, std::vector<Fault> faults,
+                          std::string note = "");
+
+std::string write_bundle(const FailureBundle& b);
+/// Parses bundle text (faults are resolved against the embedded circuit).
+bool parse_bundle(std::string_view text, FailureBundle& out,
+                  std::string& error);
+
+bool save_bundle(const FailureBundle& b, const std::string& path,
+                 std::string& error);
+bool load_bundle(const std::string& path, FailureBundle& out,
+                 std::string& error);
+
+/// Re-runs the bundle's check(s) — bundle fields override `base`'s check
+/// selection, mutant and N_STATES budget. Empty result = the failure no
+/// longer reproduces (or, for check == All corpus bundles, the case is
+/// clean, which is what corpus_test asserts).
+std::vector<Violation> replay_bundle(const FailureBundle& b,
+                                     const VerifyOptions& base = {});
+
+}  // namespace motsim::verify

@@ -1,0 +1,424 @@
+#include "verify/checks.hpp"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+#include "bdd/symbolic.hpp"
+#include "faultsim/batch.hpp"
+#include "faultsim/checkpoint.hpp"
+#include "mot/oracle.hpp"
+#include "sim/seq_sim.hpp"
+#include "util/strings.hpp"
+
+namespace motsim::verify {
+
+std::string_view check_name(CheckId c) {
+  switch (c) {
+    case CheckId::ConvImpliesImpl: return "conv-implies-impl";
+    case CheckId::ImplImpliesProposed: return "impl-implies-proposed";
+    case CheckId::BaselineImpliesProposed: return "baseline-implies-proposed";
+    case CheckId::ProposedImpliesGeneral: return "proposed-implies-general";
+    case CheckId::ConventionalSound: return "conventional-sound";
+    case CheckId::ImplicationOnlySound: return "implication-only-sound";
+    case CheckId::ProposedSound: return "proposed-sound";
+    case CheckId::BaselineSound: return "baseline-sound";
+    case CheckId::GeneralSound: return "general-sound";
+    case CheckId::OraclesAgree: return "oracles-agree";
+    case CheckId::PlainMatchesBaseline: return "plain-matches-baseline";
+    case CheckId::BudgetMonotonic: return "budget-monotonic";
+    case CheckId::ThreadInvariance: return "thread-invariance";
+    case CheckId::ResumeEquivalence: return "resume-equivalence";
+    case CheckId::All: return "all";
+  }
+  return "?";
+}
+
+bool check_from_name(std::string_view name, CheckId& out) {
+  for (std::uint8_t v = 0; v <= static_cast<std::uint8_t>(CheckId::All); ++v) {
+    const CheckId c = static_cast<CheckId>(v);
+    if (name == check_name(c)) {
+      out = c;
+      return true;
+    }
+  }
+  return false;
+}
+
+namespace {
+
+bool enabled(const VerifyOptions& opts, CheckId c) {
+  return opts.only == CheckId::All || opts.only == c;
+}
+
+bool fully_specified(const TestSequence& test) {
+  for (std::size_t u = 0; u < test.length(); ++u) {
+    for (std::size_t i = 0; i < test.num_inputs(); ++i) {
+      if (!is_specified(test.at(u, i))) return false;
+    }
+  }
+  return true;
+}
+
+/// Exact restricted-MOT ground truth for one fault, from whichever exact
+/// method is in range; `witness` is a non-conflicting initial state when the
+/// symbolic enumeration produced one.
+struct GroundTruth {
+  bool have = false;
+  bool detected = false;
+  std::string source;
+  std::optional<std::uint64_t> witness;
+};
+
+void add(std::vector<Violation>& out, CheckId check, const Fault& f,
+         std::string detail) {
+  out.push_back(Violation{check, f, std::move(detail)});
+}
+
+/// Budget outcomes that excuse a missing proposed-engine detection in the
+/// subsumption checks. NStates is deliberately *not* here for the
+/// implication-only and baseline edges: an NStates abort means collection
+/// and the §3.2 check ran to completion (which subsumes implication-only)
+/// and the plain-expansion fallback ran (which subsumes the baseline), so a
+/// detection either engine found must have been found too.
+bool stopped_by_external_budget(UnresolvedReason r) {
+  return r == UnresolvedReason::Deadline || r == UnresolvedReason::WorkLimit ||
+         r == UnresolvedReason::Cancelled || r == UnresolvedReason::PairCap;
+}
+
+std::string describe(const Circuit& c, const Fault& f) {
+  return fault_name(c, f);
+}
+
+/// ExpansionBaseline's relabeling of a plain proposed run, restated here so
+/// PlainMatchesBaseline detects drift in the wrapper itself.
+BaselineResult relabel_plain(const MotResult& r) {
+  BaselineResult out;
+  out.detected = r.detected;
+  out.detected_conventional = r.detected_conventional;
+  out.passes_c = r.passes_c;
+  out.expansions = r.expansions;
+  out.final_sequences = r.final_sequences;
+  out.aborted = r.passes_c && !r.detected;
+  out.unresolved = r.unresolved;
+  return out;
+}
+
+void check_one_fault(EngineSet& engines, const TestSequence& test,
+                     const SeqTrace& good, const Fault& f,
+                     const VerifyOptions& opts, std::vector<Violation>& out) {
+  const Circuit& c = engines.circuit();
+  const EngineOutcomes eo = engines.run(test, good, f);
+  const DetectionClass conv = classify(eo.conv);
+  const DetectionClass impl = classify(eo.impl);
+  const DetectionClass prop = classify(eo.proposed);
+  const DetectionClass base = classify(eo.baseline);
+  const DetectionClass gen = classify(eo.general);
+
+  // --- Subsumption chain -------------------------------------------------
+  if (enabled(opts, CheckId::ConvImpliesImpl) &&
+      conv == DetectionClass::Detected && impl == DetectionClass::Undetected) {
+    add(out, CheckId::ConvImpliesImpl, f,
+        str_format("%s: conventional detects but implication-only does not",
+                   describe(c, f).c_str()));
+  }
+  if (enabled(opts, CheckId::ImplImpliesProposed) &&
+      impl == DetectionClass::Detected && prop != DetectionClass::Detected &&
+      !stopped_by_external_budget(eo.proposed.unresolved)) {
+    add(out, CheckId::ImplImpliesProposed, f,
+        str_format("%s: implication-only detects but proposed ends %s (%s)",
+                   describe(c, f).c_str(),
+                   std::string(detection_class_name(prop)).c_str(),
+                   to_string(eo.proposed.unresolved)));
+  }
+  if (enabled(opts, CheckId::BaselineImpliesProposed) &&
+      base == DetectionClass::Detected && prop != DetectionClass::Detected &&
+      !stopped_by_external_budget(eo.proposed.unresolved)) {
+    add(out, CheckId::BaselineImpliesProposed, f,
+        str_format("%s: [4] baseline detects but proposed ends %s (%s)",
+                   describe(c, f).c_str(),
+                   std::string(detection_class_name(prop)).c_str(),
+                   to_string(eo.proposed.unresolved)));
+  }
+  if (enabled(opts, CheckId::ProposedImpliesGeneral) &&
+      prop == DetectionClass::Detected && gen == DetectionClass::Undetected) {
+    add(out, CheckId::ProposedImpliesGeneral, f,
+        str_format("%s: proposed (restricted) detects but general MOT does not",
+                   describe(c, f).c_str()));
+  }
+
+  // --- Ground truth ------------------------------------------------------
+  // Exact only for fully specified stimulus; partially specified corpus
+  // entries still get the full subsumption/agreement/monotonicity lattice.
+  GroundTruth gt;
+  const bool full = fully_specified(test);
+  if (full) {
+    SymbolicOptions sym_opt;
+    sym_opt.node_budget = opts.symbolic_node_budget;
+    const SymbolicEnumeration sym =
+        symbolic_enumerate_initial_states(c, test, good, f, sym_opt);
+    OracleVerdict oracle;
+    if (c.num_dffs() <= opts.oracle_max_ffs) {
+      oracle = restricted_mot_oracle(c, test, good, f, opts.oracle_max_ffs);
+    }
+    if (enabled(opts, CheckId::OraclesAgree) && sym.computable &&
+        oracle.computable && sym.detected != oracle.detected) {
+      add(out, CheckId::OraclesAgree, f,
+          str_format("%s: exhaustive oracle says %s, BDD enumeration says %s "
+                     "(%llu/%llu states detected)",
+                     describe(c, f).c_str(),
+                     oracle.detected ? "detected" : "undetected",
+                     sym.detected ? "detected" : "undetected",
+                     static_cast<unsigned long long>(sym.detected_states),
+                     static_cast<unsigned long long>(sym.num_states)));
+    }
+    if (sym.computable) {
+      gt = {true, sym.detected, "bdd-enumeration", sym.undetected_witness};
+    } else if (oracle.computable) {
+      gt = {true, oracle.detected, "exhaustive-oracle", std::nullopt};
+    }
+  }
+
+  const auto unsound = [&](CheckId check, DetectionClass d, const char* who) {
+    if (!enabled(opts, check)) return;
+    if (d != DetectionClass::Detected || !gt.have || gt.detected) return;
+    std::string detail = str_format(
+        "%s: %s claims detection but ground truth (%s) says undetected",
+        describe(c, f).c_str(), who, gt.source.c_str());
+    if (gt.witness) {
+      detail += str_format("; undetected initial state 0x%llx",
+                           static_cast<unsigned long long>(*gt.witness));
+    }
+    add(out, check, f, std::move(detail));
+  };
+  unsound(CheckId::ConventionalSound, conv, "conventional");
+  unsound(CheckId::ImplicationOnlySound, impl, "implication-only");
+  unsound(CheckId::ProposedSound, prop, "proposed");
+  unsound(CheckId::BaselineSound, base, "[4] baseline");
+  // Like the restricted ground truth, the general oracle's "undetected" is
+  // only a refutation when the stimulus is fully specified.
+  if (enabled(opts, CheckId::GeneralSound) && full &&
+      gen == DetectionClass::Detected &&
+      c.num_dffs() <= opts.general_oracle_max_ffs) {
+    const OracleVerdict g =
+        general_mot_oracle(c, test, f, opts.general_oracle_max_ffs);
+    if (g.computable && !g.detected) {
+      add(out, CheckId::GeneralSound, f,
+          str_format("%s: general MOT claims detection but the general oracle "
+                     "says undetected",
+                     describe(c, f).c_str()));
+    }
+  }
+
+  // --- Baseline wrapper agreement ---------------------------------------
+  if (enabled(opts, CheckId::PlainMatchesBaseline)) {
+    const BaselineResult expect = relabel_plain(eo.plain);
+    if (!(expect == eo.baseline)) {
+      add(out, CheckId::PlainMatchesBaseline, f,
+          str_format("%s: ExpansionBaseline (det=%d exp=%zu seq=%zu ab=%d) != "
+                     "proposed-without-implications (det=%d exp=%zu seq=%zu "
+                     "ab=%d)",
+                     describe(c, f).c_str(), int(eo.baseline.detected),
+                     eo.baseline.expansions, eo.baseline.final_sequences,
+                     int(eo.baseline.aborted), int(expect.detected),
+                     expect.expansions, expect.final_sequences,
+                     int(expect.aborted)));
+    }
+  }
+
+  // --- Budget monotonicity ----------------------------------------------
+  if (enabled(opts, CheckId::BudgetMonotonic)) {
+    std::vector<std::uint64_t> limits = opts.work_limits;
+    limits.push_back(0);  // unlimited
+    bool detected_at_smaller = false;
+    std::uint64_t smaller = 0;
+    for (const std::uint64_t limit : limits) {
+      MotOptions o = opts.mot;
+      o.per_fault_work_limit = limit;
+      o.per_fault_time_ms = 0;
+      const MotResult r = engines.run_proposed(o, test, good, f);
+      if (detected_at_smaller && !r.detected) {
+        add(out, CheckId::BudgetMonotonic, f,
+            str_format("%s: detected with work limit %llu but %s with the "
+                       "larger limit %llu",
+                       describe(c, f).c_str(),
+                       static_cast<unsigned long long>(smaller),
+                       std::string(detection_class_name(classify(r))).c_str(),
+                       static_cast<unsigned long long>(limit)));
+        break;
+      }
+      if (r.detected && !detected_at_smaller) {
+        detected_at_smaller = true;
+        smaller = limit;
+      }
+    }
+  }
+}
+
+std::string scratch_journal_path(const VerifyOptions& opts) {
+  std::string dir = opts.scratch_dir;
+  if (dir.empty()) {
+    const char* t = std::getenv("TMPDIR");
+    dir = (t != nullptr && *t != '\0') ? t : "/tmp";
+  }
+  static std::atomic<std::uint64_t> seq{0};
+  return dir + "/motsim_verify_" + std::to_string(::getpid()) + "_" +
+         std::to_string(seq.fetch_add(1)) + ".journal";
+}
+
+std::string item_summary(const MotBatchItem& item) {
+  return str_format("det=%d phase=%u exp=%zu seq=%zu work=%llu unres=%s "
+                    "base_det=%d",
+                    int(item.mot.detected),
+                    unsigned(static_cast<std::uint8_t>(item.mot.phase)),
+                    item.mot.expansions, item.mot.final_sequences,
+                    static_cast<unsigned long long>(item.mot.work_used),
+                    to_string(item.mot.unresolved), int(item.baseline.detected));
+}
+
+/// The StaleResume mutant: a serializer that loses fields.
+MotBatchItem strip_for_resume(MotBatchItem item) {
+  item.mot.work_used = 0;
+  item.mot.counters = EffectivenessCounters{};
+  return item;
+}
+
+void check_thread_invariance(const Circuit& c, const TestSequence& test,
+                             const SeqTrace& good,
+                             const std::vector<Fault>& faults,
+                             const VerifyOptions& opts,
+                             std::vector<Violation>& out) {
+  if (opts.thread_counts.size() < 2 || faults.empty()) return;
+  std::vector<std::size_t> indices(faults.size());
+  for (std::size_t k = 0; k < indices.size(); ++k) indices[k] = k;
+
+  // Random selection is the hardest case for determinism: it exercises the
+  // per-fault reseed machinery the batch driver relies on.
+  std::vector<std::vector<MotBatchItem>> runs;
+  for (const std::size_t threads : opts.thread_counts) {
+    MotOptions o = opts.mot;
+    o.selection = SelectionPolicy::Random;
+    o.num_threads = threads;
+    if (opts.mutant == Mutant::ThreadSeedDrift) {
+      o.selection_seed += threads;
+    }
+    const MotBatchRunner runner(c, o, /*run_baseline=*/true);
+    runs.push_back(runner.run(test, good, faults, indices));
+  }
+  for (std::size_t r = 1; r < runs.size(); ++r) {
+    for (std::size_t i = 0; i < faults.size(); ++i) {
+      if (runs[0][i] == runs[r][i]) continue;
+      add(out, CheckId::ThreadInvariance, faults[i],
+          str_format("%s: batch item differs between %zu and %zu threads: "
+                     "[%s] vs [%s]",
+                     describe(c, faults[i]).c_str(), opts.thread_counts[0],
+                     opts.thread_counts[r], item_summary(runs[0][i]).c_str(),
+                     item_summary(runs[r][i]).c_str()));
+      return;  // first divergence is the actionable one
+    }
+  }
+}
+
+void check_resume_equivalence(const Circuit& c, const TestSequence& test,
+                              const SeqTrace& good,
+                              const std::vector<Fault>& faults,
+                              const VerifyOptions& opts,
+                              std::vector<Violation>& out) {
+  if (faults.empty()) return;
+  std::vector<std::size_t> indices(faults.size());
+  for (std::size_t k = 0; k < indices.size(); ++k) indices[k] = k;
+
+  MotOptions o = opts.mot;
+  o.num_threads = 1;
+  const MotBatchRunner runner(c, o, /*run_baseline=*/true);
+  const std::vector<MotBatchItem> reference =
+      runner.run(test, good, faults, indices);
+
+  // Emulate a campaign killed after the first half: its journal holds
+  // exactly those records (round-tripped through the real serializer).
+  const JournalMeta meta =
+      make_journal_meta(c.name(), faults.size(), test, o, /*baseline=*/true);
+  const std::string path = scratch_journal_path(opts);
+  std::string err;
+  {
+    auto journal = CampaignJournal::create(path, meta, err);
+    if (journal == nullptr) {
+      add(out, CheckId::ResumeEquivalence, faults[0],
+          "cannot create scratch journal: " + err);
+      return;
+    }
+    const std::size_t half = (reference.size() + 1) / 2;
+    for (std::size_t i = 0; i < half; ++i) {
+      const MotBatchItem item = opts.mutant == Mutant::StaleResume
+                                    ? strip_for_resume(reference[i])
+                                    : reference[i];
+      journal->append(item);
+    }
+  }
+  auto journal = CampaignJournal::open_resume(path, meta, err);
+  if (journal == nullptr) {
+    add(out, CheckId::ResumeEquivalence, faults[0],
+        "journal written by this campaign does not resume: " + err);
+    std::remove(path.c_str());
+    return;
+  }
+  const std::vector<MotBatchItem> resumed =
+      runner.run(test, good, faults, indices, journal.get());
+  journal.reset();
+  std::remove(path.c_str());
+
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    if (resumed[i] == reference[i]) continue;
+    add(out, CheckId::ResumeEquivalence, faults[i],
+        str_format("%s: resumed campaign differs from uninterrupted run: "
+                   "[%s] vs [%s]",
+                   describe(c, faults[i]).c_str(),
+                   item_summary(resumed[i]).c_str(),
+                   item_summary(reference[i]).c_str()));
+    return;
+  }
+}
+
+}  // namespace
+
+std::vector<Violation> check_fault(const Circuit& c, const TestSequence& test,
+                                   const SeqTrace& good, const Fault& f,
+                                   const VerifyOptions& opts) {
+  std::vector<Violation> out;
+  EngineSet engines(c, opts.mot, opts.good_n_states, opts.mutant);
+  check_one_fault(engines, test, good, f, opts, out);
+  return out;
+}
+
+std::vector<Violation> check_batch(const Circuit& c, const TestSequence& test,
+                                   const SeqTrace& good,
+                                   const std::vector<Fault>& faults,
+                                   const VerifyOptions& opts) {
+  std::vector<Violation> out;
+  if (enabled(opts, CheckId::ThreadInvariance)) {
+    check_thread_invariance(c, test, good, faults, opts, out);
+  }
+  if (enabled(opts, CheckId::ResumeEquivalence)) {
+    check_resume_equivalence(c, test, good, faults, opts, out);
+  }
+  return out;
+}
+
+std::vector<Violation> verify_case(const Circuit& c, const TestSequence& test,
+                                   const std::vector<Fault>& faults,
+                                   const VerifyOptions& opts) {
+  std::vector<Violation> out;
+  const SequentialSimulator sim(c);
+  const SeqTrace good = sim.run_fault_free(test);
+  EngineSet engines(c, opts.mot, opts.good_n_states, opts.mutant);
+  for (const Fault& f : faults) {
+    check_one_fault(engines, test, good, f, opts, out);
+  }
+  const std::vector<Violation> batch = check_batch(c, test, good, faults, opts);
+  out.insert(out.end(), batch.begin(), batch.end());
+  return out;
+}
+
+}  // namespace motsim::verify

@@ -1,0 +1,95 @@
+#include "verify/engines.hpp"
+
+namespace motsim::verify {
+
+std::string_view mutant_name(Mutant m) {
+  switch (m) {
+    case Mutant::None: return "none";
+    case Mutant::UnsoundAbort: return "unsound-abort";
+    case Mutant::DropImplications: return "drop-implications";
+    case Mutant::ThreadSeedDrift: return "thread-seed-drift";
+    case Mutant::StaleResume: return "stale-resume";
+  }
+  return "?";
+}
+
+bool mutant_from_name(std::string_view name, Mutant& out) {
+  for (Mutant m : {Mutant::None, Mutant::UnsoundAbort, Mutant::DropImplications,
+                   Mutant::ThreadSeedDrift, Mutant::StaleResume}) {
+    if (name == mutant_name(m)) {
+      out = m;
+      return true;
+    }
+  }
+  return false;
+}
+
+MotOptions mutated_proposed_options(MotOptions options, Mutant mutant) {
+  if (mutant == Mutant::DropImplications) {
+    options.use_backward_implications = false;
+    options.fallback_plain_expansion = false;
+  }
+  return options;
+}
+
+MotResult mutate_proposed_result(MotResult r, Mutant mutant) {
+  if (mutant == Mutant::UnsoundAbort &&
+      r.unresolved == UnresolvedReason::NStates) {
+    r.detected = true;
+    r.phase = MotPhase::Expansion;
+    r.unresolved = UnresolvedReason::None;
+  }
+  return r;
+}
+
+namespace {
+
+MotOptions plain_options(MotOptions options) {
+  // Exactly what ExpansionBaseline does to its inner simulator.
+  options.use_backward_implications = false;
+  return options;
+}
+
+GeneralMotOptions general_options(const MotOptions& mot,
+                                  std::size_t good_n_states) {
+  GeneralMotOptions g;
+  g.mot = mot;
+  g.good_n_states = good_n_states;
+  return g;
+}
+
+}  // namespace
+
+EngineSet::EngineSet(const Circuit& c, const MotOptions& mot,
+                     std::size_t good_n_states, Mutant mutant)
+    : circuit_(&c),
+      mot_(mot),
+      mutant_(mutant),
+      conv_(c),
+      impl_(c, mot),
+      proposed_(c, mutated_proposed_options(mot, mutant)),
+      plain_(c, plain_options(mot)),
+      baseline_(c, mot),
+      general_(c, general_options(mot, good_n_states)) {}
+
+EngineOutcomes EngineSet::run(const TestSequence& test, const SeqTrace& good,
+                              const Fault& f) {
+  EngineOutcomes out;
+  out.conv = conv_.analyze(test, good, f);
+  out.impl = impl_.simulate_fault(test, good, f);
+  out.proposed =
+      mutate_proposed_result(proposed_.simulate_fault(test, good, f), mutant_);
+  out.plain = plain_.simulate_fault(test, good, f);
+  out.baseline = baseline_.simulate_fault(test, good, f);
+  out.general = general_.simulate_fault(test, good, f);
+  return out;
+}
+
+MotResult EngineSet::run_proposed(const MotOptions& options,
+                                  const TestSequence& test,
+                                  const SeqTrace& good, const Fault& f) const {
+  MotFaultSimulator sim(*circuit_, mutated_proposed_options(options, mutant_));
+  return mutate_proposed_result(sim.simulate_fault(test, good, f), mutant_);
+}
+
+}  // namespace motsim::verify

@@ -1,0 +1,100 @@
+// Engine adapters for the differential verification harness.
+//
+// EngineSet bundles one instance of every fault-simulation engine —
+// conventional, implication-only, the [4] expansion baseline, the paper's
+// proposed procedure, general MOT, plus a "plain" proposed run that mirrors
+// the baseline's configuration — built against one circuit, exactly the way
+// MotBatchRunner builds one simulator set per worker lane.
+//
+// The adapters also inject *engine mutants*: small, deliberate bugs of the
+// kind a redundancy-trimming optimisation could realistically introduce
+// (claiming an aborted fault as detected, silently losing the backward
+// implications, deriving the selection seed from the thread count, dropping
+// record fields on journal resume). The harness self-validates by asserting
+// that every mutant is caught by at least one invariant of checks.hpp —
+// a verifier that cannot catch planted bugs would not catch real ones.
+#pragma once
+
+#include <string_view>
+
+#include "mot/detection.hpp"
+
+namespace motsim::verify {
+
+enum class Mutant : std::uint8_t {
+  None,
+  /// The proposed engine reports a fault whose expansion exhausted the
+  /// N_STATES budget as detected — the classic abort-treated-as-success bug.
+  /// Caught by the oracle soundness checks (and by proposed ⊆ general).
+  UnsoundAbort,
+  /// The proposed engine silently runs without backward implications (and
+  /// without the plain-expansion fallback) — "skip one backward-implication
+  /// pass". Caught by the implication-only ⊆ proposed subsumption check.
+  DropImplications,
+  /// The batch driver perturbs the Random-selection seed by the thread
+  /// count — the forgot-to-reseed-per-fault bug. Caught by the thread-count
+  /// invariance check.
+  ThreadSeedDrift,
+  /// The journal serializer drops the work-used and effectiveness-counter
+  /// fields of resumed records. Caught by the resume-equivalence check.
+  StaleResume,
+};
+
+std::string_view mutant_name(Mutant m);
+bool mutant_from_name(std::string_view name, Mutant& out);
+
+/// Everything the engines say about one fault.
+struct EngineOutcomes {
+  ConvOutcome conv;
+  ImplicationOnlyResult impl;
+  MotResult proposed;
+  BaselineResult baseline;
+  GeneralMotResult general;
+  /// The proposed simulator configured exactly like ExpansionBaseline's
+  /// inner simulator (implications off). The baseline wrapper must be a pure
+  /// relabeling of this run — checks.hpp asserts it.
+  MotResult plain;
+};
+
+class EngineSet {
+ public:
+  /// `mot` configures every engine; `good_n_states` is the general engine's
+  /// fault-free expansion budget (GeneralMotOptions::good_n_states).
+  EngineSet(const Circuit& c, const MotOptions& mot, std::size_t good_n_states,
+            Mutant mutant);
+
+  /// Runs all engines on one fault. `good` must be the fault-free trace of
+  /// `test` (line values not needed).
+  EngineOutcomes run(const TestSequence& test, const SeqTrace& good,
+                     const Fault& f);
+
+  /// The proposed engine alone (mutant applied), under `options` — used by
+  /// the budget-monotonicity check to vary the per-fault work limit.
+  MotResult run_proposed(const MotOptions& options, const TestSequence& test,
+                         const SeqTrace& good, const Fault& f) const;
+
+  const Circuit& circuit() const { return *circuit_; }
+  const MotOptions& options() const { return mot_; }
+  Mutant mutant() const { return mutant_; }
+
+ private:
+  const Circuit* circuit_;
+  MotOptions mot_;
+  Mutant mutant_;
+  ConventionalFaultSimulator conv_;
+  ImplicationOnlySimulator impl_;
+  MotFaultSimulator proposed_;
+  MotFaultSimulator plain_;
+  ExpansionBaseline baseline_;
+  GeneralMotSimulator general_;
+};
+
+/// The MotOptions the proposed engine actually runs under a mutant (the
+/// DropImplications mutant rewrites them); exposed so the budget-monotonicity
+/// check mutates consistently.
+MotOptions mutated_proposed_options(MotOptions options, Mutant mutant);
+
+/// Applies result-level mutations (UnsoundAbort) to a proposed-engine result.
+MotResult mutate_proposed_result(MotResult r, Mutant mutant);
+
+}  // namespace motsim::verify

@@ -1,0 +1,194 @@
+#include "verify/fuzz.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "circuits/generator.hpp"
+#include "faultsim/conventional.hpp"
+#include "sim/seq_sim.hpp"
+#include "testgen/random_gen.hpp"
+#include "util/deadline.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace motsim::verify {
+
+namespace {
+
+/// splitmix64 — decorrelates consecutive seed indices so every case draws
+/// from an independent stream.
+std::uint64_t mix(std::uint64_t base, std::uint64_t index) {
+  std::uint64_t z = base + 0x9e3779b97f4a7c15ull * (index + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+struct Case {
+  Circuit circuit;
+  TestSequence test;
+  std::vector<Fault> faults;
+  std::size_t n_states = 8;
+};
+
+Case derive_case(std::uint64_t case_seed, std::size_t max_faults) {
+  Rng rng(case_seed);
+  circuits::GeneratorParams p;
+  p.name = str_format("fuzz_%016llx",
+                      static_cast<unsigned long long>(case_seed));
+  p.seed = rng.next_u64();
+  p.mode = static_cast<circuits::StructureMode>(rng.next_below(4));
+  p.num_inputs = 2 + rng.next_below(4);   // 2..5
+  p.num_outputs = 1 + rng.next_below(3);  // 1..3
+  p.num_dffs = 1 + rng.next_below(8);     // 1..8, inside every oracle's range
+  p.num_comb_gates = 6 + rng.next_below(41);  // 6..46
+  const double uninit_choices[] = {0.0, 0.25, 0.5, 0.8};
+  p.uninit_fraction = uninit_choices[rng.next_below(4)];
+  if (p.mode == circuits::StructureMode::ShallowWide) {
+    p.locality = 0.0;
+  } else if (p.mode == circuits::StructureMode::Reconvergent) {
+    p.locality = 0.9;
+  }
+
+  Case out;
+  out.circuit = circuits::generate(p);
+  out.n_states = rng.next_bool(0.5) ? 8 : 16;
+
+  const std::size_t length = 3 + rng.next_below(13);  // 3..15 frames
+  const double stimulus_draw = rng.next_double();
+  if (stimulus_draw < 0.80) {
+    out.test = random_sequence(p.num_inputs, length, rng);
+  } else if (stimulus_draw < 0.95) {
+    out.test = random_sequence_with_x(p.num_inputs, length, 0.15, rng);
+  } else {
+    // All-X first frame: the observation window starts before the tester
+    // drives anything — a classic edge case for time-unit ranking.
+    out.test = random_sequence(p.num_inputs, length, rng);
+    for (std::size_t i = 0; i < p.num_inputs; ++i) out.test.set(0, i, Val::X);
+  }
+
+  // Bias the fault sample toward conventionally undetected faults passing
+  // condition (C) — the ones that actually reach collection and expansion.
+  std::vector<Fault> all = collapsed_fault_list(out.circuit);
+  rng.shuffle(all);
+  const SequentialSimulator sim(out.circuit);
+  const SeqTrace good = sim.run_fault_free(out.test);
+  const ConventionalFaultSimulator conv(out.circuit);
+  std::vector<Fault> interesting;
+  std::vector<Fault> rest;
+  for (const Fault& f : all) {
+    const ConvOutcome o = conv.analyze(out.test, good, f);
+    (!o.detected && o.passes_c ? interesting : rest).push_back(f);
+  }
+  for (const Fault& f : interesting) {
+    if (out.faults.size() >= max_faults) break;
+    out.faults.push_back(f);
+  }
+  for (const Fault& f : rest) {
+    if (out.faults.size() >= max_faults) break;
+    out.faults.push_back(f);
+  }
+  return out;
+}
+
+std::string bundle_filename(const FuzzViolationReport& report) {
+  return str_format("fail_%s_%016llx.bundle",
+                    std::string(check_name(report.check)).c_str(),
+                    static_cast<unsigned long long>(report.seed));
+}
+
+}  // namespace
+
+FuzzResult run_fuzz(const FuzzOptions& options) {
+  FuzzResult result;
+  const Deadline deadline = Deadline::after_ms(options.budget_ms);
+  for (std::size_t i = 0; i < options.num_seeds; ++i) {
+    if (deadline.expired()) {
+      result.budget_expired = true;
+      break;
+    }
+    const std::uint64_t case_seed = mix(options.seed_base, i);
+    const Case c = derive_case(case_seed, options.max_faults_per_seed);
+    ++result.seeds_run;
+    result.faults_checked += c.faults.size();
+    if (c.faults.empty()) continue;
+
+    VerifyOptions vopts = options.verify;
+    vopts.mot.n_states = c.n_states;
+    vopts.mutant = options.mutant;
+    const std::vector<Violation> violations =
+        verify_case(c.circuit, c.test, c.faults, vopts);
+
+    if (violations.empty()) {
+      if (options.emit_corpus &&
+          result.corpus_written < options.emit_corpus_limit &&
+          !options.corpus_dir.empty()) {
+        const FailureBundle bundle = make_bundle(
+            CheckId::All, Mutant::None, case_seed, c.n_states, c.circuit,
+            c.test, c.faults,
+            str_format("fuzz regression seed %016llx",
+                       static_cast<unsigned long long>(case_seed)));
+        const std::string path =
+            options.corpus_dir + "/" +
+            str_format("gen_%016llx.bundle",
+                       static_cast<unsigned long long>(case_seed));
+        std::string err;
+        if (save_bundle(bundle, path, err)) {
+          ++result.corpus_written;
+          if (options.log != nullptr) {
+            *options.log << "corpus: " << path << "\n";
+          }
+        } else if (options.log != nullptr) {
+          *options.log << "corpus write failed: " << err << "\n";
+        }
+      }
+      continue;
+    }
+
+    FuzzViolationReport report;
+    report.seed = case_seed;
+    report.check = violations[0].check;
+    report.detail = violations[0].detail;
+    report.bundle =
+        make_bundle(report.check, options.mutant, case_seed, c.n_states,
+                    c.circuit, c.test, c.faults,
+                    str_format("found by verify_fuzz seed %016llx",
+                               static_cast<unsigned long long>(case_seed)));
+    if (options.log != nullptr) {
+      *options.log << "violation [" << check_name(report.check)
+                   << "] seed=" << case_seed << ": " << report.detail << "\n";
+    }
+    if (options.shrink) {
+      ShrinkOptions sopts;
+      sopts.max_attempts = options.shrink_max_attempts;
+      sopts.budget_ms = options.shrink_budget_ms;
+      sopts.verify = options.verify;
+      sopts.verify.mutant = options.mutant;
+      report.bundle = shrink_bundle(report.bundle, sopts, &report.shrink);
+      if (options.log != nullptr) {
+        *options.log << str_format(
+            "shrunk: %zu->%zu gates, %zu->%zu frames, %zu->%zu faults "
+            "(%zu attempts)\n",
+            report.shrink.gates_before, report.shrink.gates_after,
+            report.shrink.frames_before, report.shrink.frames_after,
+            report.shrink.faults_before, report.shrink.faults_after,
+            report.shrink.attempts);
+      }
+    }
+    if (!options.corpus_dir.empty()) {
+      const std::string path =
+          options.corpus_dir + "/" + bundle_filename(report);
+      std::string err;
+      if (save_bundle(report.bundle, path, err)) {
+        report.bundle_path = path;
+      } else if (options.log != nullptr) {
+        *options.log << "bundle write failed: " << err << "\n";
+      }
+    }
+    result.violations.push_back(std::move(report));
+    if (options.stop_on_first) break;
+  }
+  return result;
+}
+
+}  // namespace motsim::verify

@@ -1,0 +1,63 @@
+// Structured-random differential fuzzing driver.
+//
+// Each seed deterministically derives one case: a small synchronous circuit
+// from the structured generator (every StructureMode, bounded PIs/POs/FFs/
+// depth), a test sequence (fully specified, sprinkled with X, or with an
+// all-X first frame), an N_STATES budget, and a handful of faults biased
+// toward the interesting region (conventionally undetected but passing
+// condition (C) — the faults the paper's procedure exists for). The case
+// runs through the whole invariant lattice of checks.hpp; violations are
+// packaged as replayable bundles, shrunk, and written to the corpus
+// directory.
+//
+// Everything is a pure function of (seed_base, seed index), so a failure
+// report's seed replays bit-identically anywhere.
+#pragma once
+
+#include <iosfwd>
+
+#include "verify/shrink.hpp"
+
+namespace motsim::verify {
+
+struct FuzzOptions {
+  std::size_t num_seeds = 100;
+  std::uint64_t seed_base = 1;
+  std::uint64_t budget_ms = 0;  ///< wall-clock cap for the whole run (0 = off)
+  std::size_t max_faults_per_seed = 5;
+  Mutant mutant = Mutant::None;
+  bool shrink = true;
+  bool stop_on_first = false;  ///< stop after the first violating seed
+  /// Where violation bundles are written ("" = keep them in memory only).
+  std::string corpus_dir;
+  /// Emit-corpus mode: instead of hunting violations, write up to
+  /// `emit_corpus_limit` *passing* cases as check=All regression bundles.
+  bool emit_corpus = false;
+  std::size_t emit_corpus_limit = 20;
+  /// Base check configuration; n_states is varied per case on top of it.
+  VerifyOptions verify;
+  std::size_t shrink_max_attempts = 2000;
+  std::uint64_t shrink_budget_ms = 5000;
+  std::ostream* log = nullptr;  ///< progress + violation reporting (optional)
+};
+
+struct FuzzViolationReport {
+  std::uint64_t seed = 0;  ///< derived case seed (bundle.seed)
+  CheckId check = CheckId::All;
+  std::string detail;       ///< first violation's evidence
+  std::string bundle_path;  ///< "" when no corpus_dir was configured
+  FailureBundle bundle;     ///< shrunk when shrinking is enabled
+  ShrinkStats shrink;
+};
+
+struct FuzzResult {
+  std::size_t seeds_run = 0;
+  std::size_t faults_checked = 0;
+  std::size_t corpus_written = 0;  ///< emit-corpus mode bundles
+  bool budget_expired = false;
+  std::vector<FuzzViolationReport> violations;
+};
+
+FuzzResult run_fuzz(const FuzzOptions& options);
+
+}  // namespace motsim::verify

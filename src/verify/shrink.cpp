@@ -1,0 +1,274 @@
+#include "verify/shrink.hpp"
+
+#include <algorithm>
+
+#include "netlist/bench_io.hpp"
+#include "netlist/builder.hpp"
+#include "netlist/transform.hpp"
+#include "util/deadline.hpp"
+
+namespace motsim::verify {
+
+namespace {
+
+/// Rebuilds `c` with at most one edit applied: splice out `splice_victim`
+/// (readers and POs rewired to its first fanin), or drop pin `drop_pin` of
+/// `drop_gate`. Returns false when the edit is structurally invalid (cycle,
+/// empty fanin list, no outputs left...).
+bool rebuild_edited(const Circuit& c, GateId splice_victim, GateId drop_gate,
+                    int drop_pin, Circuit& out) {
+  const auto resolve = [&](GateId id) {
+    return id == splice_victim ? c.gate(id).fanins[0] : id;
+  };
+  if (splice_victim != kNoGate) {
+    const Gate& victim = c.gate(splice_victim);
+    if (victim.fanins.empty()) return false;  // inputs/constants stay
+    if (victim.fanins[0] == splice_victim) return false;  // self-loop DFF
+  }
+  CircuitBuilder b(c.name());
+  std::vector<GateId> ids(c.num_gates(), kNoGate);
+  for (GateId g = 0; g < c.num_gates(); ++g) {
+    if (g == splice_victim) continue;
+    const Gate& gate = c.gate(g);
+    ids[g] = gate.type == GateType::Input ? b.add_input(gate.name)
+                                          : b.declare(gate.name);
+  }
+  for (GateId g = 0; g < c.num_gates(); ++g) {
+    if (g == splice_victim) continue;
+    const Gate& gate = c.gate(g);
+    if (gate.type == GateType::Input) continue;
+    std::vector<GateId> ins;
+    for (std::size_t k = 0; k < gate.fanins.size(); ++k) {
+      if (g == drop_gate && static_cast<int>(k) == drop_pin) continue;
+      const GateId src = resolve(gate.fanins[k]);
+      if (src == splice_victim || ids[src] == kNoGate) return false;
+      ins.push_back(ids[src]);
+    }
+    if (ins.empty()) return false;
+    const int need = required_fanins(gate.type);
+    if (need >= 0 && ins.size() != static_cast<std::size_t>(need)) {
+      return false;
+    }
+    b.define(ids[g], gate.type, std::move(ins));
+  }
+  std::vector<GateId> outs;
+  for (const GateId po : c.outputs()) {
+    const GateId src = resolve(po);
+    if (src == splice_victim || ids[src] == kNoGate) return false;
+    if (std::find(outs.begin(), outs.end(), ids[src]) == outs.end()) {
+      outs.push_back(ids[src]);
+    }
+  }
+  if (outs.empty()) return false;
+  for (const GateId o : outs) b.mark_output(o);
+  std::string error;
+  return b.build(out, error);
+}
+
+/// Re-resolves `faults` (names taken from `from`) against `to`. False when a
+/// fault's gate disappeared or lost the faulted pin.
+bool remap_faults(const std::vector<Fault>& faults, const Circuit& from,
+                  const Circuit& to, std::vector<Fault>& out) {
+  out.clear();
+  for (const Fault& f : faults) {
+    const GateId id = to.find(from.gate(f.gate).name);
+    if (id == kNoGate) return false;
+    if (f.pin != kOutputPin &&
+        static_cast<std::size_t>(f.pin) >= to.gate(id).fanins.size()) {
+      return false;
+    }
+    out.push_back(Fault{id, f.pin, f.stuck});
+  }
+  return true;
+}
+
+TestSequence without_frame(const TestSequence& t, std::size_t victim) {
+  TestSequence out(t.num_inputs(), 0);
+  for (std::size_t u = 0; u < t.length(); ++u) {
+    if (u != victim) out.append(t.pattern(u));
+  }
+  return out;
+}
+
+TestSequence truncated(const TestSequence& t, std::size_t length) {
+  TestSequence out(t.num_inputs(), 0);
+  for (std::size_t u = 0; u < length; ++u) out.append(t.pattern(u));
+  return out;
+}
+
+class Shrinker {
+ public:
+  Shrinker(const FailureBundle& input, const ShrinkOptions& options)
+      : cur_(input),
+        options_(options),
+        deadline_(Deadline::after_ms(options.budget_ms)) {}
+
+  FailureBundle run(ShrinkStats& st) {
+    st.gates_before = cur_.circuit.num_gates();
+    st.frames_before = cur_.test.length();
+    st.faults_before = cur_.faults.size();
+
+    // A bundle that does not reproduce must come back unchanged — shrinking
+    // toward an accidental failure would manufacture a bogus counterexample.
+    if (replay_bundle(cur_, options_.verify).empty()) {
+      finish(st);
+      return cur_;
+    }
+
+    shrink_faults();
+    shrink_frames();
+    shrink_gates();
+    sweep();
+
+    finish(st);
+    return cur_;
+  }
+
+ private:
+  void finish(ShrinkStats& st) {
+    st.attempts = attempts_;
+    st.accepted = accepted_;
+    st.gates_after = cur_.circuit.num_gates();
+    st.frames_after = cur_.test.length();
+    st.faults_after = cur_.faults.size();
+  }
+
+  bool out_of_budget() const {
+    return attempts_ >= options_.max_attempts || deadline_.expired();
+  }
+
+  /// Replays `candidate`; on reproduction it becomes the current bundle.
+  bool attempt(FailureBundle candidate) {
+    if (out_of_budget()) return false;
+    ++attempts_;
+    if (replay_bundle(candidate, options_.verify).empty()) return false;
+    ++accepted_;
+    cur_ = std::move(candidate);
+    return true;
+  }
+
+  void shrink_faults() {
+    if (cur_.faults.size() <= 1) return;
+    for (std::size_t i = 0; i < cur_.faults.size(); ++i) {
+      FailureBundle candidate = cur_;
+      candidate.faults = {cur_.faults[i]};
+      if (attempt(std::move(candidate))) return;
+      if (out_of_budget()) return;
+    }
+  }
+
+  void shrink_frames() {
+    // Trailing truncation, halving first.
+    bool progress = true;
+    while (progress && cur_.test.length() > 1 && !out_of_budget()) {
+      progress = false;
+      const std::size_t len = cur_.test.length();
+      for (const std::size_t target : {len / 2, len - 1}) {
+        if (target == 0 || target >= len) continue;
+        FailureBundle candidate = cur_;
+        candidate.test = truncated(cur_.test, target);
+        if (attempt(std::move(candidate))) {
+          progress = true;
+          break;
+        }
+      }
+    }
+    // Interior deletion, back to front so indices stay meaningful.
+    progress = true;
+    while (progress && cur_.test.length() > 1 && !out_of_budget()) {
+      progress = false;
+      for (std::size_t u = cur_.test.length(); u-- > 0;) {
+        FailureBundle candidate = cur_;
+        candidate.test = without_frame(cur_.test, u);
+        if (attempt(std::move(candidate))) {
+          progress = true;
+          break;
+        }
+        if (out_of_budget()) return;
+      }
+    }
+  }
+
+  bool fault_gate(GateId g) const {
+    for (const Fault& f : cur_.faults) {
+      if (f.gate == g) return true;
+    }
+    return false;
+  }
+
+  bool attempt_edit(GateId splice_victim, GateId drop_gate, int drop_pin) {
+    FailureBundle candidate = cur_;
+    if (!rebuild_edited(cur_.circuit, splice_victim, drop_gate, drop_pin,
+                        candidate.circuit)) {
+      return false;
+    }
+    if (!remap_faults(cur_.faults, cur_.circuit, candidate.circuit,
+                      candidate.faults)) {
+      return false;
+    }
+    candidate.bench = write_bench(candidate.circuit);
+    return attempt(std::move(candidate));
+  }
+
+  void shrink_gates() {
+    bool progress = true;
+    while (progress && !out_of_budget()) {
+      progress = false;
+      // Splice candidates, newest first (deep gates go before the shared
+      // logic they read).
+      for (GateId g = static_cast<GateId>(cur_.circuit.num_gates()); g-- > 0;) {
+        if (cur_.circuit.gate(g).fanins.empty() || fault_gate(g)) continue;
+        if (attempt_edit(g, kNoGate, 0)) {
+          progress = true;
+          break;
+        }
+        if (out_of_budget()) return;
+      }
+      if (progress) continue;
+      // Side-input drops on multi-input gates.
+      for (GateId g = static_cast<GateId>(cur_.circuit.num_gates()); g-- > 0;) {
+        const Gate& gate = cur_.circuit.gate(g);
+        if (gate.fanins.size() < 2 || fault_gate(g)) continue;
+        for (std::size_t k = gate.fanins.size(); k-- > 0;) {
+          if (attempt_edit(kNoGate, g, static_cast<int>(k))) {
+            progress = true;
+            break;
+          }
+          if (out_of_budget()) return;
+        }
+        if (progress) break;
+      }
+    }
+  }
+
+  void sweep() {
+    if (out_of_budget()) return;
+    FailureBundle candidate = cur_;
+    candidate.circuit = sweep_dead_logic(cur_.circuit);
+    if (!remap_faults(cur_.faults, cur_.circuit, candidate.circuit,
+                      candidate.faults)) {
+      return;  // a fault gate was dead logic; keep it reachable instead
+    }
+    candidate.bench = write_bench(candidate.circuit);
+    attempt(std::move(candidate));
+  }
+
+  FailureBundle cur_;
+  const ShrinkOptions& options_;
+  Deadline deadline_;
+  std::size_t attempts_ = 0;
+  std::size_t accepted_ = 0;
+};
+
+}  // namespace
+
+FailureBundle shrink_bundle(const FailureBundle& input,
+                            const ShrinkOptions& options, ShrinkStats* stats) {
+  ShrinkStats local;
+  Shrinker shrinker(input, options);
+  FailureBundle out = shrinker.run(local);
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
+}  // namespace motsim::verify

@@ -1,0 +1,55 @@
+// Automatic test-case minimisation for failure bundles.
+//
+// A fuzzer counterexample is only as useful as it is small: a 40-gate
+// circuit with a 12-frame test obscures the bug a 5-gate, 2-frame one
+// exhibits directly. The shrinker greedily applies reductions while the
+// bundle's violation keeps reproducing (replay_bundle under the same check,
+// mutant and N_STATES budget):
+//
+//   * drop faults until one offending fault remains,
+//   * truncate trailing test frames (halving first, then one at a time),
+//   * delete interior frames,
+//   * splice gates out of the netlist (readers rewired to the gate's first
+//     fanin; primary outputs re-pointed; DFF splices that would close a
+//     combinational cycle are rejected by the builder),
+//   * drop side inputs of multi-input gates,
+//   * finally sweep dead logic.
+//
+// Gates carrying one of the bundle's faults are never edited (their pin
+// indices are the fault's identity); every candidate netlist is revalidated
+// through CircuitBuilder, so an invalid reduction is skipped, not applied.
+// Greedy fixpoint iteration with an attempt/wall-clock budget: shrinking is
+// best-effort, the unshrunk bundle is always a valid fallback.
+#pragma once
+
+#include "verify/bundle.hpp"
+
+namespace motsim::verify {
+
+struct ShrinkOptions {
+  std::size_t max_attempts = 4000;  ///< replay budget
+  std::uint64_t budget_ms = 10000;  ///< wall-clock budget (0 = unlimited)
+  VerifyOptions verify;  ///< base options for replays (check/mutant/n_states
+                         ///  come from the bundle itself)
+};
+
+struct ShrinkStats {
+  std::size_t attempts = 0;    ///< candidate replays executed
+  std::size_t accepted = 0;    ///< replays that kept the failure alive
+  std::size_t gates_before = 0;
+  std::size_t gates_after = 0;
+  std::size_t frames_before = 0;
+  std::size_t frames_after = 0;
+  std::size_t faults_before = 0;
+  std::size_t faults_after = 0;
+};
+
+/// Returns the smallest failing bundle found (the input itself if nothing
+/// could be removed). The result still fails its check — that is the loop
+/// invariant — unless the input already did not reproduce, in which case it
+/// is returned unchanged.
+FailureBundle shrink_bundle(const FailureBundle& input,
+                            const ShrinkOptions& options,
+                            ShrinkStats* stats = nullptr);
+
+}  // namespace motsim::verify

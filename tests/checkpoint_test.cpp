@@ -6,6 +6,7 @@
 #include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <iterator>
 #include <string>
 #include <vector>
 
@@ -203,6 +204,88 @@ TEST(CampaignJournal, CorruptionBeforeTheEndIsAnError) {
   std::string err;
   EXPECT_EQ(CampaignJournal::open_resume(path, meta, err), nullptr);
   EXPECT_NE(err.find("malformed"), std::string::npos) << err;
+}
+
+// Property test: a journal truncated at EVERY byte offset must either
+// resume cleanly or be rejected with a clear error — never crash, hang, or
+// silently drop a record that was fully written. Truncation anywhere past
+// the header must resume (only the torn final record may be discarded);
+// every record whose terminator survived the cut must come back verbatim.
+TEST(CampaignJournal, TruncationAtEveryByteOffsetResumesOrRejects) {
+  const std::string path = temp_path("truncation_prop.journal");
+  JournalMeta meta;
+  meta.circuit = "unit";
+  meta.num_faults = 50;
+  meta.baseline = true;
+
+  std::vector<MotBatchItem> items;
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    MotBatchItem item;
+    item.fault_index = static_cast<std::size_t>(i * 3 + 1);
+    item.mot.detected = (i % 2) == 0;
+    item.mot.phase = MotPhase::Expansion;
+    item.mot.passes_c = true;
+    item.mot.counters = {i, 2 * i, 3 * i};
+    item.mot.expansions = static_cast<std::size_t>(i);
+    item.mot.work_used = 1000 + i;
+    item.mot.unresolved =
+        i == 4 ? UnresolvedReason::WorkLimit : UnresolvedReason::None;
+    item.baseline.detected = (i % 3) == 0;
+    item.baseline.expansions = static_cast<std::size_t>(7 * i);
+    items.push_back(item);
+  }
+  {
+    std::string err;
+    auto journal = CampaignJournal::create(path, meta, err);
+    ASSERT_NE(journal, nullptr) << err;
+    for (const MotBatchItem& item : items) ASSERT_TRUE(journal->append(item));
+  }
+  std::string text;
+  {
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in);
+    text.assign(std::istreambuf_iterator<char>(in),
+                std::istreambuf_iterator<char>());
+  }
+  const std::size_t header_end = text.find("end\n");
+  ASSERT_NE(header_end, std::string::npos);
+  const std::size_t body_start = header_end + 4;
+  std::vector<std::size_t> record_ends;  // offset one past each ";\n"
+  for (std::size_t pos = body_start; pos < text.size();) {
+    const std::size_t nl = text.find('\n', pos);
+    ASSERT_NE(nl, std::string::npos);
+    record_ends.push_back(nl + 1);
+    pos = nl + 1;
+  }
+  ASSERT_EQ(record_ends.size(), items.size());
+
+  const std::string cut_path = temp_path("truncation_prop_cut.journal");
+  for (std::size_t len = 0; len <= text.size(); ++len) {
+    {
+      std::ofstream out(cut_path, std::ios::binary | std::ios::trunc);
+      out.write(text.data(), static_cast<std::streamsize>(len));
+    }
+    // A record is complete once its ';' terminator is inside the prefix;
+    // the trailing newline is only a separator.
+    std::size_t complete = 0;
+    while (complete < record_ends.size() && record_ends[complete] - 1 <= len) {
+      ++complete;
+    }
+    std::string err;
+    auto journal = CampaignJournal::open_resume(cut_path, meta, err);
+    if (journal == nullptr) {
+      // Rejection is only legal inside the header, and must say why.
+      EXPECT_LT(len, body_start) << "offset " << len << ": " << err;
+      EXPECT_FALSE(err.empty()) << "offset " << len;
+      continue;
+    }
+    EXPECT_EQ(journal->resumed_count(), complete) << "offset " << len;
+    for (std::size_t i = 0; i < complete; ++i) {
+      const MotBatchItem* got = journal->lookup(items[i].fault_index);
+      ASSERT_NE(got, nullptr) << "offset " << len << " record " << i;
+      EXPECT_EQ(*got, items[i]) << "offset " << len << " record " << i;
+    }
+  }
 }
 
 // The acceptance scenario: a campaign interrupted after k faults and then

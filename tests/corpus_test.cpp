@@ -1,0 +1,81 @@
+// Replays every committed bundle in tests/corpus/ through the differential
+// verification harness on each tier-1 run.
+//
+// Two kinds of bundle live there:
+//   * check=all regression cases (fuzzer finds and hand-written edge cases):
+//     the whole invariant lattice must stay clean on them;
+//   * pinned failure bundles (check=<specific>, usually with a mutant): the
+//     recorded violation must still reproduce with the mutant planted and
+//     vanish without it.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "verify/bundle.hpp"
+
+#ifndef MOTSIM_CORPUS_DIR
+#error "MOTSIM_CORPUS_DIR must point at tests/corpus"
+#endif
+
+namespace motsim::verify {
+namespace {
+
+std::vector<std::filesystem::path> corpus_files() {
+  std::vector<std::filesystem::path> out;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(MOTSIM_CORPUS_DIR)) {
+    if (entry.path().extension() == ".bundle") out.push_back(entry.path());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(Corpus, HasAtLeastTwentyBundles) {
+  EXPECT_GE(corpus_files().size(), 20u);
+}
+
+TEST(Corpus, EveryBundleReplays) {
+  for (const auto& path : corpus_files()) {
+    SCOPED_TRACE(path.filename().string());
+    FailureBundle bundle;
+    std::string error;
+    ASSERT_TRUE(load_bundle(path.string(), bundle, error)) << error;
+    const std::vector<Violation> violations = replay_bundle(bundle);
+    if (bundle.check == CheckId::All) {
+      // Regression case: the lattice must be clean.
+      for (const Violation& v : violations) {
+        ADD_FAILURE() << "[" << check_name(v.check) << "] " << v.detail;
+      }
+    } else {
+      // Pinned failure: still reproduces as recorded...
+      EXPECT_FALSE(violations.empty())
+          << "pinned failure no longer reproduces";
+      // ...and only because of the planted mutant (if one is recorded).
+      if (bundle.mutant != Mutant::None) {
+        FailureBundle fixed = bundle;
+        fixed.mutant = Mutant::None;
+        for (const Violation& v : replay_bundle(fixed)) {
+          ADD_FAILURE() << "fails even without the mutant: ["
+                        << check_name(v.check) << "] " << v.detail;
+        }
+      }
+    }
+  }
+}
+
+/// The three hand-written edge cases are present by name — they pin shapes
+/// the generator underweights and must not be silently dropped.
+TEST(Corpus, HandWrittenEdgeCasesPresent) {
+  const auto files = corpus_files();
+  for (const char* name :
+       {"edge_single_ff_oscillator.bundle", "edge_allx_first_frame.bundle",
+        "edge_reconvergence.bundle"}) {
+    const bool found =
+        std::any_of(files.begin(), files.end(),
+                    [&](const auto& p) { return p.filename() == name; });
+    EXPECT_TRUE(found) << name;
+  }
+}
+
+}  // namespace
+}  // namespace motsim::verify

@@ -1,0 +1,101 @@
+// Golden-file pinning of the Table 3 effectiveness counters.
+//
+// The EffectivenessCounters (n_det / n_conf / n_extra) are the paper's
+// evidence that backward implications do useful work per selected pair.
+// Heuristic reorderings elsewhere in the engine can silently change them
+// without failing any soundness test, so this test pins their exact values
+// (plus the detection counts) for the embedded paper circuits under fixed
+// stimulus.
+//
+// To regenerate after an intentional engine change:
+//   MOTSIM_UPDATE_GOLDEN=1 ./build/tests/golden_counters_test
+// then review the diff of tests/golden/effectiveness_counters.txt like any
+// other code change.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "circuits/embedded.hpp"
+#include "mot/proposed.hpp"
+#include "testgen/random_gen.hpp"
+
+#ifndef MOTSIM_GOLDEN_DIR
+#error "MOTSIM_GOLDEN_DIR must point at tests/golden"
+#endif
+
+namespace motsim {
+namespace {
+
+struct GoldenRow {
+  std::string circuit;
+  std::uint64_t n_det = 0;
+  std::uint64_t n_conf = 0;
+  std::uint64_t n_extra = 0;
+  std::size_t detected = 0;
+  std::size_t detected_conventional = 0;
+};
+
+GoldenRow measure(const Circuit& c, std::uint64_t seed, std::size_t length) {
+  Rng rng(seed);
+  const TestSequence test = random_sequence(c.num_inputs(), length, rng);
+  const SequentialSimulator sim(c);
+  const SeqTrace good = sim.run_fault_free(test);
+  MotOptions options;
+  options.n_states = 16;
+  MotFaultSimulator mot(c, options);
+  GoldenRow row;
+  row.circuit = c.name();
+  for (const Fault& f : collapsed_fault_list(c)) {
+    const MotResult r = mot.simulate_fault(test, good, f);
+    row.n_det += r.counters.n_det;
+    row.n_conf += r.counters.n_conf;
+    row.n_extra += r.counters.n_extra;
+    row.detected += r.detected;
+    row.detected_conventional += r.detected_conventional;
+  }
+  return row;
+}
+
+std::string render(const GoldenRow& r) {
+  std::ostringstream out;
+  out << r.circuit << " n_det=" << r.n_det << " n_conf=" << r.n_conf
+      << " n_extra=" << r.n_extra << " detected=" << r.detected
+      << " conv=" << r.detected_conventional;
+  return out.str();
+}
+
+TEST(GoldenCounters, EmbeddedCircuitsMatchPinnedValues) {
+  std::vector<GoldenRow> rows;
+  rows.push_back(measure(circuits::make_s27(), 11, 16));
+  rows.push_back(measure(circuits::make_table1_example(), 12, 12));
+  rows.push_back(measure(circuits::make_fig4_conflict(), 13, 12));
+
+  const std::string path =
+      std::string(MOTSIM_GOLDEN_DIR) + "/effectiveness_counters.txt";
+  if (std::getenv("MOTSIM_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(path, std::ios::trunc);
+    ASSERT_TRUE(out) << "cannot write " << path;
+    out << "# Table 3 effectiveness counters, pinned. Regenerate with\n"
+        << "# MOTSIM_UPDATE_GOLDEN=1 and review the diff.\n";
+    for (const GoldenRow& r : rows) out << render(r) << "\n";
+    GTEST_SKIP() << "golden file regenerated: " << path;
+  }
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in) << "missing golden file " << path
+                  << " (run with MOTSIM_UPDATE_GOLDEN=1 to create it)";
+  std::vector<std::string> expected;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] != '#') expected.push_back(line);
+  }
+  ASSERT_EQ(expected.size(), rows.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(render(rows[i]), expected[i]);
+  }
+}
+
+}  // namespace
+}  // namespace motsim

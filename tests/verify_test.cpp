@@ -1,0 +1,243 @@
+// Tests for the differential verification harness (src/verify): the
+// invariant lattice holds on real circuits, bundles round-trip, and —
+// the harness's own acceptance test — every planted engine mutant is
+// caught, shrunk and replayable.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "circuits/embedded.hpp"
+#include "circuits/generator.hpp"
+#include "testgen/random_gen.hpp"
+#include "verify/fuzz.hpp"
+
+namespace motsim::verify {
+namespace {
+
+TEST(VerifyNames, CheckNamesRoundTrip) {
+  for (std::uint8_t v = 0; v <= static_cast<std::uint8_t>(CheckId::All); ++v) {
+    const CheckId c = static_cast<CheckId>(v);
+    CheckId back;
+    ASSERT_TRUE(check_from_name(check_name(c), back)) << check_name(c);
+    EXPECT_EQ(back, c);
+  }
+  CheckId out;
+  EXPECT_FALSE(check_from_name("not-a-check", out));
+}
+
+TEST(VerifyNames, MutantNamesRoundTrip) {
+  for (Mutant m : {Mutant::None, Mutant::UnsoundAbort, Mutant::DropImplications,
+                   Mutant::ThreadSeedDrift, Mutant::StaleResume}) {
+    Mutant back;
+    ASSERT_TRUE(mutant_from_name(mutant_name(m), back)) << mutant_name(m);
+    EXPECT_EQ(back, m);
+  }
+  Mutant out;
+  EXPECT_FALSE(mutant_from_name("not-a-mutant", out));
+}
+
+TEST(DetectionClassify, ThreeWaySplit) {
+  MotResult r;
+  r.detected = true;
+  EXPECT_EQ(classify(r), DetectionClass::Detected);
+  r.detected = false;
+  EXPECT_EQ(classify(r), DetectionClass::Undetected);
+  r.unresolved = UnresolvedReason::NStates;
+  EXPECT_EQ(classify(r), DetectionClass::Unresolved);
+
+  ImplicationOnlyResult ir;
+  ir.budget_stopped = true;
+  EXPECT_EQ(classify(ir), DetectionClass::Unresolved);
+  ir.budget_stopped = false;
+  ir.detected = true;
+  EXPECT_EQ(classify(ir), DetectionClass::Detected);
+}
+
+/// The full lattice must be clean on the embedded paper circuits.
+TEST(VerifyLattice, CleanOnEmbeddedCircuits) {
+  Rng rng(2024);
+  for (const Circuit& c : {circuits::make_s27(), circuits::make_table1_example(),
+                           circuits::make_fig4_conflict()}) {
+    const TestSequence test = random_sequence(c.num_inputs(), 12, rng);
+    VerifyOptions opts;
+    opts.mot.n_states = 8;
+    const std::vector<Violation> violations =
+        verify_case(c, test, collapsed_fault_list(c), opts);
+    for (const Violation& v : violations) {
+      ADD_FAILURE() << c.name() << " [" << check_name(v.check)
+                    << "] " << v.detail;
+    }
+  }
+}
+
+/// ... and on every structure mode of the generator, including partially
+/// specified stimulus (which exercises the Unresolved-excuses paths).
+TEST(VerifyLattice, CleanOnGeneratedModes) {
+  Rng rng(7);
+  for (const auto mode :
+       {circuits::StructureMode::Standard, circuits::StructureMode::Reconvergent,
+        circuits::StructureMode::OscillatorRing,
+        circuits::StructureMode::ShallowWide}) {
+    circuits::GeneratorParams p;
+    p.name = "verify_mode";
+    p.seed = 1000 + static_cast<std::uint64_t>(mode);
+    p.num_inputs = 3;
+    p.num_outputs = 2;
+    p.num_dffs = 4;
+    p.num_comb_gates = 20;
+    p.uninit_fraction = 0.5;
+    p.mode = mode;
+    const Circuit c = circuits::generate(p);
+    const TestSequence test =
+        random_sequence_with_x(c.num_inputs(), 8, 0.1, rng);
+    std::vector<Fault> faults = collapsed_fault_list(c);
+    faults.resize(std::min<std::size_t>(faults.size(), 8));
+    VerifyOptions opts;
+    opts.mot.n_states = 8;
+    const std::vector<Violation> violations =
+        verify_case(c, test, faults, opts);
+    for (const Violation& v : violations) {
+      ADD_FAILURE() << "mode " << static_cast<int>(mode) << " ["
+                    << check_name(v.check) << "] " << v.detail;
+    }
+  }
+}
+
+TEST(VerifyBundle, RoundTrips) {
+  const Circuit c = circuits::make_s27();
+  Rng rng(5);
+  const TestSequence test = random_sequence(c.num_inputs(), 6, rng);
+  std::vector<Fault> faults = collapsed_fault_list(c);
+  faults.resize(3);
+  const FailureBundle b =
+      make_bundle(CheckId::ProposedSound, Mutant::UnsoundAbort, 0xabcdef, 16, c,
+                  test, faults, "round-trip test");
+  const std::string text = write_bundle(b);
+  FailureBundle back;
+  std::string error;
+  ASSERT_TRUE(parse_bundle(text, back, error)) << error;
+  EXPECT_EQ(back.check, b.check);
+  EXPECT_EQ(back.mutant, b.mutant);
+  EXPECT_EQ(back.seed, b.seed);
+  EXPECT_EQ(back.n_states, b.n_states);
+  EXPECT_EQ(back.note, b.note);
+  EXPECT_EQ(back.test.to_string(), b.test.to_string());
+  EXPECT_EQ(back.bench, b.bench);
+  ASSERT_EQ(back.faults.size(), b.faults.size());
+  for (std::size_t i = 0; i < b.faults.size(); ++i) {
+    EXPECT_EQ(back.circuit.gate(back.faults[i].gate).name,
+              c.gate(b.faults[i].gate).name);
+    EXPECT_EQ(back.faults[i].pin, b.faults[i].pin);
+    EXPECT_EQ(back.faults[i].stuck, b.faults[i].stuck);
+  }
+  // A second serialisation of the parsed bundle is bit-identical.
+  EXPECT_EQ(write_bundle(back), text);
+}
+
+TEST(VerifyBundle, RejectsMalformedInput) {
+  FailureBundle out;
+  std::string error;
+  EXPECT_FALSE(parse_bundle("", out, error));
+  EXPECT_FALSE(parse_bundle("not a bundle\n", out, error));
+  // Truncation (no `end`) must be reported, not accepted.
+  const Circuit c = circuits::make_s27();
+  Rng rng(5);
+  const FailureBundle b = make_bundle(
+      CheckId::All, Mutant::None, 1, 8, c,
+      random_sequence(c.num_inputs(), 3, rng), {collapsed_fault_list(c)[0]});
+  std::string text = write_bundle(b);
+  text.resize(text.size() / 2);
+  EXPECT_FALSE(parse_bundle(text, out, error));
+  EXPECT_NE(error.find("truncated"), std::string::npos) << error;
+}
+
+struct MutantCase {
+  Mutant mutant;
+  std::vector<CheckId> expected_checks;  ///< any of these may fire first
+};
+
+/// The harness's self-test: each planted engine bug is caught by the lattice,
+/// shrunk without losing the failure, written as a bundle, and the bundle
+/// replays. This is what makes the harness trustworthy on the real engines.
+TEST(VerifyMutants, EveryMutantCaughtShrunkAndReplayable) {
+  const std::string dir = testing::TempDir() + "motsim_verify_mutants";
+  std::filesystem::create_directories(dir);
+  const MutantCase cases[] = {
+      {Mutant::UnsoundAbort,
+       {CheckId::ProposedSound, CheckId::ProposedImpliesGeneral,
+        CheckId::BaselineImpliesProposed}},
+      {Mutant::DropImplications, {CheckId::ImplImpliesProposed}},
+      {Mutant::ThreadSeedDrift, {CheckId::ThreadInvariance}},
+      {Mutant::StaleResume, {CheckId::ResumeEquivalence}},
+  };
+  for (const MutantCase& mc : cases) {
+    FuzzOptions options;
+    options.num_seeds = 200;
+    options.seed_base = 1;
+    options.mutant = mc.mutant;
+    options.stop_on_first = true;
+    options.shrink = true;
+    options.corpus_dir = dir;
+    const FuzzResult result = run_fuzz(options);
+    ASSERT_EQ(result.violations.size(), 1u)
+        << mutant_name(mc.mutant) << " escaped the harness";
+    const FuzzViolationReport& report = result.violations[0];
+    EXPECT_NE(std::find(mc.expected_checks.begin(), mc.expected_checks.end(),
+                        report.check),
+              mc.expected_checks.end())
+        << mutant_name(mc.mutant) << " caught by unexpected check "
+        << check_name(report.check);
+
+    // Shrinking kept the failure and never grew the case.
+    EXPECT_LE(report.shrink.gates_after, report.shrink.gates_before);
+    EXPECT_LE(report.shrink.frames_after, report.shrink.frames_before);
+    EXPECT_LE(report.shrink.faults_after, report.shrink.faults_before);
+    EXPECT_EQ(report.shrink.faults_after, 1u) << mutant_name(mc.mutant);
+
+    // The written bundle loads and still reproduces the violation...
+    ASSERT_FALSE(report.bundle_path.empty());
+    FailureBundle bundle;
+    std::string error;
+    ASSERT_TRUE(load_bundle(report.bundle_path, bundle, error)) << error;
+    EXPECT_FALSE(replay_bundle(bundle).empty())
+        << mutant_name(mc.mutant) << " bundle no longer reproduces";
+
+    // ...and the violation vanishes once the planted bug is removed: the
+    // failure is the mutant's, not the harness's.
+    FailureBundle fixed = bundle;
+    fixed.mutant = Mutant::None;
+    const std::vector<Violation> clean = replay_bundle(fixed);
+    for (const Violation& v : clean) {
+      ADD_FAILURE() << mutant_name(mc.mutant) << " bundle fails without the "
+                    << "mutant: [" << check_name(v.check) << "] " << v.detail;
+    }
+  }
+}
+
+/// Emit-corpus mode writes passing check=all bundles that replay clean.
+TEST(VerifyFuzz, EmitCorpusBundlesReplayClean) {
+  const std::string dir = testing::TempDir() + "motsim_verify_corpus";
+  std::filesystem::create_directories(dir);
+  FuzzOptions options;
+  options.num_seeds = 30;
+  options.seed_base = 99;
+  options.emit_corpus = true;
+  options.emit_corpus_limit = 3;
+  options.corpus_dir = dir;
+  const FuzzResult result = run_fuzz(options);
+  EXPECT_TRUE(result.violations.empty());
+  EXPECT_EQ(result.corpus_written, 3u);
+  std::size_t replayed = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    FailureBundle bundle;
+    std::string error;
+    ASSERT_TRUE(load_bundle(entry.path().string(), bundle, error)) << error;
+    EXPECT_EQ(bundle.check, CheckId::All);
+    EXPECT_TRUE(replay_bundle(bundle).empty()) << entry.path();
+    ++replayed;
+  }
+  EXPECT_GE(replayed, 3u);
+}
+
+}  // namespace
+}  // namespace motsim::verify
