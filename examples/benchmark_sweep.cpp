@@ -14,13 +14,63 @@
 //   --campaign-ms N     whole-campaign wall-clock budget (0 = unlimited)
 //   --journal PATH      append outcomes to a crash-safe journal (one circuit only)
 //   --resume PATH       resume from PATH, skipping already-resolved faults
+//   --degrade-on-budget retry budget-stopped faults on the cheaper engines
+//                       (graceful-degradation ladder; see README)
+//
+// Signals: the first SIGINT/SIGTERM requests a clean stop — in-flight faults
+// finish, the journal is flushed, and the exit is resumable. A second signal
+// hard-exits immediately (exit code 128+signal).
+//
+// Exit codes:
+//   0  sweep completed; every processed fault has a definitive outcome
+//   1  usage error (bad flags, journal setup failure at startup)
+//   2  a campaign budget stopped the run early (incomplete faults remain;
+//      rerun with --resume to finish them)
+//   3  cancelled by SIGINT/SIGTERM; journal flushed, resumable
+//   4  journal I/O failed permanently mid-run (e.g. disk full); everything
+//      appended before the failure is durable and resumable
+#include <csignal>
+#include <unistd.h>
+
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 
 #include "experiments/experiments.hpp"
 #include "experiments/report.hpp"
 #include "util/cli.hpp"
 #include "util/strings.hpp"
+
+namespace {
+
+// Signal handling: everything the handler touches is async-signal-safe
+// (atomics, ::write, ::_exit). The CancelToken is polled by the MOT batch
+// workers at their budget-poll stride, so the stop is prompt but clean.
+motsim::CancelToken g_cancel;
+std::atomic<int> g_signal_count{0};
+
+void on_signal(int sig) {
+  const int count = g_signal_count.fetch_add(1, std::memory_order_relaxed);
+  if (count == 0) {
+    g_cancel.cancel();
+    constexpr char msg[] =
+        "\nstopping cleanly (signal again to hard-exit) ...\n";
+    [[maybe_unused]] const ssize_t n = ::write(2, msg, sizeof(msg) - 1);
+  } else {
+    ::_exit(128 + sig);
+  }
+}
+
+void install_signal_handlers() {
+  struct sigaction sa = {};
+  sa.sa_handler = on_signal;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // no SA_RESTART: interrupt blocking syscalls promptly
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace motsim;
@@ -41,6 +91,7 @@ int main(int argc, char** argv) {
       static_cast<std::uint64_t>(args.get_int("per-fault-work", 0));
   config.mot.campaign_time_ms =
       static_cast<std::uint64_t>(args.get_int("campaign-ms", 0));
+  config.mot.degrade_on_budget = args.get_bool("degrade-on-budget");
   const std::string journal_flag = args.get("journal", "");
   const std::string resume_flag = args.get("resume", "");
   if (!journal_flag.empty() && !resume_flag.empty()) {
@@ -49,6 +100,7 @@ int main(int argc, char** argv) {
   }
   config.journal_path = resume_flag.empty() ? journal_flag : resume_flag;
   config.resume = !resume_flag.empty();
+  config.cancel = &g_cancel;
   for (const std::string& flag : args.unused()) {
     std::fprintf(stderr, "warning: unknown flag --%s\n", flag.c_str());
   }
@@ -80,18 +132,32 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  install_signal_handlers();
+
+  bool journal_io_failed = false;
+  std::size_t total_incomplete = 0;
   std::vector<RunResult> rows;
   for (const auto* profile : chosen) {
+    if (g_cancel.cancelled()) break;
     std::printf("running %-8s ...\n", profile->name.c_str());
     std::fflush(stdout);
     RunResult r = run_benchmark(*profile, config);
     if (!r.journal_error.empty()) {
       std::fprintf(stderr, "error: %s\n", r.journal_error.c_str());
-      return 1;
+      return 4;
+    }
+    if (!r.journal_io_error.empty()) {
+      std::fprintf(stderr, "error: %s\n", r.journal_io_error.c_str());
+      journal_io_failed = true;
     }
     if (config.resume) {
       std::printf("  resumed %zu fault(s) from %s\n", r.resumed_faults,
                   config.journal_path.c_str());
+    }
+    if (r.quarantined_faults > 0) {
+      std::printf("  %zu fault(s) quarantined after engine errors "
+                  "(see diagnostics)\n",
+                  r.quarantined_faults);
     }
     if (r.incomplete_faults > 0) {
       std::printf("  campaign stopped early: %zu fault(s) without a result%s\n",
@@ -99,6 +165,7 @@ int main(int argc, char** argv) {
                   config.journal_path.empty()
                       ? ""
                       : " (rerun with --resume to finish them)");
+      total_incomplete += r.incomplete_faults;
     }
     rows.push_back(std::move(r));
   }
@@ -108,5 +175,12 @@ int main(int argc, char** argv) {
   std::printf("Table 3 — effectiveness of backward implications:\n%s\n",
               render_table3(rows).c_str());
   std::printf("Diagnostics:\n%s", render_diagnostics(rows).c_str());
+
+  // Exit-code ladder, most severe condition first. Per-fault budget stops are
+  // definitive outcomes (the fault is *unresolved*, not unprocessed) and do
+  // not change the exit code.
+  if (journal_io_failed) return 4;
+  if (g_cancel.cancelled()) return 3;
+  if (total_incomplete > 0) return 2;
   return 0;
 }

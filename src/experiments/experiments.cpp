@@ -97,7 +97,10 @@ RunResult run_circuit(const Circuit& c, const TestSequence& test,
   // schedule, so the aggregation below is deterministic.
   const MotBatchRunner runner(c, config.mot, config.run_baseline);
   const std::vector<MotBatchItem> items =
-      runner.run(test, good, faults, candidates, journal.get());
+      runner.run(test, good, faults, candidates, journal.get(), config.cancel);
+  if (journal && journal->failed()) {
+    result.journal_io_error = journal->failure();
+  }
 
   EffectivenessCounters sum;
   for (const MotBatchItem& item : items) {
@@ -110,6 +113,8 @@ RunResult run_circuit(const Circuit& c, const TestSequence& test,
         pr.unresolved == UnresolvedReason::WorkLimit) {
       ++result.budget_stopped_faults;
     }
+    if (!item.error.empty()) ++result.quarantined_faults;
+    if (item.degrade != DegradeLevel::None) ++result.degraded_faults;
     bool baseline_detected = false;
     bool baseline_aborted = false;
     if (config.run_baseline) {

@@ -20,6 +20,7 @@
 #include "mot/baseline.hpp"
 #include "mot/proposed.hpp"
 #include "sim/test_sequence.hpp"
+#include "util/deadline.hpp"
 
 namespace motsim::experiments {
 
@@ -38,6 +39,11 @@ struct RunConfig {
   /// (the journal header must match this campaign — see checkpoint.hpp).
   std::string journal_path;
   bool resume = false;
+
+  /// Optional external cancellation (e.g. a SIGINT handler). When it trips,
+  /// the MOT batch stops cleanly: every fault without a result comes back
+  /// incomplete, and with a journal the campaign is resumable.
+  const CancelToken* cancel = nullptr;
 };
 
 struct RunResult {
@@ -86,9 +92,20 @@ struct RunResult {
   std::size_t incomplete_faults = 0;
   /// Candidate outcomes merged from a resume journal instead of re-run.
   std::size_t resumed_faults = 0;
+  /// Candidates quarantined by worker isolation: an engine exception on the
+  /// fault was caught, diagnosed (MotBatchItem::error) and journaled instead
+  /// of killing the shard.
+  std::size_t quarantined_faults = 0;
+  /// Candidates answered by a lower rung of the graceful-degradation ladder
+  /// (plain [4] expansion or conventional-only; MotBatchItem::degrade).
+  std::size_t degraded_faults = 0;
   /// Non-empty when RunConfig requested a journal that could not be created
   /// or resumed; the run stops before simulating anything in that case.
   std::string journal_error;
+  /// Non-empty when the journal failed permanently mid-run (e.g. disk full
+  /// after exhausting retries). The campaign stopped as a flushed, resumable
+  /// cancellation: everything appended before the failure is durable.
+  std::string journal_io_error;
 
   double seconds = 0.0;
 };

@@ -31,7 +31,8 @@ std::string render_table3(const std::vector<RunResult>& rows) {
 std::string render_diagnostics(const std::vector<RunResult>& rows) {
   Table t({"circuit", "cand. (C)", "processed", "threads", "capped",
            "pair-capped", "baseline-only", "prop-det/[4]-abort",
-           "budget-stop", "incomplete", "resumed", "seconds"});
+           "budget-stop", "quarantined", "degraded", "incomplete", "resumed",
+           "seconds"});
   for (const RunResult& r : rows) {
     t.new_row()
         .add(r.circuit)
@@ -45,6 +46,8 @@ std::string render_diagnostics(const std::vector<RunResult>& rows) {
                  ? str_format("%zu", r.proposed_detected_baseline_aborted)
                  : "NA")
         .add(r.budget_stopped_faults)
+        .add(r.quarantined_faults)
+        .add(r.degraded_faults)
         .add(r.incomplete_faults)
         .add(r.resumed_faults)
         .add(r.seconds, 2);

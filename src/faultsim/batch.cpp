@@ -1,14 +1,25 @@
 #include "faultsim/batch.hpp"
 
 #include <algorithm>
+#include <exception>
 #include <memory>
 #include <numeric>
 
 #include "faultsim/checkpoint.hpp"
 #include "faultsim/conventional.hpp"
+#include "util/errors.hpp"
 #include "util/thread_pool.hpp"
 
 namespace motsim {
+
+const char* to_string(DegradeLevel level) {
+  switch (level) {
+    case DegradeLevel::None: return "none";
+    case DegradeLevel::PlainExpansion: return "plain_expansion";
+    case DegradeLevel::Conventional: return "conventional";
+  }
+  return "?";
+}
 
 std::uint64_t per_fault_selection_seed(std::uint64_t base,
                                        std::uint64_t fault_index) {
@@ -32,12 +43,25 @@ struct Lane {
   ConventionalFaultSimulator conv;
   MotFaultSimulator proposed;
   std::unique_ptr<ExpansionBaseline> baseline;
+  /// Lazily built when the degradation ladder first needs it on this lane
+  /// (quarantined or budget-stopped fault with no baseline configured).
+  std::unique_ptr<ExpansionBaseline> fallback;
 
   Lane(const Circuit& c, const MotOptions& opt, bool run_baseline)
       : conv(c), proposed(c, opt) {
     if (run_baseline) baseline = std::make_unique<ExpansionBaseline>(c, opt);
   }
 };
+
+std::string exception_diagnostic(std::exception_ptr ep) {
+  try {
+    std::rethrow_exception(ep);
+  } catch (const std::exception& e) {
+    return sanitize_token(e.what());
+  } catch (...) {
+    return sanitize_token("non-standard exception");
+  }
+}
 
 }  // namespace
 
@@ -58,7 +82,8 @@ std::vector<MotBatchItem> MotBatchRunner::run(
   CancelToken stop;
   auto stop_requested = [&] {
     if (stop.cancelled()) return true;
-    if ((cancel != nullptr && cancel->cancelled()) || campaign.expired()) {
+    if ((cancel != nullptr && cancel->cancelled()) || campaign.expired() ||
+        (journal != nullptr && journal->failed())) {
       stop.cancel();
       return true;
     }
@@ -75,12 +100,144 @@ std::vector<MotBatchItem> MotBatchRunner::run(
     }
   }
 
+  // Bottom rung of the degradation ladder: classify from conventional
+  // simulation alone. Reached only when the MOT engines failed on the fault,
+  // so this re-runs the conventional analysis defensively under its own
+  // catch-all (if even that fails, the item stays a bare quarantine record).
+  auto classify_conventional = [&](Lane& lane, const Fault& f,
+                                   MotBatchItem& item) {
+    item.degrade = DegradeLevel::Conventional;
+    try {
+      const ConvOutcome o = lane.conv.analyze(test, good, f);
+      item.mot.detected_conventional = o.detected;
+      item.mot.passes_c = o.passes_c;
+      if (o.detected) {
+        item.mot.detected = true;
+        item.mot.phase = MotPhase::Conventional;
+        item.mot.unresolved = UnresolvedReason::None;
+      }
+    } catch (...) {
+      // Keep the quarantine record as-is.
+    }
+  };
+
+  // Middle rung: one plain [4]-style expansion run under a fresh per-fault
+  // budget. Sound by construction — a detection is the cheaper engine's own
+  // proof; anything else leaves the fault unresolved with `keep_reason`.
+  auto degrade_to_plain = [&](Lane& lane, std::size_t k, const Fault& f,
+                              SeqTrace* faulty, MotBatchItem& item,
+                              UnresolvedReason keep_reason) {
+    if (!lane.fallback) {
+      lane.fallback = std::make_unique<ExpansionBaseline>(*circuit_, options_);
+      lane.fallback->set_campaign(&campaign, &stop);
+    }
+    try {
+      lane.fallback->reseed_selection(
+          per_fault_selection_seed(options_.selection_seed ^ 0xdeadfa11u, k));
+      const BaselineResult b =
+          faulty != nullptr
+              ? lane.fallback->simulate_fault(test, good, f, *faulty)
+              : lane.fallback->simulate_fault(test, good, f);
+      item.degrade = DegradeLevel::PlainExpansion;
+      item.mot.detected_conventional = b.detected_conventional;
+      item.mot.passes_c = b.passes_c;
+      item.mot.expansions = b.expansions;
+      item.mot.final_sequences = b.final_sequences;
+      if (b.detected) {
+        item.mot.detected = true;
+        item.mot.phase = b.detected_conventional ? MotPhase::Conventional
+                                                 : MotPhase::Expansion;
+        item.mot.unresolved = UnresolvedReason::None;
+      } else {
+        item.mot.detected = false;
+        item.mot.unresolved = keep_reason;
+      }
+      return true;
+    } catch (...) {
+      return false;
+    }
+  };
+
+  auto simulate_one = [&](Lane& lane, std::size_t i, std::size_t k) {
+    const Fault& f = faults[k];
+    MotBatchItem& item = items[i];
+
+    // Worker isolation: an exception anywhere in the per-fault work
+    // quarantines this fault, never the shard. The conventional trace is
+    // attempted first so the lower ladder rungs can reuse it.
+    std::string diag;
+    SeqTrace faulty;
+    bool have_faulty = false;
+    try {
+      if (fault_hook_) fault_hook_(k);
+      faulty = lane.conv.simulate_fault(test, f, /*keep_lines=*/true);
+      have_faulty = true;
+      lane.proposed.reseed_selection(
+          per_fault_selection_seed(options_.selection_seed, k));
+      item.mot = lane.proposed.simulate_fault(test, good, f, faulty);
+    } catch (...) {
+      diag = exception_diagnostic(std::current_exception());
+      item.mot = MotResult{};
+      item.mot.unresolved = UnresolvedReason::EngineError;
+    }
+
+    if (lane.baseline) {
+      if (have_faulty) {
+        try {
+          lane.baseline->reseed_selection(
+              per_fault_selection_seed(~options_.selection_seed, k));
+          item.baseline = lane.baseline->simulate_fault(test, good, f, faulty);
+        } catch (...) {
+          if (diag.empty()) {
+            diag = exception_diagnostic(std::current_exception());
+          }
+          item.baseline = BaselineResult{};
+          item.baseline.aborted = true;
+          item.baseline.unresolved = UnresolvedReason::EngineError;
+        }
+      } else {
+        item.baseline = BaselineResult{};
+        item.baseline.aborted = true;
+        item.baseline.unresolved = UnresolvedReason::EngineError;
+      }
+    }
+
+    // Graceful degradation: engine errors always walk the ladder; faults
+    // stopped by their own budget do so when the options opt in. Campaign
+    // stops (Cancelled) are excluded — those faults are incomplete, not
+    // degraded, and re-run on resume.
+    const bool engine_error =
+        item.mot.unresolved == UnresolvedReason::EngineError;
+    const bool budget_stopped =
+        item.mot.unresolved == UnresolvedReason::Deadline ||
+        item.mot.unresolved == UnresolvedReason::WorkLimit;
+    if (engine_error) {
+      item.error = diag.empty() ? sanitize_token("engine error") : diag;
+      if (!degrade_to_plain(lane, k, f, have_faulty ? &faulty : nullptr, item,
+                            UnresolvedReason::EngineError)) {
+        classify_conventional(lane, f, item);
+      }
+    } else if (budget_stopped && options_.degrade_on_budget) {
+      const UnresolvedReason keep = item.mot.unresolved;
+      const MotResult full = item.mot;
+      if (!degrade_to_plain(lane, k, f, have_faulty ? &faulty : nullptr, item,
+                            keep)) {
+        item.mot = full;
+      } else if (!item.mot.detected) {
+        // The ladder decided nothing new: keep the richer original result
+        // (counters, work_used) and just record that the rung was tried.
+        const DegradeLevel tried = item.degrade;
+        item.mot = full;
+        item.degrade = tried;
+      }
+    }
+  };
+
   auto simulate_range = [&](std::size_t begin, std::size_t end,
                             std::size_t lane_id) {
     Lane& lane = *lanes[lane_id];
     for (std::size_t i = begin; i < end; ++i) {
       const std::size_t k = indices[i];
-      const Fault& f = faults[k];
       MotBatchItem& item = items[i];
       item.fault_index = k;
       // Resume: outcomes the journal already holds are merged, not re-run.
@@ -96,16 +253,7 @@ std::vector<MotBatchItem> MotBatchRunner::run(
         if (run_baseline_) item.baseline.unresolved = UnresolvedReason::Cancelled;
         continue;
       }
-      // One conventional simulation per fault, shared by both procedures.
-      SeqTrace faulty = lane.conv.simulate_fault(test, f, /*keep_lines=*/true);
-      lane.proposed.reseed_selection(
-          per_fault_selection_seed(options_.selection_seed, k));
-      item.mot = lane.proposed.simulate_fault(test, good, f, faulty);
-      if (lane.baseline) {
-        lane.baseline->reseed_selection(
-            per_fault_selection_seed(~options_.selection_seed, k));
-        item.baseline = lane.baseline->simulate_fault(test, good, f, faulty);
-      }
+      simulate_one(lane, i, k);
       // A fault whose own budget was still open but that stopped on the
       // campaign controls is incomplete — resume must re-run it.
       if (item.mot.unresolved == UnresolvedReason::Cancelled) {
@@ -113,7 +261,13 @@ std::vector<MotBatchItem> MotBatchRunner::run(
         stop.cancel();
         continue;
       }
-      if (journal != nullptr) journal->append(item);
+      if (journal != nullptr && !journal->append(item) && journal->failed()) {
+        // Permanent journal loss (disk full and retries exhausted): stop the
+        // campaign as a flushed, resumable cancellation rather than running
+        // on for hours with nothing checkpointed. This fault's in-memory
+        // result stays valid; resume re-runs it deterministically.
+        stop.cancel();
+      }
     }
   };
 

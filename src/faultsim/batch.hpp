@@ -25,9 +25,22 @@
 // interrupted campaign resumes where it stopped (see checkpoint.hpp). A
 // stopped campaign still returns one item per requested fault — unprocessed
 // faults come back incomplete with Unresolved{Cancelled}.
+//
+// Worker isolation: each per-fault MOT run executes under a catch-all. An
+// exception quarantines that one fault as Unresolved{EngineError} with a
+// sanitized diagnostic (MotBatchItem::error) and a journal record — one
+// poisoned fault never kills the shard, and because the quarantine decision
+// is a deterministic per-fault function, results stay bit-identical across
+// thread counts. Quarantined and budget-stopped faults then walk the
+// graceful-degradation ladder (DegradeLevel): plain [4] expansion, then the
+// conventional classification, recording the downgrade. A journal whose
+// append fails permanently (disk full) converts the run into a flushed,
+// resumable campaign stop — see CampaignJournal::failure().
 #pragma once
 
+#include <functional>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "mot/baseline.hpp"
@@ -37,6 +50,19 @@
 namespace motsim {
 
 class CampaignJournal;
+
+/// How far the graceful-degradation ladder stepped down for one fault
+/// (proposed → plain [4] expansion → conventional classification). Each rung
+/// is strictly less precise, never unsound: a degraded "detected" was proven
+/// by the engine that produced it, and a degraded non-detection stays
+/// unresolved rather than pretending to be definitive.
+enum class DegradeLevel : std::uint8_t {
+  None,            ///< full proposed-procedure result
+  PlainExpansion,  ///< the [4]-style plain expansion answered instead
+  Conventional,    ///< only the conventional classification survived
+};
+
+const char* to_string(DegradeLevel level);
 
 struct MotBatchItem {
   std::size_t fault_index = 0;  ///< index into the fault list passed to run()
@@ -49,6 +75,14 @@ struct MotBatchItem {
   /// The [4] expansion baseline on the same shared conventional trace.
   /// Meaningful only when the runner was constructed with run_baseline.
   BaselineResult baseline;
+  /// Which rung of the degradation ladder produced `mot` (None = the full
+  /// proposed procedure). Journaled, so resumed campaigns keep the record.
+  DegradeLevel degrade = DegradeLevel::None;
+  /// Sanitized one-token diagnostic of a quarantined engine error ("-" never
+  /// appears here; empty = no error). Non-empty iff this fault hit the
+  /// catch-all: either mot.unresolved == EngineError or the ladder resolved
+  /// it at a lower rung.
+  std::string error;
 
   friend bool operator==(const MotBatchItem&, const MotBatchItem&) = default;
 };
@@ -98,11 +132,21 @@ class MotBatchRunner {
 
   const MotOptions& options() const { return options_; }
 
+  /// Test/verification hook, invoked with the fault index at the top of each
+  /// per-fault unit of work. A throw from the hook emulates an engine crash
+  /// on exactly that fault, driving the quarantine path deterministically —
+  /// used by the fault-injection tests and the worker-quarantine check of
+  /// src/verify. Never set in production runs.
+  void set_fault_hook(std::function<void(std::size_t fault_index)> hook) {
+    fault_hook_ = std::move(hook);
+  }
+
  private:
   const Circuit* circuit_;
   MotOptions options_;
   bool run_baseline_;
   std::size_t threads_;
+  std::function<void(std::size_t)> fault_hook_;
 };
 
 /// The per-fault Random-selection seed (splitmix64 mix of the configured

@@ -6,10 +6,10 @@
 
 #include <algorithm>
 #include <cerrno>
-#include <cstdio>
+#include <chrono>
 #include <cstring>
-#include <fstream>
 #include <sstream>
+#include <thread>
 
 namespace motsim {
 
@@ -25,22 +25,12 @@ void fnv_mix(std::uint64_t& h, std::uint64_t v) {
   }
 }
 
-bool write_all(int fd, const char* data, std::size_t len) {
-  while (len > 0) {
-    const ssize_t n = ::write(fd, data, len);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    data += n;
-    len -= static_cast<std::size_t>(n);
-  }
-  return true;
-}
-
 std::string format_header(const JournalMeta& meta) {
   std::ostringstream os;
-  os << "motsim-journal 1\n"
+  // Version 2 added the degrade level and quarantine diagnostic per record;
+  // the verbatim header match makes older journals refuse to resume rather
+  // than parse wrongly.
+  os << "motsim-journal 2\n"
      << "circuit " << meta.circuit << '\n'
      << "faults " << meta.num_faults << '\n'
      << "test-length " << meta.test_length << '\n'
@@ -62,7 +52,9 @@ std::string format_record(const MotBatchItem& item, bool baseline) {
      << ' ' << m.final_sequences << ' ' << int(m.collection_capped) << ' '
      << int(m.via_fallback) << ' '
      << unsigned(static_cast<std::uint8_t>(m.unresolved)) << ' '
-     << m.work_used;
+     << m.work_used << ' '
+     << unsigned(static_cast<std::uint8_t>(item.degrade)) << ' '
+     << sanitize_token(item.error);
   if (baseline) {
     const BaselineResult& b = item.baseline;
     os << " b " << int(b.detected) << ' ' << int(b.detected_conventional)
@@ -88,7 +80,7 @@ bool parse_record(const std::string& line, bool baseline, MotBatchItem& out) {
   std::string tag;
   if (!(is >> tag) || tag != "f") return false;
   MotResult& m = out.mot;
-  unsigned phase = 0, unresolved = 0;
+  unsigned phase = 0, unresolved = 0, degrade = 0;
   if (!(is >> out.fault_index)) return false;
   if (!read_bool(is, m.detected)) return false;
   if (!(is >> phase) || phase > static_cast<unsigned>(MotPhase::Expansion)) {
@@ -104,11 +96,19 @@ bool parse_record(const std::string& line, bool baseline, MotBatchItem& out) {
   if (!read_bool(is, m.collection_capped)) return false;
   if (!read_bool(is, m.via_fallback)) return false;
   if (!(is >> unresolved) ||
-      unresolved > static_cast<unsigned>(UnresolvedReason::Cancelled)) {
+      unresolved > static_cast<unsigned>(UnresolvedReason::EngineError)) {
     return false;
   }
   m.unresolved = static_cast<UnresolvedReason>(unresolved);
   if (!(is >> m.work_used)) return false;
+  if (!(is >> degrade) ||
+      degrade > static_cast<unsigned>(DegradeLevel::Conventional)) {
+    return false;
+  }
+  out.degrade = static_cast<DegradeLevel>(degrade);
+  std::string error_token;
+  if (!(is >> error_token)) return false;
+  out.error = error_token == "-" ? std::string() : error_token;
   if (baseline) {
     BaselineResult& b = out.baseline;
     if (!(is >> tag) || tag != "b") return false;
@@ -118,7 +118,7 @@ bool parse_record(const std::string& line, bool baseline, MotBatchItem& out) {
     if (!(is >> b.expansions >> b.final_sequences)) return false;
     if (!read_bool(is, b.aborted)) return false;
     if (!(is >> unresolved) ||
-        unresolved > static_cast<unsigned>(UnresolvedReason::Cancelled)) {
+        unresolved > static_cast<unsigned>(UnresolvedReason::EngineError)) {
       return false;
     }
     b.unresolved = static_cast<UnresolvedReason>(unresolved);
@@ -132,14 +132,18 @@ bool parse_record(const std::string& line, bool baseline, MotBatchItem& out) {
 }
 
 /// fsync the directory containing `path` so a rename into it is durable.
-void fsync_parent_dir(const std::string& path) {
+void fsync_parent_dir(fsio::FsIo& io, const std::string& path) {
   const std::size_t slash = path.find_last_of('/');
   const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
-  const int fd = ::open(dir.empty() ? "/" : dir.c_str(), O_RDONLY);
+  const int fd = io.open(dir.empty() ? "/" : dir.c_str(), O_RDONLY, 0);
   if (fd >= 0) {
-    ::fsync(fd);
-    ::close(fd);
+    io.fsync(fd);
+    io.close(fd);
   }
+}
+
+fsio::FsIo& resolve(fsio::FsIo* io) {
+  return io != nullptr ? *io : fsio::FsIo::real();
 }
 
 }  // namespace
@@ -169,6 +173,7 @@ std::uint64_t hash_options(const MotOptions& o) {
   fnv_mix(h, o.per_fault_time_ms);
   fnv_mix(h, o.per_fault_work_limit);
   fnv_mix(h, o.fallback_plain_expansion ? 1 : 0);
+  fnv_mix(h, o.degrade_on_budget ? 1 : 0);
   return h;
 }
 
@@ -186,28 +191,32 @@ JournalMeta make_journal_meta(const std::string& circuit_name,
 }
 
 std::unique_ptr<CampaignJournal> CampaignJournal::create(
-    const std::string& path, const JournalMeta& meta, std::string& error) {
+    const std::string& path, const JournalMeta& meta, std::string& error,
+    fsio::FsIo* io_arg) {
+  fsio::FsIo& io = resolve(io_arg);
   const std::string tmp = path + ".tmp";
-  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  int fd = io.open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
   if (fd < 0) {
     error = "cannot create " + tmp + ": " + std::strerror(errno);
     return nullptr;
   }
   const std::string header = format_header(meta);
-  if (!write_all(fd, header.data(), header.size()) || ::fsync(fd) != 0) {
-    error = "cannot write " + tmp + ": " + std::strerror(errno);
-    ::close(fd);
-    ::unlink(tmp.c_str());
+  const int werr = fsio::write_all(io, fd, header.data(), header.size());
+  if (werr != 0 || io.fsync(fd) != 0) {
+    error = "cannot write " + tmp + ": " +
+            std::strerror(werr != 0 ? werr : errno);
+    io.close(fd);
+    io.unlink(tmp.c_str());
     return nullptr;
   }
-  ::close(fd);
-  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+  io.close(fd);
+  if (io.rename(tmp.c_str(), path.c_str()) != 0) {
     error = "cannot rename " + tmp + " to " + path + ": " + std::strerror(errno);
-    ::unlink(tmp.c_str());
+    io.unlink(tmp.c_str());
     return nullptr;
   }
-  fsync_parent_dir(path);
-  fd = ::open(path.c_str(), O_WRONLY | O_APPEND);
+  fsync_parent_dir(io, path);
+  fd = io.open(path.c_str(), O_WRONLY | O_APPEND, 0);
   if (fd < 0) {
     error = "cannot reopen " + path + ": " + std::strerror(errno);
     return nullptr;
@@ -215,20 +224,21 @@ std::unique_ptr<CampaignJournal> CampaignJournal::create(
   auto journal = std::unique_ptr<CampaignJournal>(new CampaignJournal());
   journal->path_ = path;
   journal->meta_ = meta;
+  journal->io_ = &io;
   journal->fd_ = fd;
+  journal->committed_ = header.size();
   return journal;
 }
 
 std::unique_ptr<CampaignJournal> CampaignJournal::open_resume(
-    const std::string& path, const JournalMeta& expected, std::string& error) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    error = "cannot open " + path;
+    const std::string& path, const JournalMeta& expected, std::string& error,
+    fsio::FsIo* io_arg) {
+  fsio::FsIo& io = resolve(io_arg);
+  std::string content;
+  if (const int rerr = fsio::read_file(io, path, content); rerr != 0) {
+    error = "cannot open " + path + ": " + std::strerror(rerr);
     return nullptr;
   }
-  std::string content((std::istreambuf_iterator<char>(in)),
-                      std::istreambuf_iterator<char>());
-  in.close();
 
   // Header: must match format_header(expected) verbatim — any field
   // mismatch (circuit, fault count, test, options) makes the journal
@@ -243,6 +253,7 @@ std::unique_ptr<CampaignJournal> CampaignJournal::open_resume(
   auto journal = std::unique_ptr<CampaignJournal>(new CampaignJournal());
   journal->path_ = path;
   journal->meta_ = expected;
+  journal->io_ = &io;
 
   // Records. `valid_end` tracks the byte offset just past the last complete
   // record so a torn tail can be truncated away before appending.
@@ -276,24 +287,25 @@ std::unique_ptr<CampaignJournal> CampaignJournal::open_resume(
     pos = next;
   }
 
-  const int fd = ::open(path.c_str(), O_WRONLY | O_APPEND);
+  const int fd = io.open(path.c_str(), O_WRONLY | O_APPEND, 0);
   if (fd < 0) {
     error = "cannot open " + path + " for append: " + std::strerror(errno);
     return nullptr;
   }
   if (valid_end < content.size() &&
-      ::ftruncate(fd, static_cast<off_t>(valid_end)) != 0) {
+      io.ftruncate(fd, static_cast<off_t>(valid_end)) != 0) {
     error = "cannot truncate torn record in " + path + ": " +
             std::strerror(errno);
-    ::close(fd);
+    io.close(fd);
     return nullptr;
   }
   journal->fd_ = fd;
+  journal->committed_ = valid_end;
   return journal;
 }
 
 CampaignJournal::~CampaignJournal() {
-  if (fd_ >= 0) ::close(fd_);
+  if (fd_ >= 0) io_->close(fd_);
 }
 
 const MotBatchItem* CampaignJournal::lookup(std::size_t fault_index) const {
@@ -301,15 +313,58 @@ const MotBatchItem* CampaignJournal::lookup(std::size_t fault_index) const {
   return it == resumed_.end() ? nullptr : &it->second;
 }
 
+void CampaignJournal::set_retry_policy(
+    const RetryPolicy& policy, std::function<void(std::uint64_t)> sleep_us) {
+  retry_ = policy;
+  sleep_us_ = std::move(sleep_us);
+}
+
+int CampaignJournal::try_append_locked(const std::string& record) {
+  int err = fsio::write_all(*io_, fd_, record.data(), record.size());
+  if (err == 0 && io_->fsync(fd_) != 0) err = errno != 0 ? errno : EIO;
+  if (err != 0) {
+    // Roll a partial write back to the last committed byte so a retry never
+    // produces "half a record, then the whole record". If even the rollback
+    // fails, resume-time torn-tail truncation still recovers the file.
+    io_->ftruncate(fd_, static_cast<off_t>(committed_));
+  }
+  return err;
+}
+
 bool CampaignJournal::append(const MotBatchItem& item) {
   const std::string record = format_record(item, meta_.baseline);
   std::lock_guard<std::mutex> lk(mu_);
-  if (failed_ || fd_ < 0) return false;
-  if (!write_all(fd_, record.data(), record.size()) || ::fsync(fd_) != 0) {
-    failed_ = true;
-    return false;
+  if (failed_.load(std::memory_order_relaxed) || fd_ < 0) return false;
+  RetrySchedule schedule(retry_);
+  const std::size_t attempts = retry_.max_attempts == 0 ? 1 : retry_.max_attempts;
+  int err = 0;
+  for (std::size_t attempt = 1;; ++attempt) {
+    err = try_append_locked(record);
+    if (err == 0) {
+      committed_ += record.size();
+      return true;
+    }
+    if (classify_errno(err) != ErrorClass::Transient || attempt >= attempts) {
+      break;
+    }
+    const std::uint64_t delay = schedule.delay_us(attempt);
+    if (delay > 0 && sleep_us_) sleep_us_(delay);
+    else if (delay > 0) {
+      // Default sleep lives in retry_transient's helper path; inline here to
+      // keep the rollback/retry loop in one place.
+      std::this_thread::sleep_for(std::chrono::microseconds(delay));
+    }
   }
-  return true;
+  failure_ = path_ + ": append failed (" +
+             std::string(to_string(classify_errno(err))) + "): " +
+             std::strerror(err);
+  failed_.store(true, std::memory_order_release);
+  return false;
+}
+
+std::string CampaignJournal::failure() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return failure_;
 }
 
 }  // namespace motsim

@@ -13,7 +13,9 @@
 //  * append() writes one complete record per resolved fault, terminated by
 //    a sentinel, and fsyncs before returning. A crash mid-append therefore
 //    loses at most the record being written, and that loss is detectable:
-//    the torn line has no terminator.
+//    the torn line has no terminator. Transient I/O errors are retried with
+//    backoff; permanent ones latch failed() so the campaign stops cleanly
+//    and resumably instead of losing the run (see append()).
 //  * open_resume() validates the header against the campaign about to run
 //    (resuming against a different circuit, fault list, test sequence or
 //    option set would silently mix incompatible results — that is an error,
@@ -28,7 +30,9 @@
 // visited exactly once, so appends never need to feed back into the map.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -36,6 +40,8 @@
 
 #include "faultsim/batch.hpp"
 #include "mot/options.hpp"
+#include "util/errors.hpp"
+#include "util/fsio.hpp"
 
 namespace motsim {
 
@@ -70,17 +76,20 @@ class CampaignJournal {
  public:
   /// Starts a fresh journal at `path` (overwriting any existing file) via
   /// write-temp-then-rename. Returns nullptr and sets `error` on I/O
-  /// failure.
+  /// failure. All I/O goes through `io` (nullptr = the real filesystem),
+  /// which is how the fault-injection tests script ENOSPC/EINTR/crashes.
   static std::unique_ptr<CampaignJournal> create(const std::string& path,
                                                  const JournalMeta& meta,
-                                                 std::string& error);
+                                                 std::string& error,
+                                                 fsio::FsIo* io = nullptr);
 
   /// Opens an existing journal for resumption. Fails (nullptr + `error`)
   /// when the file is missing, the header does not match `expected`, or any
   /// record other than a torn final one is malformed. On success the journal
   /// is positioned for appending new records.
   static std::unique_ptr<CampaignJournal> open_resume(
-      const std::string& path, const JournalMeta& expected, std::string& error);
+      const std::string& path, const JournalMeta& expected, std::string& error,
+      fsio::FsIo* io = nullptr);
 
   ~CampaignJournal();
   CampaignJournal(const CampaignJournal&) = delete;
@@ -91,10 +100,28 @@ class CampaignJournal {
   const MotBatchItem* lookup(std::size_t fault_index) const;
 
   /// Appends one resolved fault (fsync'd before returning). Thread-safe.
-  /// Returns false on I/O failure; the first failure disables the journal
-  /// (later appends return false immediately) so a full disk degrades the
-  /// campaign to journal-less operation instead of spamming syscalls.
+  ///
+  /// Fault tolerance: a transiently failing write/fsync (EINTR storms,
+  /// EAGAIN) is retried under the journal's RetryPolicy with exponential
+  /// backoff; before each retry the file is truncated back to its last
+  /// committed length so a half-written record is never followed by a
+  /// duplicate. A permanent error (disk full) or exhausted retries latch
+  /// failed() with a failure() message and every later append returns false
+  /// immediately — the batch driver turns that into a flushed, resumable
+  /// campaign stop (see MotBatchRunner).
   bool append(const MotBatchItem& item);
+
+  /// True once an append failed permanently. Thread-safe, lock-free.
+  bool failed() const { return failed_.load(std::memory_order_acquire); }
+
+  /// The diagnostic of the permanent failure ("" while healthy).
+  std::string failure() const;
+
+  /// Overrides the append retry policy (and optionally the inter-retry
+  /// sleep, injectable for tests). Call before handing the journal to a
+  /// batch runner; not thread-safe against concurrent appends.
+  void set_retry_policy(const RetryPolicy& policy,
+                        std::function<void(std::uint64_t)> sleep_us = {});
 
   /// Number of records loaded by open_resume() (0 for a fresh journal).
   std::size_t resumed_count() const { return resumed_.size(); }
@@ -105,11 +132,22 @@ class CampaignJournal {
  private:
   CampaignJournal() = default;
 
+  /// One write+fsync attempt of `record`, rolling the file back to
+  /// committed_ on failure. Returns 0 or the errno. Caller holds mu_.
+  int try_append_locked(const std::string& record);
+
   std::string path_;
   JournalMeta meta_;
+  fsio::FsIo* io_ = nullptr;
   int fd_ = -1;
-  bool failed_ = false;  // guarded by mu_
-  std::mutex mu_;
+  /// Bytes of the file known durable (header + every fsync'd record); the
+  /// rollback point when a retried append made partial progress.
+  std::uint64_t committed_ = 0;
+  RetryPolicy retry_;
+  std::function<void(std::uint64_t)> sleep_us_;
+  std::atomic<bool> failed_{false};
+  std::string failure_;  // guarded by mu_
+  mutable std::mutex mu_;
   std::unordered_map<std::size_t, MotBatchItem> resumed_;
 };
 

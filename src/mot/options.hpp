@@ -94,6 +94,17 @@ struct MotOptions {
   /// does not — and the fallback makes the paper's observation that the
   /// proposed procedure detects a superset of [4] hold by construction.
   bool fallback_plain_expansion = true;
+
+  /// Graceful-degradation ladder for budget-stopped faults: when a fault's
+  /// own budget (per_fault_time_ms / per_fault_work_limit) stops the
+  /// proposed procedure, retry once with the cheaper plain [4]-style
+  /// expansion under a fresh budget and, if that also fails to decide, fall
+  /// back to the conventional classification. The downgrade is recorded in
+  /// MotBatchItem::degrade — never silent — and is sound: a degraded result
+  /// is at most *less precise* (a detection the full procedure would have
+  /// found may be missed), never wrong. Engine *errors* always take this
+  /// ladder regardless of the flag.
+  bool degrade_on_budget = false;
 };
 
 }  // namespace motsim

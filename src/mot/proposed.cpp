@@ -13,6 +13,7 @@ const char* to_string(UnresolvedReason r) {
     case UnresolvedReason::PairCap: return "pair_cap";
     case UnresolvedReason::NStates: return "n_states";
     case UnresolvedReason::Cancelled: return "cancelled";
+    case UnresolvedReason::EngineError: return "engine_error";
   }
   return "?";
 }

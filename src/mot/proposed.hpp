@@ -46,6 +46,11 @@ enum class UnresolvedReason : std::uint8_t {
   PairCap,   ///< collection stopped at MotOptions::max_pairs
   NStates,   ///< expansion exhausted the N_STATES budget (the paper's abort)
   Cancelled, ///< campaign deadline or external cancellation
+  /// The engine itself failed on this fault (an exception escaped the MOT
+  /// procedure). The batch driver quarantines such faults with a diagnostic
+  /// instead of letting one poisoned fault kill the shard — see
+  /// MotBatchRunner and MotBatchItem::error.
+  EngineError,
 };
 
 const char* to_string(UnresolvedReason r);

@@ -102,13 +102,14 @@ class WorkBudget {
   BudgetStop stop() const { return stop_; }
   std::uint64_t work_used() const { return used_; }
 
- private:
   /// Units between clock/token checks. At the granularity the MOT loops
   /// poll (a backward probe, an expansion, a resimulated frame each cost
   /// well over a microsecond) 32 units keep the overshoot past a deadline
   /// far below a millisecond while making the common poll branch-only.
+  /// Public so tests can pin the stride-boundary behaviour exactly.
   static constexpr std::uint64_t kClockStride = 32;
 
+ private:
   Deadline deadline_;
   std::uint64_t limit_ = 0;
   const Deadline* campaign_ = nullptr;

@@ -1,0 +1,82 @@
+#include "util/errors.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <chrono>
+#include <thread>
+
+namespace motsim {
+
+const char* to_string(ErrorClass c) {
+  switch (c) {
+    case ErrorClass::Transient: return "transient";
+    case ErrorClass::Permanent: return "permanent";
+    case ErrorClass::Poisoned: return "poisoned";
+  }
+  return "?";
+}
+
+ErrorClass classify_errno(int err) {
+  switch (err) {
+    case EINTR:
+    case EAGAIN:
+#if defined(EWOULDBLOCK) && EWOULDBLOCK != EAGAIN
+    case EWOULDBLOCK:
+#endif
+    case EBUSY:
+    case ENOBUFS:
+      return ErrorClass::Transient;
+    default:
+      return ErrorClass::Permanent;
+  }
+}
+
+std::uint64_t RetrySchedule::delay_us(std::size_t retry_index) {
+  if (policy_.base_delay_us == 0) return 0;
+  // base << (retry_index - 1), saturating at max_delay_us.
+  std::uint64_t delay = policy_.base_delay_us;
+  for (std::size_t i = 1; i < retry_index && delay < policy_.max_delay_us; ++i) {
+    delay *= 2;
+  }
+  if (delay > policy_.max_delay_us) delay = policy_.max_delay_us;
+  // Jitter into [delay/2, delay]; the low half is enough to decorrelate
+  // workers while keeping the backoff's order-of-magnitude intact.
+  const std::uint64_t half = delay / 2;
+  return half == 0 ? delay : delay - rng_.next_below(half + 1);
+}
+
+int retry_transient(const RetryPolicy& policy, const std::function<int()>& op,
+                    const std::function<void(std::uint64_t)>& sleep_us) {
+  RetrySchedule schedule(policy);
+  const std::size_t attempts = policy.max_attempts == 0 ? 1 : policy.max_attempts;
+  int err = 0;
+  for (std::size_t attempt = 1;; ++attempt) {
+    err = op();
+    if (err == 0) return 0;
+    if (classify_errno(err) != ErrorClass::Transient) return err;
+    if (attempt >= attempts) return err;
+    const std::uint64_t delay = schedule.delay_us(attempt);
+    if (delay > 0) {
+      if (sleep_us) {
+        sleep_us(delay);
+      } else {
+        std::this_thread::sleep_for(std::chrono::microseconds(delay));
+      }
+    }
+  }
+}
+
+std::string sanitize_token(std::string_view text, std::size_t max_len) {
+  if (text.empty()) return "-";
+  std::string out;
+  out.reserve(std::min(text.size(), max_len));
+  for (const char ch : text) {
+    if (out.size() >= max_len) break;
+    const unsigned char u = static_cast<unsigned char>(ch);
+    out.push_back(std::isgraph(u) && ch != ';' ? ch : '_');
+  }
+  return out;
+}
+
+}  // namespace motsim

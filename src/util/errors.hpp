@@ -1,0 +1,84 @@
+// Error taxonomy and retry policy for the fault-tolerant campaign runtime.
+//
+// Long campaigns hit three very different kinds of failure, and the right
+// response differs per kind:
+//
+//   Transient  — a retry may succeed (EINTR, EAGAIN, momentary resource
+//                pressure). Retried with exponential backoff.
+//   Permanent  — retrying cannot help (disk full, read-only filesystem,
+//                bad descriptor). Converted into a clean, resumable stop.
+//   Poisoned   — the *input* is bad: retrying the same item deterministically
+//                reproduces the failure. Quarantined so one poisoned fault
+//                never kills a shard (see MotBatchRunner).
+//
+// Backoff jitter is drawn from the seeded util/rng stream, never from
+// wall-clock entropy: two runs with the same RetryPolicy sleep the same
+// deterministic schedule, which keeps retry behaviour reproducible in tests
+// and under the fault-injection harness (util/fsio.hpp).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "util/rng.hpp"
+
+namespace motsim {
+
+enum class ErrorClass : std::uint8_t {
+  Transient,  ///< worth retrying (interrupted call, momentary pressure)
+  Permanent,  ///< retrying cannot help (disk full, bad descriptor, ...)
+  Poisoned,   ///< the input reproduces the failure; quarantine, don't retry
+};
+
+const char* to_string(ErrorClass c);
+
+/// Classifies an errno value. errno never identifies a poisoned *input* —
+/// that label is applied by the quarantine layer, not by this map.
+ErrorClass classify_errno(int err);
+
+/// Bounded exponential backoff with deterministic jitter.
+struct RetryPolicy {
+  /// Total attempts, including the first (1 = no retries at all).
+  std::size_t max_attempts = 4;
+  /// Backoff before the first retry; doubles per retry up to max_delay_us.
+  /// 0 disables sleeping entirely (useful in tests and fault injection).
+  std::uint64_t base_delay_us = 1000;
+  std::uint64_t max_delay_us = 50000;
+  /// Seed of the jitter stream — same policy, same schedule, every run.
+  std::uint64_t jitter_seed = 0x7e577e57;
+};
+
+/// The concrete delay sequence of one retried operation. Jitter spreads
+/// delays over [delay/2, delay] so lock-step retries from parallel workers
+/// decorrelate without any wall-clock randomness.
+class RetrySchedule {
+ public:
+  explicit RetrySchedule(const RetryPolicy& policy)
+      : policy_(policy), rng_(policy.jitter_seed) {}
+
+  /// Delay before retry number `retry_index` (1-based).
+  std::uint64_t delay_us(std::size_t retry_index);
+
+ private:
+  RetryPolicy policy_;
+  Rng rng_;
+};
+
+/// Runs `op` (which returns 0 on success or an errno value) until it
+/// succeeds, fails with a non-transient error, or exhausts the policy's
+/// attempts. Sleeps the schedule's delay between attempts via `sleep_us`
+/// (defaults to a real std::this_thread sleep; injectable for tests).
+/// Returns the final errno, 0 on success.
+int retry_transient(const RetryPolicy& policy, const std::function<int()>& op,
+                    const std::function<void(std::uint64_t)>& sleep_us = {});
+
+/// Collapses a free-form diagnostic (e.g. an exception message) into a
+/// single whitespace-free token safe to embed in journal records and log
+/// lines: non-printable characters, spaces and the record terminator ';'
+/// become '_', and the result is capped at `max_len` characters. An empty
+/// input sanitizes to "-" so the token is never missing from a record.
+std::string sanitize_token(std::string_view text, std::size_t max_len = 96);
+
+}  // namespace motsim

@@ -1,0 +1,185 @@
+#include "util/fsio.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+
+namespace motsim::fsio {
+
+int FsIo::open(const char* path, int flags, int mode) {
+  return ::open(path, flags, mode);
+}
+
+ssize_t FsIo::read(int fd, void* buf, std::size_t count) {
+  return ::read(fd, buf, count);
+}
+
+ssize_t FsIo::write(int fd, const void* buf, std::size_t count) {
+  return ::write(fd, buf, count);
+}
+
+int FsIo::fsync(int fd) { return ::fsync(fd); }
+
+int FsIo::ftruncate(int fd, off_t length) { return ::ftruncate(fd, length); }
+
+int FsIo::rename(const char* from, const char* to) {
+  return ::rename(from, to);
+}
+
+int FsIo::close(int fd) { return ::close(fd); }
+
+int FsIo::unlink(const char* path) { return ::unlink(path); }
+
+FsIo& FsIo::real() {
+  static FsIo instance;
+  return instance;
+}
+
+FaultInjectingFsIo::FaultInjectingFsIo(const FaultPlan& plan, FsIo* base)
+    : plan_(plan), base_(base != nullptr ? base : &FsIo::real()) {}
+
+FaultKind FaultInjectingFsIo::arm() {
+  ++op_;
+  if (crashed_) return FaultKind::Crash;
+  if (plan_.kind == FaultKind::None || plan_.fail_at_op == 0) {
+    return FaultKind::None;
+  }
+  if (op_ < plan_.fail_at_op) return FaultKind::None;
+  if (plan_.kind == FaultKind::Crash) {
+    crashed_ = true;
+    return FaultKind::Crash;
+  }
+  if (fired_ >= plan_.fail_count) return FaultKind::None;
+  ++fired_;
+  return plan_.kind;
+}
+
+namespace {
+
+/// ShortWrite/ZeroWrite only make sense for writes; any other op they hit
+/// degrades to a plain EIO failure.
+int injected_errno(const FaultPlan& plan, FaultKind kind) {
+  return kind == FaultKind::Errno ? plan.err : EIO;
+}
+
+}  // namespace
+
+int FaultInjectingFsIo::open(const char* path, int flags, int mode) {
+  const FaultKind k = arm();
+  if (k == FaultKind::None) return base_->open(path, flags, mode);
+  errno = injected_errno(plan_, k);
+  return -1;
+}
+
+ssize_t FaultInjectingFsIo::read(int fd, void* buf, std::size_t count) {
+  const FaultKind k = arm();
+  if (k == FaultKind::None) return base_->read(fd, buf, count);
+  if (k == FaultKind::ZeroWrite) return 0;  // reads: 0 means EOF; still scripted
+  errno = injected_errno(plan_, k);
+  return -1;
+}
+
+ssize_t FaultInjectingFsIo::write(int fd, const void* buf, std::size_t count) {
+  switch (arm()) {
+    case FaultKind::None:
+      return base_->write(fd, buf, count);
+    case FaultKind::Errno:
+      errno = plan_.err;
+      return -1;
+    case FaultKind::ZeroWrite:
+      return 0;
+    case FaultKind::ShortWrite:
+      // Half the bytes really land; the rest is the caller's problem —
+      // exactly what a nearly full disk or a signal-split write produces.
+      return count <= 1 ? base_->write(fd, buf, count)
+                        : base_->write(fd, buf, count / 2);
+    case FaultKind::Crash:
+      errno = EIO;
+      return -1;
+  }
+  errno = EIO;
+  return -1;
+}
+
+int FaultInjectingFsIo::fsync(int fd) {
+  const FaultKind k = arm();
+  if (k == FaultKind::None) return base_->fsync(fd);
+  errno = injected_errno(plan_, k);
+  return -1;
+}
+
+int FaultInjectingFsIo::ftruncate(int fd, off_t length) {
+  const FaultKind k = arm();
+  if (k == FaultKind::None) return base_->ftruncate(fd, length);
+  errno = injected_errno(plan_, k);
+  return -1;
+}
+
+int FaultInjectingFsIo::rename(const char* from, const char* to) {
+  const FaultKind k = arm();
+  if (k == FaultKind::None) return base_->rename(from, to);
+  errno = injected_errno(plan_, k);
+  return -1;
+}
+
+int FaultInjectingFsIo::close(int fd) {
+  const FaultKind k = arm();
+  // Even a "crashed" process's descriptors get closed by the kernel; closing
+  // through the base keeps tests from leaking fds.
+  if (k == FaultKind::None || k == FaultKind::Crash) return base_->close(fd);
+  errno = plan_.err;
+  return -1;
+}
+
+int FaultInjectingFsIo::unlink(const char* path) {
+  const FaultKind k = arm();
+  if (k == FaultKind::None) return base_->unlink(path);
+  errno = injected_errno(plan_, k);
+  return -1;
+}
+
+int write_all(FsIo& io, int fd, const char* data, std::size_t len) {
+  // A zero-byte write makes no progress and sets no errno. POSIX permits it
+  // for regular files in edge cases; an unbounded `len -= 0` loop would spin
+  // forever, so after a few consecutive zero returns it becomes an EIO.
+  int zero_returns = 0;
+  while (len > 0) {
+    const ssize_t n = io.write(fd, data, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return errno != 0 ? errno : EIO;
+    }
+    if (n == 0) {
+      if (++zero_returns >= 8) return EIO;
+      continue;
+    }
+    zero_returns = 0;
+    data += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return 0;
+}
+
+int read_file(FsIo& io, const std::string& path, std::string& out) {
+  const int fd = io.open(path.c_str(), O_RDONLY, 0);
+  if (fd < 0) return errno != 0 ? errno : EIO;
+  out.clear();
+  char buf[1 << 16];
+  for (;;) {
+    const ssize_t n = io.read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int err = errno != 0 ? errno : EIO;
+      io.close(fd);
+      return err;
+    }
+    if (n == 0) break;
+    out.append(buf, static_cast<std::size_t>(n));
+  }
+  io.close(fd);
+  return 0;
+}
+
+}  // namespace motsim::fsio

@@ -1,0 +1,115 @@
+// Thin syscall shim with injectable fault plans.
+//
+// Everything the campaign journal does to disk goes through an FsIo — a
+// virtual wrapper over open/read/write/fsync/ftruncate/rename/close/unlink.
+// Production code uses FsIo::real(), which forwards straight to the
+// syscalls. Tests and the verification harness substitute a
+// FaultInjectingFsIo, which counts every operation and makes a chosen one
+// (and optionally all that follow) fail in a precisely scripted way:
+//
+//   Errno       — the op fails with a chosen errno (ENOSPC for disk-full,
+//                 EINTR for an interrupted call, ...),
+//   ShortWrite  — a write consumes only half the requested bytes,
+//   ZeroWrite   — a write returns 0: no progress, no errno,
+//   Crash       — the op and every later op fail; the file keeps exactly
+//                 the state the preceding ops produced, emulating the
+//                 process dying at that instant.
+//
+// Enumerating `fail_at_op` over every index of a journaled campaign turns
+// "the journal survives a crash at any point" from a hope into a property
+// test (tests/checkpoint_test.cpp, src/verify checks).
+//
+// The helpers write_all()/read_file() centralize the EINTR and zero-byte
+// handling that raw ::write/::read loops classically get wrong: EINTR
+// restarts the call, and a zero-byte write (legal for POSIX, fatal for a
+// naive `len -= n` loop) is retried a bounded number of times before being
+// reported as EIO instead of spinning forever.
+#pragma once
+
+#include <sys/types.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace motsim::fsio {
+
+class FsIo {
+ public:
+  virtual ~FsIo() = default;
+
+  virtual int open(const char* path, int flags, int mode);
+  virtual ssize_t read(int fd, void* buf, std::size_t count);
+  virtual ssize_t write(int fd, const void* buf, std::size_t count);
+  virtual int fsync(int fd);
+  virtual int ftruncate(int fd, off_t length);
+  virtual int rename(const char* from, const char* to);
+  virtual int close(int fd);
+  virtual int unlink(const char* path);
+
+  /// The process-wide pass-through instance.
+  static FsIo& real();
+};
+
+/// What an injected fault does to the operation it hits.
+enum class FaultKind : std::uint8_t {
+  None,
+  Errno,       ///< fail with FaultPlan::err
+  ShortWrite,  ///< write consumes only half the requested bytes
+  ZeroWrite,   ///< write returns 0 — no progress at all
+  Crash,       ///< this op and every later op fail: the process "died"
+};
+
+struct FaultPlan {
+  /// 1-based index (over all operations, in call order) of the first op the
+  /// fault applies to; 0 = never fire.
+  std::uint64_t fail_at_op = 0;
+  FaultKind kind = FaultKind::None;
+  int err = 28;  // ENOSPC
+  /// How many consecutive ops fail starting at fail_at_op (Crash ignores
+  /// this: a crashed filesystem never comes back). UINT64_MAX = persistent.
+  std::uint64_t fail_count = 1;
+};
+
+/// Wraps another FsIo (default: FsIo::real()) and applies a FaultPlan.
+/// Non-write operations hit by a ShortWrite/ZeroWrite plan degrade to an
+/// Errno(EIO) failure — only writes can make partial progress.
+class FaultInjectingFsIo : public FsIo {
+ public:
+  explicit FaultInjectingFsIo(const FaultPlan& plan, FsIo* base = nullptr);
+
+  int open(const char* path, int flags, int mode) override;
+  ssize_t read(int fd, void* buf, std::size_t count) override;
+  ssize_t write(int fd, const void* buf, std::size_t count) override;
+  int fsync(int fd) override;
+  int ftruncate(int fd, off_t length) override;
+  int rename(const char* from, const char* to) override;
+  int close(int fd) override;
+  int unlink(const char* path) override;
+
+  /// Operations observed so far — run once fault-free to size a plan sweep.
+  std::uint64_t ops() const { return op_; }
+  bool crashed() const { return crashed_; }
+
+ private:
+  /// Advances the op counter and returns the fault to apply to this op.
+  FaultKind arm();
+
+  FaultPlan plan_;
+  FsIo* base_;
+  std::uint64_t op_ = 0;
+  std::uint64_t fired_ = 0;
+  bool crashed_ = false;
+};
+
+/// Writes the whole buffer. Restarts on EINTR, tolerates a bounded number
+/// of zero-byte returns (then reports EIO rather than spinning), and stops
+/// at the first real error. Returns 0 on success or the errno value; the fd
+/// may have consumed a prefix of the buffer on failure.
+int write_all(FsIo& io, int fd, const char* data, std::size_t len);
+
+/// Reads the entire file into `out` (replacing its contents), restarting on
+/// EINTR. Returns 0 on success or the errno value of the failing call.
+int read_file(FsIo& io, const std::string& path, std::string& out);
+
+}  // namespace motsim::fsio

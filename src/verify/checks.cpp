@@ -3,14 +3,17 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <stdexcept>
 
 #include "bdd/symbolic.hpp"
 #include "faultsim/batch.hpp"
 #include "faultsim/checkpoint.hpp"
 #include "mot/oracle.hpp"
 #include "sim/seq_sim.hpp"
+#include "util/fsio.hpp"
 #include "util/strings.hpp"
 
 namespace motsim::verify {
@@ -31,6 +34,8 @@ std::string_view check_name(CheckId c) {
     case CheckId::BudgetMonotonic: return "budget-monotonic";
     case CheckId::ThreadInvariance: return "thread-invariance";
     case CheckId::ResumeEquivalence: return "resume-equivalence";
+    case CheckId::WorkerQuarantine: return "worker-quarantine";
+    case CheckId::FaultedResume: return "faulted-resume";
     case CheckId::All: return "all";
   }
   return "?";
@@ -85,7 +90,8 @@ void add(std::vector<Violation>& out, CheckId check, const Fault& f,
 /// detection either engine found must have been found too.
 bool stopped_by_external_budget(UnresolvedReason r) {
   return r == UnresolvedReason::Deadline || r == UnresolvedReason::WorkLimit ||
-         r == UnresolvedReason::Cancelled || r == UnresolvedReason::PairCap;
+         r == UnresolvedReason::Cancelled || r == UnresolvedReason::PairCap ||
+         r == UnresolvedReason::EngineError;
 }
 
 std::string describe(const Circuit& c, const Fault& f) {
@@ -381,6 +387,188 @@ void check_resume_equivalence(const Circuit& c, const TestSequence& test,
   }
 }
 
+void check_worker_quarantine(const Circuit& c, const TestSequence& test,
+                             const SeqTrace& good,
+                             const std::vector<Fault>& faults,
+                             const VerifyOptions& opts,
+                             std::vector<Violation>& out) {
+  if (faults.empty() || opts.thread_counts.empty()) return;
+  std::vector<std::size_t> indices(faults.size());
+  for (std::size_t k = 0; k < indices.size(); ++k) indices[k] = k;
+  const std::size_t target = 0;  // the fault whose engine "crashes"
+
+  // Reference: the clean batch at the reference thread count. The quarantine
+  // must be contained — every fault other than the target must come out
+  // exactly as it would have without the injected error.
+  MotOptions base = opts.mot;
+  base.num_threads = opts.thread_counts[0];
+  const MotBatchRunner clean(c, base, /*run_baseline=*/true);
+  const std::vector<MotBatchItem> reference =
+      clean.run(test, good, faults, indices);
+
+  std::vector<MotBatchItem> first_run;
+  std::size_t first_threads = 0;
+  for (const std::size_t threads : opts.thread_counts) {
+    MotOptions o = opts.mot;
+    o.num_threads = threads;
+    MotBatchRunner runner(c, o, /*run_baseline=*/true);
+    runner.set_fault_hook([target](std::size_t k) {
+      if (k == target) {
+        throw std::runtime_error("verify-injected engine fault");
+      }
+    });
+    std::vector<MotBatchItem> items = runner.run(test, good, faults, indices);
+
+    if (opts.mutant == Mutant::SwallowWorkerException) {
+      // The planted bug: the driver's catch-all eats the exception and
+      // reports a pristine, evidence-free item.
+      MotBatchItem& it = items[target];
+      it.mot = MotResult{};
+      it.baseline = BaselineResult{};
+      it.degrade = DegradeLevel::None;
+      it.error.clear();
+      it.completed = true;
+    }
+
+    const MotBatchItem& q = items[target];
+    const bool evidence =
+        !q.error.empty() &&
+        (q.mot.unresolved == UnresolvedReason::EngineError ||
+         q.degrade != DegradeLevel::None);
+    if (!evidence) {
+      add(out, CheckId::WorkerQuarantine, faults[target],
+          str_format("%s: injected engine error at %zu threads left no "
+                     "evidence (error=\"%s\" unresolved=%s degrade=%s)",
+                     describe(c, faults[target]).c_str(), threads,
+                     q.error.c_str(), to_string(q.mot.unresolved),
+                     to_string(q.degrade)));
+      return;
+    }
+    for (std::size_t i = 0; i < faults.size(); ++i) {
+      if (i == target || items[i] == reference[i]) continue;
+      add(out, CheckId::WorkerQuarantine, faults[i],
+          str_format("%s: quarantining fault %zu perturbed this fault at %zu "
+                     "threads: [%s] vs clean [%s]",
+                     describe(c, faults[i]).c_str(), target, threads,
+                     item_summary(items[i]).c_str(),
+                     item_summary(reference[i]).c_str()));
+      return;
+    }
+    if (first_run.empty()) {
+      first_run = std::move(items);
+      first_threads = threads;
+      continue;
+    }
+    for (std::size_t i = 0; i < faults.size(); ++i) {
+      if (items[i] == first_run[i]) continue;
+      add(out, CheckId::WorkerQuarantine, faults[i],
+          str_format("%s: quarantined batch differs between %zu and %zu "
+                     "threads: [%s] vs [%s]",
+                     describe(c, faults[i]).c_str(), first_threads, threads,
+                     item_summary(first_run[i]).c_str(),
+                     item_summary(items[i]).c_str()));
+      return;
+    }
+  }
+}
+
+void check_faulted_resume(const Circuit& c, const TestSequence& test,
+                          const SeqTrace& good,
+                          const std::vector<Fault>& faults,
+                          const VerifyOptions& opts,
+                          std::vector<Violation>& out) {
+  if (faults.empty() || opts.thread_counts.empty()) return;
+  std::vector<std::size_t> indices(faults.size());
+  for (std::size_t k = 0; k < indices.size(); ++k) indices[k] = k;
+
+  MotOptions o = opts.mot;
+  o.num_threads = 1;
+  const MotBatchRunner serial(c, o, /*run_baseline=*/true);
+  const std::vector<MotBatchItem> reference =
+      serial.run(test, good, faults, indices);
+  const JournalMeta meta =
+      make_journal_meta(c.name(), faults.size(), test, o, /*baseline=*/true);
+
+  // Zero-delay retries: the schedules are exercised, the check stays fast.
+  RetryPolicy fast;
+  fast.base_delay_us = 0;
+  fast.max_delay_us = 0;
+
+  struct Scenario {
+    const char* name;
+    fsio::FaultPlan plan;  ///< fail_at_op == 0 → no I/O fault injected
+    bool signal = false;   ///< emulate SIGINT mid-campaign via CancelToken
+  };
+  // fail_at_op 12 lands inside the append stream (journal creation costs
+  // ~7 ops); on tiny fault lists the fault may simply never fire, which
+  // degenerates to a plain resume check, not a false violation.
+  const Scenario scenarios[] = {
+      {"crash-mid-append", {12, fsio::FaultKind::Crash, EIO, 1}, false},
+      {"enospc-persistent",
+       {12, fsio::FaultKind::Errno, ENOSPC, UINT64_MAX},
+       false},
+      {"eagain-transient", {12, fsio::FaultKind::Errno, EAGAIN, 2}, false},
+      {"signal-mid-campaign", {}, true},
+  };
+
+  for (const Scenario& s : scenarios) {
+    const std::string path = scratch_journal_path(opts);
+    fsio::FaultInjectingFsIo io(s.plan);
+    CancelToken cancel;
+    std::string err;
+    {
+      auto journal = CampaignJournal::create(path, meta, err, &io);
+      if (journal == nullptr) {
+        add(out, CheckId::FaultedResume, faults[0],
+            str_format("%s: cannot create scratch journal: %s", s.name,
+                       err.c_str()));
+        continue;
+      }
+      journal->set_retry_policy(fast, [](std::uint64_t) {});
+      MotBatchRunner runner(c, o, /*run_baseline=*/true);
+      if (s.signal) {
+        const std::size_t mid = faults.size() / 2;
+        runner.set_fault_hook([&cancel, mid](std::size_t k) {
+          if (k == mid) cancel.cancel();
+        });
+      }
+      runner.run(test, good, faults, indices, journal.get(), &cancel);
+    }
+    // Recovery on the healthy filesystem: resuming the faulted campaign at
+    // the reference and the widest thread count must reproduce the
+    // uninterrupted run exactly.
+    for (const std::size_t threads :
+         {opts.thread_counts.front(), opts.thread_counts.back()}) {
+      auto journal = CampaignJournal::open_resume(path, meta, err);
+      if (journal == nullptr) {
+        add(out, CheckId::FaultedResume, faults[0],
+            str_format("%s: faulted journal does not resume: %s", s.name,
+                       err.c_str()));
+        break;
+      }
+      MotOptions ro = opts.mot;
+      ro.num_threads = threads;
+      const MotBatchRunner recovery(c, ro, /*run_baseline=*/true);
+      const std::vector<MotBatchItem> resumed =
+          recovery.run(test, good, faults, indices, journal.get());
+      bool diverged = false;
+      for (std::size_t i = 0; i < faults.size(); ++i) {
+        if (resumed[i] == reference[i]) continue;
+        add(out, CheckId::FaultedResume, faults[i],
+            str_format("%s: resumed campaign at %zu threads differs from the "
+                       "uninterrupted run for %s: [%s] vs [%s]",
+                       s.name, threads, describe(c, faults[i]).c_str(),
+                       item_summary(resumed[i]).c_str(),
+                       item_summary(reference[i]).c_str()));
+        diverged = true;
+        break;
+      }
+      if (diverged) break;
+    }
+    std::remove(path.c_str());
+  }
+}
+
 }  // namespace
 
 std::vector<Violation> check_fault(const Circuit& c, const TestSequence& test,
@@ -402,6 +590,12 @@ std::vector<Violation> check_batch(const Circuit& c, const TestSequence& test,
   }
   if (enabled(opts, CheckId::ResumeEquivalence)) {
     check_resume_equivalence(c, test, good, faults, opts, out);
+  }
+  if (enabled(opts, CheckId::WorkerQuarantine)) {
+    check_worker_quarantine(c, test, good, faults, opts, out);
+  }
+  if (enabled(opts, CheckId::FaultedResume)) {
+    check_faulted_resume(c, test, good, faults, opts, out);
   }
   return out;
 }

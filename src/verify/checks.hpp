@@ -22,7 +22,11 @@
 //   invariance    MotBatchRunner results are bit-identical at 1/2/8 threads
 //                 (Random selection policy, the hardest case);
 //   resume        merging journal records back into a campaign reproduces
-//                 the uninterrupted run field-for-field.
+//                 the uninterrupted run field-for-field;
+//   quarantine    an injected engine exception is contained to its fault and
+//                 always leaves evidence (diagnostic + EngineError/degrade);
+//   fault resume  a campaign stopped by injected journal I/O faults or an
+//                 emulated signal resumes bit-identically to the clean run.
 //
 // An engine verdict of Unresolved (budget/abort) excuses a subsumption or
 // monotonicity obligation — an engine that gave up is not an engine that
@@ -52,6 +56,15 @@ enum class CheckId : std::uint8_t {
   BudgetMonotonic,       ///< larger work limit never loses a detection
   ThreadInvariance,      ///< batch results identical at 1/2/8 threads
   ResumeEquivalence,     ///< journal-resumed campaign == uninterrupted run
+  /// An injected engine exception never yields a silently clean result: the
+  /// quarantined fault carries a diagnostic plus either Unresolved
+  /// {EngineError} or a recorded degradation, neighbouring faults are
+  /// untouched, and the whole batch stays identical across thread counts.
+  WorkerQuarantine,
+  /// A campaign interrupted by injected journal I/O faults (crash,
+  /// persistent ENOSPC, transient EAGAIN) or an emulated mid-campaign
+  /// signal resumes to exactly the uninterrupted run, at 1 and N threads.
+  FaultedResume,
   All,                   ///< sentinel: run every check (bundle replays)
 };
 

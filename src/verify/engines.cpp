@@ -9,13 +9,15 @@ std::string_view mutant_name(Mutant m) {
     case Mutant::DropImplications: return "drop-implications";
     case Mutant::ThreadSeedDrift: return "thread-seed-drift";
     case Mutant::StaleResume: return "stale-resume";
+    case Mutant::SwallowWorkerException: return "swallow-worker-exception";
   }
   return "?";
 }
 
 bool mutant_from_name(std::string_view name, Mutant& out) {
   for (Mutant m : {Mutant::None, Mutant::UnsoundAbort, Mutant::DropImplications,
-                   Mutant::ThreadSeedDrift, Mutant::StaleResume}) {
+                   Mutant::ThreadSeedDrift, Mutant::StaleResume,
+                   Mutant::SwallowWorkerException}) {
     if (name == mutant_name(m)) {
       out = m;
       return true;

@@ -38,6 +38,11 @@ enum class Mutant : std::uint8_t {
   /// The journal serializer drops the work-used and effectiveness-counter
   /// fields of resumed records. Caught by the resume-equivalence check.
   StaleResume,
+  /// The batch driver's catch-all swallows a worker exception and reports
+  /// the fault as a silently clean result — no EngineError, no diagnostic,
+  /// no degrade record. Caught by the worker-quarantine check, whose
+  /// invariant is that an injected engine error always leaves evidence.
+  SwallowWorkerException,
 };
 
 std::string_view mutant_name(Mutant m);

@@ -1,12 +1,16 @@
-// Campaign resilience tests: per-fault budgets, campaign stops, and the
+// Campaign resilience tests: per-fault budgets, campaign stops, the
 // crash-safe journal (kill-and-resume determinism, torn-record recovery,
-// meta validation).
+// meta validation), I/O fault injection (crash at every syscall, retry and
+// backoff of transient errors), worker quarantine and the graceful
+// degradation ladder.
 #include <gtest/gtest.h>
 
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <iterator>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -16,6 +20,7 @@
 #include "faultsim/checkpoint.hpp"
 #include "faultsim/parallel.hpp"
 #include "testgen/random_gen.hpp"
+#include "util/fsio.hpp"
 
 namespace motsim {
 namespace {
@@ -284,6 +289,433 @@ TEST(CampaignJournal, TruncationAtEveryByteOffsetResumesOrRejects) {
       const MotBatchItem* got = journal->lookup(items[i].fault_index);
       ASSERT_NE(got, nullptr) << "offset " << len << " record " << i;
       EXPECT_EQ(*got, items[i]) << "offset " << len << " record " << i;
+    }
+  }
+}
+
+RetryPolicy zero_delay_policy() {
+  RetryPolicy policy;
+  policy.base_delay_us = 0;
+  policy.max_delay_us = 0;
+  return policy;
+}
+
+/// Synthetic items for the fault-injection journal tests.
+std::vector<MotBatchItem> synthetic_items(std::size_t n) {
+  std::vector<MotBatchItem> items;
+  for (std::size_t i = 0; i < n; ++i) {
+    MotBatchItem item;
+    item.fault_index = i * 2 + 1;
+    item.mot.detected = (i % 2) == 0;
+    item.mot.phase = MotPhase::Expansion;
+    item.mot.passes_c = true;
+    item.mot.counters = {i, i + 1, i + 2};
+    item.mot.work_used = 100 + i;
+    item.baseline.detected = (i % 3) == 0;
+    item.baseline.expansions = 5 * i;
+    if (i == n - 1) {
+      item.mot.unresolved = UnresolvedReason::EngineError;
+      item.degrade = DegradeLevel::PlainExpansion;
+      item.error = "synthetic_diagnostic";
+    }
+    items.push_back(item);
+  }
+  return items;
+}
+
+// The tentpole property test: crash the "filesystem" at EVERY operation of
+// a journaled campaign. Whatever state the crash leaves behind, recovery
+// (resume if the file is usable, else a fresh journal) plus finishing the
+// remaining appends must reconstruct the full record set verbatim — never a
+// crash, never a corrupted record accepted, never a fully-fsync'd record
+// lost.
+TEST(FsioFaultInjection, CrashAtEveryOpIsRecoverable) {
+  JournalMeta meta;
+  meta.circuit = "crashprop";
+  meta.num_faults = 20;
+  meta.baseline = true;
+  const std::vector<MotBatchItem> items = synthetic_items(4);
+  const std::string path = temp_path("crash_at_every_op.journal");
+
+  // Fault-free pass through a counting shim sizes the sweep.
+  std::uint64_t total_ops = 0;
+  {
+    std::remove(path.c_str());
+    fsio::FaultInjectingFsIo counter{fsio::FaultPlan{}};
+    std::string err;
+    auto journal = CampaignJournal::create(path, meta, err, &counter);
+    ASSERT_NE(journal, nullptr) << err;
+    for (const MotBatchItem& item : items) ASSERT_TRUE(journal->append(item));
+    journal.reset();
+    total_ops = counter.ops();
+  }
+  ASSERT_GT(total_ops, 10u);
+
+  for (std::uint64_t k = 1; k <= total_ops; ++k) {
+    std::remove(path.c_str());
+    std::remove((path + ".tmp").c_str());
+    fsio::FaultPlan plan;
+    plan.fail_at_op = k;
+    plan.kind = fsio::FaultKind::Crash;
+    fsio::FaultInjectingFsIo io(plan);
+    std::string err;
+    std::size_t appended = 0;
+    {
+      auto journal = CampaignJournal::create(path, meta, err, &io);
+      if (journal != nullptr) {
+        journal->set_retry_policy(zero_delay_policy(), [](std::uint64_t) {});
+        for (const MotBatchItem& item : items) {
+          if (!journal->append(item)) break;
+          ++appended;
+        }
+        EXPECT_TRUE(appended == items.size() || journal->failed())
+            << "crash at op " << k << ": append failed without latching";
+      }
+    }
+
+    // Recovery happens on the healthy filesystem the next process sees.
+    auto resumed = CampaignJournal::open_resume(path, meta, err);
+    if (resumed == nullptr) {
+      // Crash before the journal became durable: a fresh campaign must be
+      // able to start from scratch.
+      std::string err2;
+      auto fresh = CampaignJournal::create(path, meta, err2);
+      ASSERT_NE(fresh, nullptr) << "crash at op " << k << ": " << err
+                                << " / " << err2;
+      resumed = std::move(fresh);
+    }
+    // Every record that survived is verbatim one of ours, and they form a
+    // prefix: a record is only ever durable after all its predecessors.
+    const std::size_t have = resumed->resumed_count();
+    EXPECT_GE(have, appended) << "crash at op " << k
+                              << " lost an acknowledged record";
+    EXPECT_LE(have, appended + 1) << "crash at op " << k;
+    for (std::size_t i = 0; i < have; ++i) {
+      const MotBatchItem* got = resumed->lookup(items[i].fault_index);
+      ASSERT_NE(got, nullptr) << "crash at op " << k << " record " << i;
+      EXPECT_EQ(*got, items[i]) << "crash at op " << k << " record " << i;
+    }
+    // Finishing the campaign on the recovered journal yields the full set.
+    for (std::size_t i = have; i < items.size(); ++i) {
+      ASSERT_TRUE(resumed->append(items[i])) << "crash at op " << k;
+    }
+    resumed.reset();
+    auto final_check = CampaignJournal::open_resume(path, meta, err);
+    ASSERT_NE(final_check, nullptr) << "crash at op " << k << ": " << err;
+    EXPECT_EQ(final_check->resumed_count(), items.size());
+    for (const MotBatchItem& item : items) {
+      const MotBatchItem* got = final_check->lookup(item.fault_index);
+      ASSERT_NE(got, nullptr) << "crash at op " << k;
+      EXPECT_EQ(*got, item) << "crash at op " << k;
+    }
+  }
+  std::remove(path.c_str());
+}
+
+// Transient errno values (EAGAIN) on append are retried under the journal's
+// RetryPolicy and succeed without surfacing; the backoff delays come from
+// the deterministic schedule.
+TEST(CampaignJournal, TransientAppendErrorsAreRetried) {
+  JournalMeta meta;
+  meta.circuit = "retry";
+  meta.num_faults = 10;
+  const std::string path = temp_path("retry.journal");
+
+  // Count the ops journal creation consumes so the fault can be aimed at
+  // the first append's write.
+  std::uint64_t create_ops = 0;
+  {
+    fsio::FaultInjectingFsIo counter{fsio::FaultPlan{}};
+    std::string err;
+    auto journal = CampaignJournal::create(path, meta, err, &counter);
+    ASSERT_NE(journal, nullptr) << err;
+    create_ops = counter.ops();
+  }
+
+  fsio::FaultPlan plan;
+  plan.fail_at_op = create_ops + 1;  // the first append's write
+  plan.kind = fsio::FaultKind::Errno;
+  plan.err = EAGAIN;
+  plan.fail_count = 2;  // the write and the rollback ftruncate
+  fsio::FaultInjectingFsIo io(plan);
+  std::string err;
+  auto journal = CampaignJournal::create(path, meta, err, &io);
+  ASSERT_NE(journal, nullptr) << err;
+  std::vector<std::uint64_t> sleeps;
+  RetryPolicy policy;  // default: real backoff values, injected sleeper
+  journal->set_retry_policy(policy,
+                            [&](std::uint64_t us) { sleeps.push_back(us); });
+
+  MotBatchItem item;
+  item.fault_index = 3;
+  EXPECT_TRUE(journal->append(item));
+  EXPECT_FALSE(journal->failed());
+  ASSERT_EQ(sleeps.size(), 1u) << "one transient failure, one retry";
+  RetrySchedule expected(policy);
+  EXPECT_EQ(sleeps[0], expected.delay_us(1));
+
+  // The record is intact after the retried append.
+  journal.reset();
+  auto reopened = CampaignJournal::open_resume(path, meta, err);
+  ASSERT_NE(reopened, nullptr) << err;
+  EXPECT_EQ(reopened->resumed_count(), 1u);
+  ASSERT_NE(reopened->lookup(3), nullptr);
+  EXPECT_EQ(*reopened->lookup(3), item);
+  std::remove(path.c_str());
+}
+
+// EINTR never reaches the retry machinery at all: write_all restarts it
+// inline (the audit regression for the classic unhandled-EINTR bug).
+TEST(CampaignJournal, EintrIsRestartedWithoutRetries) {
+  JournalMeta meta;
+  meta.circuit = "eintr";
+  meta.num_faults = 10;
+  const std::string path = temp_path("eintr.journal");
+  std::uint64_t create_ops = 0;
+  {
+    fsio::FaultInjectingFsIo counter{fsio::FaultPlan{}};
+    std::string err;
+    auto journal = CampaignJournal::create(path, meta, err, &counter);
+    ASSERT_NE(journal, nullptr) << err;
+    create_ops = counter.ops();
+  }
+  fsio::FaultPlan plan;
+  plan.fail_at_op = create_ops + 1;
+  plan.kind = fsio::FaultKind::Errno;
+  plan.err = EINTR;
+  plan.fail_count = 3;
+  fsio::FaultInjectingFsIo io(plan);
+  std::string err;
+  auto journal = CampaignJournal::create(path, meta, err, &io);
+  ASSERT_NE(journal, nullptr) << err;
+  std::vector<std::uint64_t> sleeps;
+  journal->set_retry_policy(RetryPolicy{},
+                            [&](std::uint64_t us) { sleeps.push_back(us); });
+  MotBatchItem item;
+  item.fault_index = 5;
+  EXPECT_TRUE(journal->append(item));
+  EXPECT_TRUE(sleeps.empty()) << "EINTR must be restarted, not retried";
+  EXPECT_FALSE(journal->failed());
+  std::remove(path.c_str());
+}
+
+// A permanent error (disk full) latches failed() immediately — no retries,
+// no sleeps — and every later append refuses fast.
+TEST(CampaignJournal, PermanentAppendErrorLatchesFailure) {
+  JournalMeta meta;
+  meta.circuit = "enospc";
+  meta.num_faults = 10;
+  const std::string path = temp_path("enospc.journal");
+  std::uint64_t create_ops = 0;
+  {
+    fsio::FaultInjectingFsIo counter{fsio::FaultPlan{}};
+    std::string err;
+    auto journal = CampaignJournal::create(path, meta, err, &counter);
+    ASSERT_NE(journal, nullptr) << err;
+    create_ops = counter.ops();
+  }
+  fsio::FaultPlan plan;
+  plan.fail_at_op = create_ops + 1;
+  plan.kind = fsio::FaultKind::Errno;
+  plan.err = ENOSPC;
+  plan.fail_count = UINT64_MAX;
+  fsio::FaultInjectingFsIo io(plan);
+  std::string err;
+  auto journal = CampaignJournal::create(path, meta, err, &io);
+  ASSERT_NE(journal, nullptr) << err;
+  std::vector<std::uint64_t> sleeps;
+  journal->set_retry_policy(RetryPolicy{},
+                            [&](std::uint64_t us) { sleeps.push_back(us); });
+  MotBatchItem item;
+  item.fault_index = 1;
+  EXPECT_FALSE(journal->append(item));
+  EXPECT_TRUE(journal->failed());
+  EXPECT_TRUE(sleeps.empty()) << "permanent errors must not be retried";
+  EXPECT_NE(journal->failure().find("append failed"), std::string::npos)
+      << journal->failure();
+  // Later appends refuse immediately without touching the filesystem.
+  const std::uint64_t ops_before = io.ops();
+  EXPECT_FALSE(journal->append(item));
+  EXPECT_EQ(io.ops(), ops_before);
+  std::remove(path.c_str());
+}
+
+// Persistent zero-byte writes (a misbehaving filesystem making no progress)
+// must fail bounded instead of spinning forever in the append loop.
+TEST(CampaignJournal, PersistentZeroByteWritesFailBounded) {
+  JournalMeta meta;
+  meta.circuit = "zerowrite";
+  meta.num_faults = 10;
+  const std::string path = temp_path("zerowrite.journal");
+  std::uint64_t create_ops = 0;
+  {
+    fsio::FaultInjectingFsIo counter{fsio::FaultPlan{}};
+    std::string err;
+    auto journal = CampaignJournal::create(path, meta, err, &counter);
+    ASSERT_NE(journal, nullptr) << err;
+    create_ops = counter.ops();
+  }
+  fsio::FaultPlan plan;
+  plan.fail_at_op = create_ops + 1;
+  plan.kind = fsio::FaultKind::ZeroWrite;
+  plan.fail_count = UINT64_MAX;
+  fsio::FaultInjectingFsIo io(plan);
+  std::string err;
+  auto journal = CampaignJournal::create(path, meta, err, &io);
+  ASSERT_NE(journal, nullptr) << err;
+  journal->set_retry_policy(zero_delay_policy(), [](std::uint64_t) {});
+  MotBatchItem item;
+  item.fault_index = 1;
+  EXPECT_FALSE(journal->append(item));  // EIO after the bounded zero burst
+  EXPECT_TRUE(journal->failed());
+  std::remove(path.c_str());
+}
+
+// Worker isolation: an engine exception on one fault quarantines exactly
+// that fault with a diagnostic, the rest of the batch is untouched, the
+// result is identical at 1 and 8 threads, and the quarantine record
+// round-trips through the journal.
+TEST(WorkerIsolation, QuarantineIsContainedDeterministicAndJournaled) {
+  const Pipeline p = prepare(circuits::make_table1_example(), 24, 11);
+  ASSERT_GE(p.candidates.size(), 3u);
+  const std::size_t target = p.candidates[1];
+
+  MotOptions opt;
+  opt.num_threads = 1;
+  const MotBatchRunner clean(p.circuit, opt, /*run_baseline=*/true);
+  const std::vector<MotBatchItem> reference =
+      clean.run(p.test, p.good, p.faults, p.candidates);
+
+  std::vector<std::vector<MotBatchItem>> runs;
+  for (std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
+    MotOptions o;
+    o.num_threads = threads;
+    MotBatchRunner runner(p.circuit, o, /*run_baseline=*/true);
+    runner.set_fault_hook([target](std::size_t k) {
+      if (k == target) throw std::runtime_error("injected lane crash");
+    });
+    runs.push_back(runner.run(p.test, p.good, p.faults, p.candidates));
+  }
+  expect_items_identical(runs[0], runs[1]);
+
+  for (std::size_t i = 0; i < p.candidates.size(); ++i) {
+    const MotBatchItem& item = runs[0][i];
+    if (p.candidates[i] != target) {
+      EXPECT_EQ(item, reference[i]) << "quarantine perturbed fault " << i;
+      continue;
+    }
+    EXPECT_TRUE(item.completed) << "quarantine is a definitive outcome";
+    EXPECT_FALSE(item.error.empty());
+    EXPECT_EQ(item.error, "injected_lane_crash");  // sanitized diagnostic
+    // Evidence invariant: never a silent clean result.
+    EXPECT_TRUE(item.mot.unresolved == UnresolvedReason::EngineError ||
+                item.degrade != DegradeLevel::None);
+    EXPECT_TRUE(item.baseline.aborted);
+  }
+
+  // The quarantined item is journaled and comes back verbatim on resume.
+  const JournalMeta meta = make_journal_meta(
+      p.circuit.name(), p.faults.size(), p.test, opt, /*baseline=*/true);
+  const std::string path = temp_path("quarantine.journal");
+  std::string err;
+  {
+    auto journal = CampaignJournal::create(path, meta, err);
+    ASSERT_NE(journal, nullptr) << err;
+    MotBatchRunner runner(p.circuit, opt, /*run_baseline=*/true);
+    runner.set_fault_hook([target](std::size_t k) {
+      if (k == target) throw std::runtime_error("injected lane crash");
+    });
+    runner.run(p.test, p.good, p.faults, p.candidates, journal.get());
+  }
+  auto journal = CampaignJournal::open_resume(path, meta, err);
+  ASSERT_NE(journal, nullptr) << err;
+  EXPECT_EQ(journal->resumed_count(), p.candidates.size());
+  std::size_t target_pos = 0;
+  while (p.candidates[target_pos] != target) ++target_pos;
+  ASSERT_NE(journal->lookup(target), nullptr);
+  EXPECT_EQ(*journal->lookup(target), runs[0][target_pos]);
+  std::remove(path.c_str());
+}
+
+// The graceful-degradation ladder: with degrade_on_budget set, a fault whose
+// own budget stopped the proposed procedure is retried on the cheaper rungs.
+// Degradation is sound (never flips an undegraded detection away), recorded
+// (never silent) and thread-count invariant.
+TEST(Degradation, BudgetStoppedFaultsWalkTheLadder) {
+  Pipeline p = prepare_grinding();
+  ASSERT_GE(p.candidates.size(), 4u);
+  if (p.candidates.size() > 10) p.candidates.resize(10);
+
+  MotOptions strict;
+  strict.n_states = 256;
+  strict.per_fault_work_limit = 1500;
+  strict.num_threads = 1;
+  const MotBatchRunner plain_runner(p.circuit, strict, /*run_baseline=*/false);
+  const std::vector<MotBatchItem> undegraded =
+      plain_runner.run(p.test, p.good, p.faults, p.candidates);
+
+  MotOptions ladder = strict;
+  ladder.degrade_on_budget = true;
+  std::vector<std::vector<MotBatchItem>> runs;
+  for (std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
+    ladder.num_threads = threads;
+    const MotBatchRunner runner(p.circuit, ladder, /*run_baseline=*/false);
+    runs.push_back(runner.run(p.test, p.good, p.faults, p.candidates));
+  }
+  expect_items_identical(runs[0], runs[1]);
+
+  std::size_t degraded = 0;
+  for (std::size_t i = 0; i < p.candidates.size(); ++i) {
+    const MotBatchItem& was = undegraded[i];
+    const MotBatchItem& now = runs[0][i];
+    // Soundness: the ladder may add detections, never remove them.
+    if (was.mot.detected) EXPECT_TRUE(now.mot.detected) << "fault " << i;
+    if (now.degrade != DegradeLevel::None) {
+      ++degraded;
+      // A recorded downgrade only exists for budget-stopped faults here,
+      // and a non-detection keeps the unresolved reason.
+      EXPECT_TRUE(was.mot.unresolved == UnresolvedReason::Deadline ||
+                  was.mot.unresolved == UnresolvedReason::WorkLimit)
+          << "fault " << i;
+      if (!now.mot.detected) {
+        EXPECT_EQ(now.mot.unresolved, was.mot.unresolved) << "fault " << i;
+      } else {
+        EXPECT_EQ(now.mot.unresolved, UnresolvedReason::None) << "fault " << i;
+      }
+    } else {
+      // No downgrade recorded: the outcome must be the undegraded one.
+      EXPECT_EQ(now, was) << "fault " << i;
+    }
+  }
+  EXPECT_GT(degraded, 0u) << "work limit produced no ladder candidates";
+}
+
+// Deterministic work limits around the clock stride boundary (the limits
+// where the sticky poll does or does not consult the clock on the stopping
+// poll) stay thread-count invariant — the regression fence for off-by-one
+// drift in WorkBudget::poll.
+TEST(Budgets, StrideBoundaryWorkLimitsAreThreadCountInvariant) {
+  Pipeline p = prepare_grinding();
+  ASSERT_GE(p.candidates.size(), 4u);
+  if (p.candidates.size() > 8) p.candidates.resize(8);
+
+  for (const std::uint64_t limit :
+       {WorkBudget::kClockStride - 1, WorkBudget::kClockStride,
+        WorkBudget::kClockStride + 1, 2 * WorkBudget::kClockStride + 1}) {
+    MotOptions opt;
+    opt.n_states = 256;
+    opt.per_fault_work_limit = limit;
+    std::vector<std::vector<MotBatchItem>> runs;
+    for (std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
+      opt.num_threads = threads;
+      const MotBatchRunner runner(p.circuit, opt, /*run_baseline=*/false);
+      runs.push_back(runner.run(p.test, p.good, p.faults, p.candidates));
+    }
+    expect_items_identical(runs[0], runs[1]);
+    for (const MotBatchItem& item : runs[0]) {
+      if (item.mot.unresolved == UnresolvedReason::WorkLimit) {
+        EXPECT_GE(item.mot.work_used, limit);
+      }
     }
   }
 }

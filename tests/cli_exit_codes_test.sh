@@ -1,0 +1,78 @@
+#!/bin/sh
+# Exit-code contract of benchmark_sweep (see the header of
+# examples/benchmark_sweep.cpp):
+#   0  complete           2  budget-stopped, resumable
+#   1  usage error        3  cancelled by signal, resumable
+#                         4  journal I/O error
+# Driven as a tier-1 ctest: $1 is the benchmark_sweep binary.
+set -u
+
+BIN="${1:?usage: cli_exit_codes_test.sh <benchmark_sweep binary>}"
+TMP="${TMPDIR:-/tmp}/motsim_cli_exit_$$"
+mkdir -p "$TMP"
+trap 'rm -rf "$TMP"' EXIT
+fail=0
+
+check() {
+  desc="$1"; want="$2"; got="$3"
+  if [ "$got" -ne "$want" ]; then
+    echo "FAIL: $desc: expected exit $want, got $got" >&2
+    fail=1
+  else
+    echo "ok: $desc (exit $got)"
+  fi
+}
+
+# 0 — a clean run of one small circuit completes every fault.
+"$BIN" --circuits s298 > "$TMP/out0.txt" 2>&1
+check "clean run completes" 0 $?
+
+# 1 — usage errors: exclusive flags, and a journal over a multi-circuit sweep.
+"$BIN" --journal "$TMP/j.journal" --resume "$TMP/j.journal" \
+  > /dev/null 2>&1
+check "--journal with --resume is a usage error" 1 $?
+"$BIN" --journal "$TMP/j.journal" --circuits s298,s344 > /dev/null 2>&1
+check "--journal needs exactly one circuit" 1 $?
+
+# 2 — an exhausted campaign budget leaves incomplete faults (budget 1 ms:
+# the campaign deadline fires before the MOT candidates are processed).
+"$BIN" --circuits s420 --campaign-ms 1 --journal "$TMP/stop.journal" \
+  > "$TMP/out2.txt" 2>&1
+rc=$?
+if [ "$rc" -eq 2 ]; then
+  check "campaign budget stop" 2 "$rc"
+  # ... and the journal resumes the rest to completion.
+  "$BIN" --circuits s420 --resume "$TMP/stop.journal" > "$TMP/out2b.txt" 2>&1
+  check "resume after budget stop completes" 0 $?
+else
+  # On an extremely fast machine every fault may finish inside the budget;
+  # completion (0) is then the correct report, not a test failure.
+  check "campaign budget stop (machine too fast: completed)" 0 "$rc"
+fi
+
+# 3 — SIGINT mid-campaign: clean cancellation, resumable exit.
+"$BIN" --circuits s5378 --threads 2 --journal "$TMP/sig.journal" \
+  > "$TMP/out3.txt" 2>&1 &
+pid=$!
+# Give the sweep a moment to get past setup, then interrupt it once.
+sleep 2
+kill -INT "$pid" 2> /dev/null
+wait "$pid"
+rc=$?
+if [ "$rc" -eq 0 ]; then
+  # The campaign can finish before the signal lands on fast machines.
+  check "SIGINT cancellation (machine too fast: completed)" 0 "$rc"
+else
+  check "SIGINT cancellation is exit 3" 3 "$rc"
+fi
+
+# 4 — a journal that cannot be created is an I/O error, reported before any
+# simulation happens.
+"$BIN" --circuits s298 --journal "$TMP/missing_dir/j.journal" \
+  > /dev/null 2>&1
+check "unwritable journal path" 4 $?
+# Resuming from a journal that does not exist is an I/O error too.
+"$BIN" --circuits s298 --resume "$TMP/nonexistent.journal" > /dev/null 2>&1
+check "missing resume journal" 4 $?
+
+exit "$fail"

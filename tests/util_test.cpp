@@ -1,12 +1,21 @@
-// Unit tests for src/util: rng, strings, table, cli.
+// Unit tests for src/util: rng, strings, table, cli, errors/retry, fsio
+// fault injection, and the budget/deadline stride behaviour.
 #include <gtest/gtest.h>
 
+#include <fcntl.h>
+
+#include <cerrno>
+#include <cstdio>
 #include <fstream>
 #include <map>
 #include <set>
+#include <vector>
 
 #include "util/bench_guard.hpp"
 #include "util/cli.hpp"
+#include "util/deadline.hpp"
+#include "util/errors.hpp"
+#include "util/fsio.hpp"
 #include "util/rng.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
@@ -274,6 +283,203 @@ TEST(BenchGuard, FileVariantReadsTheReportOnDisk) {
   // A missing file never refuses.
   EXPECT_FALSE(benchutil::refuse_single_core_overwrite_file(
       testing::TempDir() + "/does_not_exist.json", true));
+}
+
+// ------------------------------------------------------------- Errors ----
+
+TEST(Errors, ClassifyErrnoSplitsTransientFromPermanent) {
+  for (int e : {EINTR, EAGAIN, EWOULDBLOCK, EBUSY, ENOBUFS}) {
+    EXPECT_EQ(classify_errno(e), ErrorClass::Transient) << e;
+  }
+  for (int e : {ENOSPC, EIO, EBADF, EROFS, ENOENT, EACCES, 0}) {
+    EXPECT_EQ(classify_errno(e), ErrorClass::Permanent) << e;
+  }
+}
+
+TEST(Errors, RetryScheduleIsDeterministicAndBounded) {
+  RetryPolicy policy;
+  policy.base_delay_us = 1000;
+  policy.max_delay_us = 3000;
+  RetrySchedule a(policy);
+  RetrySchedule b(policy);
+  std::uint64_t expected_base = policy.base_delay_us;
+  for (std::size_t retry = 1; retry <= 6; ++retry) {
+    const std::uint64_t da = a.delay_us(retry);
+    // Same policy, same stream: the schedule is a pure function of the seed.
+    EXPECT_EQ(da, b.delay_us(retry)) << retry;
+    // Jitter stays within [delay/2, delay] of the un-jittered exponential.
+    EXPECT_GE(da, expected_base / 2) << retry;
+    EXPECT_LE(da, expected_base) << retry;
+    expected_base = std::min(expected_base * 2, policy.max_delay_us);
+  }
+}
+
+TEST(Errors, RetryTransientRetriesOnlyTransientErrors) {
+  RetryPolicy policy;
+  policy.max_attempts = 4;
+  std::vector<std::uint64_t> sleeps;
+  const auto sleeper = [&](std::uint64_t us) { sleeps.push_back(us); };
+
+  int calls = 0;
+  EXPECT_EQ(retry_transient(
+                policy, [&] { return ++calls < 3 ? EAGAIN : 0; }, sleeper),
+            0);
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(sleeps.size(), 2u);
+
+  // A permanent error is returned immediately, without sleeping.
+  calls = 0;
+  sleeps.clear();
+  EXPECT_EQ(retry_transient(
+                policy, [&] { ++calls; return ENOSPC; }, sleeper),
+            ENOSPC);
+  EXPECT_EQ(calls, 1);
+  EXPECT_TRUE(sleeps.empty());
+
+  // Exhausted attempts return the last transient errno.
+  calls = 0;
+  EXPECT_EQ(retry_transient(policy, [&] { ++calls; return EINTR; }, sleeper),
+            EINTR);
+  EXPECT_EQ(calls, 4);
+}
+
+TEST(Errors, SanitizeTokenProducesJournalSafeTokens) {
+  EXPECT_EQ(sanitize_token(""), "-");
+  EXPECT_EQ(sanitize_token("clean-token"), "clean-token");
+  EXPECT_EQ(sanitize_token("two words; with\tjunk\n"), "two_words__with_junk_");
+  EXPECT_EQ(sanitize_token(std::string(200, 'x'), 8), "xxxxxxxx");
+}
+
+// --------------------------------------------------------------- Fsio ----
+
+TEST(Fsio, WriteAllRestartsEintrAndBoundsZeroWrites) {
+  const std::string path = testing::TempDir() + "/fsio_writeall_test";
+  const std::string data = "hello fault injection world";
+
+  // EINTR in the middle of the stream is restarted, not surfaced.
+  {
+    fsio::FaultPlan plan;
+    plan.fail_at_op = 2;
+    plan.kind = fsio::FaultKind::Errno;
+    plan.err = EINTR;
+    plan.fail_count = 3;
+    fsio::FaultInjectingFsIo io(plan);
+    const int fd = io.open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    ASSERT_GE(fd, 0);
+    EXPECT_EQ(fsio::write_all(io, fd, data.data(), data.size()), 0);
+    io.close(fd);
+    std::string back;
+    EXPECT_EQ(fsio::read_file(fsio::FsIo::real(), path, back), 0);
+    EXPECT_EQ(back, data);
+  }
+
+  // A bounded burst of zero-byte writes makes progress eventually...
+  {
+    fsio::FaultPlan plan;
+    plan.fail_at_op = 2;
+    plan.kind = fsio::FaultKind::ZeroWrite;
+    plan.fail_count = 3;
+    fsio::FaultInjectingFsIo io(plan);
+    const int fd = io.open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    ASSERT_GE(fd, 0);
+    EXPECT_EQ(fsio::write_all(io, fd, data.data(), data.size()), 0);
+    io.close(fd);
+  }
+
+  // ...but a persistent zero-byte writer is reported as EIO instead of
+  // spinning forever — the classic `len -= 0` infinite loop.
+  {
+    fsio::FaultPlan plan;
+    plan.fail_at_op = 2;
+    plan.kind = fsio::FaultKind::ZeroWrite;
+    plan.fail_count = UINT64_MAX;
+    fsio::FaultInjectingFsIo io(plan);
+    const int fd = io.open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    ASSERT_GE(fd, 0);
+    EXPECT_EQ(fsio::write_all(io, fd, data.data(), data.size()), EIO);
+    io.close(fd);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Fsio, ShortWritesCompleteAndCrashIsPermanent) {
+  const std::string path = testing::TempDir() + "/fsio_short_test";
+  const std::string data(1000, 'a');
+  {
+    fsio::FaultPlan plan;
+    plan.fail_at_op = 2;
+    plan.kind = fsio::FaultKind::ShortWrite;
+    plan.fail_count = 4;
+    fsio::FaultInjectingFsIo io(plan);
+    const int fd = io.open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    ASSERT_GE(fd, 0);
+    EXPECT_EQ(fsio::write_all(io, fd, data.data(), data.size()), 0);
+    io.close(fd);
+    std::string back;
+    EXPECT_EQ(fsio::read_file(fsio::FsIo::real(), path, back), 0);
+    EXPECT_EQ(back, data);
+  }
+  {
+    fsio::FaultPlan plan;
+    plan.fail_at_op = 2;
+    plan.kind = fsio::FaultKind::Crash;
+    fsio::FaultInjectingFsIo io(plan);
+    const int fd = io.open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    ASSERT_GE(fd, 0);
+    EXPECT_NE(fsio::write_all(io, fd, data.data(), data.size()), 0);
+    EXPECT_TRUE(io.crashed());
+    // The "filesystem" never comes back.
+    EXPECT_EQ(io.fsync(fd), -1);
+    io.close(fd);
+  }
+  std::remove(path.c_str());
+}
+
+// ------------------------------------------------------------- Budget ----
+
+// Pin the work-limit boundary exactly: a limit of N polls exhausts on poll
+// number N (used_ reaches the limit), one unit earlier than N+1 and one
+// later than N-1 — and the stride plays no role in the work cap, which is
+// checked on every poll.
+TEST(Budget, WorkLimitExhaustsExactlyAtTheLimit) {
+  using WB = WorkBudget;
+  for (const std::uint64_t limit :
+       {WB::kClockStride - 1, WB::kClockStride, WB::kClockStride + 1,
+        2 * WB::kClockStride - 1, 2 * WB::kClockStride,
+        2 * WB::kClockStride + 1}) {
+    WorkBudget budget(Deadline{}, limit);
+    for (std::uint64_t poll = 1; poll < limit; ++poll) {
+      EXPECT_FALSE(budget.poll()) << "limit " << limit << " poll " << poll;
+    }
+    EXPECT_TRUE(budget.poll()) << "limit " << limit;
+    EXPECT_EQ(budget.stop(), BudgetStop::WorkLimit) << "limit " << limit;
+    EXPECT_EQ(budget.work_used(), limit);
+  }
+}
+
+// The cancel token is consulted on the first poll and then once per stride:
+// a token tripped after poll 1 is seen exactly at poll kClockStride + 1.
+TEST(Budget, CancelTokenIsSeenAtStrideBoundaries) {
+  CancelToken cancel;
+  WorkBudget budget(Deadline{}, /*work_limit=*/0, nullptr, &cancel);
+
+  // Poll 1 checks the token (next_check_ starts at 0) — not yet cancelled.
+  EXPECT_FALSE(budget.poll());
+  cancel.cancel();
+  // Polls 2..kClockStride fall inside the stride window: not seen yet.
+  for (std::uint64_t poll = 2; poll <= WorkBudget::kClockStride; ++poll) {
+    EXPECT_FALSE(budget.poll()) << "poll " << poll;
+  }
+  // Poll kClockStride + 1 crosses the boundary and latches the stop.
+  EXPECT_TRUE(budget.poll());
+  EXPECT_EQ(budget.stop(), BudgetStop::Cancelled);
+
+  // A token tripped before the very first poll is seen immediately.
+  CancelToken early;
+  early.cancel();
+  WorkBudget prompt(Deadline{}, 0, nullptr, &early);
+  EXPECT_TRUE(prompt.poll());
+  EXPECT_EQ(prompt.stop(), BudgetStop::Cancelled);
 }
 
 }  // namespace

@@ -27,7 +27,8 @@ TEST(VerifyNames, CheckNamesRoundTrip) {
 
 TEST(VerifyNames, MutantNamesRoundTrip) {
   for (Mutant m : {Mutant::None, Mutant::UnsoundAbort, Mutant::DropImplications,
-                   Mutant::ThreadSeedDrift, Mutant::StaleResume}) {
+                   Mutant::ThreadSeedDrift, Mutant::StaleResume,
+                   Mutant::SwallowWorkerException}) {
     Mutant back;
     ASSERT_TRUE(mutant_from_name(mutant_name(m), back)) << mutant_name(m);
     EXPECT_EQ(back, m);
@@ -169,6 +170,7 @@ TEST(VerifyMutants, EveryMutantCaughtShrunkAndReplayable) {
       {Mutant::DropImplications, {CheckId::ImplImpliesProposed}},
       {Mutant::ThreadSeedDrift, {CheckId::ThreadInvariance}},
       {Mutant::StaleResume, {CheckId::ResumeEquivalence}},
+      {Mutant::SwallowWorkerException, {CheckId::WorkerQuarantine}},
   };
   for (const MutantCase& mc : cases) {
     FuzzOptions options;
