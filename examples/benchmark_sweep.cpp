@@ -17,18 +17,35 @@
 //   --degrade-on-budget retry budget-stopped faults on the cheaper engines
 //                       (graceful-degradation ladder; see README)
 //
+// Distributed campaigns (see README "Distributed campaigns"):
+//   --workers N              fork N supervised worker processes for the MOT
+//                            batch (0 = in-process threads; the default)
+//   --worker-heartbeat-ms N  kill+restart a worker silent for N ms (0 = off)
+//   --shard-deadline-ms N    kill+restart a worker stuck on one fault-group
+//                            shard for N ms (0 = off)
+//   --max-fault-attempts N   quarantine a fault after it kills N workers
+//   --max-worker-restarts N  total replacement workers the campaign may spawn
+//
 // Signals: the first SIGINT/SIGTERM requests a clean stop — in-flight faults
 // finish, the journal is flushed, and the exit is resumable. A second signal
 // hard-exits immediately (exit code 128+signal).
 //
-// Exit codes:
+// Exit codes (asserted exhaustively by tests/cli_exit_codes_test.sh):
 //   0  sweep completed; every processed fault has a definitive outcome
-//   1  usage error (bad flags, journal setup failure at startup)
+//   1  usage error (bad flags, invalid flag combinations)
 //   2  a campaign budget stopped the run early (incomplete faults remain;
 //      rerun with --resume to finish them)
 //   3  cancelled by SIGINT/SIGTERM; journal flushed, resumable
-//   4  journal I/O failed permanently mid-run (e.g. disk full); everything
-//      appended before the failure is durable and resumable
+//   4  journal failure — setup failed at startup (nothing was run) or an
+//      append failed permanently mid-run (e.g. disk full); everything
+//      appended before a mid-run failure is durable and resumable
+//   5  worker-death partial completion: every worker process died, the
+//      restart budget is spent, and faults remain without outcomes (rerun,
+//      or --resume a journaled campaign, to finish them)
+//
+// 4 beats 3 beats 5 beats 2 when several conditions hold at once: losing
+// durable storage outranks a user stop, which outranks losing the worker
+// fleet, which outranks an ordinary budget stop.
 #include <csignal>
 #include <unistd.h>
 
@@ -92,6 +109,26 @@ int main(int argc, char** argv) {
   config.mot.campaign_time_ms =
       static_cast<std::uint64_t>(args.get_int("campaign-ms", 0));
   config.mot.degrade_on_budget = args.get_bool("degrade-on-budget");
+  config.supervisor.workers =
+      static_cast<std::size_t>(args.get_int("workers", 0));
+  config.supervisor.heartbeat_ms =
+      static_cast<std::uint64_t>(args.get_int("worker-heartbeat-ms", 5000));
+  config.supervisor.shard_deadline_ms =
+      static_cast<std::uint64_t>(args.get_int("shard-deadline-ms", 0));
+  config.supervisor.max_fault_attempts =
+      static_cast<std::size_t>(args.get_int("max-fault-attempts", 3));
+  config.supervisor.max_worker_restarts =
+      static_cast<std::size_t>(args.get_int("max-worker-restarts", 8));
+  // Chaos hooks: test-only fault injection into the worker fleet (see
+  // tests/cli_exit_codes_test.sh and DESIGN.md §11). Not for production use.
+  config.supervisor.chaos_kill_permille =
+      static_cast<std::uint64_t>(args.get_int("chaos-kill-permille", 0));
+  config.supervisor.chaos_kill_seed =
+      static_cast<std::uint64_t>(args.get_int("chaos-kill-seed", 0));
+  const int chaos_abort = args.get_int("chaos-abort-fault", -1);
+  if (chaos_abort >= 0) {
+    config.supervisor.chaos_abort_fault = static_cast<std::size_t>(chaos_abort);
+  }
   const std::string journal_flag = args.get("journal", "");
   const std::string resume_flag = args.get("resume", "");
   if (!journal_flag.empty() && !resume_flag.empty()) {
@@ -136,6 +173,7 @@ int main(int argc, char** argv) {
 
   bool journal_io_failed = false;
   std::size_t total_incomplete = 0;
+  std::size_t total_worker_lost = 0;
   std::vector<RunResult> rows;
   for (const auto* profile : chosen) {
     if (g_cancel.cancelled()) break;
@@ -159,6 +197,21 @@ int main(int argc, char** argv) {
                   "(see diagnostics)\n",
                   r.quarantined_faults);
     }
+    if (r.worker_deaths > 0) {
+      std::printf("  %zu worker death(s): %zu restart(s), %zu fault(s) "
+                  "requeued, %zu poisoned, %zu recovered from shards\n",
+                  r.worker_deaths, r.worker_restarts,
+                  r.worker_requeued_faults, r.worker_poisoned_faults,
+                  r.worker_harvested_records);
+    }
+    if (r.worker_lost_faults > 0) {
+      std::printf("  worker fleet lost: %zu fault(s) without a result%s\n",
+                  r.worker_lost_faults,
+                  config.journal_path.empty()
+                      ? ""
+                      : " (rerun with --resume to finish them)");
+      total_worker_lost += r.worker_lost_faults;
+    }
     if (r.incomplete_faults > 0) {
       std::printf("  campaign stopped early: %zu fault(s) without a result%s\n",
                   r.incomplete_faults,
@@ -176,11 +229,12 @@ int main(int argc, char** argv) {
               render_table3(rows).c_str());
   std::printf("Diagnostics:\n%s", render_diagnostics(rows).c_str());
 
-  // Exit-code ladder, most severe condition first. Per-fault budget stops are
-  // definitive outcomes (the fault is *unresolved*, not unprocessed) and do
-  // not change the exit code.
+  // Exit-code ladder, most severe condition first (see the table in the
+  // header comment). Per-fault budget stops are definitive outcomes (the
+  // fault is *unresolved*, not unprocessed) and do not change the exit code.
   if (journal_io_failed) return 4;
   if (g_cancel.cancelled()) return 3;
+  if (total_worker_lost > 0) return 5;
   if (total_incomplete > 0) return 2;
   return 0;
 }

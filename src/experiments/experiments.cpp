@@ -92,12 +92,31 @@ RunResult run_circuit(const Circuit& c, const TestSequence& test,
 
   result.baseline_available = config.run_baseline;
 
-  // Per-fault MOT simulation, sharded across worker threads. The runner
-  // returns one item per candidate in candidate order regardless of the
-  // schedule, so the aggregation below is deterministic.
-  const MotBatchRunner runner(c, config.mot, config.run_baseline);
-  const std::vector<MotBatchItem> items =
-      runner.run(test, good, faults, candidates, journal.get(), config.cancel);
+  // Per-fault MOT simulation, sharded across worker threads — or, with
+  // supervisor.workers > 0, across supervised worker processes. Either
+  // runner returns one item per candidate in candidate order regardless of
+  // the schedule (and, for processes, regardless of worker deaths), so the
+  // aggregation below is deterministic.
+  const std::vector<MotBatchItem> items = [&] {
+    if (config.supervisor.workers > 0) {
+      result.workers = config.supervisor.workers;
+      const SupervisedMotRunner runner(c, config.mot, config.run_baseline,
+                                       config.supervisor);
+      SupervisorStats stats;
+      auto v = runner.run(test, good, faults, candidates, journal.get(),
+                          config.cancel, &stats);
+      result.worker_deaths = stats.worker_deaths;
+      result.worker_restarts = stats.worker_restarts;
+      result.worker_requeued_faults = stats.requeued_faults;
+      result.worker_poisoned_faults = stats.poisoned_faults;
+      result.worker_lost_faults = stats.lost_faults;
+      result.worker_harvested_records = stats.harvested_records;
+      return v;
+    }
+    const MotBatchRunner runner(c, config.mot, config.run_baseline);
+    return runner.run(test, good, faults, candidates, journal.get(),
+                      config.cancel);
+  }();
   if (journal && journal->failed()) {
     result.journal_io_error = journal->failure();
   }

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "circuits/registry.hpp"
+#include "faultsim/supervisor.hpp"
 #include "mot/baseline.hpp"
 #include "mot/proposed.hpp"
 #include "sim/test_sequence.hpp"
@@ -44,6 +45,12 @@ struct RunConfig {
   /// the MOT batch stops cleanly: every fault without a result comes back
   /// incomplete, and with a journal the campaign is resumable.
   const CancelToken* cancel = nullptr;
+
+  /// Multi-process campaign sharding (see faultsim/supervisor.hpp). With
+  /// supervisor.workers > 0 the MOT batch runs in that many forked worker
+  /// processes under a supervising coordinator that survives worker death;
+  /// 0 (the default) keeps the in-process thread-parallel path, bit for bit.
+  SupervisorOptions supervisor;
 };
 
 struct RunResult {
@@ -106,6 +113,27 @@ struct RunResult {
   /// after exhausting retries). The campaign stopped as a flushed, resumable
   /// cancellation: everything appended before the failure is durable.
   std::string journal_io_error;
+
+  /// --- multi-process supervision (all zero on in-process runs) ----------
+  /// Worker processes requested (RunConfig::supervisor.workers).
+  std::size_t workers = 0;
+  /// Unexpected worker exits the coordinator recovered from.
+  std::size_t worker_deaths = 0;
+  /// Replacement workers spawned (bounded by max_worker_restarts).
+  std::size_t worker_restarts = 0;
+  /// Faults requeued from dead workers onto survivors (work stealing).
+  std::size_t worker_requeued_faults = 0;
+  /// Faults quarantined as Unresolved{EngineError} because they killed
+  /// max_fault_attempts workers in a row (poison faults).
+  std::size_t worker_poisoned_faults = 0;
+  /// Faults returned incomplete because every worker died and the restart
+  /// budget was exhausted. Nonzero here is a partial completion: the CLI
+  /// maps it to its own exit code, and a journaled campaign resumes exactly
+  /// these faults.
+  std::size_t worker_lost_faults = 0;
+  /// Outcomes recovered from worker journal shards (a dead worker's
+  /// committed-but-unstreamed tail, or orphans of a dead coordinator).
+  std::size_t worker_harvested_records = 0;
 
   double seconds = 0.0;
 };

@@ -29,16 +29,17 @@ std::string render_table3(const std::vector<RunResult>& rows) {
 }
 
 std::string render_diagnostics(const std::vector<RunResult>& rows) {
-  Table t({"circuit", "cand. (C)", "processed", "threads", "capped",
-           "pair-capped", "baseline-only", "prop-det/[4]-abort",
+  Table t({"circuit", "cand. (C)", "processed", "threads", "workers",
+           "capped", "pair-capped", "baseline-only", "prop-det/[4]-abort",
            "budget-stop", "quarantined", "degraded", "incomplete", "resumed",
-           "seconds"});
+           "w-deaths", "w-poisoned", "w-lost", "seconds"});
   for (const RunResult& r : rows) {
     t.new_row()
         .add(r.circuit)
         .add(r.candidates)
         .add(r.processed)
         .add(r.threads)
+        .add(r.workers)
         .add(r.capped ? "yes" : "no")
         .add(r.collection_capped_faults)
         .add(r.baseline_available ? str_format("%zu", r.baseline_only) : "NA")
@@ -50,6 +51,9 @@ std::string render_diagnostics(const std::vector<RunResult>& rows) {
         .add(r.degraded_faults)
         .add(r.incomplete_faults)
         .add(r.resumed_faults)
+        .add(r.worker_deaths)
+        .add(r.worker_poisoned_faults)
+        .add(r.worker_lost_faults)
         .add(r.seconds, 2);
   }
   return t.render();

@@ -190,6 +190,18 @@ JournalMeta make_journal_meta(const std::string& circuit_name,
   return meta;
 }
 
+std::string encode_journal_record(const MotBatchItem& item, bool baseline) {
+  return format_record(item, baseline);
+}
+
+bool decode_journal_record(std::string_view line, bool baseline,
+                           MotBatchItem& out) {
+  while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
+    line.remove_suffix(1);
+  }
+  return parse_record(std::string(line), baseline, out);
+}
+
 std::unique_ptr<CampaignJournal> CampaignJournal::create(
     const std::string& path, const JournalMeta& meta, std::string& error,
     fsio::FsIo* io_arg) {

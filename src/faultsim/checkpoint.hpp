@@ -36,6 +36,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 
 #include "faultsim/batch.hpp"
@@ -71,6 +72,18 @@ std::uint64_t hash_options(const MotOptions& options);
 JournalMeta make_journal_meta(const std::string& circuit_name,
                               std::size_t num_faults, const TestSequence& test,
                               const MotOptions& options, bool baseline);
+
+/// The journal-v2 record line of one resolved fault (newline-terminated) —
+/// the single serialization of a fault outcome in the system. The journal
+/// appends it, and the multi-process shard protocol (faultsim/shard.hpp)
+/// ships the very same bytes from worker to coordinator, so every consumer
+/// round-trips through one codec.
+std::string encode_journal_record(const MotBatchItem& item, bool baseline);
+
+/// Strict inverse of encode_journal_record (the trailing newline is
+/// optional). False on any malformation; on success `out.completed` is true.
+bool decode_journal_record(std::string_view line, bool baseline,
+                           MotBatchItem& out);
 
 class CampaignJournal {
  public:

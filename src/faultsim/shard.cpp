@@ -1,0 +1,99 @@
+#include "faultsim/shard.hpp"
+
+#include <algorithm>
+#include <charconv>
+
+namespace motsim::shard {
+
+const char* to_string(MsgType t) {
+  switch (t) {
+    case MsgType::Assign: return "assign";
+    case MsgType::Shutdown: return "shutdown";
+    case MsgType::FaultStart: return "fault-start";
+    case MsgType::FaultResult: return "fault-result";
+    case MsgType::GroupDone: return "group-done";
+    case MsgType::Heartbeat: return "heartbeat";
+  }
+  return "?";
+}
+
+std::string encode_assign(std::span<const std::size_t> fault_indices) {
+  std::string out;
+  for (const std::size_t k : fault_indices) {
+    if (!out.empty()) out.push_back(' ');
+    out += std::to_string(k);
+  }
+  return out;
+}
+
+namespace {
+
+bool parse_size(std::string_view token, std::size_t& out) {
+  if (token.empty()) return false;
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), out);
+  return ec == std::errc() && ptr == token.data() + token.size();
+}
+
+}  // namespace
+
+bool decode_assign(std::string_view payload, std::vector<std::size_t>& out) {
+  out.clear();
+  std::size_t pos = 0;
+  while (pos < payload.size()) {
+    const std::size_t space = payload.find(' ', pos);
+    const std::size_t end = space == std::string_view::npos ? payload.size() : space;
+    std::size_t value = 0;
+    if (!parse_size(payload.substr(pos, end - pos), value)) return false;
+    out.push_back(value);
+    pos = end == payload.size() ? end : end + 1;
+    // A trailing or doubled separator would produce an empty token, which
+    // parse_size rejects on the next round.
+    if (pos == payload.size() && space != std::string_view::npos) return false;
+  }
+  return !out.empty();
+}
+
+std::string encode_fault_start(std::size_t fault_index) {
+  return std::to_string(fault_index);
+}
+
+bool decode_fault_start(std::string_view payload, std::size_t& out) {
+  return parse_size(payload, out);
+}
+
+std::vector<std::vector<std::size_t>> plan_fault_groups(
+    std::span<const std::size_t> fault_indices, std::size_t workers,
+    std::size_t group_size) {
+  std::vector<std::vector<std::size_t>> groups;
+  if (fault_indices.empty()) return groups;
+  if (group_size == 0) {
+    // ~8 claimable groups per worker keeps stealing granular without
+    // drowning the pipe in assignment round trips; MOT cost per fault is
+    // wildly skewed, so small groups matter more than batching.
+    const std::size_t w = std::max<std::size_t>(workers, 1);
+    group_size = std::clamp<std::size_t>(fault_indices.size() / (w * 8),
+                                         std::size_t{1}, std::size_t{32});
+  }
+  for (std::size_t begin = 0; begin < fault_indices.size();
+       begin += group_size) {
+    const std::size_t end =
+        std::min(begin + group_size, fault_indices.size());
+    groups.emplace_back(fault_indices.begin() + begin,
+                        fault_indices.begin() + end);
+  }
+  return groups;
+}
+
+bool chaos_should_kill(std::uint64_t seed, std::size_t fault_index,
+                       std::size_t incarnation, std::uint64_t permille) {
+  if (permille == 0) return false;
+  std::uint64_t z = seed ^ (0x9e3779b97f4a7c15ull * (fault_index + 1)) ^
+                    (0xc2b2ae3d27d4eb4full * (incarnation + 1));
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  z ^= z >> 31;
+  return z % 1000 < permille;
+}
+
+}  // namespace motsim::shard

@@ -1,0 +1,750 @@
+#include "faultsim/supervisor.hpp"
+
+#include <dirent.h>
+#include <poll.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "faultsim/checkpoint.hpp"
+#include "faultsim/shard.hpp"
+#include "util/subprocess.hpp"
+
+namespace motsim {
+
+namespace sp = subprocess;
+
+namespace {
+
+constexpr std::size_t kNoFault = static_cast<std::size_t>(-1);
+
+/// Everything a forked worker needs. All of it lives in the coordinator's
+/// address space and reaches the child through fork's copy-on-write pages —
+/// nothing (circuit, test, options) is ever serialized.
+struct WorkerContext {
+  const Circuit* circuit = nullptr;
+  const TestSequence* test = nullptr;
+  const SeqTrace* good = nullptr;
+  const std::vector<Fault>* faults = nullptr;
+  MotOptions options;  // num_threads/campaign_time_ms already zeroed
+  bool run_baseline = false;
+  JournalMeta meta;
+  std::string shard_path;  // "" = no shard journaling
+  std::uint64_t heartbeat_period_ms = 0;
+  std::size_t incarnation = 0;
+  std::uint64_t chaos_kill_permille = 0;
+  std::uint64_t chaos_kill_seed = 0;
+  std::size_t chaos_abort_fault = kNoFault;
+};
+
+int poll_one(int fd, int timeout_ms) {
+  struct pollfd p = {fd, POLLIN, 0};
+  while (true) {
+    const int r = ::poll(&p, 1, timeout_ms);
+    if (r >= 0) return r;
+    if (errno == EINTR) return 0;  // let the caller re-check stop conditions
+    return -1;
+  }
+}
+
+/// The worker process body: serve Assign frames until Shutdown/EOF.
+/// Runs after fork; must never return into the forked copy of the
+/// coordinator's stack (spawn() _exits with the return value).
+int worker_main(int cmd_fd, int res_fd, const WorkerContext& ctx) {
+  // The coordinator owns terminal signals; a Ctrl-C must stop the campaign
+  // through the coordinator's clean-shutdown path, not kill workers ahead
+  // of their final results. SIGTERM drops any handler inherited from the
+  // CLI (whose CancelToken means nothing here). SIGPIPE on a dead
+  // coordinator becomes EPIPE, which exits the loop below.
+  ::signal(SIGINT, SIG_IGN);
+  ::signal(SIGTERM, SIG_DFL);
+  ::signal(SIGPIPE, SIG_IGN);
+
+  MotOptions opt = ctx.options;
+  const MotBatchRunner runner(*ctx.circuit, opt, ctx.run_baseline);
+
+  std::unique_ptr<CampaignJournal> shard;
+  if (!ctx.shard_path.empty()) {
+    // Shard journaling is belt-and-braces on top of the pipe; a worker that
+    // cannot create its shard still contributes via frames alone.
+    std::string err;
+    shard = CampaignJournal::create(ctx.shard_path, ctx.meta, err);
+  }
+
+  std::mutex write_mu;
+  auto send = [&](shard::MsgType type, std::string_view payload) {
+    std::lock_guard<std::mutex> lk(write_mu);
+    return sp::write_frame(res_fd, static_cast<std::uint8_t>(type), payload);
+  };
+
+  std::atomic<bool> stop{false};
+  std::thread heartbeat;
+  if (ctx.heartbeat_period_ms > 0) {
+    heartbeat = std::thread([&] {
+      std::uint64_t last = sp::steady_now_ms();
+      while (!stop.load(std::memory_order_relaxed)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        const std::uint64_t now = sp::steady_now_ms();
+        if (now - last < ctx.heartbeat_period_ms) continue;
+        last = now;
+        if (send(shard::MsgType::Heartbeat, "") != 0) break;
+      }
+    });
+  }
+
+  sp::FrameReader reader(cmd_fd);
+  // Blocks until a frame arrives (or EOF/corruption). Returns false when
+  // the worker should exit.
+  auto next_frame = [&](std::uint8_t& type, std::string& payload) {
+    while (true) {
+      if (reader.next(type, payload)) return true;
+      if (reader.corrupt()) return false;
+      if (poll_one(cmd_fd, -1) < 0) return false;
+      int err = 0;
+      const auto fs = reader.feed(err);
+      if (fs == sp::FrameReader::FeedStatus::Eof ||
+          fs == sp::FrameReader::FeedStatus::Error) {
+        return false;
+      }
+    }
+  };
+  // Non-blocking peek between faults: true when a Shutdown is pending.
+  auto shutdown_pending = [&] {
+    while (true) {
+      std::uint8_t type = 0;
+      std::string payload;
+      if (reader.next(type, payload)) {
+        if (static_cast<shard::MsgType>(type) == shard::MsgType::Shutdown) {
+          return true;
+        }
+        continue;  // unexpected mid-group frame; ignore
+      }
+      if (reader.corrupt()) return true;
+      if (poll_one(cmd_fd, 0) <= 0) return false;
+      int err = 0;
+      const auto fs = reader.feed(err);
+      if (fs == sp::FrameReader::FeedStatus::Eof ||
+          fs == sp::FrameReader::FeedStatus::Error) {
+        return true;
+      }
+      if (fs == sp::FrameReader::FeedStatus::WouldBlock) return false;
+    }
+  };
+
+  bool exiting = false;
+  std::vector<std::size_t> group;
+  while (!exiting) {
+    std::uint8_t type = 0;
+    std::string payload;
+    if (!next_frame(type, payload)) break;
+    switch (static_cast<shard::MsgType>(type)) {
+      case shard::MsgType::Shutdown:
+        exiting = true;
+        break;
+      case shard::MsgType::Assign: {
+        if (!shard::decode_assign(payload, group)) {
+          exiting = true;  // protocol violation; die visibly, not wrongly
+          break;
+        }
+        for (const std::size_t k : group) {
+          if (shutdown_pending()) {
+            exiting = true;
+            break;
+          }
+          if (send(shard::MsgType::FaultStart,
+                   shard::encode_fault_start(k)) != 0) {
+            exiting = true;
+            break;
+          }
+          // Chaos hooks (tests only): die exactly where a segfaulting
+          // engine would — after announcing the fault, before its result.
+          if (k == ctx.chaos_abort_fault ||
+              shard::chaos_should_kill(ctx.chaos_kill_seed, k,
+                                       ctx.incarnation,
+                                       ctx.chaos_kill_permille)) {
+            ::raise(SIGKILL);
+          }
+          const std::size_t one[] = {k};
+          const std::vector<MotBatchItem> out =
+              runner.run(*ctx.test, *ctx.good, *ctx.faults, one);
+          if (shard) shard->append(out[0]);
+          const std::string record =
+              encode_journal_record(out[0], ctx.run_baseline);
+          if (send(shard::MsgType::FaultResult, record) != 0) {
+            exiting = true;
+            break;
+          }
+        }
+        if (!exiting && send(shard::MsgType::GroupDone, "") != 0) {
+          exiting = true;
+        }
+        break;
+      }
+      default:
+        break;  // coordinator never sends other types; ignore
+    }
+  }
+  stop.store(true, std::memory_order_relaxed);
+  if (heartbeat.joinable()) heartbeat.join();
+  return 0;
+}
+
+/// Coordinator-side view of one worker slot.
+struct Slot {
+  sp::ChildHandles child;
+  std::unique_ptr<sp::FrameReader> reader;
+  bool alive = false;
+  std::size_t incarnation = 0;  // lives started on this slot so far
+  std::vector<std::size_t> group;            // current assignment, in order
+  std::unordered_set<std::size_t> outstanding;  // not yet committed
+  std::size_t in_flight = kNoFault;
+  std::uint64_t last_frame_ms = 0;
+  std::uint64_t group_assigned_ms = 0;
+  bool shutdown_sent = false;
+  bool respawn_pending = false;
+  std::uint64_t respawn_at_ms = 0;
+
+  bool idle() const { return alive && group.empty(); }
+};
+
+}  // namespace
+
+std::string worker_shard_path(const std::string& journal_path,
+                              std::size_t slot) {
+  if (journal_path.empty()) return {};
+  return journal_path + ".w" + std::to_string(slot);
+}
+
+SupervisedMotRunner::SupervisedMotRunner(const Circuit& c, MotOptions options,
+                                         bool run_baseline,
+                                         SupervisorOptions sup)
+    : circuit_(&c),
+      options_(options),
+      run_baseline_(run_baseline),
+      sup_(sup) {}
+
+std::vector<MotBatchItem> SupervisedMotRunner::run(
+    const TestSequence& test, const SeqTrace& good,
+    const std::vector<Fault>& faults, std::span<const std::size_t> indices,
+    CampaignJournal* journal, const CancelToken* cancel,
+    SupervisorStats* stats) const {
+  SupervisorStats local;
+  if (stats == nullptr) stats = &local;
+  std::vector<MotBatchItem> items(indices.size());
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    items[i].fault_index = indices[i];
+  }
+  if (indices.empty()) return items;
+
+  const std::size_t workers = std::max<std::size_t>(sup_.workers, 1);
+  const std::string jpath = journal != nullptr ? journal->path() : "";
+
+  // A worker writing into a vanished coordinator (or vice versa) must see
+  // EPIPE, not die of SIGPIPE mid-supervision.
+  struct sigaction ignore_pipe = {};
+  ignore_pipe.sa_handler = SIG_IGN;
+  struct sigaction old_pipe = {};
+  ::sigaction(SIGPIPE, &ignore_pipe, &old_pipe);
+
+  std::unordered_map<std::size_t, std::size_t> pos;
+  pos.reserve(indices.size());
+  for (std::size_t i = 0; i < indices.size(); ++i) pos[indices[i]] = i;
+
+  std::vector<char> done(indices.size(), 0);
+  auto commit = [&](const MotBatchItem& item) {
+    const auto it = pos.find(item.fault_index);
+    if (it == pos.end() || done[it->second]) return false;
+    items[it->second] = item;
+    done[it->second] = 1;
+    if (journal != nullptr) journal->append(item);
+    return true;
+  };
+
+  // Resume: outcomes the journal already holds are merged, never re-run.
+  std::vector<std::size_t> pending;
+  pending.reserve(indices.size());
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    const std::size_t k = indices[i];
+    if (journal != nullptr) {
+      if (const MotBatchItem* rec = journal->lookup(k)) {
+        items[i] = *rec;
+        done[i] = 1;
+        continue;
+      }
+    }
+    pending.push_back(k);
+  }
+
+  // Harvest orphaned journal shards from a previous run whose coordinator
+  // died: every record a worker committed before the lights went out is
+  // merged into the main journal now, before any simulation.
+  if (journal != nullptr && !pending.empty()) {
+    const std::size_t slash = jpath.find_last_of('/');
+    const std::string dir =
+        slash == std::string::npos ? "." : jpath.substr(0, slash);
+    const std::string prefix =
+        (slash == std::string::npos ? jpath : jpath.substr(slash + 1)) + ".w";
+    std::vector<std::string> orphans;
+    if (DIR* d = ::opendir(dir.c_str())) {
+      while (const struct dirent* e = ::readdir(d)) {
+        const std::string name = e->d_name;
+        if (name.size() <= prefix.size() ||
+            name.compare(0, prefix.size(), prefix) != 0) {
+          continue;
+        }
+        const std::string tail = name.substr(prefix.size());
+        if (tail.find_first_not_of("0123456789") != std::string::npos) continue;
+        orphans.push_back(dir + "/" + name);
+      }
+      ::closedir(d);
+    }
+    for (const std::string& orphan : orphans) {
+      std::string err;
+      const auto shard_journal =
+          CampaignJournal::open_resume(orphan, journal->meta(), err);
+      if (shard_journal == nullptr) continue;  // stale or foreign; overwritten
+      for (const std::size_t k : pending) {
+        if (const MotBatchItem* rec = shard_journal->lookup(k)) {
+          if (commit(*rec)) ++stats->harvested_records;
+        }
+      }
+    }
+    std::erase_if(pending, [&](std::size_t k) { return done[pos[k]]; });
+  }
+
+  std::deque<std::vector<std::size_t>> queue;
+  for (auto& g : shard::plan_fault_groups(pending, workers, sup_.group_size)) {
+    queue.push_back(std::move(g));
+  }
+
+  const Deadline campaign = Deadline::after_ms(options_.campaign_time_ms);
+  std::unordered_map<std::size_t, std::size_t> attempts;
+  std::vector<Slot> slots(workers);
+  std::size_t restarts_used = 0;
+  RetrySchedule restart_schedule(sup_.restart_backoff);
+  bool stopping = false;
+  std::uint64_t stop_deadline_ms = 0;
+
+  WorkerContext base_ctx;
+  base_ctx.circuit = circuit_;
+  base_ctx.test = &test;
+  base_ctx.good = &good;
+  base_ctx.faults = &faults;
+  base_ctx.options = options_;
+  // Workers are serial lanes: parallelism is the process count, and the
+  // campaign-level deadline belongs to the coordinator alone.
+  base_ctx.options.num_threads = 1;
+  base_ctx.options.campaign_time_ms = 0;
+  base_ctx.run_baseline = run_baseline_;
+  if (journal != nullptr) base_ctx.meta = journal->meta();
+  base_ctx.heartbeat_period_ms =
+      sup_.heartbeat_ms == 0
+          ? 0
+          : std::max<std::uint64_t>(sup_.heartbeat_ms / 4, 20);
+  base_ctx.chaos_kill_permille = sup_.chaos_kill_permille;
+  base_ctx.chaos_kill_seed = sup_.chaos_kill_seed;
+  base_ctx.chaos_abort_fault = sup_.chaos_abort_fault;
+
+  auto spawn_slot = [&](std::size_t s) {
+    Slot& slot = slots[s];
+    WorkerContext ctx = base_ctx;
+    ctx.shard_path = worker_shard_path(jpath, s);
+    ctx.incarnation = slot.incarnation;
+    std::vector<int> close_in_child;
+    for (std::size_t o = 0; o < slots.size(); ++o) {
+      if (o == s || !slots[o].alive) continue;
+      close_in_child.push_back(slots[o].child.command_fd);
+      close_in_child.push_back(slots[o].child.result_fd);
+    }
+    const int err = sp::spawn(
+        [ctx](int cmd_fd, int res_fd) {
+          return worker_main(cmd_fd, res_fd, ctx);
+        },
+        close_in_child, slot.child);
+    if (err != 0) return false;
+    sp::set_nonblocking(slot.child.result_fd);
+    slot.reader = std::make_unique<sp::FrameReader>(slot.child.result_fd);
+    slot.alive = true;
+    ++slot.incarnation;
+    slot.group.clear();
+    slot.outstanding.clear();
+    slot.in_flight = kNoFault;
+    slot.shutdown_sent = false;
+    slot.respawn_pending = false;
+    slot.last_frame_ms = sp::steady_now_ms();
+    return true;
+  };
+
+  auto close_slot_fds = [&](Slot& slot) {
+    if (slot.child.command_fd >= 0) ::close(slot.child.command_fd);
+    if (slot.child.result_fd >= 0) ::close(slot.child.result_fd);
+    slot.child.command_fd = -1;
+    slot.child.result_fd = -1;
+    slot.reader.reset();
+  };
+
+  auto assign_group = [&](Slot& slot, std::vector<std::size_t> group) {
+    slot.group = std::move(group);
+    slot.outstanding.clear();
+    slot.outstanding.insert(slot.group.begin(), slot.group.end());
+    slot.in_flight = kNoFault;
+    slot.group_assigned_ms = sp::steady_now_ms();
+    const int err = sp::write_frame(
+        slot.child.command_fd, static_cast<std::uint8_t>(shard::MsgType::Assign),
+        shard::encode_assign(slot.group));
+    if (err != 0) {
+      // The worker is dying or dead; the reap path below recovers the group.
+      return false;
+    }
+    return true;
+  };
+
+  /// Shared recovery path for every kind of worker death. `status_token`
+  /// is the one-token evidence (wait status and/or supervision cause)
+  /// recorded against a fault this death poisons.
+  auto handle_death = [&](std::size_t s, const std::string& status_token) {
+    Slot& slot = slots[s];
+    slot.alive = false;
+    close_slot_fds(slot);
+    ++stats->worker_deaths;
+
+    // Harvest the shard journal first: results the worker committed to disk
+    // but never got to stream are merged, not re-simulated.
+    const std::string shard_path = worker_shard_path(jpath, s);
+    if (!shard_path.empty() && !slot.outstanding.empty() &&
+        journal != nullptr) {
+      std::string err;
+      if (const auto shard_journal =
+              CampaignJournal::open_resume(shard_path, journal->meta(), err)) {
+        for (const std::size_t k : slot.group) {
+          if (slot.outstanding.count(k) == 0) continue;
+          if (const MotBatchItem* rec = shard_journal->lookup(k)) {
+            if (commit(*rec)) ++stats->harvested_records;
+            slot.outstanding.erase(k);
+            if (slot.in_flight == k) slot.in_flight = kNoFault;
+          }
+        }
+      }
+    }
+
+    // Charge the death to the fault that was in flight — and only to it.
+    if (slot.in_flight != kNoFault &&
+        slot.outstanding.count(slot.in_flight) != 0) {
+      const std::size_t k = slot.in_flight;
+      const std::size_t tries = ++attempts[k];
+      if (tries >= sup_.max_fault_attempts) {
+        MotBatchItem poison;
+        poison.fault_index = k;
+        poison.completed = true;
+        poison.mot.unresolved = UnresolvedReason::EngineError;
+        poison.error = sanitize_token("worker_killed_" + status_token +
+                                      "_attempts_" + std::to_string(tries));
+        if (run_baseline_) {
+          poison.baseline.aborted = true;
+          poison.baseline.unresolved = UnresolvedReason::EngineError;
+        }
+        commit(poison);
+        ++stats->poisoned_faults;
+        slot.outstanding.erase(k);
+      }
+    }
+
+    // Requeue the rest of the group (input order preserved) for survivors.
+    std::vector<std::size_t> requeue;
+    for (const std::size_t k : slot.group) {
+      if (slot.outstanding.count(k) != 0) requeue.push_back(k);
+    }
+    if (!requeue.empty()) {
+      stats->requeued_faults += requeue.size();
+      queue.push_front(std::move(requeue));
+    }
+    slot.group.clear();
+    slot.outstanding.clear();
+    slot.in_flight = kNoFault;
+
+    if (!stopping && restarts_used < sup_.max_worker_restarts) {
+      ++restarts_used;
+      slot.respawn_pending = true;
+      slot.respawn_at_ms =
+          sp::steady_now_ms() +
+          restart_schedule.delay_us(restarts_used) / 1000;
+    }
+  };
+
+  auto kill_and_reap = [&](std::size_t s, const char* cause) {
+    Slot& slot = slots[s];
+    ::kill(slot.child.pid, SIGKILL);
+    int status = 0;
+    sp::wait_blocking(slot.child.pid, status);
+    handle_death(s, std::string(cause) + "_" +
+                        sp::describe_wait_status(status));
+  };
+
+  auto request_shutdown = [&](Slot& slot) {
+    if (!slot.alive || slot.shutdown_sent) return;
+    slot.shutdown_sent = true;
+    sp::write_frame(slot.child.command_fd,
+                    static_cast<std::uint8_t>(shard::MsgType::Shutdown), "");
+  };
+
+  /// Drains and dispatches every complete frame from one worker. Returns
+  /// false when the stream ended (EOF/error/corruption) — worker death.
+  auto drain_frames = [&](std::size_t s) {
+    Slot& slot = slots[s];
+    while (true) {
+      std::uint8_t type = 0;
+      std::string payload;
+      while (slot.reader->next(type, payload)) {
+        slot.last_frame_ms = sp::steady_now_ms();
+        switch (static_cast<shard::MsgType>(type)) {
+          case shard::MsgType::FaultStart: {
+            std::size_t k = kNoFault;
+            if (shard::decode_fault_start(payload, k)) slot.in_flight = k;
+            break;
+          }
+          case shard::MsgType::FaultResult: {
+            MotBatchItem item;
+            if (decode_journal_record(payload, run_baseline_, item)) {
+              commit(item);
+              slot.outstanding.erase(item.fault_index);
+              if (slot.in_flight == item.fault_index) slot.in_flight = kNoFault;
+            }
+            break;
+          }
+          case shard::MsgType::GroupDone:
+            // Defensive: anything the worker skipped goes back to the pool.
+            if (!slot.outstanding.empty()) {
+              std::vector<std::size_t> leftover;
+              for (const std::size_t k : slot.group) {
+                if (slot.outstanding.count(k) != 0) leftover.push_back(k);
+              }
+              queue.push_front(std::move(leftover));
+            }
+            slot.group.clear();
+            slot.outstanding.clear();
+            slot.in_flight = kNoFault;
+            break;
+          case shard::MsgType::Heartbeat:
+            break;
+          default:
+            break;
+        }
+      }
+      if (slot.reader->corrupt()) return false;
+      int err = 0;
+      switch (slot.reader->feed(err)) {
+        case sp::FrameReader::FeedStatus::Data:
+          continue;
+        case sp::FrameReader::FeedStatus::WouldBlock:
+          return true;
+        case sp::FrameReader::FeedStatus::Eof:
+        case sp::FrameReader::FeedStatus::Error:
+          return false;
+      }
+    }
+  };
+
+  // Initial fleet: one worker per slot, capped by the number of groups —
+  // idle processes would only dilute the kill/restart accounting.
+  const std::size_t initial =
+      std::min<std::size_t>(workers, std::max<std::size_t>(queue.size(), 1));
+  for (std::size_t s = 0; s < initial && !queue.empty(); ++s) {
+    if (!spawn_slot(s)) continue;
+    assign_group(slots[s], std::move(queue.front()));
+    queue.pop_front();
+  }
+
+  // ------------------------- supervision loop -------------------------
+  while (true) {
+    const std::uint64_t now = sp::steady_now_ms();
+
+    if (!stopping &&
+        ((cancel != nullptr && cancel->cancelled()) || campaign.expired() ||
+         (journal != nullptr && journal->failed()))) {
+      stopping = true;
+      stop_deadline_ms = now + sup_.shutdown_grace_ms;
+      for (Slot& slot : slots) request_shutdown(slot);
+    }
+
+    bool any_live = false;
+    bool any_busy = false;
+    bool any_respawn = false;
+    for (const Slot& slot : slots) {
+      any_live |= slot.alive;
+      any_busy |= slot.alive && !slot.group.empty();
+      any_respawn |= slot.respawn_pending;
+    }
+
+    if (!stopping) {
+      if (queue.empty() && !any_busy) break;  // campaign complete
+      if (!any_live && !any_respawn) {
+        // Every worker is dead and the restart budget is spent: surrender
+        // the remainder as incomplete (resumable), never hang.
+        for (const auto& g : queue) stats->lost_faults += g.size();
+        break;
+      }
+    } else {
+      if (!any_live || now >= stop_deadline_ms) break;
+    }
+
+    // Respawns that have served their backoff.
+    if (!stopping) {
+      for (std::size_t s = 0; s < slots.size(); ++s) {
+        if (!slots[s].respawn_pending || now < slots[s].respawn_at_ms) continue;
+        slots[s].respawn_pending = false;
+        if (queue.empty() && !any_busy) continue;  // nothing left to do
+        if (spawn_slot(s)) ++stats->worker_restarts;
+      }
+      // Work stealing: idle survivors immediately claim requeued groups.
+      for (Slot& slot : slots) {
+        if (queue.empty()) break;
+        if (!slot.idle()) continue;
+        assign_group(slot, std::move(queue.front()));
+        queue.pop_front();
+      }
+    }
+
+    // Wait for worker traffic (bounded so timeouts and respawns progress).
+    std::vector<struct pollfd> fds;
+    std::vector<std::size_t> fd_slot;
+    for (std::size_t s = 0; s < slots.size(); ++s) {
+      if (!slots[s].alive) continue;
+      fds.push_back({slots[s].child.result_fd, POLLIN, 0});
+      fd_slot.push_back(s);
+    }
+    if (!fds.empty()) {
+      const int r = ::poll(fds.data(), fds.size(), 20);
+      if (r < 0 && errno != EINTR) break;  // coordinator fd table is broken
+    } else {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+
+    // Frames, then reaping: a worker that exited cleanly after streaming
+    // its last result must have that result committed before the reap.
+    for (std::size_t f = 0; f < fds.size(); ++f) {
+      const std::size_t s = fd_slot[f];
+      if (!slots[s].alive) continue;
+      if ((fds[f].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+      if (!drain_frames(s)) {
+        int status = 0;
+        sp::wait_blocking(slots[s].child.pid, status);
+        if (stopping || (sp::exited_cleanly(status) &&
+                         slots[s].outstanding.empty())) {
+          // Expected exit (shutdown or post-work EOF): not a death.
+          slots[s].alive = false;
+          close_slot_fds(slots[s]);
+        } else {
+          handle_death(s, sp::describe_wait_status(status));
+        }
+      }
+    }
+    for (std::size_t s = 0; s < slots.size(); ++s) {
+      if (!slots[s].alive) continue;
+      int status = 0;
+      if (sp::try_wait(slots[s].child.pid, status) == 1) {
+        drain_frames(s);  // final pipe contents survive the process
+        if (stopping || (sp::exited_cleanly(status) &&
+                         slots[s].outstanding.empty())) {
+          slots[s].alive = false;
+          close_slot_fds(slots[s]);
+        } else {
+          handle_death(s, sp::describe_wait_status(status));
+        }
+      }
+    }
+
+    // Liveness policing: heartbeat gaps and shard deadlines.
+    const std::uint64_t policed = sp::steady_now_ms();
+    for (std::size_t s = 0; s < slots.size(); ++s) {
+      Slot& slot = slots[s];
+      if (!slot.alive) continue;
+      if (sup_.heartbeat_ms > 0 &&
+          policed - slot.last_frame_ms > sup_.heartbeat_ms) {
+        kill_and_reap(s, "heartbeat_timeout");
+        continue;
+      }
+      if (sup_.shard_deadline_ms > 0 && !slot.group.empty() &&
+          policed - slot.group_assigned_ms > sup_.shard_deadline_ms) {
+        kill_and_reap(s, "shard_deadline");
+      }
+    }
+  }
+
+  // Teardown: ask politely, then insist. Every result already streamed is
+  // committed; workers that ignore Shutdown past the grace are SIGKILLed.
+  for (Slot& slot : slots) request_shutdown(slot);
+  const std::uint64_t teardown_deadline =
+      sp::steady_now_ms() + sup_.shutdown_grace_ms;
+  while (true) {
+    bool any_live = false;
+    for (std::size_t s = 0; s < slots.size(); ++s) {
+      Slot& slot = slots[s];
+      if (!slot.alive) continue;
+      if (slot.reader != nullptr && !drain_frames(s)) {
+        int status = 0;
+        sp::wait_blocking(slot.child.pid, status);
+        slot.alive = false;
+        close_slot_fds(slot);
+        continue;
+      }
+      int status = 0;
+      if (sp::try_wait(slot.child.pid, status) == 1) {
+        slot.alive = false;
+        close_slot_fds(slot);
+        continue;
+      }
+      any_live = true;
+    }
+    if (!any_live) break;
+    if (sp::steady_now_ms() >= teardown_deadline) {
+      for (Slot& slot : slots) {
+        if (!slot.alive) continue;
+        ::kill(slot.child.pid, SIGKILL);
+        int status = 0;
+        sp::wait_blocking(slot.child.pid, status);
+        slot.alive = false;
+        close_slot_fds(slot);
+      }
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+
+  // Shard files are fully merged into the main journal — retire them. If
+  // the main journal failed mid-run they are the only durable copy of the
+  // tail, so they are kept for the next resume's orphan harvest.
+  if (journal != nullptr && !journal->failed()) {
+    for (std::size_t s = 0; s < slots.size(); ++s) {
+      const std::string shard_path = worker_shard_path(jpath, s);
+      if (!shard_path.empty()) ::unlink(shard_path.c_str());
+    }
+  }
+
+  // One outcome per requested fault, always: whatever was neither resumed,
+  // simulated, harvested, nor poisoned comes back incomplete — the resume
+  // path re-runs exactly these.
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (done[i]) continue;
+    items[i].completed = false;
+    items[i].mot = MotResult{};
+    items[i].mot.unresolved = UnresolvedReason::Cancelled;
+    if (run_baseline_) {
+      items[i].baseline = BaselineResult{};
+      items[i].baseline.unresolved = UnresolvedReason::Cancelled;
+    }
+  }
+
+  ::sigaction(SIGPIPE, &old_pipe, nullptr);
+  return items;
+}
+
+}  // namespace motsim

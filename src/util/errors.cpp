@@ -68,13 +68,19 @@ int retry_transient(const RetryPolicy& policy, const std::function<int()>& op,
 }
 
 std::string sanitize_token(std::string_view text, std::size_t max_len) {
-  if (text.empty()) return "-";
+  if (text.empty() || max_len == 0) return "-";
   std::string out;
   out.reserve(std::min(text.size(), max_len));
   for (const char ch : text) {
     if (out.size() >= max_len) break;
     const unsigned char u = static_cast<unsigned char>(ch);
     out.push_back(std::isgraph(u) && ch != ';' ? ch : '_');
+  }
+  if (text.size() > max_len) {
+    // Truncation is marked, never silent: the reader of a journal record can
+    // tell "this was the whole diagnostic" from "this is a prefix". With
+    // max_len == 1 the entire token is the marker.
+    out.back() = '~';
   }
   return out;
 }

@@ -77,8 +77,11 @@ int retry_transient(const RetryPolicy& policy, const std::function<int()>& op,
 /// Collapses a free-form diagnostic (e.g. an exception message) into a
 /// single whitespace-free token safe to embed in journal records and log
 /// lines: non-printable characters, spaces and the record terminator ';'
-/// become '_', and the result is capped at `max_len` characters. An empty
-/// input sanitizes to "-" so the token is never missing from a record.
+/// become '_'. An empty input (or max_len == 0) sanitizes to "-" so the
+/// token is never missing from a record. An input longer than `max_len` is
+/// truncated to max_len characters with the last one replaced by '~' — a
+/// capped diagnostic is visibly a prefix, never silently mistaken for the
+/// whole message, and the result always round-trips as one journal token.
 std::string sanitize_token(std::string_view text, std::size_t max_len = 96);
 
 }  // namespace motsim

@@ -11,6 +11,7 @@
 #include "bdd/symbolic.hpp"
 #include "faultsim/batch.hpp"
 #include "faultsim/checkpoint.hpp"
+#include "faultsim/supervisor.hpp"
 #include "mot/oracle.hpp"
 #include "sim/seq_sim.hpp"
 #include "util/fsio.hpp"
@@ -36,6 +37,7 @@ std::string_view check_name(CheckId c) {
     case CheckId::ResumeEquivalence: return "resume-equivalence";
     case CheckId::WorkerQuarantine: return "worker-quarantine";
     case CheckId::FaultedResume: return "faulted-resume";
+    case CheckId::WorkerKill: return "worker-kill";
     case CheckId::All: return "all";
   }
   return "?";
@@ -569,6 +571,58 @@ void check_faulted_resume(const Circuit& c, const TestSequence& test,
   }
 }
 
+void check_worker_kill(const Circuit& c, const TestSequence& test,
+                       const SeqTrace& good, const std::vector<Fault>& faults,
+                       const VerifyOptions& opts, std::vector<Violation>& out) {
+  if (faults.empty()) return;
+  std::vector<std::size_t> indices(faults.size());
+  for (std::size_t k = 0; k < indices.size(); ++k) indices[k] = k;
+
+  MotOptions o = opts.mot;
+  o.num_threads = 1;
+  const MotBatchRunner serial(c, o, /*run_baseline=*/true);
+  const std::vector<MotBatchItem> reference =
+      serial.run(test, good, faults, indices);
+
+  // Chaos schedule: roughly a quarter of the fault attempts SIGKILL their
+  // worker. Attempts and restarts are effectively unbounded so no fault is
+  // poisoned — every outcome must come from a real simulation, making
+  // bit-identity with the serial reference the whole obligation.
+  for (const std::size_t workers : {std::size_t{1}, std::size_t{2}}) {
+    SupervisorOptions sup;
+    sup.workers = workers;
+    sup.heartbeat_ms = 20000;
+    sup.shutdown_grace_ms = 20000;
+    sup.restart_backoff.base_delay_us = 0;
+    sup.chaos_kill_permille = 250;
+    sup.chaos_kill_seed = 0x5eed + workers;
+    sup.max_fault_attempts = 1000;
+    sup.max_worker_restarts = 10000;
+    const SupervisedMotRunner runner(c, o, /*run_baseline=*/true, sup);
+    SupervisorStats stats;
+    const std::vector<MotBatchItem> got =
+        runner.run(test, good, faults, indices, nullptr, nullptr, &stats);
+    if (stats.poisoned_faults != 0 || stats.lost_faults != 0) {
+      add(out, CheckId::WorkerKill, faults[0],
+          str_format("chaos run at %zu workers lost work it had budget to "
+                     "retry: %zu poisoned, %zu lost (%zu deaths)",
+                     workers, stats.poisoned_faults, stats.lost_faults,
+                     stats.worker_deaths));
+      return;
+    }
+    for (std::size_t i = 0; i < faults.size(); ++i) {
+      if (got[i] == reference[i]) continue;
+      add(out, CheckId::WorkerKill, faults[i],
+          str_format("%s: supervised result at %zu workers (%zu deaths) "
+                     "differs from the in-process run: [%s] vs [%s]",
+                     describe(c, faults[i]).c_str(), workers,
+                     stats.worker_deaths, item_summary(got[i]).c_str(),
+                     item_summary(reference[i]).c_str()));
+      return;
+    }
+  }
+}
+
 }  // namespace
 
 std::vector<Violation> check_fault(const Circuit& c, const TestSequence& test,
@@ -596,6 +650,9 @@ std::vector<Violation> check_batch(const Circuit& c, const TestSequence& test,
   }
   if (enabled(opts, CheckId::FaultedResume)) {
     check_faulted_resume(c, test, good, faults, opts, out);
+  }
+  if (enabled(opts, CheckId::WorkerKill)) {
+    check_worker_kill(c, test, good, faults, opts, out);
   }
   return out;
 }

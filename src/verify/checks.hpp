@@ -26,7 +26,9 @@
 //   quarantine    an injected engine exception is contained to its fault and
 //                 always leaves evidence (diagnostic + EngineError/degrade);
 //   fault resume  a campaign stopped by injected journal I/O faults or an
-//                 emulated signal resumes bit-identically to the clean run.
+//                 emulated signal resumes bit-identically to the clean run;
+//   worker kill   the multi-process supervisor run under a seeded SIGKILL
+//                 chaos schedule merges to exactly the in-process result.
 //
 // An engine verdict of Unresolved (budget/abort) excuses a subsumption or
 // monotonicity obligation — an engine that gave up is not an engine that
@@ -65,6 +67,10 @@ enum class CheckId : std::uint8_t {
   /// persistent ENOSPC, transient EAGAIN) or an emulated mid-campaign
   /// signal resumes to exactly the uninterrupted run, at 1 and N threads.
   FaultedResume,
+  /// The multi-process supervisor survives SIGKILLed workers: under a
+  /// seeded chaos kill schedule the merged result is bit-identical to the
+  /// in-process runner at every worker count (see faultsim/supervisor.hpp).
+  WorkerKill,
   All,                   ///< sentinel: run every check (bundle replays)
 };
 

@@ -1,9 +1,10 @@
 #!/bin/sh
-# Exit-code contract of benchmark_sweep (see the header of
-# examples/benchmark_sweep.cpp):
-#   0  complete           2  budget-stopped, resumable
-#   1  usage error        3  cancelled by signal, resumable
-#                         4  journal I/O error
+# Exit-code contract of benchmark_sweep, asserted exhaustively (see the
+# header of examples/benchmark_sweep.cpp):
+#   0  complete           3  cancelled by signal, resumable
+#   1  usage error        4  journal failure (setup or mid-run I/O)
+#   2  budget-stopped,    5  worker-death partial completion (fleet lost,
+#      resumable             restart budget spent), resumable
 # Driven as a tier-1 ctest: $1 is the benchmark_sweep binary.
 set -u
 
@@ -74,5 +75,52 @@ check "unwritable journal path" 4 $?
 # Resuming from a journal that does not exist is an I/O error too.
 "$BIN" --circuits s298 --resume "$TMP/nonexistent.journal" > /dev/null 2>&1
 check "missing resume journal" 4 $?
+
+# 0 with --workers — the supervised multi-process path completes cleanly and
+# reports the same result as in-process (byte-identical tables).
+"$BIN" --circuits s298 --workers 2 > "$TMP/outw.txt" 2>&1
+check "clean run with 2 workers completes" 0 $?
+if command -v sed > /dev/null 2>&1; then
+  # Compare from "Table 2" down: the per-circuit progress lines differ (the
+  # worker path reports deaths when chaos is on), the tables must not —
+  # except the diagnostics "workers" column, which reports the worker count.
+  sed -n '/^Table 2/,/^Table 3/p' "$TMP/out0.txt" > "$TMP/t2_inproc.txt"
+  sed -n '/^Table 2/,/^Table 3/p' "$TMP/outw.txt" > "$TMP/t2_workers.txt"
+  if cmp -s "$TMP/t2_inproc.txt" "$TMP/t2_workers.txt"; then
+    echo "ok: --workers 2 Table 2 is identical to in-process"
+  else
+    echo "FAIL: --workers 2 changed Table 2" >&2
+    diff "$TMP/t2_inproc.txt" "$TMP/t2_workers.txt" >&2
+    fail=1
+  fi
+fi
+
+# 0 under chaos — seeded SIGKILLs of workers are recovered by restarts and
+# change nothing about the result.
+"$BIN" --circuits s298 --workers 2 --chaos-kill-permille 200 \
+  --chaos-kill-seed 7 --max-fault-attempts 1000 --max-worker-restarts 10000 \
+  > "$TMP/outc.txt" 2>&1
+check "chaos-killed workers still complete" 0 $?
+if command -v sed > /dev/null 2>&1; then
+  sed -n '/^Table 2/,/^Table 3/p' "$TMP/outc.txt" > "$TMP/t2_chaos.txt"
+  if cmp -s "$TMP/t2_inproc.txt" "$TMP/t2_chaos.txt"; then
+    echo "ok: chaos-killed Table 2 is identical to in-process"
+  else
+    echo "FAIL: chaos kills changed Table 2" >&2
+    diff "$TMP/t2_inproc.txt" "$TMP/t2_chaos.txt" >&2
+    fail=1
+  fi
+fi
+
+# 5 — losing the whole worker fleet with no restart budget is a partial
+# completion with its own exit code: every fault attempt kills its worker
+# (permille 1000), and the fleet has no restart budget.
+"$BIN" --circuits s298 --workers 1 --max-worker-restarts 0 \
+  --chaos-kill-permille 1000 --journal "$TMP/lost.journal" \
+  > "$TMP/out5.txt" 2>&1
+check "worker-fleet loss is exit 5" 5 $?
+# ... and the journaled campaign resumes to completion in-process.
+"$BIN" --circuits s298 --resume "$TMP/lost.journal" > "$TMP/out5b.txt" 2>&1
+check "resume after fleet loss completes" 0 $?
 
 exit "$fail"

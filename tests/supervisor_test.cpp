@@ -1,0 +1,368 @@
+// Tests for the multi-process campaign supervisor: shard protocol codec,
+// group planning, chaos kill schedule, and — the load-bearing guarantees —
+// bit-identity of the supervised merge with the in-process runner under
+// arbitrary worker counts and seeded kill schedules, poison-fault
+// quarantine, fleet-loss partial completion, and journal interop (shard
+// harvest + resume through the ordinary in-process path).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "circuits/embedded.hpp"
+#include "circuits/registry.hpp"
+#include "faultsim/batch.hpp"
+#include "faultsim/checkpoint.hpp"
+#include "faultsim/parallel.hpp"
+#include "faultsim/shard.hpp"
+#include "faultsim/supervisor.hpp"
+#include "testgen/random_gen.hpp"
+
+namespace motsim {
+namespace {
+
+struct Pipeline {
+  Circuit circuit;
+  TestSequence test;
+  SeqTrace good;
+  std::vector<Fault> faults;
+  std::vector<std::size_t> candidates;  // undetected, passes condition (C)
+};
+
+Pipeline prepare(Circuit c, std::size_t length, std::uint64_t seed) {
+  Rng rng(seed);
+  TestSequence test = random_sequence(c.num_inputs(), length, rng);
+  const SequentialSimulator sim(c);
+  SeqTrace good = sim.run_fault_free(test);
+  std::vector<Fault> faults = collapsed_fault_list(c);
+  const ParallelFaultSimulator pfs(c);
+  const std::vector<ConvOutcome> conv = pfs.run(test, good, faults);
+  std::vector<std::size_t> candidates;
+  for (std::size_t k = 0; k < faults.size(); ++k) {
+    if (!conv[k].detected && conv[k].passes_c) candidates.push_back(k);
+  }
+  return {std::move(c), std::move(test), std::move(good), std::move(faults),
+          std::move(candidates)};
+}
+
+void expect_items_identical(const std::vector<MotBatchItem>& a,
+                            const std::vector<MotBatchItem>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i], b[i]) << "item " << i << " (fault " << a[i].fault_index
+                          << ")";
+  }
+}
+
+// Supervisor options tuned for tests: no real backoff sleeps, generous
+// heartbeat so slow sanitizer runs never trip it by accident.
+SupervisorOptions test_sup(std::size_t workers) {
+  SupervisorOptions sup;
+  sup.workers = workers;
+  sup.heartbeat_ms = 20000;
+  sup.restart_backoff.base_delay_us = 0;
+  sup.shutdown_grace_ms = 20000;
+  return sup;
+}
+
+// ------------------------------------------------------- shard codec ----
+
+TEST(ShardCodec, AssignRoundTripsAndRejectsMalformedPayloads) {
+  const std::vector<std::size_t> groups[] = {
+      {0}, {7, 3, 19}, {1, 2, 3, 4, 5, 6, 7, 8}};
+  for (const auto& g : groups) {
+    std::vector<std::size_t> out;
+    ASSERT_TRUE(shard::decode_assign(shard::encode_assign(g), out));
+    EXPECT_EQ(out, g);
+  }
+  std::vector<std::size_t> out;
+  EXPECT_FALSE(shard::decode_assign("", out));
+  EXPECT_FALSE(shard::decode_assign(" 1", out));
+  EXPECT_FALSE(shard::decode_assign("1 ", out));
+  EXPECT_FALSE(shard::decode_assign("1  2", out));
+  EXPECT_FALSE(shard::decode_assign("1 x", out));
+  EXPECT_FALSE(shard::decode_assign("-1", out));
+}
+
+TEST(ShardCodec, FaultStartRoundTrips) {
+  std::size_t k = 0;
+  ASSERT_TRUE(shard::decode_fault_start(shard::encode_fault_start(12345), k));
+  EXPECT_EQ(k, 12345u);
+  EXPECT_FALSE(shard::decode_fault_start("", k));
+  EXPECT_FALSE(shard::decode_fault_start("12 34", k));
+}
+
+TEST(ShardPlanner, GroupsPartitionInputInOrder) {
+  std::vector<std::size_t> faults;
+  for (std::size_t i = 0; i < 103; ++i) faults.push_back(i * 3 + 1);
+  for (const std::size_t group_size : {std::size_t{0}, std::size_t{1},
+                                       std::size_t{7}, std::size_t{1000}}) {
+    const auto groups = shard::plan_fault_groups(faults, 4, group_size);
+    std::vector<std::size_t> flat;
+    for (const auto& g : groups) {
+      EXPECT_FALSE(g.empty());
+      flat.insert(flat.end(), g.begin(), g.end());
+    }
+    EXPECT_EQ(flat, faults) << "group_size " << group_size;
+  }
+  EXPECT_TRUE(shard::plan_fault_groups({}, 4, 0).empty());
+  // Auto sizing produces several groups per worker so stealing stays
+  // granular.
+  EXPECT_GT(shard::plan_fault_groups(faults, 4, 0).size(), 8u);
+}
+
+TEST(ChaosSchedule, DeterministicAndIncarnationSensitive) {
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(shard::chaos_should_kill(9, i, 0, 300),
+              shard::chaos_should_kill(9, i, 0, 300));
+  }
+  EXPECT_FALSE(shard::chaos_should_kill(9, 5, 0, 0));  // permille 0 = off
+  // A retried fault gets a fresh coin: across incarnations the decision
+  // flips somewhere (otherwise one unlucky fault would die forever).
+  int kills = 0;
+  int flips = 0;
+  bool prev = shard::chaos_should_kill(9, 5, 0, 500);
+  for (std::size_t inc = 0; inc < 64; ++inc) {
+    const bool kill = shard::chaos_should_kill(9, 5, inc, 500);
+    kills += kill;
+    flips += kill != prev;
+    prev = kill;
+  }
+  EXPECT_GT(kills, 8);
+  EXPECT_LT(kills, 56);
+  EXPECT_GT(flips, 0);
+}
+
+TEST(WorkerShardPath, DerivedFromJournalPath) {
+  EXPECT_EQ(worker_shard_path("", 3), "");
+  EXPECT_EQ(worker_shard_path("/tmp/camp.journal", 3), "/tmp/camp.journal.w3");
+}
+
+// -------------------------------------------------- supervised runner ----
+
+// The acceptance bar of the supervised path: for any worker count, the
+// merged result vector is bit-identical to the in-process runner.
+TEST(SupervisedMotRunner, OneAndFourWorkersMatchInProcess) {
+  const Pipeline p = prepare(circuits::make_table1_example(), 20, 3);
+  ASSERT_FALSE(p.candidates.empty());
+  MotOptions opt;
+  opt.num_threads = 1;
+  const MotBatchRunner reference(p.circuit, opt, /*run_baseline=*/true);
+  const std::vector<MotBatchItem> want =
+      reference.run(p.test, p.good, p.faults, p.candidates);
+
+  for (const std::size_t workers : {std::size_t{1}, std::size_t{4}}) {
+    const SupervisedMotRunner runner(p.circuit, opt, /*run_baseline=*/true,
+                                     test_sup(workers));
+    SupervisorStats stats;
+    const std::vector<MotBatchItem> got = runner.run(
+        p.test, p.good, p.faults, p.candidates, nullptr, nullptr, &stats);
+    expect_items_identical(got, want);
+    EXPECT_EQ(stats.worker_deaths, 0u) << workers << " workers";
+    EXPECT_EQ(stats.poisoned_faults, 0u);
+    EXPECT_EQ(stats.lost_faults, 0u);
+  }
+}
+
+TEST(SupervisedMotRunner, EmptyIndicesReturnEmpty) {
+  const Pipeline p = prepare(circuits::make_table1_example(), 10, 3);
+  MotOptions opt;
+  opt.num_threads = 1;
+  const SupervisedMotRunner runner(p.circuit, opt, false, test_sup(2));
+  EXPECT_TRUE(runner.run(p.test, p.good, p.faults, {}, nullptr).empty());
+}
+
+// The chaos test of the issue: SIGKILL workers at seeded random points and
+// require the merged result to stay bit-identical to the single-process
+// run, at 1 worker and at 4 workers.
+TEST(SupervisedMotRunner, SeededWorkerKillsAreInvisibleInResults) {
+  const Pipeline p = prepare(circuits::build_benchmark("s298"), 24, 11);
+  ASSERT_GT(p.candidates.size(), 4u);
+  MotOptions opt;
+  opt.num_threads = 1;
+  opt.n_states = 16;  // keep per-fault cost small; deaths dominate the test
+  const MotBatchRunner reference(p.circuit, opt, /*run_baseline=*/true);
+  const std::vector<MotBatchItem> want =
+      reference.run(p.test, p.good, p.faults, p.candidates);
+
+  for (const std::size_t workers : {std::size_t{1}, std::size_t{4}}) {
+    SupervisorOptions sup = test_sup(workers);
+    sup.chaos_kill_permille = 250;
+    sup.chaos_kill_seed = 0xdeadbeef;
+    sup.max_fault_attempts = 1000;   // no poisoning: every fault must land
+    sup.max_worker_restarts = 10000;
+    const SupervisedMotRunner runner(p.circuit, opt, /*run_baseline=*/true,
+                                     sup);
+    SupervisorStats stats;
+    const std::vector<MotBatchItem> got = runner.run(
+        p.test, p.good, p.faults, p.candidates, nullptr, nullptr, &stats);
+    EXPECT_GT(stats.worker_deaths, 0u) << workers << " workers";
+    EXPECT_EQ(stats.worker_restarts, stats.worker_deaths);
+    EXPECT_EQ(stats.poisoned_faults, 0u);
+    EXPECT_EQ(stats.lost_faults, 0u);
+    expect_items_identical(got, want);
+  }
+}
+
+// A fault that deterministically kills every worker that touches it must be
+// quarantined after max_fault_attempts — and only it; every other fault's
+// result stays bit-identical.
+TEST(SupervisedMotRunner, PoisonFaultIsQuarantinedAfterMaxAttempts) {
+  const Pipeline p = prepare(circuits::make_table1_example(), 20, 3);
+  ASSERT_GT(p.candidates.size(), 1u);
+  MotOptions opt;
+  opt.num_threads = 1;
+  const MotBatchRunner reference(p.circuit, opt, /*run_baseline=*/true);
+  const std::vector<MotBatchItem> want =
+      reference.run(p.test, p.good, p.faults, p.candidates);
+
+  const std::size_t poison = p.candidates[1];
+  SupervisorOptions sup = test_sup(2);
+  sup.chaos_abort_fault = poison;
+  sup.max_fault_attempts = 2;
+  sup.max_worker_restarts = 100;
+  const SupervisedMotRunner runner(p.circuit, opt, /*run_baseline=*/true, sup);
+  SupervisorStats stats;
+  const std::vector<MotBatchItem> got = runner.run(
+      p.test, p.good, p.faults, p.candidates, nullptr, nullptr, &stats);
+
+  EXPECT_EQ(stats.poisoned_faults, 1u);
+  EXPECT_GE(stats.worker_deaths, 2u);  // the poison killed two incarnations
+  EXPECT_EQ(stats.lost_faults, 0u);
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    if (got[i].fault_index == poison) {
+      EXPECT_TRUE(got[i].completed);
+      EXPECT_EQ(got[i].mot.unresolved, UnresolvedReason::EngineError);
+      EXPECT_EQ(got[i].error.rfind("worker_killed_", 0), 0u) << got[i].error;
+      EXPECT_NE(got[i].error.find("signal_9"), std::string::npos)
+          << got[i].error;
+    } else {
+      EXPECT_EQ(got[i], want[i]) << "fault " << got[i].fault_index;
+    }
+  }
+}
+
+// When the whole fleet is dead and the restart budget is spent, the runner
+// returns the remaining faults incomplete (resumable) instead of hanging.
+TEST(SupervisedMotRunner, FleetLossReturnsRemainingFaultsIncomplete) {
+  const Pipeline p = prepare(circuits::make_table1_example(), 20, 3);
+  ASSERT_GT(p.candidates.size(), 1u);
+  MotOptions opt;
+  opt.num_threads = 1;
+
+  SupervisorOptions sup = test_sup(1);
+  sup.chaos_abort_fault = p.candidates[0];  // first fault kills the worker
+  sup.max_worker_restarts = 0;              // ... and there is no second one
+  sup.group_size = p.candidates.size();     // everything in one shard
+  const SupervisedMotRunner runner(p.circuit, opt, /*run_baseline=*/true, sup);
+  SupervisorStats stats;
+  const std::vector<MotBatchItem> got = runner.run(
+      p.test, p.good, p.faults, p.candidates, nullptr, nullptr, &stats);
+
+  EXPECT_EQ(stats.worker_deaths, 1u);
+  EXPECT_EQ(stats.worker_restarts, 0u);
+  EXPECT_EQ(stats.lost_faults, p.candidates.size());
+  ASSERT_EQ(got.size(), p.candidates.size());
+  for (const MotBatchItem& item : got) {
+    EXPECT_FALSE(item.completed);
+    EXPECT_EQ(item.mot.unresolved, UnresolvedReason::Cancelled);
+  }
+}
+
+// Journal interop across the process boundary: a supervised campaign that
+// loses its fleet mid-run leaves a valid journal (including records
+// harvested from worker shards), and the ordinary in-process runner resumes
+// it to a result bit-identical to an uninterrupted run.
+TEST(SupervisedMotRunner, KilledCampaignResumesThroughInProcessRunner) {
+  const Pipeline p = prepare(circuits::make_table1_example(), 20, 3);
+  ASSERT_GT(p.candidates.size(), 2u);
+  MotOptions opt;
+  opt.num_threads = 1;
+  const MotBatchRunner reference(p.circuit, opt, /*run_baseline=*/true);
+  const std::vector<MotBatchItem> want =
+      reference.run(p.test, p.good, p.faults, p.candidates);
+
+  const std::string path = testing::TempDir() + "/supervised_resume.journal";
+  const JournalMeta meta = make_journal_meta(p.circuit.name(), p.faults.size(),
+                                             p.test, opt, /*baseline=*/true);
+  std::string err;
+
+  // Phase 1: one worker, no restarts, poisoned third candidate — the fleet
+  // dies partway with at least the first two outcomes journaled.
+  {
+    auto journal = CampaignJournal::create(path, meta, err);
+    ASSERT_NE(journal, nullptr) << err;
+    SupervisorOptions sup = test_sup(1);
+    sup.chaos_abort_fault = p.candidates[2];
+    sup.max_worker_restarts = 0;
+    sup.group_size = p.candidates.size();
+    const SupervisedMotRunner runner(p.circuit, opt, /*run_baseline=*/true,
+                                     sup);
+    SupervisorStats stats;
+    const std::vector<MotBatchItem> got = runner.run(
+        p.test, p.good, p.faults, p.candidates, journal.get(), nullptr,
+        &stats);
+    EXPECT_EQ(stats.lost_faults, p.candidates.size() - 2);
+    EXPECT_EQ(got[0], want[0]);
+    EXPECT_EQ(got[1], want[1]);
+  }
+
+  // Phase 2: resume the same journal with the plain in-process runner — the
+  // two runners share one record codec, so the handoff is seamless.
+  {
+    auto journal = CampaignJournal::open_resume(path, meta, err);
+    ASSERT_NE(journal, nullptr) << err;
+    EXPECT_EQ(journal->resumed_count(), 2u);
+    const std::vector<MotBatchItem> got =
+        reference.run(p.test, p.good, p.faults, p.candidates, journal.get());
+    expect_items_identical(got, want);
+  }
+  std::remove(path.c_str());
+}
+
+// Chaos kills with a journal: the supervised run completes through deaths
+// and restarts, and afterwards a resume finds nothing left to do.
+TEST(SupervisedMotRunner, JournaledChaosRunCompletesAndResumesToNoop) {
+  const Pipeline p = prepare(circuits::make_table1_example(), 20, 3);
+  ASSERT_FALSE(p.candidates.empty());
+  MotOptions opt;
+  opt.num_threads = 1;
+  const MotBatchRunner reference(p.circuit, opt, /*run_baseline=*/true);
+  const std::vector<MotBatchItem> want =
+      reference.run(p.test, p.good, p.faults, p.candidates);
+
+  const std::string path = testing::TempDir() + "/supervised_chaos.journal";
+  const JournalMeta meta = make_journal_meta(p.circuit.name(), p.faults.size(),
+                                             p.test, opt, /*baseline=*/true);
+  std::string err;
+  auto journal = CampaignJournal::create(path, meta, err);
+  ASSERT_NE(journal, nullptr) << err;
+
+  SupervisorOptions sup = test_sup(2);
+  sup.chaos_kill_permille = 300;
+  sup.chaos_kill_seed = 42;
+  sup.max_fault_attempts = 1000;
+  sup.max_worker_restarts = 10000;
+  const SupervisedMotRunner runner(p.circuit, opt, /*run_baseline=*/true, sup);
+  SupervisorStats stats;
+  const std::vector<MotBatchItem> got = runner.run(
+      p.test, p.good, p.faults, p.candidates, journal.get(), nullptr, &stats);
+  expect_items_identical(got, want);
+
+  // The shards were merged and retired; the journal alone holds everything.
+  for (std::size_t s = 0; s < 2; ++s) {
+    std::string shard_err;
+    EXPECT_EQ(CampaignJournal::open_resume(worker_shard_path(path, s), meta,
+                                           shard_err),
+              nullptr);
+  }
+  journal.reset();
+  auto resumed = CampaignJournal::open_resume(path, meta, err);
+  ASSERT_NE(resumed, nullptr) << err;
+  EXPECT_EQ(resumed->resumed_count(), p.candidates.size());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace motsim

@@ -1,8 +1,11 @@
 // Unit tests for src/util: rng, strings, table, cli, errors/retry, fsio
-// fault injection, and the budget/deadline stride behaviour.
+// fault injection, subprocess/frame plumbing, and the budget/deadline
+// stride behaviour.
 #include <gtest/gtest.h>
 
 #include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
 
 #include <cerrno>
 #include <cstdio>
@@ -18,6 +21,7 @@
 #include "util/fsio.hpp"
 #include "util/rng.hpp"
 #include "util/strings.hpp"
+#include "util/subprocess.hpp"
 #include "util/table.hpp"
 
 namespace motsim {
@@ -347,7 +351,27 @@ TEST(Errors, SanitizeTokenProducesJournalSafeTokens) {
   EXPECT_EQ(sanitize_token(""), "-");
   EXPECT_EQ(sanitize_token("clean-token"), "clean-token");
   EXPECT_EQ(sanitize_token("two words; with\tjunk\n"), "two_words__with_junk_");
-  EXPECT_EQ(sanitize_token(std::string(200, 'x'), 8), "xxxxxxxx");
+}
+
+TEST(Errors, SanitizeTokenMarksTruncationAndNeverReturnsEmpty) {
+  // Over-length inputs are truncated to max_len with a visible '~' marker —
+  // a capped diagnostic must not be mistaken for the whole message.
+  EXPECT_EQ(sanitize_token(std::string(200, 'x'), 8), "xxxxxxx~");
+  // Exactly max_len is not truncation: no marker.
+  EXPECT_EQ(sanitize_token(std::string(8, 'x'), 8), "xxxxxxxx");
+  EXPECT_EQ(sanitize_token(std::string(7, 'x'), 8), "xxxxxxx");
+  // One past the cap flips the last kept character to the marker.
+  EXPECT_EQ(sanitize_token(std::string(9, 'x'), 8), "xxxxxxx~");
+  // Degenerate caps still yield a non-empty, journal-safe token.
+  EXPECT_EQ(sanitize_token("anything", 0), "-");
+  EXPECT_EQ(sanitize_token("ab", 1), "~");
+  EXPECT_EQ(sanitize_token("a", 1), "a");
+  // The marker itself is a single graphic character: the token still
+  // round-trips through a space-separated journal record.
+  const std::string t = sanitize_token(std::string(500, ' '), 16);
+  EXPECT_EQ(t.size(), 16u);
+  EXPECT_EQ(t.find(' '), std::string::npos);
+  EXPECT_EQ(t.back(), '~');
 }
 
 // --------------------------------------------------------------- Fsio ----
@@ -480,6 +504,177 @@ TEST(Budget, CancelTokenIsSeenAtStrideBoundaries) {
   WorkBudget prompt(Deadline{}, 0, nullptr, &early);
   EXPECT_TRUE(prompt.poll());
   EXPECT_EQ(prompt.stop(), BudgetStop::Cancelled);
+}
+
+// --------------------------------------------------------- Subprocess ----
+
+namespace sp = subprocess;
+
+// Drains one complete frame from a reader backed by a readable fd.
+bool read_one_frame(sp::FrameReader& reader, std::uint8_t& type,
+                    std::string& payload) {
+  for (int spins = 0; spins < 10000; ++spins) {
+    if (reader.next(type, payload)) return true;
+    if (reader.corrupt()) return false;
+    int err = 0;
+    const auto fs = reader.feed(err);
+    if (fs == sp::FrameReader::FeedStatus::Eof ||
+        fs == sp::FrameReader::FeedStatus::Error) {
+      return false;
+    }
+  }
+  return false;
+}
+
+TEST(Subprocess, FrameRoundTripsOverARealPipe) {
+  sp::Pipe p;
+  ASSERT_EQ(sp::make_pipe(p), 0);
+  const std::string payloads[] = {"", "x", std::string("with\0nul", 8),
+                                  std::string(5000, 'q')};
+  for (std::uint8_t type = 1; type <= 4; ++type) {
+    ASSERT_EQ(sp::write_frame(p.write_fd, type, payloads[type - 1]), 0);
+  }
+  sp::FrameReader reader(p.read_fd);
+  for (std::uint8_t want = 1; want <= 4; ++want) {
+    std::uint8_t type = 0;
+    std::string payload;
+    ASSERT_TRUE(read_one_frame(reader, type, payload));
+    EXPECT_EQ(type, want);
+    EXPECT_EQ(payload, payloads[want - 1]);
+  }
+  ::close(p.write_fd);
+  ::close(p.read_fd);
+}
+
+TEST(Subprocess, FrameReaderReassemblesByteDribbles) {
+  // The coordinator's non-blocking reads can deliver a frame one byte at a
+  // time; the reader must hold partial frames until they complete.
+  sp::Pipe p;
+  ASSERT_EQ(sp::make_pipe(p), 0);
+  const std::string payload = "partial frame payload";
+  std::string wire;
+  wire.push_back(static_cast<char>(7));
+  const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+  for (int i = 0; i < 4; ++i) wire.push_back(static_cast<char>(len >> (8 * i)));
+  wire += payload;
+
+  sp::FrameReader reader(p.read_fd);
+  std::uint8_t type = 0;
+  std::string got;
+  for (const char ch : wire) {
+    EXPECT_FALSE(reader.next(type, got));
+    ASSERT_EQ(::write(p.write_fd, &ch, 1), 1);
+    int err = 0;
+    ASSERT_EQ(reader.feed(err), sp::FrameReader::FeedStatus::Data);
+  }
+  ASSERT_TRUE(reader.next(type, got));
+  EXPECT_EQ(type, 7);
+  EXPECT_EQ(got, payload);
+  EXPECT_FALSE(reader.corrupt());
+  ::close(p.write_fd);
+  ::close(p.read_fd);
+}
+
+TEST(Subprocess, FrameReaderFlagsImpossibleLengthAsCorrupt) {
+  sp::Pipe p;
+  ASSERT_EQ(sp::make_pipe(p), 0);
+  // Type byte + a length far beyond kMaxFramePayload.
+  const unsigned char wire[5] = {1, 0xff, 0xff, 0xff, 0x7f};
+  ASSERT_EQ(::write(p.write_fd, wire, sizeof wire), 5);
+  sp::FrameReader reader(p.read_fd);
+  int err = 0;
+  ASSERT_EQ(reader.feed(err), sp::FrameReader::FeedStatus::Data);
+  std::uint8_t type = 0;
+  std::string payload;
+  EXPECT_FALSE(reader.next(type, payload));
+  EXPECT_TRUE(reader.corrupt());
+  ::close(p.write_fd);
+  ::close(p.read_fd);
+}
+
+TEST(Subprocess, WriteFrameReportsDeadReader) {
+  ::signal(SIGPIPE, SIG_IGN);
+  sp::Pipe p;
+  ASSERT_EQ(sp::make_pipe(p), 0);
+  ::close(p.read_fd);
+  EXPECT_EQ(sp::write_frame(p.write_fd, 1, "payload"), EPIPE);
+  ::close(p.write_fd);
+}
+
+TEST(Subprocess, SpawnEchoChildAndCleanExit) {
+  sp::ChildHandles child;
+  ASSERT_EQ(sp::spawn(
+                [](int cmd_fd, int res_fd) {
+                  sp::FrameReader reader(cmd_fd);
+                  std::uint8_t type = 0;
+                  std::string payload;
+                  if (!read_one_frame(reader, type, payload)) return 3;
+                  if (sp::write_frame(res_fd, type, payload) != 0) return 4;
+                  return 0;
+                },
+                {}, child),
+            0);
+  ASSERT_EQ(sp::write_frame(child.command_fd, 9, "ping"), 0);
+  sp::FrameReader reader(child.result_fd);
+  std::uint8_t type = 0;
+  std::string payload;
+  ASSERT_TRUE(read_one_frame(reader, type, payload));
+  EXPECT_EQ(type, 9);
+  EXPECT_EQ(payload, "ping");
+  int status = 0;
+  EXPECT_EQ(sp::wait_blocking(child.pid, status), 0);
+  EXPECT_TRUE(sp::exited_cleanly(status));
+  EXPECT_EQ(sp::describe_wait_status(status), "exit_0");
+  ::close(child.command_fd);
+  ::close(child.result_fd);
+}
+
+TEST(Subprocess, DescribeWaitStatusNamesSignals) {
+  // A SIGKILLed child produces the one-token diagnostic the supervisor
+  // records against poisoned faults.
+  sp::ChildHandles child;
+  ASSERT_EQ(sp::spawn(
+                [](int cmd_fd, int) {
+                  // Block until the parent kills us.
+                  char ch = 0;
+                  while (::read(cmd_fd, &ch, 1) == 0) {
+                  }
+                  return 0;
+                },
+                {}, child),
+            0);
+  ASSERT_EQ(::kill(child.pid, SIGKILL), 0);
+  int status = 0;
+  ASSERT_EQ(sp::wait_blocking(child.pid, status), 0);
+  EXPECT_FALSE(sp::exited_cleanly(status));
+  const std::string token = sp::describe_wait_status(status);
+  EXPECT_EQ(token.rfind("signal_9", 0), 0u) << token;
+  // Journal-token-safe by construction: single token, no spaces.
+  EXPECT_EQ(token.find(' '), std::string::npos);
+  EXPECT_EQ(sanitize_token(token), token);
+  ::close(child.command_fd);
+  ::close(child.result_fd);
+}
+
+TEST(Subprocess, TryWaitSeesRunningThenReaped) {
+  sp::ChildHandles child;
+  ASSERT_EQ(sp::spawn(
+                [](int cmd_fd, int) {
+                  sp::FrameReader reader(cmd_fd);
+                  std::uint8_t type = 0;
+                  std::string payload;
+                  read_one_frame(reader, type, payload);
+                  return 0;
+                },
+                {}, child),
+            0);
+  int status = 0;
+  EXPECT_EQ(sp::try_wait(child.pid, status), 0);  // still blocked on a frame
+  ASSERT_EQ(sp::write_frame(child.command_fd, 1, ""), 0);
+  ASSERT_EQ(sp::wait_blocking(child.pid, status), 0);
+  EXPECT_TRUE(sp::exited_cleanly(status));
+  ::close(child.command_fd);
+  ::close(child.result_fd);
 }
 
 }  // namespace
