@@ -26,23 +26,33 @@ namespace {
 using namespace motsim;
 using namespace motsim::experiments;
 
-// `measures_scaling` marks the all-threads row; it is emitted false on a
-// single-core host, where that row degenerates to a second serial run.
+// `kernel` tags which per-fault simulation kernel produced the row (the
+// legacy event-driven engines vs the levelized SoA kernel with 64-way packed
+// expansion); `measures_scaling` marks the all-threads row; it is emitted
+// false on a single-core host, where that row degenerates to a second serial
+// run.
 void add_json_row(benchutil::JsonReport& report, const RunResult& r,
-                  bool measures_scaling) {
+                  const char* kernel, bool measures_scaling) {
   const double fps =
       r.seconds > 0.0 ? static_cast<double>(r.total_faults) / r.seconds : 0.0;
   report.add_row()
       .add("circuit", r.circuit)
+      .add("kernel", std::string(kernel))
       .add("measures_scaling",
            measures_scaling && benchutil::hardware_threads() > 1)
       .add("stage", std::string("full_pipeline"))
       .add("threads", static_cast<std::uint64_t>(r.threads))
       .add("wall_seconds", r.seconds)
+      .add("seconds_prepass", r.seconds_prepass)
+      .add("seconds_mot", r.seconds_mot)
       .add("faults_per_second", fps)
       .add("total_faults", static_cast<std::uint64_t>(r.total_faults))
       .add("mot_candidates", static_cast<std::uint64_t>(r.candidates))
       .add("mot_processed", static_cast<std::uint64_t>(r.processed))
+      // The candidate cap in effect (0 = uncapped) — a truncated candidate
+      // list is visible in the report, never silent.
+      .add("mot_cap", static_cast<std::uint64_t>(r.mot_cap))
+      .add("mot_capped", r.capped)
       .add("conv_detected", static_cast<std::uint64_t>(r.conv_detected))
       .add("baseline_extra", static_cast<std::uint64_t>(r.baseline_extra))
       .add("proposed_extra", static_cast<std::uint64_t>(r.proposed_extra))
@@ -62,6 +72,29 @@ void reproduction() {
               r.run.proposed_extra, r.run.baseline_extra,
               r.run.proposed_extra >= r.run.baseline_extra ? "yes" : "NO");
 
+  const Circuit c = circuits::build_benchmark("s5378");
+
+  // Legacy-kernel row: the same circuit and sequence through the
+  // event-driven per-fault engines. This is the before-side of the SoA
+  // kernel speedup, re-measured on this host and build — and a full-scale
+  // kernel-equivalence check: every detection count must be identical.
+  benchutil::heading("Legacy kernel (same sequence, event-driven engines)");
+  RunConfig legacy_config;
+  legacy_config.mot.num_threads = 1;
+  legacy_config.mot.kernel = KernelKind::Legacy;
+  apply_profile_caps("s5378", legacy_config);
+  const RunResult legacy = run_circuit(c, r.sequence, legacy_config);
+  const bool legacy_identical =
+      legacy.conv_detected == r.run.conv_detected &&
+      legacy.proposed_extra == r.run.proposed_extra &&
+      legacy.baseline_extra == r.run.baseline_extra &&
+      legacy.baseline_only == r.run.baseline_only;
+  std::printf("legacy %.2fs -> soa %.2fs (speedup %.2fx)\n", legacy.seconds,
+              r.run.seconds,
+              r.run.seconds > 0.0 ? legacy.seconds / r.run.seconds : 0.0);
+  std::printf("detection counts identical across kernels: %s\n",
+              legacy_identical ? "yes" : "NO");
+
   // Scaling row: the same circuit and sequence through the sharded MOT
   // dispatch on every hardware thread. Detection counts must not move.
   benchutil::heading("Thread scaling (same sequence, sharded MOT dispatch)");
@@ -77,7 +110,6 @@ void reproduction() {
   RunConfig par_config;
   par_config.mot.num_threads = 0;  // all hardware threads
   apply_profile_caps("s5378", par_config);
-  const Circuit c = circuits::build_benchmark("s5378");
   const RunResult par = run_circuit(c, r.sequence, par_config);
   const bool identical =
       par.conv_detected == r.run.conv_detected &&
@@ -91,8 +123,9 @@ void reproduction() {
               identical ? "yes" : "NO");
 
   benchutil::JsonReport report("hitec_s5378");
-  add_json_row(report, r.run, /*measures_scaling=*/false);
-  add_json_row(report, par, /*measures_scaling=*/true);
+  add_json_row(report, legacy, "legacy", /*measures_scaling=*/false);
+  add_json_row(report, r.run, "soa_kernel", /*measures_scaling=*/false);
+  add_json_row(report, par, "soa_kernel", /*measures_scaling=*/true);
   report.write();
 }
 

@@ -67,13 +67,17 @@ RunResult run_circuit(const Circuit& c, const TestSequence& test,
     result.resumed_faults = journal->resumed_count();
   }
 
-  const SequentialSimulator sim(c);
-  const SeqTrace good = sim.run_fault_free(test);
+  const SequentialSimulator sim(c, config.mot.kernel);
+  // Line values let the SoA kernel derive each candidate's faulty trace
+  // incrementally from the fault-free one (cone re-evaluation per frame).
+  const SeqTrace good = sim.run_fault_free(test, /*keep_lines=*/true);
 
   // Fast conventional classification of the whole fault universe.
+  const auto prepass_start = Clock::now();
   const ParallelFaultSimulator pfs(c);
   const std::vector<ConvOutcome> conv =
       pfs.run(test, good, faults, result.threads);
+  result.seconds_prepass = seconds_since(prepass_start);
 
   std::vector<std::size_t> candidates;
   for (std::size_t k = 0; k < faults.size(); ++k) {
@@ -84,6 +88,7 @@ RunResult run_circuit(const Circuit& c, const TestSequence& test,
     }
   }
   result.candidates = candidates.size();
+  result.mot_cap = config.max_mot_faults;
   if (config.max_mot_faults > 0 && candidates.size() > config.max_mot_faults) {
     candidates.resize(config.max_mot_faults);
     result.capped = true;
@@ -97,6 +102,7 @@ RunResult run_circuit(const Circuit& c, const TestSequence& test,
   // runner returns one item per candidate in candidate order regardless of
   // the schedule (and, for processes, regardless of worker deaths), so the
   // aggregation below is deterministic.
+  const auto mot_start = Clock::now();
   const std::vector<MotBatchItem> items = [&] {
     if (config.supervisor.workers > 0) {
       result.workers = config.supervisor.workers;
@@ -117,6 +123,7 @@ RunResult run_circuit(const Circuit& c, const TestSequence& test,
     return runner.run(test, good, faults, candidates, journal.get(),
                       config.cancel);
   }();
+  result.seconds_mot = seconds_since(mot_start);
   if (journal && journal->failed()) {
     result.journal_io_error = journal->failure();
   }

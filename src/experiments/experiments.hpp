@@ -87,6 +87,10 @@ struct RunResult {
   /// every value).
   std::size_t threads = 1;
   bool capped = false;
+  /// The candidate cap in effect for this run (RunConfig::max_mot_faults
+  /// after profile defaults, 0 = unlimited) — recorded so a truncated
+  /// candidate list is always visible in reports, never silent.
+  std::size_t mot_cap = 0;
   /// Faults whose backward-implication collection hit MotOptions::max_pairs.
   std::size_t collection_capped_faults = 0;
 
@@ -136,6 +140,11 @@ struct RunResult {
   std::size_t worker_harvested_records = 0;
 
   double seconds = 0.0;
+  /// Stage split of `seconds` (diagnostics): the parallel conventional
+  /// pre-pass over the whole fault universe, and the per-candidate MOT
+  /// batch (proposed + baseline engines).
+  double seconds_prepass = 0.0;
+  double seconds_mot = 0.0;
 };
 
 /// Runs the full pipeline on an explicit circuit + test sequence.

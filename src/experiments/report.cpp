@@ -40,7 +40,9 @@ std::string render_diagnostics(const std::vector<RunResult>& rows) {
         .add(r.processed)
         .add(r.threads)
         .add(r.workers)
-        .add(r.capped ? "yes" : "no")
+        // The cap value rides along when it bound: a truncated candidate
+        // list is never a bare "yes" the reader must chase into configs.
+        .add(r.capped ? str_format("yes(%zu)", r.mot_cap) : "no")
         .add(r.collection_capped_faults)
         .add(r.baseline_available ? str_format("%zu", r.baseline_only) : "NA")
         .add(r.baseline_available

@@ -48,7 +48,7 @@ struct Lane {
   std::unique_ptr<ExpansionBaseline> fallback;
 
   Lane(const Circuit& c, const MotOptions& opt, bool run_baseline)
-      : conv(c), proposed(c, opt) {
+      : conv(c, opt.kernel), proposed(c, opt) {
     if (run_baseline) baseline = std::make_unique<ExpansionBaseline>(c, opt);
   }
 };
@@ -170,7 +170,9 @@ std::vector<MotBatchItem> MotBatchRunner::run(
     bool have_faulty = false;
     try {
       if (fault_hook_) fault_hook_(k);
-      faulty = lane.conv.simulate_fault(test, f, /*keep_lines=*/true);
+      // When the caller's fault-free trace carries line values, the SoA
+      // kernel replays it and re-evaluates only the fault's cone per frame.
+      faulty = lane.conv.simulate_fault(test, f, /*keep_lines=*/true, &good);
       have_faulty = true;
       lane.proposed.reseed_selection(
           per_fault_selection_seed(options_.selection_seed, k));

@@ -1,11 +1,25 @@
 #include "faultsim/conventional.hpp"
 
+#include "sim/frame_kernel.hpp"
+
 namespace motsim {
+
+SeqTrace ConventionalFaultSimulator::simulate_fault(
+    const TestSequence& test, const Fault& f, bool keep_lines,
+    const SeqTrace* reference) const {
+  const FaultView fv(*circuit_, f);
+  if (kernel_ == KernelKind::SoA && reference != nullptr &&
+      reference->lines.size() == test.length()) {
+    return run_fault_from_reference(*circuit_, test, fv, *reference, keep_lines);
+  }
+  return sim_.run(test, fv, keep_lines);
+}
 
 ConvOutcome ConventionalFaultSimulator::analyze(const TestSequence& test,
                                                 const SeqTrace& fault_free,
                                                 const Fault& f) const {
-  const SeqTrace faulty = simulate_fault(test, f);
+  const SeqTrace faulty = simulate_fault(test, f, /*keep_lines=*/false,
+                                         &fault_free);
   ConvOutcome out;
   out.detected = traces_conflict(fault_free, faulty);
   out.passes_c = !out.detected && passes_condition_c(fault_free, faulty);

@@ -21,15 +21,18 @@ struct ConvOutcome {
 
 class ConventionalFaultSimulator {
  public:
-  explicit ConventionalFaultSimulator(const Circuit& c)
-      : circuit_(&c), sim_(c) {}
+  explicit ConventionalFaultSimulator(const Circuit& c,
+                                      KernelKind kernel = KernelKind::SoA)
+      : circuit_(&c), sim_(c, kernel), kernel_(kernel) {}
 
   /// Full faulty trace (with line values when keep_lines) — the starting
-  /// point for the MOT procedures.
+  /// point for the MOT procedures. When `reference` points at a fault-free
+  /// trace of the same test simulated with keep_lines, the SoA kernel
+  /// replays it and re-evaluates only the fault's cone of influence per
+  /// frame — bit-identical result, a fraction of the work.
   SeqTrace simulate_fault(const TestSequence& test, const Fault& f,
-                          bool keep_lines = false) const {
-    return sim_.run(test, FaultView(*circuit_, f), keep_lines);
-  }
+                          bool keep_lines = false,
+                          const SeqTrace* reference = nullptr) const;
 
   ConvOutcome analyze(const TestSequence& test, const SeqTrace& fault_free,
                       const Fault& f) const;
@@ -42,6 +45,7 @@ class ConventionalFaultSimulator {
  private:
   const Circuit* circuit_;
   SequentialSimulator sim_;
+  KernelKind kernel_ = KernelKind::SoA;
 };
 
 }  // namespace motsim

@@ -5,6 +5,7 @@
 
 #include "logic/eval.hpp"
 #include "logic/pval.hpp"
+#include "netlist/levelized.hpp"
 #include "util/thread_pool.hpp"
 
 namespace motsim {
@@ -21,6 +22,7 @@ void ParallelFaultSimulator::run_group(const TestSequence& test,
                                        ConvOutcome* outcomes,
                                        GroupScratch& scratch) const {
   const Circuit& c = *circuit_;
+  const LevelizedCircuit& lv = c.levelized();
   const std::size_t L = test.length();
 
   // Per-gate fault lists for quick fixup lookup, in reusable scratch (a
@@ -102,20 +104,14 @@ void ParallelFaultSimulator::run_group(const TestSequence& test,
     for (std::size_t k = 0; k < c.num_dffs(); ++k) {
       vals[c.dffs()[k]] = state[k];
     }
-    for (GateId id = 0; id < c.num_gates(); ++id) {
-      const GateType t = c.gate(id).type;
-      if (t == GateType::Const0 || t == GateType::Const1) {
-        vals[id] = pv_splat(t == GateType::Const1 ? Val::One : Val::Zero);
-        scalar_fixup(id);
-      }
-    }
 
-    // Bulk evaluation with per-slot fault patching.
-    for (GateId id : c.topo_order()) {
-      const Gate& g = c.gate(id);
-      const GateId* fanins = g.fanins.data();
+    // Bulk evaluation with per-slot fault patching. The levelized order
+    // leads with the constant gates (level 0), so one sweep over its flat
+    // arrays covers the whole combinational frame.
+    for (const GateId id : lv.order()) {
+      const GateId* fanins = lv.fanins(id);
       vals[id] = pv_eval_gate_fn(
-          g.type, g.fanins.size(),
+          lv.type(id), lv.fanin_count(id),
           [&](std::size_t k) -> const PVal& { return vals[fanins[k]]; });
       scalar_fixup(id);
     }
@@ -132,6 +128,12 @@ void ParallelFaultSimulator::run_group(const TestSequence& test,
     for (unsigned s = 0; s < n_faults; ++s) {
       if ((pair_mask >> s) & 1) last_out_pair[s] = static_cast<int>(u);
     }
+
+    // Drop-on-detect: once every fault in the group is detected the later
+    // frames cannot change any outcome — detection is sticky and condition
+    // (C) is only consulted for undetected faults.
+    const std::uint64_t group_mask = (1ull << n_faults) - 1;
+    if ((detected & group_mask) == group_mask) break;
 
     // Latch next state with D-pin and Q-stem fault patching.
     for (std::size_t k = 0; k < c.num_dffs(); ++k) {

@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cerrno>
+#include <condition_variable>
 #include <deque>
 #include <memory>
 #include <mutex>
@@ -87,16 +88,22 @@ int worker_main(int cmd_fd, int res_fd, const WorkerContext& ctx) {
   };
 
   std::atomic<bool> stop{false};
+  std::mutex hb_mu;
+  std::condition_variable hb_cv;
   std::thread heartbeat;
   if (ctx.heartbeat_period_ms > 0) {
+    // Sleeps until the next beat is due instead of polling a short tick:
+    // zero wakeups between beats, and shutdown interrupts the wait via the
+    // condition variable rather than waiting out the period.
     heartbeat = std::thread([&] {
-      std::uint64_t last = sp::steady_now_ms();
-      while (!stop.load(std::memory_order_relaxed)) {
-        std::this_thread::sleep_for(std::chrono::milliseconds(20));
-        const std::uint64_t now = sp::steady_now_ms();
-        if (now - last < ctx.heartbeat_period_ms) continue;
-        last = now;
+      const auto period = std::chrono::milliseconds(ctx.heartbeat_period_ms);
+      std::unique_lock<std::mutex> lk(hb_mu);
+      auto next = std::chrono::steady_clock::now() + period;
+      while (!hb_cv.wait_until(lk, next, [&] {
+        return stop.load(std::memory_order_relaxed);
+      })) {
         if (send(shard::MsgType::Heartbeat, "") != 0) break;
+        next = std::chrono::steady_clock::now() + period;
       }
     });
   }
@@ -193,7 +200,11 @@ int worker_main(int cmd_fd, int res_fd, const WorkerContext& ctx) {
         break;  // coordinator never sends other types; ignore
     }
   }
-  stop.store(true, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lk(hb_mu);
+    stop.store(true, std::memory_order_relaxed);
+  }
+  hb_cv.notify_all();
   if (heartbeat.joinable()) heartbeat.join();
   return 0;
 }

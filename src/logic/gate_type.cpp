@@ -1,43 +1,8 @@
 #include "logic/gate_type.hpp"
 
-#include <cassert>
-
 #include "util/strings.hpp"
 
 namespace motsim {
-
-bool has_controlling_value(GateType t) {
-  switch (t) {
-    case GateType::And:
-    case GateType::Nand:
-    case GateType::Or:
-    case GateType::Nor:
-      return true;
-    default:
-      return false;
-  }
-}
-
-bool controlling_value(GateType t) {
-  assert(has_controlling_value(t));
-  return t == GateType::Or || t == GateType::Nor;
-}
-
-bool is_inverting(GateType t) {
-  switch (t) {
-    case GateType::Nand:
-    case GateType::Nor:
-    case GateType::Not:
-    case GateType::Xnor:
-      return true;
-    default:
-      return false;
-  }
-}
-
-bool is_parity(GateType t) {
-  return t == GateType::Xor || t == GateType::Xnor;
-}
 
 int required_fanins(GateType t) {
   switch (t) {

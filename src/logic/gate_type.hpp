@@ -22,18 +22,42 @@ enum class GateType : std::uint8_t {
 };
 
 /// True for AND/NAND/OR/NOR — the gates with a controlling input value.
-bool has_controlling_value(GateType t);
+inline bool has_controlling_value(GateType t) {
+  switch (t) {
+    case GateType::And:
+    case GateType::Nand:
+    case GateType::Or:
+    case GateType::Nor:
+      return true;
+    default:
+      return false;
+  }
+}
 
 /// Controlling input value of AND/NAND (0) or OR/NOR (1).
 /// Precondition: has_controlling_value(t).
-bool controlling_value(GateType t);
+inline bool controlling_value(GateType t) {
+  return t == GateType::Or || t == GateType::Nor;
+}
 
 /// True for NAND/NOR/NOT/XNOR — gates whose output is inverted relative to
 /// the underlying AND/OR/BUF/XOR function.
-bool is_inverting(GateType t);
+inline bool is_inverting(GateType t) {
+  switch (t) {
+    case GateType::Nand:
+    case GateType::Nor:
+    case GateType::Not:
+    case GateType::Xnor:
+      return true;
+    default:
+      return false;
+  }
+}
 
 /// True for XOR/XNOR.
-bool is_parity(GateType t);
+inline bool is_parity(GateType t) {
+  return t == GateType::Xor || t == GateType::Xnor;
+}
 
 /// Number of fanins this type requires: 0 for inputs/constants, exactly 1
 /// for DFF/BUF/NOT, and -1 meaning "one or more" for the rest.

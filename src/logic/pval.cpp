@@ -4,41 +4,6 @@
 
 namespace motsim {
 
-Val pv_get(const PVal& p, unsigned k) {
-  assert(k < 64);
-  const std::uint64_t bit = 1ull << k;
-  if (p.ones & bit) return Val::One;
-  if (p.zeros & bit) return Val::Zero;
-  return Val::X;
-}
-
-void pv_set(PVal& p, unsigned k, Val v) {
-  assert(k < 64);
-  const std::uint64_t bit = 1ull << k;
-  p.ones &= ~bit;
-  p.zeros &= ~bit;
-  if (v == Val::One) p.ones |= bit;
-  if (v == Val::Zero) p.zeros |= bit;
-}
-
-bool pv_well_formed(const PVal& p) { return (p.ones & p.zeros) == 0; }
-
-PVal pv_not(const PVal& a) { return PVal{a.zeros, a.ones}; }
-
-PVal pv_and(const PVal& a, const PVal& b) {
-  return PVal{a.ones & b.ones, a.zeros | b.zeros};
-}
-
-PVal pv_or(const PVal& a, const PVal& b) {
-  return PVal{a.ones | b.ones, a.zeros & b.zeros};
-}
-
-PVal pv_xor(const PVal& a, const PVal& b) {
-  // Specified-and-differing -> 1; specified-and-equal -> 0; any X -> X.
-  return PVal{(a.ones & b.zeros) | (a.zeros & b.ones),
-              (a.ones & b.ones) | (a.zeros & b.zeros)};
-}
-
 PVal pv_eval_gate(GateType t, const PVal* ins, std::size_t n) {
   switch (t) {
     case GateType::Const0:
@@ -78,10 +43,6 @@ PVal pv_eval_gate(GateType t, const PVal* ins, std::size_t n) {
       return pv_all_x();
   }
   return pv_all_x();
-}
-
-std::uint64_t pv_conflict_mask(const PVal& a, const PVal& b) {
-  return (a.ones & b.zeros) | (a.zeros & b.ones);
 }
 
 }  // namespace motsim

@@ -39,18 +39,40 @@ inline PVal pv_splat(Val v) {
 }
 
 /// Reads slot k.
-Val pv_get(const PVal& p, unsigned k);
+inline Val pv_get(const PVal& p, unsigned k) {
+  const std::uint64_t bit = 1ull << k;
+  if (p.ones & bit) return Val::One;
+  if (p.zeros & bit) return Val::Zero;
+  return Val::X;
+}
 
 /// Writes slot k.
-void pv_set(PVal& p, unsigned k, Val v);
+inline void pv_set(PVal& p, unsigned k, Val v) {
+  const std::uint64_t bit = 1ull << k;
+  p.ones &= ~bit;
+  p.zeros &= ~bit;
+  if (v == Val::One) p.ones |= bit;
+  if (v == Val::Zero) p.zeros |= bit;
+}
 
 /// True if no slot has both bits set.
-bool pv_well_formed(const PVal& p);
+inline bool pv_well_formed(const PVal& p) { return (p.ones & p.zeros) == 0; }
 
-PVal pv_not(const PVal& a);
-PVal pv_and(const PVal& a, const PVal& b);
-PVal pv_or(const PVal& a, const PVal& b);
-PVal pv_xor(const PVal& a, const PVal& b);
+inline PVal pv_not(const PVal& a) { return PVal{a.zeros, a.ones}; }
+
+inline PVal pv_and(const PVal& a, const PVal& b) {
+  return PVal{a.ones & b.ones, a.zeros | b.zeros};
+}
+
+inline PVal pv_or(const PVal& a, const PVal& b) {
+  return PVal{a.ones | b.ones, a.zeros & b.zeros};
+}
+
+inline PVal pv_xor(const PVal& a, const PVal& b) {
+  // Specified-and-differing -> 1; specified-and-equal -> 0; any X -> X.
+  return PVal{(a.ones & b.zeros) | (a.zeros & b.ones),
+              (a.ones & b.ones) | (a.zeros & b.zeros)};
+}
 
 /// Evaluates a combinational gate across all 64 slots.
 /// Preconditions mirror eval_gate().
@@ -58,7 +80,12 @@ PVal pv_eval_gate(GateType t, const PVal* ins, std::size_t n);
 
 /// Bitmask of slots where a and b are specified and differ — the parallel
 /// analogue of conflicts().
-std::uint64_t pv_conflict_mask(const PVal& a, const PVal& b);
+inline std::uint64_t pv_conflict_mask(const PVal& a, const PVal& b) {
+  return (a.ones & b.zeros) | (a.zeros & b.ones);
+}
+
+/// Bitmask of slots where p carries a specified (non-X) value.
+inline std::uint64_t pv_specified_mask(const PVal& p) { return p.ones | p.zeros; }
 
 /// Zero-copy variant of pv_eval_gate: reads input k through `get(k)`.
 /// The hot path of the parallel simulators (semantics tested against

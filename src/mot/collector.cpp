@@ -9,6 +9,10 @@ BackwardCollector::BackwardCollector(const Circuit& c, const MotOptions& opt)
   const int depth = std::max(1, options_.backward_depth);
   implicators_.reserve(static_cast<std::size_t>(depth));
   for (int d = 0; d < depth; ++d) implicators_.emplace_back(c);
+  if (options_.kernel == KernelKind::SoA && depth == 1 &&
+      options_.use_backward_implications) {
+    packed_.emplace(c);
+  }
 }
 
 ImplOutcome BackwardCollector::probe(const SeqTrace& good, SeqTrace& faulty,
@@ -97,6 +101,12 @@ CollectionResult BackwardCollector::collect(const SeqTrace& good, SeqTrace& faul
 
   for (std::uint32_t u = 1; u <= L; ++u) {
     if (nout[u - 1] == 0) continue;  // nothing left to specify from here on
+    if (packed_.has_value()) {
+      if (!collect_packed_frame(good, faulty, fv, u, budget, result)) {
+        return result;
+      }
+      continue;
+    }
     for (std::uint32_t i = 0; i < c.num_dffs(); ++i) {
       if (is_specified(faulty.states[u][i])) continue;
       if (result.pairs.size() >= options_.max_pairs) {
@@ -134,6 +144,96 @@ CollectionResult BackwardCollector::collect(const SeqTrace& good, SeqTrace& faul
     }
   }
   return result;
+}
+
+bool BackwardCollector::collect_packed_frame(const SeqTrace& good,
+                                             const SeqTrace& faulty,
+                                             const FaultView& fv,
+                                             std::uint32_t u, WorkBudget* budget,
+                                             CollectionResult& result) {
+  const Circuit& c = *circuit_;
+  cand_.clear();
+  for (std::uint32_t i = 0; i < c.num_dffs(); ++i) {
+    if (!is_specified(faulty.states[u][i])) cand_.push_back(i);
+  }
+
+  // At most one flip-flop's D pin can be decoupled by the fault; resolve it
+  // once so the extra() extraction below is a plain packed-value read.
+  std::int64_t fixed_j = -1;
+  if (fv.fault().has_value() && fv.fault()->pin == 0) {
+    if (const auto idx = c.dff_index(fv.fault()->gate); idx.has_value()) {
+      fixed_j = static_cast<std::int64_t>(*idx);
+    }
+  }
+
+  PackedFrameImplicator::LaneSeed seeds[64];
+  ImplOutcome outcomes[64];
+  for (std::size_t chunk = 0; chunk < cand_.size(); chunk += 32) {
+    const std::size_t nc = std::min<std::size_t>(32, cand_.size() - chunk);
+    // The packed probe runs before the per-pair cap/budget checks below: a
+    // stop mid-chunk wastes the remaining probed lanes, but the observable
+    // results (pair list, classifications, budget charges, early returns)
+    // replay the serial pair order exactly.
+    for (std::size_t p = 0; p < nc; ++p) {
+      const GateId d = c.dff_input(cand_[chunk + p]);
+      seeds[2 * p] = {d, Val::Zero};
+      seeds[2 * p + 1] = {d, Val::One};
+    }
+    packed_->run(
+        faulty.lines[u - 1], fv, good.outputs[u - 1],
+        std::span<const PackedFrameImplicator::LaneSeed>(seeds, 2 * nc),
+        options_.impl_mode, outcomes);
+
+    for (std::size_t p = 0; p < nc; ++p) {
+      const std::uint32_t i = cand_[chunk + p];
+      if (result.pairs.size() >= options_.max_pairs) {
+        result.capped = true;
+        return false;
+      }
+      if (budget != nullptr && budget->poll(2)) return false;
+      PairInfo pair;
+      pair.u = u;
+      pair.i = i;
+      for (int a = 0; a < 2; ++a) {
+        const unsigned lane = static_cast<unsigned>(2 * p + a);
+        switch (outcomes[lane]) {
+          case ImplOutcome::Conflict:
+            pair.conf[a] = true;
+            break;
+          case ImplOutcome::Detected:
+            pair.detect[a] = true;
+            break;
+          case ImplOutcome::Ok:
+            // extra(u,i,α) exactly as the serial probe reads it off the
+            // implied frame: next-state (D-pin) values for flip-flops that
+            // conventional simulation left unspecified at u — cand_ is
+            // precisely that list, in ascending order.
+            for (const std::uint32_t j : cand_) {
+              const Val y = j == fixed_j ? fv.fault()->stuck
+                                         : packed_->value(c.dff_input(j), lane);
+              if (is_specified(y)) {
+                pair.extra[a].emplace_back(j, y);
+              }
+            }
+            break;
+        }
+      }
+      // Sound implications cannot refute both values: some concrete run of
+      // the faulty machine realizes each reachable trace.
+      assert(!(pair.conf[0] && pair.conf[1]));
+
+      // §3.2: detection on one side and conflict-or-detection on the other
+      // closes the fault without any expansion.
+      if ((pair.detect[0] && pair.side_closed(1)) ||
+          (pair.detect[1] && pair.side_closed(0))) {
+        result.detected_by_check = true;
+        result.pairs.push_back(std::move(pair));
+        return false;
+      }
+      result.pairs.push_back(std::move(pair));
+    }
+  }
+  return true;
 }
 
 }  // namespace motsim

@@ -21,11 +21,13 @@
 // extension the paper describes at the end of its Section 2.
 #pragma once
 
+#include <optional>
 #include <vector>
 
 #include "mot/counters.hpp"
 #include "mot/implicator.hpp"
 #include "mot/options.hpp"
+#include "mot/packed_implicator.hpp"
 #include "util/deadline.hpp"
 
 namespace motsim {
@@ -73,9 +75,21 @@ class BackwardCollector {
   ImplOutcome probe(const SeqTrace& good, SeqTrace& faulty, const FaultView& fv,
                     std::uint32_t u, std::uint32_t i, int alpha, PairInfo& pair);
 
+  /// Packed-probe body of collect() for one time unit u: probes the
+  /// candidate variables 64 lanes (32 pairs) at a time, then replays the
+  /// serial pair order for the cap check, budget polls, classification, and
+  /// the §3.2 early return. Returns false when collect() must return.
+  bool collect_packed_frame(const SeqTrace& good, const SeqTrace& faulty,
+                            const FaultView& fv, std::uint32_t u,
+                            WorkBudget* budget, CollectionResult& result);
+
   const Circuit* circuit_;
   MotOptions options_;
   std::vector<FrameImplicator> implicators_;  // one per backward frame depth
+  /// Engaged for the SoA kernel at backward_depth 1 (the packed engine is
+  /// single-frame); deeper probes and the Legacy kernel use the serial path.
+  std::optional<PackedFrameImplicator> packed_;
+  std::vector<std::uint32_t> cand_;  // per-frame candidate scratch
 };
 
 }  // namespace motsim

@@ -77,7 +77,10 @@ bool output_seqs_conflict(const std::vector<std::vector<Val>>& a,
 }  // namespace
 
 GeneralMotSimulator::GeneralMotSimulator(const Circuit& c, GeneralMotOptions options)
-    : circuit_(&c), options_(options), restricted_(c, options.mot), conv_(c) {}
+    : circuit_(&c),
+      options_(options),
+      restricted_(c, options.mot),
+      conv_(c, options.mot.kernel) {}
 
 void GeneralMotSimulator::set_campaign(const Deadline* campaign,
                                        const CancelToken* cancel) {
@@ -92,7 +95,7 @@ GeneralMotResult GeneralMotSimulator::simulate_fault(const TestSequence& test,
   const Circuit& c = *circuit_;
   GeneralMotResult result;
 
-  SeqTrace faulty = conv_.simulate_fault(test, f, /*keep_lines=*/true);
+  SeqTrace faulty = conv_.simulate_fault(test, f, /*keep_lines=*/true, &good);
   const MotResult restricted = restricted_.simulate_fault(test, good, f, faulty);
   result.detected_conventional = restricted.detected_conventional;
   result.detected_restricted = restricted.detected;
@@ -123,13 +126,13 @@ GeneralMotResult GeneralMotSimulator::simulate_fault(const TestSequence& test,
   const FaultView fault_free(c);
   const SequentialSimulator sim(c);
   SeqTrace good_lines = sim.run_fault_free(test, /*keep_lines=*/true);
-  StateSet good_set(c, test, good, fault_free, good_lines);
+  StateSet good_set(c, test, good, fault_free, good_lines, options_.mot.kernel);
   plain_expand(good_set, c, test, options_.good_n_states, budget);
   if (budget.exhausted()) return unresolved_verdict();
 
   // ...and the faulty machine into its set of undistinguished responses.
   const FaultView fv(c, f);
-  StateSet faulty_set(c, test, good, fv, faulty);
+  StateSet faulty_set(c, test, good, fv, faulty, options_.mot.kernel);
   plain_expand(faulty_set, c, test, options_.mot.n_states, budget);
   if (budget.exhausted()) return unresolved_verdict();
 

@@ -4,11 +4,14 @@ namespace motsim {
 
 ImplicationOnlySimulator::ImplicationOnlySimulator(const Circuit& c,
                                                    MotOptions options)
-    : circuit_(&c), options_(options), conv_(c), collector_(c, options) {}
+    : circuit_(&c),
+      options_(options),
+      conv_(c, options.kernel),
+      collector_(c, options) {}
 
 ImplicationOnlyResult ImplicationOnlySimulator::simulate_fault(
     const TestSequence& test, const SeqTrace& good, const Fault& f) {
-  SeqTrace faulty = conv_.simulate_fault(test, f, /*keep_lines=*/true);
+  SeqTrace faulty = conv_.simulate_fault(test, f, /*keep_lines=*/true, &good);
   return simulate_fault(test, good, f, faulty);
 }
 

@@ -4,6 +4,8 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "netlist/levelized.hpp"
+
 namespace motsim {
 
 /// How a frame-level implication pass propagates values.
@@ -30,6 +32,13 @@ struct MotOptions {
   /// The paper's N_STATES: expansion stops when this many state sequences
   /// exist. 64 in all of the paper's experiments (6 doubling expansions).
   std::size_t n_states = 64;
+
+  /// Which per-frame evaluator the engines run on. SoA (default) is the
+  /// levelized struct-of-arrays kernel with 64-way packed resimulation and
+  /// packed backward probes; Legacy is the original per-gate evaluator kept
+  /// as reference semantics. Results are bit-identical (including budget
+  /// work accounting) — enforced by the kernel equivalence tests.
+  KernelKind kernel = KernelKind::SoA;
 
   /// When false, the collector performs no backward implications: every
   /// candidate pair degenerates to extra(u,i,α) = {(i,α)} with no conflict

@@ -21,7 +21,7 @@ const char* to_string(UnresolvedReason r) {
 MotFaultSimulator::MotFaultSimulator(const Circuit& c, MotOptions options)
     : circuit_(&c),
       options_(options),
-      conv_(c),
+      conv_(c, options.kernel),
       collector_(c, options),
       selection_rng_(options.selection_seed) {}
 
@@ -133,7 +133,7 @@ bool MotFaultSimulator::expand_and_resimulate(
     const SeqTrace& good, const SeqTrace& faulty, const FaultView& fv,
     const std::vector<std::size_t>& nout, const std::vector<std::size_t>& nsv,
     bool apply_phase1, WorkBudget& budget, MotResult& result) {
-  StateSet set(*circuit_, test, good, fv, faulty);
+  StateSet set(*circuit_, test, good, fv, faulty, options_.kernel);
 
   // Procedure 2, step 2 (phase 1): one-sided pairs close one value of y_i —
   // conflict means the value is impossible, detection means every run with
@@ -195,8 +195,9 @@ bool MotFaultSimulator::expand_and_resimulate(
 MotResult MotFaultSimulator::simulate_fault(const TestSequence& test,
                                             const SeqTrace& good, const Fault& f) {
   // Conventional simulation (with line values kept: the collector probes
-  // them in place).
-  SeqTrace faulty = conv_.simulate_fault(test, f, /*keep_lines=*/true);
+  // them in place). When the fault-free trace carries line values, the
+  // faulty trace is derived incrementally from it (fault-cone events only).
+  SeqTrace faulty = conv_.simulate_fault(test, f, /*keep_lines=*/true, &good);
   return simulate_fault(test, good, f, faulty);
 }
 

@@ -1,12 +1,21 @@
 #include "mot/state_set.hpp"
 
+#include <algorithm>
+#include <bit>
 #include <cassert>
+
+#include "sim/frame_kernel.hpp"
 
 namespace motsim {
 
 StateSet::StateSet(const Circuit& c, const TestSequence& test, const SeqTrace& good,
-                   const FaultView& fv, const SeqTrace& faulty)
-    : circuit_(&c), test_(&test), good_(&good), fv_(&fv), faulty_(&faulty) {
+                   const FaultView& fv, const SeqTrace& faulty, KernelKind kernel)
+    : circuit_(&c),
+      test_(&test),
+      good_(&good),
+      fv_(&fv),
+      faulty_(&faulty),
+      lev_(kernel == KernelKind::SoA ? &c.levelized() : nullptr) {
   StateSeq s0;
   s0.states = faulty.states;
   seqs_.push_back(std::move(s0));
@@ -32,9 +41,18 @@ bool StateSet::all_resolved() const {
 void StateSet::assign(std::size_t s, std::size_t u, std::size_t j, Val v) {
   StateSeq& seq = seqs_[s];
   if (seq.status != SeqStatus::Active) return;
-  if (refine_into(seq.states[u][j], v) == Refine::Conflict) {
-    seq.status = SeqStatus::Infeasible;
-    return;
+  switch (refine_into(seq.states[u][j], v)) {
+    case Refine::Conflict:
+      seq.status = SeqStatus::Infeasible;
+      return;
+    case Refine::Changed:
+      // The stored state was X here, so the conventional trace (which the
+      // stored states refine) was X too: the sequence now diverges at u.
+      seq.first_div = std::min(seq.first_div, static_cast<std::int64_t>(u));
+      seq.last_div = std::max(seq.last_div, static_cast<std::int64_t>(u));
+      break;
+    case Refine::NoChange:
+      break;
   }
   if (u < marked_.size()) marked_[u] = 1;
   // Assignments to the final state (u == L) have no frame to resimulate but
@@ -61,6 +79,11 @@ std::vector<std::size_t> StateSet::duplicate_active() {
 }
 
 void StateSet::resimulate(WorkBudget* budget) {
+  if (lev_ != nullptr) {
+    resimulate_packed(budget);
+    marked_.assign(marked_.size(), 0);
+    return;
+  }
   for (StateSeq& seq : seqs_) {
     if (budget != nullptr && budget->exhausted()) break;
     if (seq.status == SeqStatus::Active) resimulate_one(seq, marked_, budget);
@@ -79,7 +102,7 @@ void StateSet::eval_seq_frame(const StateSeq& seq, std::size_t u) {
     for (std::size_t j = 0; j < c.num_dffs(); ++j) {
       frame_[c.dffs()[j]] = seq.states[u][j];
     }
-    SequentialSimulator(c).eval_frame(frame_, *fv_);
+    SequentialSimulator(c, KernelKind::Legacy).eval_frame(frame_, *fv_);
     return;
   }
 
@@ -153,9 +176,203 @@ void StateSet::resimulate_one(StateSeq& seq, std::vector<std::uint8_t> marked,
           return;
         case Refine::Changed:
           if (u + 1 < L) marked[u + 1] = 1;
+          seq.first_div =
+              std::min(seq.first_div, static_cast<std::int64_t>(u + 1));
+          seq.last_div =
+              std::max(seq.last_div, static_cast<std::int64_t>(u + 1));
           break;
         case Refine::NoChange:
           break;
+      }
+    }
+  }
+}
+
+void StateSet::eval_frame_packed(std::size_t u, const std::uint32_t* lane_seq,
+                                 std::uint64_t do_eval) {
+  const Circuit& c = *circuit_;
+  const LevelizedCircuit& lv = *lev_;
+  const bool incremental = !faulty_->lines.empty();
+  if (pframe_.size() != c.num_gates()) pframe_.resize(c.num_gates());
+
+  if (!incremental) {
+    // Full packed sweep: splat the applied inputs, gather each lane's
+    // present state, evaluate every combinational gate once for all lanes.
+    for (std::size_t k = 0; k < c.num_inputs(); ++k) {
+      pframe_[c.inputs()[k]] = pv_splat(fv_->input_value(k, test_->at(u, k)));
+    }
+    for (std::size_t j = 0; j < c.num_dffs(); ++j) {
+      PVal pv{};
+      std::uint64_t m = do_eval;
+      while (m) {
+        const unsigned l = static_cast<unsigned>(std::countr_zero(m));
+        m &= m - 1;
+        pv_set(pv, l, seqs_[lane_seq[l]].states[u][j]);
+      }
+      pframe_[c.dffs()[j]] = pv;
+    }
+    for (GateId g : lv.order()) {
+      pframe_[g] = packed_eval_gate(lv, *fv_, g, pframe_);
+    }
+    return;
+  }
+
+  // Incremental packed sweep: every lane starts from the conventional frame
+  // (a simulation fixpoint, so lanes whose flip-flops keep the base value
+  // recompute to the base value and never produce spurious events); flip-
+  // flops whose stored state differs in some lane seed the dirty cone, which
+  // is then evaluated level by level for all lanes at once.
+  const FrameVals& base = faulty_->lines[u];
+  for (GateId g = 0; g < c.num_gates(); ++g) pframe_[g] = pv_splat(base[g]);
+
+  std::size_t max_dirty_level = 0;
+  bool any = false;
+  for (std::size_t j = 0; j < c.num_dffs(); ++j) {
+    const GateId q = c.dffs()[j];
+    const Val bv = base[q];
+    PVal pv = pframe_[q];
+    bool diff = false;
+    std::uint64_t m = do_eval;
+    while (m) {
+      const unsigned l = static_cast<unsigned>(std::countr_zero(m));
+      m &= m - 1;
+      const Val sv = seqs_[lane_seq[l]].states[u][j];
+      if (sv != bv) {
+        pv_set(pv, l, sv);
+        diff = true;
+      }
+    }
+    if (!diff) continue;
+    pframe_[q] = pv;
+    any = true;
+    const GateId* ro = lv.fanouts(q);
+    const std::uint32_t nro = lv.fanout_count(q);
+    for (std::uint32_t r = 0; r < nro; ++r) {
+      const GateId reader = ro[r];
+      if (!pending_[reader] && lv.type(reader) != GateType::Dff) {
+        pending_[reader] = 1;
+        level_buckets_[lv.level(reader)].push_back(reader);
+        max_dirty_level = std::max<std::size_t>(max_dirty_level, lv.level(reader));
+      }
+    }
+  }
+  if (!any) return;
+  for (std::size_t lvl = 0; lvl <= max_dirty_level; ++lvl) {
+    auto& bucket = level_buckets_[lvl];
+    for (std::size_t b = 0; b < bucket.size(); ++b) {
+      const GateId g = bucket[b];
+      pending_[g] = 0;
+      const PVal newv = packed_eval_gate(lv, *fv_, g, pframe_);
+      if (newv == pframe_[g]) continue;
+      pframe_[g] = newv;
+      const GateId* ro = lv.fanouts(g);
+      const std::uint32_t nro = lv.fanout_count(g);
+      for (std::uint32_t r = 0; r < nro; ++r) {
+        const GateId reader = ro[r];
+        if (!pending_[reader] && lv.type(reader) != GateType::Dff) {
+          pending_[reader] = 1;
+          level_buckets_[lv.level(reader)].push_back(reader);
+          max_dirty_level =
+              std::max<std::size_t>(max_dirty_level, lv.level(reader));
+        }
+      }
+    }
+    bucket.clear();
+  }
+}
+
+void StateSet::resimulate_packed(WorkBudget* budget) {
+  const Circuit& c = *circuit_;
+  const LevelizedCircuit& lv = *lev_;
+  const std::size_t L = test_->length();
+
+  lanes_.clear();
+  for (std::uint32_t s = 0; s < seqs_.size(); ++s) {
+    if (seqs_[s].status == SeqStatus::Active) lanes_.push_back(s);
+  }
+  if (lanes_.empty() || L == 0) return;
+  if (carry_.size() < L + 1) carry_.resize(L + 1);
+
+  for (std::size_t pack = 0; pack < lanes_.size(); pack += 64) {
+    const unsigned nl =
+        static_cast<unsigned>(std::min<std::size_t>(64, lanes_.size() - pack));
+    const std::uint32_t* lane_seq = lanes_.data() + pack;
+    std::uint64_t alive = nl == 64 ? ~0ull : ((1ull << nl) - 1);
+    std::fill(carry_.begin(), carry_.begin() + L + 1, 0);
+
+    for (std::size_t u = 0; u < L && alive; ++u) {
+      std::uint64_t eval_mask = marked_[u] ? alive : (carry_[u] & alive);
+      if (!eval_mask) continue;
+
+      // One budget poll per (lane, frame) — the exact multiset of charges
+      // the legacy kernel issues, so work accounting is bit-identical. A
+      // lane outside its divergence window is charged but not evaluated:
+      // its stored states replay the conventional trace at u, so the
+      // evaluation the legacy kernel performs there is a no-op.
+      std::uint64_t do_eval = 0;
+      for (std::uint64_t m = eval_mask; m;) {
+        const unsigned l = static_cast<unsigned>(std::countr_zero(m));
+        m &= m - 1;
+        if (budget != nullptr && budget->poll()) {
+          return;  // refused lanes stay Active; caller sees exhausted()
+        }
+        const StateSeq& seq = seqs_[lane_seq[l]];
+        const auto su = static_cast<std::int64_t>(u);
+        if (su >= seq.first_div && su <= seq.last_div) do_eval |= 1ull << l;
+      }
+      if (!do_eval) continue;
+
+      eval_frame_packed(u, lane_seq, do_eval);
+
+      // Primary-output conflicts with the fault-free response: detected.
+      std::uint64_t det = 0;
+      for (std::size_t o = 0; o < c.num_outputs(); ++o) {
+        const Val gv = good_->outputs[u][o];
+        if (!is_specified(gv)) continue;
+        const PVal& pv = pframe_[c.outputs()[o]];
+        det |= gv == Val::One ? pv.zeros : pv.ones;
+      }
+      det &= do_eval;
+      for (std::uint64_t m = det; m;) {
+        const unsigned l = static_cast<unsigned>(std::countr_zero(m));
+        m &= m - 1;
+        seqs_[lane_seq[l]].status = SeqStatus::Detected;
+      }
+      alive &= ~det;
+
+      // Next-state comparison against the stored state at u+1 for the
+      // surviving evaluated lanes; a conflict at flip-flop j stops the
+      // refinement of that lane (matching the legacy kernel's early return).
+      std::uint64_t refn = do_eval & ~det;
+      for (std::size_t j = 0; j < c.num_dffs() && refn; ++j) {
+        const GateId q = c.dffs()[j];
+        PVal npv;
+        if (fv_->out_fixed(q) || fv_->pin_fixed(q, 0)) {
+          npv = pv_splat(fv_->fault()->stuck);
+        } else {
+          npv = pframe_[lv.dff_input(j)];
+        }
+        for (std::uint64_t m = refn; m;) {
+          const unsigned l = static_cast<unsigned>(std::countr_zero(m));
+          m &= m - 1;
+          StateSeq& seq = seqs_[lane_seq[l]];
+          switch (refine_into(seq.states[u + 1][j], pv_get(npv, l))) {
+            case Refine::Conflict:
+              seq.status = SeqStatus::Infeasible;
+              refn &= ~(1ull << l);
+              alive &= ~(1ull << l);
+              break;
+            case Refine::Changed:
+              if (u + 1 < L) carry_[u + 1] |= 1ull << l;
+              seq.first_div =
+                  std::min(seq.first_div, static_cast<std::int64_t>(u + 1));
+              seq.last_div =
+                  std::max(seq.last_div, static_cast<std::int64_t>(u + 1));
+              break;
+            case Refine::NoChange:
+              break;
+          }
+        }
       }
     }
   }

@@ -13,12 +13,27 @@
 //     mark the following time unit.
 //
 // The fault is detected when every sequence ends Detected or Infeasible.
+//
+// Two resimulation kernels produce bit-identical results (statuses, stored
+// states, and budget work accounting):
+//
+//   Legacy  one sequence at a time through the event-driven scalar frame
+//           evaluator — the reference semantics;
+//   SoA     frame-major over packs of up to 64 active sequences using the
+//           PVal (ones, zeros) encoding: one packed pass through the
+//           levelized circuit evaluates a frame for every sequence at once,
+//           and a sequence whose stored states have converged back to the
+//           conventional trace (ERASER-style early termination) skips the
+//           evaluation entirely — a provable no-op, though it is still
+//           charged to the budget exactly like the legacy kernel would.
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "fault/fault_view.hpp"
+#include "logic/pval.hpp"
 #include "mot/counters.hpp"
 #include "sim/seq_sim.hpp"
 #include "sim/test_sequence.hpp"
@@ -32,13 +47,22 @@ struct StateSeq {
   /// states[u][j]: y_j at time unit u, 0 <= u <= L.
   std::vector<std::vector<Val>> states;
   SeqStatus status = SeqStatus::Active;
+  /// Divergence window against the conventional faulty trace: states[u]
+  /// differs from it only for first_div <= u <= last_div (empty window when
+  /// last_div < 0). Outside the window the sequence replays the
+  /// conventional trace, so resimulating such a frame cannot detect, refine,
+  /// or conflict — the packed kernel skips it (convergence early
+  /// termination). Maintained by both kernels; monotone under refinement.
+  std::int64_t first_div = std::numeric_limits<std::int64_t>::max();
+  std::int64_t last_div = -1;
 };
 
 class StateSet {
  public:
   /// Starts from S0 = the conventionally simulated faulty state sequence.
   StateSet(const Circuit& c, const TestSequence& test, const SeqTrace& good,
-           const FaultView& fv, const SeqTrace& faulty);
+           const FaultView& fv, const SeqTrace& faulty,
+           KernelKind kernel = KernelKind::SoA);
 
   std::size_t size() const { return seqs_.size(); }
   std::size_t active_count() const;
@@ -75,6 +99,16 @@ class StateSet {
   void resimulate_one(StateSeq& seq, std::vector<std::uint8_t> marked,
                       WorkBudget* budget);
 
+  /// Frame-major packed resimulation (KernelKind::SoA): bit-identical to
+  /// running resimulate_one over every active sequence, including the exact
+  /// number and placement of budget polls.
+  void resimulate_packed(WorkBudget* budget);
+
+  /// Packed evaluation of time unit u for the lanes in `do_eval`
+  /// (lane l simulates seqs_[lane_seq[l]]); results land in pframe_.
+  void eval_frame_packed(std::size_t u, const std::uint32_t* lane_seq,
+                         std::uint64_t do_eval);
+
   /// Evaluates time unit u of `seq` into frame_. When the faulty trace
   /// carries line values, only the cone of state variables that differ from
   /// the conventional simulation is re-evaluated (the expanded states are
@@ -87,12 +121,17 @@ class StateSet {
   const SeqTrace* good_;
   const FaultView* fv_;
   const SeqTrace* faulty_;  ///< conventional trace (lines optional)
+  const LevelizedCircuit* lev_ = nullptr;  ///< non-null iff SoA kernel
   std::vector<StateSeq> seqs_;
   std::vector<std::uint8_t> marked_;  // time units touched since last resim
   FrameVals frame_;                   // scratch
-  // Event-driven scratch: per-level pending gates.
+  // Event-driven scratch: per-level pending gates (shared by both kernels).
   std::vector<std::vector<GateId>> level_buckets_;
   std::vector<std::uint8_t> pending_;
+  // Packed-kernel scratch.
+  std::vector<std::uint32_t> lanes_;   // active sequence indices per pass
+  std::vector<std::uint64_t> carry_;   // per-frame lane bits marked mid-pass
+  std::vector<PVal> pframe_;           // packed frame values
 };
 
 }  // namespace motsim

@@ -2,6 +2,7 @@
 
 #include <unordered_map>
 
+#include "netlist/levelized.hpp"
 #include "util/strings.hpp"
 
 namespace motsim {
@@ -23,6 +24,14 @@ GateId Circuit::find(std::string_view name) const {
     if (gates_[id].name == name) return id;
   }
   return kNoGate;
+}
+
+const LevelizedCircuit& Circuit::levelized() const {
+  std::lock_guard<std::mutex> lock(lev_.mu);
+  if (!lev_.ptr) {
+    lev_.ptr = std::make_shared<const LevelizedCircuit>(LevelizedCircuit::build(*this));
+  }
+  return *lev_.ptr;
 }
 
 std::string Circuit::summary() const {

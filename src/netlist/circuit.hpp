@@ -12,6 +12,8 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
@@ -21,6 +23,8 @@
 #include "logic/gate_type.hpp"
 
 namespace motsim {
+
+class LevelizedCircuit;
 
 using GateId = std::uint32_t;
 inline constexpr GateId kNoGate = static_cast<GateId>(-1);
@@ -84,8 +88,28 @@ class Circuit {
   /// Human-readable one-line summary: name, #PI, #PO, #FF, #gates.
   std::string summary() const;
 
+  /// Levelized struct-of-arrays view of this circuit, built lazily on first
+  /// use and shared by every simulator thereafter. Thread-safe; the returned
+  /// reference lives as long as the Circuit (copies of a Circuit rebuild
+  /// their own view on demand).
+  const LevelizedCircuit& levelized() const;
+
  private:
   friend class CircuitBuilder;
+
+  /// Lazily built levelized view. The cache is deliberately not copied with
+  /// the circuit: a copy rebuilds on first use, which keeps Circuit's value
+  /// semantics trivial and the cache pointer stable for the lifetime of each
+  /// individual Circuit object.
+  struct LevCache {
+    LevCache() = default;
+    LevCache(const LevCache&) {}
+    LevCache(LevCache&&) noexcept {}
+    LevCache& operator=(const LevCache&) { return *this; }
+    LevCache& operator=(LevCache&&) noexcept { return *this; }
+    mutable std::mutex mu;
+    mutable std::shared_ptr<const LevelizedCircuit> ptr;
+  };
 
   std::string name_;
   std::vector<Gate> gates_;
@@ -98,6 +122,7 @@ class Circuit {
   std::vector<std::int32_t> output_index_;  // per gate; -1 if not a PO
   unsigned max_level_ = 0;
   std::size_t num_pins_ = 0;
+  LevCache lev_;
 };
 
 }  // namespace motsim

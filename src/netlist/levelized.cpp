@@ -1,0 +1,72 @@
+#include "netlist/levelized.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace motsim {
+
+LevelizedCircuit LevelizedCircuit::build(const Circuit& c) {
+  LevelizedCircuit lv;
+  const std::size_t n = c.num_gates();
+  lv.type_.resize(n);
+  lv.level_.resize(n);
+  lv.fanin_off_.resize(n + 1, 0);
+  lv.fanout_off_.resize(n + 1, 0);
+  lv.num_levels_ = c.max_level() + 1;
+
+  std::size_t nin = 0, nout = 0;
+  for (GateId g = 0; g < n; ++g) {
+    const Gate& gate = c.gate(g);
+    lv.type_[g] = gate.type;
+    lv.level_[g] = c.level(g);
+    lv.fanin_off_[g] = static_cast<std::uint32_t>(nin);
+    lv.fanout_off_[g] = static_cast<std::uint32_t>(nout);
+    nin += gate.fanins.size();
+    nout += gate.fanouts.size();
+  }
+  lv.fanin_off_[n] = static_cast<std::uint32_t>(nin);
+  lv.fanout_off_[n] = static_cast<std::uint32_t>(nout);
+  lv.fanins_.reserve(nin);
+  lv.fanouts_.reserve(nout);
+  for (GateId g = 0; g < n; ++g) {
+    const Gate& gate = c.gate(g);
+    lv.fanins_.insert(lv.fanins_.end(), gate.fanins.begin(), gate.fanins.end());
+    lv.fanouts_.insert(lv.fanouts_.end(), gate.fanouts.begin(),
+                       gate.fanouts.end());
+  }
+
+  // Level-major combinational order: bucket topo_order() by level with a
+  // counting sort (stable within a level, though any order works — fanins of
+  // a level-l gate are all at strictly lower levels or are PI/DFF boundary
+  // gates fixed before the sweep begins). Constant gates are not in
+  // topo_order() (the legacy evaluator seeds them before its sweep) but the
+  // flat sweep produces their values in place, so they go first: they sit at
+  // level 0, below every gate that reads them.
+  std::vector<GateId> consts;
+  for (GateId g = 0; g < n; ++g) {
+    if (lv.type_[g] == GateType::Const0 || lv.type_[g] == GateType::Const1) {
+      consts.push_back(g);
+    }
+  }
+  lv.level_off_.assign(lv.num_levels_ + 1, 0);
+  lv.level_off_[1] = static_cast<std::uint32_t>(consts.size());
+  for (GateId g : c.topo_order()) ++lv.level_off_[c.level(g) + 1];
+  for (std::uint32_t l = 0; l < lv.num_levels_; ++l) {
+    lv.level_off_[l + 1] += lv.level_off_[l];
+  }
+  lv.order_.resize(c.topo_order().size() + consts.size());
+  std::vector<std::uint32_t> cursor(lv.level_off_.begin(),
+                                    lv.level_off_.end() - 1);
+  for (GateId g : consts) lv.order_[cursor[0]++] = g;
+  for (GateId g : c.topo_order()) {
+    lv.order_[cursor[c.level(g)]++] = g;
+  }
+
+  lv.dff_input_.resize(c.num_dffs());
+  for (std::size_t k = 0; k < c.num_dffs(); ++k) {
+    lv.dff_input_[k] = c.dff_input(k);
+  }
+  return lv;
+}
+
+}  // namespace motsim

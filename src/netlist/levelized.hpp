@@ -1,0 +1,78 @@
+// Levelized struct-of-arrays view of a Circuit.
+//
+// The Gate-object graph is convenient to build and mutate but hostile to the
+// simulation hot loops: every gate evaluation chases two pointers (gates_[id]
+// then fanins.data()) and the per-gate vectors scatter fanin ids across the
+// heap. LevelizedCircuit flattens everything the kernels touch into a handful
+// of contiguous arrays, with the combinational gates pre-sorted by level so a
+// single forward sweep (or a level-bucketed event sweep) visits every gate
+// after all of its fanins.
+//
+// The view is immutable after build() and carries no back-reference, so one
+// instance is safely shared across threads, faults, and worker processes —
+// Circuit::levelized() builds it once per circuit and caches it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/circuit.hpp"
+
+namespace motsim {
+
+/// Which per-frame evaluator the simulators use. SoA is the levelized flat
+/// kernel (bit-identical to Legacy by construction and by the kernel
+/// equivalence tests); Legacy is the original per-gate topo_order() loop,
+/// kept as the reference semantics.
+enum class KernelKind : std::uint8_t { Legacy, SoA };
+
+class LevelizedCircuit {
+ public:
+  static LevelizedCircuit build(const Circuit& c);
+
+  std::size_t num_gates() const { return type_.size(); }
+  std::uint32_t num_levels() const { return num_levels_; }
+
+  GateType type(GateId g) const { return type_[g]; }
+  std::uint32_t level(GateId g) const { return level_[g]; }
+
+  /// Fanins of g as a contiguous slice.
+  const GateId* fanins(GateId g) const { return fanins_.data() + fanin_off_[g]; }
+  std::uint32_t fanin_count(GateId g) const {
+    return fanin_off_[g + 1] - fanin_off_[g];
+  }
+
+  /// Fanout readers of g as a contiguous slice.
+  const GateId* fanouts(GateId g) const {
+    return fanouts_.data() + fanout_off_[g];
+  }
+  std::uint32_t fanout_count(GateId g) const {
+    return fanout_off_[g + 1] - fanout_off_[g];
+  }
+
+  /// Combinational gates (constants first, then levels ascending); a single
+  /// forward sweep over this order evaluates every gate after its fanins and
+  /// produces exactly the values of the reference topo_order() sweep.
+  const std::vector<GateId>& order() const { return order_; }
+
+  /// order()[level_off(l) .. level_off(l+1)) are the combinational gates at
+  /// level l; valid for l in [0, num_levels()].
+  std::uint32_t level_off(std::uint32_t l) const { return level_off_[l]; }
+
+  /// D-pin driver of flip-flop index k (flat copy of Circuit::dff_input).
+  GateId dff_input(std::size_t k) const { return dff_input_[k]; }
+
+ private:
+  std::vector<GateType> type_;
+  std::vector<std::uint32_t> level_;
+  std::vector<std::uint32_t> fanin_off_;   // num_gates + 1
+  std::vector<GateId> fanins_;
+  std::vector<std::uint32_t> fanout_off_;  // num_gates + 1
+  std::vector<GateId> fanouts_;
+  std::vector<GateId> order_;
+  std::vector<std::uint32_t> level_off_;   // num_levels + 1
+  std::vector<GateId> dff_input_;
+  std::uint32_t num_levels_ = 0;
+};
+
+}  // namespace motsim

@@ -2,9 +2,15 @@
 
 #include <cassert>
 
+#include "sim/frame_kernel.hpp"
+
 namespace motsim {
 
 void SequentialSimulator::eval_frame(FrameVals& vals, const FaultView& fv) const {
+  if (lev_ != nullptr) {
+    flat_eval_frame(*lev_, fv, vals);
+    return;
+  }
   const Circuit& c = *circuit_;
   assert(vals.size() == c.num_gates());
   for (GateId id = 0; id < c.num_gates(); ++id) {

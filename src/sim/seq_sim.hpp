@@ -10,6 +10,7 @@
 #include "fault/fault_view.hpp"
 #include "logic/val.hpp"
 #include "netlist/circuit.hpp"
+#include "netlist/levelized.hpp"
 #include "sim/test_sequence.hpp"
 
 namespace motsim {
@@ -33,7 +34,13 @@ struct SeqTrace {
 
 class SequentialSimulator {
  public:
-  explicit SequentialSimulator(const Circuit& c) : circuit_(&c) {}
+  /// The SoA kernel sweeps the circuit's cached levelized order; Legacy is
+  /// the original per-gate topo loop kept as reference semantics. Both
+  /// produce identical traces (kernel equivalence tests).
+  explicit SequentialSimulator(const Circuit& c,
+                               KernelKind kernel = KernelKind::SoA)
+      : circuit_(&c),
+        lev_(kernel == KernelKind::SoA ? &c.levelized() : nullptr) {}
 
   /// Evaluates one frame: `vals` must hold values for all PIs and DFF
   /// outputs (observed values — stem faults on PIs/DFFs already folded in);
@@ -54,6 +61,7 @@ class SequentialSimulator {
 
  private:
   const Circuit* circuit_;
+  const LevelizedCircuit* lev_;  ///< non-null iff the SoA kernel is active
 };
 
 /// True if some (time unit, output) pair is specified to opposite values —

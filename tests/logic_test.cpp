@@ -335,6 +335,54 @@ INSTANTIATE_TEST_SUITE_P(
                       ArityCase{GateType::Nor, 4}, ArityCase{GateType::Xor, 2},
                       ArityCase{GateType::Xor, 3}, ArityCase{GateType::Xnor, 2}));
 
+// Exhaustive 3-valued truth tables: every input combination of every gate
+// type at each supported arity, one combination per lane, must match the
+// scalar eval_gate exactly. The random trials above sample this space; this
+// test enumerates it (3^arity combinations, chunked 64 per PVal batch).
+TEST(PVal, ExhaustiveTruthTablesMatchScalarEval) {
+  struct Shape {
+    GateType type;
+    std::size_t arity;
+  };
+  std::vector<Shape> shapes = {{GateType::Buf, 1}, {GateType::Not, 1}};
+  for (GateType t : {GateType::And, GateType::Nand, GateType::Or,
+                     GateType::Nor, GateType::Xor, GateType::Xnor}) {
+    for (std::size_t arity : {2u, 3u, 4u}) shapes.push_back({t, arity});
+  }
+  for (const auto& [type, arity] : shapes) {
+    std::size_t combos = 1;
+    for (std::size_t a = 0; a < arity; ++a) combos *= 3;
+    for (std::size_t base = 0; base < combos; base += 64) {
+      const unsigned lanes =
+          static_cast<unsigned>(std::min<std::size_t>(64, combos - base));
+      std::vector<PVal> ins(arity, pv_all_x());
+      for (unsigned l = 0; l < lanes; ++l) {
+        std::size_t code = base + l;
+        for (std::size_t a = 0; a < arity; ++a) {
+          pv_set(ins[a], l, kVals[code % 3]);
+          code /= 3;
+        }
+      }
+      const PVal out = pv_eval_gate(type, ins.data(), ins.size());
+      EXPECT_TRUE(pv_well_formed(out));
+      std::vector<Val> scalar(arity);
+      for (unsigned l = 0; l < lanes; ++l) {
+        std::size_t code = base + l;
+        for (std::size_t a = 0; a < arity; ++a) {
+          scalar[a] = kVals[code % 3];
+          code /= 3;
+        }
+        EXPECT_EQ(pv_get(out, l), eval_gate(type, scalar))
+            << gate_type_name(type) << " arity " << arity << " combo "
+            << base + l;
+      }
+    }
+  }
+  // Constants take no inputs: the output is the constant in every lane.
+  EXPECT_EQ(pv_eval_gate(GateType::Const0, nullptr, 0), pv_splat(Val::Zero));
+  EXPECT_EQ(pv_eval_gate(GateType::Const1, nullptr, 0), pv_splat(Val::One));
+}
+
 TEST(PVal, EvalFnMatchesEvalGate) {
   Rng rng(321);
   for (GateType t : {GateType::Buf, GateType::Not, GateType::And,
