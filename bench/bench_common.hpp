@@ -27,6 +27,14 @@ inline std::uint64_t hardware_threads() {
   return hc == 0 ? 1 : hc;
 }
 
+/// The git commit the benchmark binary is measuring, for report attribution.
+/// scripts/bench.sh exports MOTSIM_GIT_COMMIT (with a "-dirty" suffix when
+/// the tree has local edits); bare binary invocations report "unknown".
+inline std::string git_commit() {
+  const char* env = std::getenv("MOTSIM_GIT_COMMIT");
+  return (env != nullptr && *env != '\0') ? env : "unknown";
+}
+
 /// Machine-readable benchmark results: each reproduction records metric rows
 /// and writes `BENCH_<name>.json` so the perf trajectory can be tracked
 /// across commits. Output lands in $MOTSIM_BENCH_JSON_DIR (scripts/bench.sh
@@ -99,11 +107,18 @@ class JsonReport {
       return;
     }
     // hardware_threads / single_core_host let report consumers discard
-    // thread-scaling rows measured on a host that cannot actually scale.
+    // thread-scaling rows measured on a host that cannot actually scale;
+    // git_commit ties the numbers to the source they measured.
+    std::string commit;
+    for (char c : git_commit()) {
+      if (c == '"' || c == '\\') commit += '\\';
+      commit += c;
+    }
     std::fprintf(f,
-                 "{\n  \"bench\": \"%s\",\n  \"hardware_threads\": %llu,\n"
+                 "{\n  \"bench\": \"%s\",\n  \"git_commit\": \"%s\",\n"
+                 "  \"hardware_threads\": %llu,\n"
                  "  \"single_core_host\": %s,\n  \"rows\": [",
-                 name_.c_str(),
+                 name_.c_str(), commit.c_str(),
                  static_cast<unsigned long long>(hardware_threads()),
                  hardware_threads() <= 1 ? "true" : "false");
     for (std::size_t r = 0; r < rows_.size(); ++r) {

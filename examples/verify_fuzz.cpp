@@ -18,6 +18,7 @@
 #include <iostream>
 
 #include "util/cli.hpp"
+#include "verify/checks.hpp"
 #include "verify/fuzz.hpp"
 
 using namespace motsim;
@@ -30,9 +31,27 @@ int usage(const char* argv0) {
                "usage: %s [--seeds N] [--seed-base S] [--budget-ms MS]\n"
                "          [--max-faults N] [--mutant NAME] [--no-shrink]\n"
                "          [--corpus-dir DIR] [--emit-corpus N]\n"
-               "          [--replay FILE]\n",
+               "          [--replay FILE]\n"
+               "          [--iscas DIR]   # run only the iscas-conformance "
+               "check\n",
                argv0);
   return 2;
+}
+
+/// The iscas-conformance check is not driven by fuzzed circuits — it needs
+/// the committed testcase directory — so it gets its own entry point here
+/// rather than a slot in the per-seed lattice.
+int run_iscas(const std::string& dir) {
+  IscasConformanceOptions opts;
+  opts.testcases_dir = dir;
+  const std::vector<Violation> violations = check_iscas_conformance(opts);
+  std::printf("iscas-conformance: %zu violation(s) in %s\n", violations.size(),
+              dir.c_str());
+  for (const Violation& v : violations) {
+    std::printf("violation [%s] %s\n", std::string(check_name(v.check)).c_str(),
+                v.detail.c_str());
+  }
+  return violations.empty() ? 0 : 1;
 }
 
 int replay(const std::string& path) {
@@ -70,6 +89,16 @@ int main(int argc, char** argv) {
   if (!args.ok()) {
     std::fprintf(stderr, "%s\n", args.error().c_str());
     return usage(argv[0]);
+  }
+
+  if (args.has("iscas")) {
+    const std::string dir = args.get("iscas", "");
+    const auto unused = args.unused();
+    if (!unused.empty()) {
+      std::fprintf(stderr, "unknown flag --%s\n", unused.front().c_str());
+      return usage(argv[0]);
+    }
+    return run_iscas(dir);
   }
 
   if (args.has("replay")) {

@@ -21,6 +21,16 @@ cmake --build "${build_dir}" -j "$(nproc)"
 # The benches write their BENCH_<name>.json here (see bench_common.hpp).
 export MOTSIM_BENCH_JSON_DIR="${repo_root}"
 
+# Attribute the reports to the commit being measured; a tree with local
+# edits gets a -dirty suffix so the numbers are never mistaken for the
+# committed state's.
+commit="$(git -C "${repo_root}" rev-parse HEAD 2>/dev/null || echo unknown)"
+if [ "${commit}" != "unknown" ] && \
+   ! git -C "${repo_root}" diff --quiet HEAD 2>/dev/null; then
+  commit="${commit}-dirty"
+fi
+export MOTSIM_GIT_COMMIT="${commit}"
+
 # Thread-scaling rows (e.g. bench_hitec_s5378's 1-vs-N comparison) are
 # meaningless on a single-core host: the "parallel" run is just a second
 # serial measurement. The JSON reports carry single_core_host/measures_scaling

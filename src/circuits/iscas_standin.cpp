@@ -1,0 +1,208 @@
+#include "circuits/iscas_standin.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace motsim {
+
+namespace {
+
+// The genuine ISCAS-85 c17 netlist in the .v distribution format.
+constexpr const char* kC17 =
+    "// c17: 5 inputs, 2 outputs, 6 NAND gates (genuine ISCAS-85 netlist)\n"
+    "module c17 (N1,N2,N3,N6,N7,N22,N23);\n"
+    "input N1,N2,N3,N6,N7;\n"
+    "output N22,N23;\n"
+    "wire N10,N11,N16,N19;\n"
+    "\n"
+    "nand NAND2_1 (N10, N1, N3);\n"
+    "nand NAND2_2 (N11, N3, N6);\n"
+    "nand NAND2_3 (N16, N2, N11);\n"
+    "nand NAND2_4 (N19, N11, N7);\n"
+    "nand NAND2_5 (N22, N10, N16);\n"
+    "nand NAND2_6 (N23, N16, N19);\n"
+    "endmodule\n";
+
+// Interface dimensions of the real ISCAS-85 benchmarks; gate counts are the
+// standard published figures. Seeds are fixed per circuit so the stand-in
+// netlist text is a pure function of the name.
+const std::vector<IscasStandinSpec> kSpecs = {
+    {"c17", 5, 2, 6, 17},
+    {"c432", 36, 7, 160, 432},
+    {"c499", 41, 32, 202, 499},
+    {"c880", 60, 26, 383, 880},
+    {"c1355", 41, 32, 546, 1355},
+    {"c1908", 33, 25, 880, 1908},
+    {"c2670", 233, 140, 1193, 2670},
+    {"c3540", 50, 22, 1669, 3540},
+    {"c5315", 178, 123, 2307, 5315},
+    {"c6288", 32, 32, 2406, 6288},
+    {"c7552", 207, 108, 3512, 7552},
+};
+
+struct GateDraw {
+  const char* prim;
+  std::size_t min_in, max_in;
+  std::uint32_t weight;  ///< out of 100
+};
+
+// ISCAS-ish primitive mix: NAND-heavy, a sprinkle of parity and inverters.
+constexpr GateDraw kDraws[] = {
+    {"nand", 2, 4, 32}, {"nor", 2, 4, 14}, {"and", 2, 4, 14},
+    {"or", 2, 4, 12},   {"not", 1, 1, 12}, {"buf", 1, 1, 4},
+    {"xor", 2, 2, 8},   {"xnor", 2, 2, 4},
+};
+
+std::string make_standin(const IscasStandinSpec& spec) {
+  Rng rng(spec.seed);
+  // Net numbering mimics the benchmarks: inputs first, then gate outputs.
+  std::vector<std::string> nets;  // all driven-or-input nets, creation order
+  nets.reserve(spec.n_in + spec.n_gates);
+  for (std::size_t k = 0; k < spec.n_in; ++k) {
+    nets.push_back("N" + std::to_string(k + 1));
+  }
+
+  struct GateRec {
+    const char* prim;
+    std::string out;
+    std::vector<std::string> ins;
+  };
+  std::vector<GateRec> gates;
+  gates.reserve(spec.n_gates);
+
+  for (std::size_t g = 0; g < spec.n_gates; ++g) {
+    // Weighted primitive draw.
+    std::uint64_t roll = rng.next_below(100);
+    const GateDraw* draw = &kDraws[0];
+    for (const GateDraw& d : kDraws) {
+      if (roll < d.weight) {
+        draw = &d;
+        break;
+      }
+      roll -= d.weight;
+    }
+    const std::size_t n_in =
+        draw->min_in == draw->max_in
+            ? draw->min_in
+            : static_cast<std::size_t>(
+                  rng.next_in(static_cast<std::int64_t>(draw->min_in),
+                              static_cast<std::int64_t>(draw->max_in)));
+    // Fanins: mostly from a recent window (gives ISCAS-like depth), with an
+    // occasional long-range edge for reconvergence. Distinct per gate.
+    std::vector<std::string> ins;
+    std::size_t guard = 0;
+    while (ins.size() < n_in && ++guard < 64) {
+      std::size_t idx;
+      if (nets.size() > 48 && rng.next_bool(0.8)) {
+        idx = nets.size() - 1 - rng.next_below(48);
+      } else {
+        idx = rng.next_below(nets.size());
+      }
+      if (std::find(ins.begin(), ins.end(), nets[idx]) == ins.end()) {
+        ins.push_back(nets[idx]);
+      }
+    }
+    GateRec rec;
+    rec.prim = draw->prim;
+    rec.out = "N" + std::to_string(nets.size() + 1);
+    rec.ins = std::move(ins);
+    if (rec.ins.size() < draw->min_in) {
+      // Tiny net pool exhausted the distinct draw; degrade to a buffer.
+      rec.prim = "buf";
+      rec.ins.resize(1);
+    }
+    nets.push_back(rec.out);
+    gates.push_back(std::move(rec));
+  }
+
+  // The last n_out gate outputs are the primary outputs (always driven).
+  std::vector<std::string> outs;
+  for (std::size_t o = 0; o < spec.n_out; ++o) {
+    outs.push_back(gates[gates.size() - spec.n_out + o].out);
+  }
+
+  std::string text;
+  text += "// " + std::string(spec.name) + " stand-in: " +
+          std::to_string(spec.n_in) + " inputs, " + std::to_string(spec.n_out) +
+          " outputs, " + std::to_string(spec.n_gates) +
+          " gates (seed " + std::to_string(spec.seed) + ")\n";
+  text += "// Deterministically generated scale-match for the ISCAS-85 " +
+          std::string(spec.name) + " interface; see iscas_standin.hpp.\n";
+  std::string header = "module " + std::string(spec.name) + " (";
+  for (std::size_t k = 0; k < spec.n_in; ++k) header += nets[k] + ",";
+  for (std::size_t o = 0; o < outs.size(); ++o) {
+    header += outs[o];
+    if (o + 1 != outs.size()) header += ',';
+  }
+  header += ");";
+  text += header + "\n";
+
+  auto emit_list = [&text](const char* kw, const std::vector<std::string>& names) {
+    if (names.empty()) return;
+    std::string line = std::string(kw) + " ";
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      if (line.size() + names[i].size() > 72) {
+        text += line + "\n";
+        line = "  ";
+      }
+      line += names[i];
+      if (i + 1 != names.size()) line += ',';
+    }
+    text += line + ";\n";
+  };
+  std::vector<std::string> in_names(nets.begin(),
+                                    nets.begin() + static_cast<long>(spec.n_in));
+  std::vector<std::string> wire_names;
+  for (const GateRec& g : gates) {
+    if (std::find(outs.begin(), outs.end(), g.out) == outs.end()) {
+      wire_names.push_back(g.out);
+    }
+  }
+  emit_list("input", in_names);
+  emit_list("output", outs);
+  emit_list("wire", wire_names);
+  text += "\n";
+  std::size_t inst = 0;
+  for (const GateRec& g : gates) {
+    std::string prim_up(g.prim);
+    for (char& ch : prim_up) ch = static_cast<char>(ch - 'a' + 'A');
+    text += std::string(g.prim) + " " + prim_up + std::to_string(g.ins.size()) +
+            "_" + std::to_string(++inst) + " (" + g.out;
+    for (const std::string& in : g.ins) text += ", " + in;
+    text += ");\n";
+  }
+  text += "endmodule\n";
+  return text;
+}
+
+}  // namespace
+
+const std::vector<IscasStandinSpec>& iscas_testcase_specs() { return kSpecs; }
+
+bool find_iscas_testcase(std::string_view name, IscasStandinSpec& out) {
+  for (const IscasStandinSpec& s : kSpecs) {
+    if (s.name == name) {
+      out = s;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string iscas_testcase_netlist(const IscasStandinSpec& spec) {
+  if (spec.name == "c17") return kC17;
+  return make_standin(spec);
+}
+
+std::string iscas_testcase_netlist(std::string_view name) {
+  IscasStandinSpec spec;
+  if (!find_iscas_testcase(name, spec)) {
+    throw std::invalid_argument("unknown ISCAS-85 testcase '" +
+                                std::string(name) + "'");
+  }
+  return iscas_testcase_netlist(spec);
+}
+
+}  // namespace motsim

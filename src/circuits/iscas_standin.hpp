@@ -1,0 +1,48 @@
+// ISCAS-85 conformance testcase circuits.
+//
+// c17 is the genuine ISCAS-85 benchmark (six NAND gates — small enough to
+// carry verbatim). The larger names are deterministic *stand-ins*: this
+// container has no copy of the original c432..c7552 netlists, so we generate
+// circuits in the same .v dialect with the real benchmarks' primary-input /
+// primary-output / gate counts and an ISCAS-like gate-type mix, from a fixed
+// per-circuit seed. The conformance harness exercises exactly what it would
+// on the originals — parser, formats, SHA pinning, cross-kernel byte
+// identity — and swapping in the real netlists later changes nothing but the
+// committed files (regenerate with MOTSIM_UPDATE_GOLDEN=1, see README).
+//
+// Generation is pure: same name -> same netlist text, forever. The committed
+// tests/testcases/<ckt>.v files are snapshots of these generators, and
+// iscas_conformance_test pins them byte-for-byte.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "netlist/circuit.hpp"
+
+namespace motsim {
+
+struct IscasStandinSpec {
+  std::string_view name;   ///< benchmark name, e.g. "c432"
+  std::size_t n_in = 0;    ///< the real benchmark's primary input count
+  std::size_t n_out = 0;   ///< the real benchmark's primary output count
+  std::size_t n_gates = 0; ///< the real benchmark's gate count
+  std::uint64_t seed = 0;
+};
+
+/// Every known testcase name, c17 through c7552, in benchmark order.
+const std::vector<IscasStandinSpec>& iscas_testcase_specs();
+
+/// Looks up a spec by name ("c432"). Returns false for unknown names.
+bool find_iscas_testcase(std::string_view name, IscasStandinSpec& out);
+
+/// The netlist text for `spec`: the true c17, or the seeded stand-in.
+std::string iscas_testcase_netlist(const IscasStandinSpec& spec);
+
+/// Convenience: netlist text by name. Throws std::invalid_argument for
+/// unknown names.
+std::string iscas_testcase_netlist(std::string_view name);
+
+}  // namespace motsim

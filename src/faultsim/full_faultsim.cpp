@@ -1,0 +1,389 @@
+#include "faultsim/full_faultsim.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+#include "fault/fault_view.hpp"
+#include "logic/pval.hpp"
+#include "sim/seq_sim.hpp"
+#include "sim/test_sequence.hpp"
+#include "util/rng.hpp"
+#include "util/sha256.hpp"
+#include "util/strings.hpp"
+#include "util/thread_pool.hpp"
+
+namespace motsim {
+
+namespace {
+
+/// name -> index maps for the two sides of a '|' line.
+struct NetIndex {
+  std::unordered_map<std::string, std::size_t> input;
+  std::unordered_map<std::string, std::size_t> output;
+};
+
+NetIndex index_nets(const Circuit& c) {
+  NetIndex idx;
+  for (std::size_t k = 0; k < c.num_inputs(); ++k) {
+    idx.input.emplace(c.gate(c.inputs()[k]).name, k);
+  }
+  for (std::size_t o = 0; o < c.num_outputs(); ++o) {
+    idx.output.emplace(c.gate(c.outputs()[o]).name, o);
+  }
+  return idx;
+}
+
+/// Parses one "name=val, name=val" side into `vals` (pre-sized, Val::X =
+/// unassigned). Returns false with `error` set on malformed input.
+bool parse_assignments(std::string_view side, const char* what,
+                       const std::unordered_map<std::string, std::size_t>& index,
+                       std::vector<Val>& vals, std::string& error) {
+  for (std::string_view item : split(side, ',')) {
+    item = trim(item);
+    if (item.empty()) {
+      error = std::string("empty ") + what + " assignment";
+      return false;
+    }
+    const std::size_t eq = item.find('=');
+    if (eq == std::string_view::npos) {
+      error = "expected '=' in '" + std::string(item) + "'";
+      return false;
+    }
+    const std::string name(trim(item.substr(0, eq)));
+    const std::string_view val = trim(item.substr(eq + 1));
+    const auto it = index.find(name);
+    if (it == index.end()) {
+      error = std::string("unknown ") + what + " net '" + name + "'";
+      return false;
+    }
+    if (val.size() != 1 || (val[0] != '0' && val[0] != '1')) {
+      error = "value of '" + name + "' must be 0 or 1, got '" +
+              std::string(val) + "'";
+      return false;
+    }
+    if (vals[it->second] != Val::X) {
+      error = std::string(what) + " net '" + name + "' assigned twice";
+      return false;
+    }
+    vals[it->second] = val[0] == '1' ? Val::One : Val::Zero;
+  }
+  return true;
+}
+
+}  // namespace
+
+InParseResult parse_conformance_in(std::string_view text, const Circuit& c) {
+  InParseResult result;
+  const NetIndex idx = index_nets(c);
+
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    std::string_view raw = text.substr(
+        pos, eol == std::string_view::npos ? text.size() - pos : eol - pos);
+    pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+    ++line_no;
+
+    const std::size_t hash = raw.find('#');
+    if (hash != std::string_view::npos) raw = raw.substr(0, hash);
+    const std::string_view line = trim(raw);
+    if (line.empty()) continue;
+
+    auto fail = [&](std::string msg) {
+      result.ok = false;
+      result.error = std::move(msg);
+      result.error_line = line_no;
+    };
+
+    const std::size_t bar = line.find('|');
+    if (bar == std::string_view::npos) {
+      fail("expected 'inputs | outputs'");
+      return result;
+    }
+    std::vector<Val> ins(c.num_inputs(), Val::X);
+    std::vector<Val> outs(c.num_outputs(), Val::X);
+    std::string error;
+    if (!parse_assignments(line.substr(0, bar), "input", idx.input, ins, error) ||
+        !parse_assignments(line.substr(bar + 1), "output", idx.output, outs,
+                           error)) {
+      fail(std::move(error));
+      return result;
+    }
+    for (std::size_t k = 0; k < ins.size(); ++k) {
+      if (ins[k] == Val::X) {
+        fail("input '" + c.gate(c.inputs()[k]).name + "' not assigned");
+        return result;
+      }
+    }
+    for (std::size_t o = 0; o < outs.size(); ++o) {
+      if (outs[o] == Val::X) {
+        fail("output '" + c.gate(c.outputs()[o]).name + "' not assigned");
+        return result;
+      }
+    }
+    result.patterns.patterns.push_back(std::move(ins));
+    result.patterns.claimed.push_back(std::move(outs));
+  }
+  if (result.patterns.size() == 0) {
+    result.ok = false;
+    result.error = "no patterns in file";
+    result.error_line = line_no;
+    return result;
+  }
+  result.ok = true;
+  return result;
+}
+
+InParseResult parse_conformance_in_file(const std::string& path,
+                                        const Circuit& c) {
+  std::ifstream in(path);
+  if (!in) {
+    InParseResult r;
+    r.error = "cannot open '" + path + "'";
+    return r;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return parse_conformance_in(ss.str(), c);
+}
+
+std::string write_conformance_in(const Circuit& c,
+                                 const ConformancePatterns& pat) {
+  std::string out;
+  for (std::size_t p = 0; p < pat.size(); ++p) {
+    for (std::size_t k = 0; k < c.num_inputs(); ++k) {
+      if (k) out += ", ";
+      out += c.gate(c.inputs()[k]).name;
+      out += '=';
+      out += v_to_char(pat.patterns[p][k]);
+    }
+    out += " | ";
+    for (std::size_t o = 0; o < c.num_outputs(); ++o) {
+      if (o) out += ", ";
+      out += c.gate(c.outputs()[o]).name;
+      out += '=';
+      out += v_to_char(pat.claimed[p][o]);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+namespace {
+
+TestSequence one_frame_test(const Circuit& c, const std::vector<Val>& pattern) {
+  TestSequence t(c.num_inputs(), 1);
+  for (std::size_t k = 0; k < pattern.size(); ++k) t.set(0, k, pattern[k]);
+  return t;
+}
+
+/// eq0/eq1 are [gate * P + pattern] flags.
+struct EqTable {
+  std::vector<std::uint8_t> eq0, eq1;
+  explicit EqTable(std::size_t cells) : eq0(cells, 1), eq1(cells, 1) {}
+};
+
+std::string claim_mismatch(const Circuit& c, std::size_t p, std::size_t o,
+                           Val simulated, Val claimed) {
+  return str_format(
+      "pattern %zu: fault-free output %s simulates to %c but the .in file "
+      "claims %c",
+      p, c.gate(c.outputs()[o]).name.c_str(), v_to_char(simulated),
+      v_to_char(claimed));
+}
+
+/// Reference path: per-(fault, pattern) serial three-valued simulation.
+bool run_legacy(const Circuit& c, const ConformancePatterns& pat,
+                const FullFaultSimOptions& opts, EqTable& table,
+                std::string& error) {
+  const std::size_t P = pat.size();
+  const std::size_t N = c.num_gates();
+  SequentialSimulator sim(c, KernelKind::Legacy);
+  std::vector<TestSequence> tests;
+  std::vector<SeqTrace> good;
+  tests.reserve(P);
+  good.reserve(P);
+  for (std::size_t p = 0; p < P; ++p) {
+    tests.push_back(one_frame_test(c, pat.patterns[p]));
+    good.push_back(sim.run(tests.back(), FaultView(c)));
+    if (opts.verify_outputs) {
+      for (std::size_t o = 0; o < c.num_outputs(); ++o) {
+        if (good.back().outputs[0][o] != pat.claimed[p][o]) {
+          error = claim_mismatch(c, p, o, good.back().outputs[0][o],
+                                 pat.claimed[p][o]);
+          return false;
+        }
+      }
+    }
+  }
+  ThreadPool pool(opts.num_threads);
+  pool.parallel_for_dynamic(N, 8, [&](std::size_t b, std::size_t e,
+                                      std::size_t /*lane*/) {
+    SequentialSimulator lsim(c, KernelKind::Legacy);
+    for (GateId g = static_cast<GateId>(b); g < e; ++g) {
+      for (const Val stuck : {Val::Zero, Val::One}) {
+        const FaultView fv(c, Fault{g, kOutputPin, stuck});
+        std::vector<std::uint8_t>& eq =
+            stuck == Val::Zero ? table.eq0 : table.eq1;
+        for (std::size_t p = 0; p < P; ++p) {
+          const SeqTrace tr = lsim.run(tests[p], fv);
+          eq[g * P + p] = tr.outputs[0] == good[p].outputs[0] ? 1 : 0;
+        }
+      }
+    }
+  });
+  return true;
+}
+
+/// Lanes where a and b differ as three-valued values (not just conflict:
+/// X vs 0 counts as different, matching the Legacy path's Val equality).
+inline std::uint64_t pv_diff_mask(const PVal& a, const PVal& b) {
+  return (a.ones ^ b.ones) | (a.zeros ^ b.zeros);
+}
+
+/// Packed path: 64 patterns per lane over the levelized order.
+bool run_soa(const Circuit& c, const ConformancePatterns& pat,
+             const FullFaultSimOptions& opts, EqTable& table,
+             std::string& error) {
+  const std::size_t P = pat.size();
+  const std::size_t N = c.num_gates();
+  const LevelizedCircuit& lv = c.levelized();
+  const std::vector<GateId>& order = lv.order();
+  ThreadPool pool(opts.num_threads);
+  std::vector<std::vector<PVal>> scratch(pool.num_threads());
+
+  for (std::size_t b0 = 0; b0 < P; b0 += 64) {
+    const unsigned lanes = static_cast<unsigned>(std::min<std::size_t>(64, P - b0));
+    const std::uint64_t lane_mask =
+        lanes == 64 ? ~0ull : ((1ull << lanes) - 1);
+
+    // Fault-free sweep for this block of patterns.
+    std::vector<PVal> pgood(N);
+    for (std::size_t k = 0; k < c.num_inputs(); ++k) {
+      PVal v;
+      for (unsigned l = 0; l < lanes; ++l) {
+        pv_set(v, l, pat.patterns[b0 + l][k]);
+      }
+      pgood[c.inputs()[k]] = v;
+    }
+    for (GateId g : order) {
+      const GateId* fi = lv.fanins(g);
+      pgood[g] = pv_eval_gate_fn(lv.type(g), lv.fanin_count(g),
+                                 [&](std::size_t k) { return pgood[fi[k]]; });
+    }
+    if (opts.verify_outputs) {
+      for (std::size_t o = 0; o < c.num_outputs(); ++o) {
+        const PVal& v = pgood[c.outputs()[o]];
+        for (unsigned l = 0; l < lanes; ++l) {
+          if (pv_get(v, l) != pat.claimed[b0 + l][o]) {
+            error = claim_mismatch(c, b0 + l, o, pv_get(v, l),
+                                   pat.claimed[b0 + l][o]);
+            return false;
+          }
+        }
+      }
+    }
+
+    // One packed resweep per fault, restarted at the level above the fault
+    // site: gates at or below the site's level cannot read it, so their
+    // fault-free values are exact.
+    pool.parallel_for_dynamic(N, 16, [&](std::size_t b, std::size_t e,
+                                         std::size_t lane) {
+      std::vector<PVal>& pf = scratch[lane];
+      for (GateId g = static_cast<GateId>(b); g < e; ++g) {
+        const std::uint32_t start_level = lv.level(g) + 1;
+        const std::size_t start = start_level <= lv.num_levels()
+                                      ? lv.level_off(start_level)
+                                      : order.size();
+        for (const Val stuck : {Val::Zero, Val::One}) {
+          pf = pgood;
+          pf[g] = pv_splat(stuck);
+          for (std::size_t i = start; i < order.size(); ++i) {
+            const GateId o = order[i];
+            const GateId* fi = lv.fanins(o);
+            pf[o] = pv_eval_gate_fn(lv.type(o), lv.fanin_count(o),
+                                    [&](std::size_t k) { return pf[fi[k]]; });
+          }
+          std::uint64_t neq = 0;
+          for (const GateId po : c.outputs()) {
+            neq |= pv_diff_mask(pgood[po], pf[po]);
+          }
+          neq &= lane_mask;
+          std::vector<std::uint8_t>& eq =
+              stuck == Val::Zero ? table.eq0 : table.eq1;
+          for (unsigned l = 0; l < lanes; ++l) {
+            eq[g * P + (b0 + l)] = (neq >> l) & 1 ? 0 : 1;
+          }
+        }
+      }
+    });
+  }
+  return true;
+}
+
+}  // namespace
+
+FullFaultSimResult run_full_faultsim(const Circuit& c,
+                                     const ConformancePatterns& pat,
+                                     const FullFaultSimOptions& opts) {
+  FullFaultSimResult result;
+  if (c.num_dffs() != 0) {
+    result.error = "'" + c.name() +
+                   "' is sequential; full fault simulation covers the "
+                   "combinational path only";
+    return result;
+  }
+  if (pat.size() == 0) {
+    result.error = "no patterns";
+    return result;
+  }
+  const std::size_t P = pat.size();
+  const std::size_t N = c.num_gates();
+  EqTable table(N * P);
+  std::string error;
+  const bool ok = opts.kernel == KernelKind::Legacy
+                      ? run_legacy(c, pat, opts, table, error)
+                      : run_soa(c, pat, opts, table, error);
+  if (!ok) {
+    result.error = std::move(error);
+    return result;
+  }
+
+  std::string& ans = result.ans;
+  ans.reserve(N * P * 16);
+  for (std::size_t p = 0; p < P; ++p) {
+    const std::string prefix = std::to_string(p) + ' ';
+    for (GateId g = 0; g < N; ++g) {
+      ans += prefix;
+      ans += c.gate(g).name;
+      ans += ' ';
+      ans += static_cast<char>('0' + table.eq0[g * P + p]);
+      ans += ' ';
+      ans += static_cast<char>('0' + table.eq1[g * P + p]);
+      ans += '\n';
+    }
+  }
+  result.ans_sha256 = sha256_hex(ans);
+  result.ok = true;
+  return result;
+}
+
+ConformancePatterns generate_conformance_patterns(const Circuit& c,
+                                                  std::size_t count,
+                                                  std::uint64_t seed) {
+  ConformancePatterns pat;
+  Rng rng(seed);
+  SequentialSimulator sim(c, KernelKind::Legacy);
+  for (std::size_t p = 0; p < count; ++p) {
+    std::vector<Val> ins(c.num_inputs());
+    for (Val& v : ins) v = rng.next_below(2) ? Val::One : Val::Zero;
+    const SeqTrace tr = sim.run(one_frame_test(c, ins), FaultView(c));
+    pat.patterns.push_back(std::move(ins));
+    pat.claimed.push_back(tr.outputs[0]);
+  }
+  return pat;
+}
+
+}  // namespace motsim

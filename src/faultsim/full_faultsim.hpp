@@ -1,0 +1,100 @@
+// Full fault simulation over the ISCAS-85 conformance formats.
+//
+// This is the third-party interop surface of the combinational path. The
+// formats follow the external testcase convention (tests/testcases/):
+//
+//   <ckt>.in   one pattern per line,
+//                N1=0, N2=1, ... | N22=0, N23=1
+//              left of '|': every primary input, fully specified (0/1);
+//              right: the fault-free primary outputs claimed by whoever
+//              generated the file. The driver re-simulates and refuses to
+//              produce answers when the claim disagrees — that cross-check
+//              is the whole point of an externally-generated golden.
+//
+//   <ckt>.ans  one line per (pattern, net):
+//                <pattern_index> <net> <sa0_eq> <sa1_eq>
+//              pattern_index is 0-based in file order; nets iterate every
+//              named net (gate output, primary inputs included) in netlist
+//              declaration order. An eq flag of 1 means injecting that
+//              stuck-at fault leaves every primary output identical to the
+//              fault-free response for that pattern; 0 means an observable
+//              difference.
+//
+//   <ckt>.ans.sha  lower-case hex SHA-256 of the .ans bytes, no filename.
+//
+// run_full_faultsim produces the .ans bytes under either kernel:
+//   Legacy — per-(pattern, fault) serial three-valued simulation through
+//            SequentialSimulator/FaultView, the reference semantics;
+//   SoA    — 64 patterns per PVal lane over the levelized order, with the
+//            faulty resweep starting at the fault site's level.
+// Both must emit byte-identical files at any thread count; the conformance
+// tests enforce it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "logic/val.hpp"
+#include "netlist/circuit.hpp"
+#include "netlist/levelized.hpp"
+
+namespace motsim {
+
+/// Parsed <ckt>.in contents, re-ordered to circuit declaration order.
+struct ConformancePatterns {
+  /// patterns[p][k]: value applied to primary input k (circuit input order).
+  std::vector<std::vector<Val>> patterns;
+  /// claimed[p][o]: fault-free primary output o claimed by the file.
+  std::vector<std::vector<Val>> claimed;
+
+  std::size_t size() const { return patterns.size(); }
+};
+
+struct InParseResult {
+  bool ok = false;
+  ConformancePatterns patterns;  ///< valid only when ok
+  std::string error;
+  std::size_t error_line = 0;  ///< 1-based line of the offending pattern
+};
+
+/// Parses .in text against `c` (net names resolved, every input required).
+InParseResult parse_conformance_in(std::string_view text, const Circuit& c);
+InParseResult parse_conformance_in_file(const std::string& path, const Circuit& c);
+
+/// Renders .in text: inputs in declaration order, then the claimed outputs.
+std::string write_conformance_in(const Circuit& c, const ConformancePatterns& pat);
+
+struct FullFaultSimOptions {
+  KernelKind kernel = KernelKind::SoA;
+  /// Lanes for the fault loop (resolve_thread_count semantics; results are
+  /// bit-identical at any count).
+  std::size_t num_threads = 1;
+  /// Cross-check the fault-free response against the .in claim (disable only
+  /// for freshly generated patterns that carry no claim yet).
+  bool verify_outputs = true;
+};
+
+struct FullFaultSimResult {
+  bool ok = false;
+  std::string error;       ///< set when !ok (e.g. .in claim mismatch)
+  std::string ans;         ///< the .ans bytes
+  std::string ans_sha256;  ///< lower-case hex digest of `ans`
+};
+
+/// Runs full fault simulation: every named net x {s-a-0, s-a-1} x every
+/// pattern. Precondition: `c` is combinational (no flip-flops).
+FullFaultSimResult run_full_faultsim(const Circuit& c,
+                                     const ConformancePatterns& pat,
+                                     const FullFaultSimOptions& opts);
+
+/// Deterministic pattern generation for a testcase: `count` patterns whose
+/// input values are drawn from Rng(seed) (input-major, rng.next_below(2)),
+/// with the claimed outputs computed by the Legacy serial simulator — a
+/// different code path than the packed driver that later consumes them.
+ConformancePatterns generate_conformance_patterns(const Circuit& c,
+                                                  std::size_t count,
+                                                  std::uint64_t seed);
+
+}  // namespace motsim

@@ -1,0 +1,410 @@
+#include "netlist/iscas_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "netlist/builder.hpp"
+#include "util/strings.hpp"
+
+namespace motsim {
+
+namespace {
+
+/// One ';'-terminated statement, tokenized. Names are runs of characters
+/// outside " \t\r\n(),;"; '(' ')' ',' are single-character tokens.
+struct Statement {
+  std::vector<std::string_view> tokens;
+  std::size_t line = 0;  ///< 1-based line where the statement starts
+};
+
+bool is_punct(char c) { return c == '(' || c == ')' || c == ','; }
+
+/// Splits `text` into statements, stripping // comments. The trailing text
+/// after the last ';' (normally "endmodule") becomes a statement too.
+std::vector<Statement> tokenize(std::string_view text) {
+  std::vector<Statement> stmts;
+  Statement cur;
+  std::size_t line = 1;
+  std::size_t i = 0;
+  const std::size_t n = text.size();
+  while (i < n) {
+    const char c = text[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && text[i + 1] == '/') {
+      while (i < n && text[i] != '\n') ++i;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r') {
+      ++i;
+      continue;
+    }
+    if (c == ';') {
+      if (!cur.tokens.empty()) stmts.push_back(std::move(cur));
+      cur = Statement{};
+      ++i;
+      continue;
+    }
+    if (cur.tokens.empty()) cur.line = line;
+    if (is_punct(c)) {
+      cur.tokens.push_back(text.substr(i, 1));
+      ++i;
+      continue;
+    }
+    std::size_t j = i;
+    while (j < n && !is_punct(text[j]) && text[j] != ';' &&
+           text[j] != ' ' && text[j] != '\t' && text[j] != '\r' &&
+           text[j] != '\n') {
+      ++j;
+    }
+    cur.tokens.push_back(text.substr(i, j - i));
+    i = j;
+  }
+  if (!cur.tokens.empty()) stmts.push_back(std::move(cur));
+  return stmts;
+}
+
+bool iscas_gate_type(std::string_view name, GateType& out) {
+  if (iequals(name, "and")) out = GateType::And;
+  else if (iequals(name, "nand")) out = GateType::Nand;
+  else if (iequals(name, "or")) out = GateType::Or;
+  else if (iequals(name, "nor")) out = GateType::Nor;
+  else if (iequals(name, "xor")) out = GateType::Xor;
+  else if (iequals(name, "xnor")) out = GateType::Xnor;
+  else if (iequals(name, "not")) out = GateType::Not;
+  else if (iequals(name, "buf")) out = GateType::Buf;
+  else return false;
+  return true;
+}
+
+enum class DeclKind : std::uint8_t { Input, Output, Wire };
+
+struct Decl {
+  DeclKind kind;
+  std::size_t line;
+};
+
+/// Parses a comma-separated name list out of tokens[from..]. Returns false
+/// (with `error` set) on stray punctuation or a missing name.
+bool parse_name_list(const Statement& s, std::size_t from,
+                     std::vector<std::string_view>& names, std::string& error) {
+  bool want_name = true;
+  for (std::size_t k = from; k < s.tokens.size(); ++k) {
+    const std::string_view t = s.tokens[k];
+    if (want_name) {
+      if (t == "," || t == "(" || t == ")") {
+        error = "empty signal name";
+        return false;
+      }
+      names.push_back(t);
+      want_name = false;
+    } else {
+      if (t != ",") {
+        error = "expected ',' between signal names, got '" + std::string(t) + "'";
+        return false;
+      }
+      want_name = true;
+    }
+  }
+  if (want_name || names.empty()) {
+    error = "empty signal name";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+IscasParseResult parse_iscas(std::string_view text, std::string fallback_name) {
+  IscasParseResult result;
+  const std::vector<Statement> stmts = tokenize(text);
+
+  auto fail = [&](std::size_t line, std::string msg) {
+    result.ok = false;
+    result.error = std::move(msg);
+    result.error_line = line;
+    return result;
+  };
+
+  if (stmts.empty()) {
+    return fail(1, "empty file: expected 'module' header");
+  }
+
+  // --- module header ---------------------------------------------------
+  const Statement& head = stmts.front();
+  if (!iequals(head.tokens[0], "module")) {
+    return fail(head.line, "expected 'module' header before '" +
+                               std::string(head.tokens[0]) + "'");
+  }
+  if (head.tokens.size() < 2 || is_punct(head.tokens[1][0])) {
+    return fail(head.line, "missing module name");
+  }
+  std::string module_name(head.tokens[1]);
+  std::vector<std::string_view> ports;
+  if (head.tokens.size() > 2) {
+    if (head.tokens[2] != "(" || head.tokens.back() != ")") {
+      return fail(head.line, "malformed module port list");
+    }
+    Statement port_stmt;
+    port_stmt.tokens.assign(head.tokens.begin() + 3, head.tokens.end() - 1);
+    port_stmt.line = head.line;
+    std::string err;
+    if (!port_stmt.tokens.empty() &&
+        !parse_name_list(port_stmt, 0, ports, err)) {
+      return fail(head.line, std::move(err));
+    }
+  }
+
+  CircuitBuilder builder(module_name.empty() ? fallback_name : module_name);
+  std::unordered_map<std::string, Decl> decls;
+  std::unordered_map<std::string, std::size_t> driven;  // net -> stmt line
+  std::unordered_set<std::string> instances;
+  std::vector<std::string_view> output_order;
+  bool saw_endmodule = false;
+  std::size_t last_line = head.line;
+
+  for (std::size_t si = 1; si < stmts.size(); ++si) {
+    const Statement& s = stmts[si];
+    last_line = s.line;
+    const std::string_view kw = s.tokens[0];
+
+    if (saw_endmodule) {
+      return fail(s.line, "statement after 'endmodule'");
+    }
+    if (iequals(kw, "endmodule")) {
+      if (s.tokens.size() != 1) {
+        return fail(s.line, "unexpected tokens after 'endmodule'");
+      }
+      saw_endmodule = true;
+      continue;
+    }
+    if (iequals(kw, "module")) {
+      return fail(s.line, "duplicate 'module' header");
+    }
+
+    if (iequals(kw, "input") || iequals(kw, "output") || iequals(kw, "wire")) {
+      const DeclKind kind = iequals(kw, "input")  ? DeclKind::Input
+                            : iequals(kw, "output") ? DeclKind::Output
+                                                    : DeclKind::Wire;
+      std::vector<std::string_view> names;
+      std::string err;
+      if (!parse_name_list(s, 1, names, err)) {
+        return fail(s.line, std::move(err));
+      }
+      for (std::string_view nm : names) {
+        if (!decls.emplace(std::string(nm), Decl{kind, s.line}).second) {
+          return fail(s.line, "duplicate declaration of '" + std::string(nm) + "'");
+        }
+        if (kind == DeclKind::Input) {
+          builder.add_input(std::string(nm));
+        } else {
+          builder.declare(std::string(nm));
+          if (kind == DeclKind::Output) output_order.push_back(nm);
+        }
+      }
+      continue;
+    }
+
+    // --- primitive gate instantiation: prim inst ( out, in... ) --------
+    GateType type;
+    if (!iscas_gate_type(kw, type)) {
+      return fail(s.line, "unknown primitive '" + std::string(kw) + "'");
+    }
+    if (s.tokens.size() < 2 || is_punct(s.tokens[1][0])) {
+      return fail(s.line, "missing instance name after '" + std::string(kw) + "'");
+    }
+    const std::string inst(s.tokens[1]);
+    if (!instances.insert(inst).second) {
+      return fail(s.line, "duplicate gate instance '" + inst + "'");
+    }
+    if (s.tokens.size() < 4 || s.tokens[2] != "(" || s.tokens.back() != ")") {
+      return fail(s.line, "expected '(out, in, ...)' after instance name");
+    }
+    Statement args;
+    args.tokens.assign(s.tokens.begin() + 3, s.tokens.end() - 1);
+    args.line = s.line;
+    std::vector<std::string_view> nets;
+    std::string err;
+    if (!parse_name_list(args, 0, nets, err)) {
+      return fail(s.line, std::move(err));
+    }
+    const std::string out_net(nets.front());
+    const auto out_decl = decls.find(out_net);
+    if (out_decl == decls.end()) {
+      return fail(s.line, "undefined net '" + out_net +
+                              "' (not declared input/output/wire)");
+    }
+    if (out_decl->second.kind == DeclKind::Input) {
+      return fail(s.line, "net '" + out_net + "' is an input and cannot be driven");
+    }
+    const auto prev = driven.emplace(out_net, s.line);
+    if (!prev.second) {
+      return fail(s.line, "net '" + out_net + "' driven more than once (first at line " +
+                              std::to_string(prev.first->second) + ")");
+    }
+    if (nets.size() < 2) {
+      return fail(s.line, "gate '" + inst + "' has no fanins");
+    }
+    const int need = required_fanins(type);
+    if (need >= 0 && nets.size() - 1 != static_cast<std::size_t>(need)) {
+      return fail(s.line, "gate '" + inst + "' expects " + std::to_string(need) +
+                              " fanin(s), got " + std::to_string(nets.size() - 1));
+    }
+    std::vector<GateId> fanins;
+    for (std::size_t k = 1; k < nets.size(); ++k) {
+      const std::string in_net(nets[k]);
+      if (decls.find(in_net) == decls.end()) {
+        return fail(s.line, "undefined net '" + in_net +
+                                "' (not declared input/output/wire)");
+      }
+      if (in_net == out_net) {
+        return fail(s.line, "gate '" + inst + "' feeds itself");
+      }
+      fanins.push_back(builder.declare(in_net));
+    }
+    builder.define(builder.declare(out_net), type, std::move(fanins));
+  }
+
+  if (!saw_endmodule) {
+    return fail(last_line, "truncated file: missing 'endmodule'");
+  }
+
+  // --- whole-module checks ---------------------------------------------
+  bool any_input = false, any_output = false;
+  for (const auto& [nm, d] : decls) {
+    any_input |= d.kind == DeclKind::Input;
+    any_output |= d.kind == DeclKind::Output;
+  }
+  if (!any_input) return fail(head.line, "module declares no input nets");
+  if (!any_output) return fail(head.line, "module declares no output nets");
+  for (const auto& [nm, d] : decls) {
+    if (d.kind != DeclKind::Input && driven.find(nm) == driven.end()) {
+      return fail(d.line, "net '" + nm + "' is declared but never driven");
+    }
+  }
+  for (std::string_view p : ports) {
+    const auto it = decls.find(std::string(p));
+    if (it == decls.end() || it->second.kind == DeclKind::Wire) {
+      return fail(head.line,
+                  "port '" + std::string(p) + "' is not declared input or output");
+    }
+  }
+  for (std::string_view nm : output_order) {
+    builder.mark_output(builder.declare(std::string(nm)));
+  }
+
+  std::string error;
+  Circuit c;
+  if (!builder.build(c, error)) {
+    result.ok = false;
+    result.error = std::move(error);
+    result.error_line = 0;
+    return result;
+  }
+  result.ok = true;
+  result.circuit = std::move(c);
+  return result;
+}
+
+IscasParseResult parse_iscas_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    IscasParseResult r;
+    r.error = "cannot open '" + path + "'";
+    return r;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  std::string name = path;
+  const std::size_t slash = name.find_last_of('/');
+  if (slash != std::string::npos) name = name.substr(slash + 1);
+  const std::size_t dot = name.find_last_of('.');
+  if (dot != std::string::npos) name = name.substr(0, dot);
+  return parse_iscas(ss.str(), name);
+}
+
+namespace {
+
+/// Lower-case primitive keyword for a combinational gate type.
+std::string iscas_prim_name(GateType t) {
+  std::string s(gate_type_name(t));
+  for (char& c : s) c = static_cast<char>(c - 'A' + 'a');
+  if (s == "buff") s = "buf";  // .bench spells it BUFF
+  return s;
+}
+
+void emit_decl_list(std::string& out, const char* kw,
+                    const std::vector<std::string>& names) {
+  if (names.empty()) return;
+  std::string line = kw;
+  line += ' ';
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    const std::string& nm = names[i];
+    if (line.size() + nm.size() > 72) {
+      out += line + "\n";
+      line = "  ";
+    }
+    line += nm;
+    if (i + 1 != names.size()) line += ',';
+  }
+  out += line + ";\n";
+}
+
+}  // namespace
+
+std::string write_iscas(const Circuit& c) {
+  if (c.num_dffs() != 0) {
+    throw std::invalid_argument(
+        "write_iscas: '" + c.name() + "' has flip-flops; the ISCAS-85 dialect "
+        "is purely combinational");
+  }
+  std::vector<std::string> in_names, out_names, wire_names;
+  for (GateId id : c.inputs()) in_names.push_back(c.gate(id).name);
+  for (GateId id : c.outputs()) out_names.push_back(c.gate(id).name);
+  for (GateId id : c.topo_order()) {
+    const GateType t = c.gate(id).type;
+    if (t == GateType::Const0 || t == GateType::Const1) {
+      throw std::invalid_argument(
+          "write_iscas: '" + c.name() + "' has constant gates; the ISCAS-85 "
+          "dialect cannot express them");
+    }
+    if (!c.output_index(id).has_value()) wire_names.push_back(c.gate(id).name);
+  }
+
+  std::string out;
+  out += "// " + c.name() + ": " + std::to_string(c.num_inputs()) +
+         " inputs, " + std::to_string(c.num_outputs()) + " outputs, " +
+         std::to_string(c.topo_order().size()) + " gates\n";
+  std::string header = "module " + c.name() + " (";
+  for (std::size_t i = 0; i < in_names.size(); ++i) {
+    header += in_names[i] + ",";
+  }
+  for (std::size_t i = 0; i < out_names.size(); ++i) {
+    header += out_names[i];
+    if (i + 1 != out_names.size()) header += ',';
+  }
+  header += ");";
+  out += header + "\n";
+  emit_decl_list(out, "input", in_names);
+  emit_decl_list(out, "output", out_names);
+  emit_decl_list(out, "wire", wire_names);
+  out += "\n";
+  std::size_t inst = 0;
+  for (GateId id : c.topo_order()) {
+    const Gate& g = c.gate(id);
+    out += iscas_prim_name(g.type) + " " + to_upper(gate_type_name(g.type)) +
+           "_" + std::to_string(++inst) + " (" + g.name;
+    for (GateId f : g.fanins) out += ", " + c.gate(f).name;
+    out += ");\n";
+  }
+  out += "endmodule\n";
+  return out;
+}
+
+}  // namespace motsim

@@ -1,0 +1,57 @@
+// Reader and writer for the ISCAS-85 ".v"-style netlist dialect.
+//
+// This is the structural-Verilog flavour the ISCAS-85 benchmarks circulate
+// in (and the format of the third-party conformance testcases,
+// tests/testcases/<ckt>.v): one module, declaration statements, then one
+// primitive-gate instantiation per statement with the output net first.
+//
+//   // comment
+//   module c17 (N1,N2,N3,N6,N7,N22,N23);
+//   input N1,N2,N3,N6,N7;
+//   output N22,N23;
+//   wire N10,N11,N16,N19;
+//   nand NAND2_1 (N10, N1, N3);
+//   ...
+//   endmodule
+//
+// Statements are ';'-terminated and may span lines. Primitives are
+// and/nand/or/nor/xor/xnor/not/buf (case-insensitive). Every net must be
+// declared (input/output/wire) before a gate reads or drives it, every
+// declared non-input net must be driven exactly once, and the result is
+// always purely combinational (the dialect has no storage primitives).
+//
+// The error contract mirrors the .bench parser (bench_io.hpp): on failure
+// `ok` is false, `error` is a human-readable message and `error_line` is the
+// 1-based line where the offending statement starts.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "netlist/circuit.hpp"
+
+namespace motsim {
+
+struct IscasParseResult {
+  bool ok = false;
+  Circuit circuit;             ///< valid only when ok
+  std::string error;           ///< human-readable message when !ok
+  std::size_t error_line = 0;  ///< 1-based line of the offending statement
+};
+
+/// Parses ISCAS-85 ".v" text. The module's own name becomes the circuit
+/// name; `fallback_name` is used only when the header is missing (which is
+/// itself an error, but keeps diagnostics labelled).
+IscasParseResult parse_iscas(std::string_view text, std::string fallback_name);
+
+/// Reads and parses an ISCAS-85 ".v" file from disk.
+IscasParseResult parse_iscas_file(const std::string& path);
+
+/// Serializes a combinational circuit back to the dialect: module header,
+/// input/output/wire declarations, then gates in topological order with
+/// generated instance names. parse_iscas(write_iscas(c)) reproduces an
+/// isomorphic circuit. Precondition: c has no flip-flops or constants (the
+/// dialect cannot express them).
+std::string write_iscas(const Circuit& c);
+
+}  // namespace motsim

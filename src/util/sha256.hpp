@@ -1,0 +1,44 @@
+// Dependency-free SHA-256 (FIPS 180-4).
+//
+// Used to pin the ISCAS-85 conformance goldens: every committed
+// tests/testcases/<ckt>.ans file carries a <ckt>.ans.sha sibling holding the
+// hex digest of its exact bytes, so a golden that drifts (line endings,
+// reordering, regeneration with different semantics) is caught even when the
+// .ans file itself looks plausible. Kept in util rather than pulling in a
+// crypto library: the container has none, and 64 rounds of shifts is all the
+// format needs.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace motsim {
+
+class Sha256 {
+ public:
+  Sha256();
+
+  /// Absorbs `len` bytes. May be called any number of times.
+  void update(const void* data, std::size_t len);
+  void update(std::string_view s) { update(s.data(), s.size()); }
+
+  /// Finalizes and returns the 32-byte digest. The object must not be
+  /// updated afterwards (construct a fresh one for a new message).
+  std::array<std::uint8_t, 32> finish();
+
+ private:
+  void compress(const std::uint8_t* block);
+
+  std::uint32_t state_[8];
+  std::uint8_t buf_[64];
+  std::size_t buf_len_ = 0;
+  std::uint64_t total_bytes_ = 0;
+};
+
+/// Lower-case hex digest of `data`, e.g.
+/// "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855" for "".
+std::string sha256_hex(std::string_view data);
+
+}  // namespace motsim

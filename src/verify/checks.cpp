@@ -2,19 +2,24 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <stdexcept>
 
 #include "bdd/symbolic.hpp"
 #include "faultsim/batch.hpp"
 #include "faultsim/checkpoint.hpp"
+#include "faultsim/full_faultsim.hpp"
 #include "faultsim/supervisor.hpp"
 #include "mot/oracle.hpp"
+#include "netlist/iscas_io.hpp"
 #include "sim/seq_sim.hpp"
 #include "util/fsio.hpp"
+#include "util/sha256.hpp"
 #include "util/strings.hpp"
 
 namespace motsim::verify {
@@ -38,6 +43,7 @@ std::string_view check_name(CheckId c) {
     case CheckId::WorkerQuarantine: return "worker-quarantine";
     case CheckId::FaultedResume: return "faulted-resume";
     case CheckId::WorkerKill: return "worker-kill";
+    case CheckId::IscasConformance: return "iscas-conformance";
     case CheckId::All: return "all";
   }
   return "?";
@@ -669,6 +675,133 @@ std::vector<Violation> verify_case(const Circuit& c, const TestSequence& test,
   }
   const std::vector<Violation> batch = check_batch(c, test, good, faults, opts);
   out.insert(out.end(), batch.begin(), batch.end());
+  return out;
+}
+
+namespace {
+
+bool read_file(const std::string& path, std::string& out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  out.clear();
+  char buf[1 << 16];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out.append(buf, n);
+  const bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  return ok;
+}
+
+/// First line index (0-based) where the two .ans renderings differ, with a
+/// short excerpt of both — a byte diff alone is useless in a CI log.
+std::string first_ans_divergence(const std::string& got,
+                                 const std::string& want) {
+  std::size_t line = 0, gp = 0, wp = 0;
+  while (gp < got.size() && wp < want.size()) {
+    const std::size_t ge = got.find('\n', gp);
+    const std::size_t we = want.find('\n', wp);
+    const std::string_view gl(got.data() + gp,
+                              (ge == std::string::npos ? got.size() : ge) - gp);
+    const std::string_view wl(want.data() + wp,
+                              (we == std::string::npos ? want.size() : we) - wp);
+    if (gl != wl) {
+      return str_format("line %zu: got '%.*s', golden '%.*s'", line + 1,
+                        static_cast<int>(gl.size()), gl.data(),
+                        static_cast<int>(wl.size()), wl.data());
+    }
+    if (ge == std::string::npos || we == std::string::npos) break;
+    gp = ge + 1;
+    wp = we + 1;
+    ++line;
+  }
+  return str_format("got %zu bytes, golden %zu bytes (common prefix matches)",
+                    got.size(), want.size());
+}
+
+}  // namespace
+
+std::vector<Violation> check_iscas_conformance(
+    const IscasConformanceOptions& opts) {
+  std::vector<Violation> out;
+  auto violate = [&out](std::string detail) {
+    out.push_back(Violation{CheckId::IscasConformance, Fault{}, std::move(detail)});
+  };
+
+  std::vector<std::string> circuits = opts.circuits;
+  if (circuits.empty()) {
+    std::error_code ec;
+    for (const auto& entry :
+         std::filesystem::directory_iterator(opts.testcases_dir, ec)) {
+      if (entry.path().extension() == ".v") {
+        circuits.push_back(entry.path().stem().string());
+      }
+    }
+    if (ec) {
+      violate("cannot list testcase directory '" + opts.testcases_dir +
+              "': " + ec.message());
+      return out;
+    }
+    std::sort(circuits.begin(), circuits.end());
+  }
+  if (circuits.empty()) {
+    violate("no <ckt>.v testcases in '" + opts.testcases_dir + "'");
+    return out;
+  }
+
+  for (const std::string& ckt : circuits) {
+    const std::string base = opts.testcases_dir + "/" + ckt;
+    const IscasParseResult parsed = parse_iscas_file(base + ".v");
+    if (!parsed.ok) {
+      violate(ckt + ": cannot parse netlist: " + parsed.error +
+              (parsed.error_line ? " (line " + std::to_string(parsed.error_line) + ")"
+                                 : ""));
+      continue;
+    }
+    std::string golden, pin;
+    if (!read_file(base + ".ans", golden)) {
+      violate(ckt + ": cannot read golden '" + base + ".ans'");
+      continue;
+    }
+    if (!read_file(base + ".ans.sha", pin)) {
+      violate(ckt + ": cannot read SHA pin '" + base + ".ans.sha'");
+      continue;
+    }
+    const std::string want_sha(trim(pin));
+    const std::string have_sha = sha256_hex(golden);
+    if (have_sha != want_sha) {
+      violate(ckt + ": golden drift — sha256(" + ckt + ".ans) = " + have_sha +
+              " but " + ckt + ".ans.sha pins " + want_sha);
+      continue;
+    }
+    const InParseResult in = parse_conformance_in_file(base + ".in", parsed.circuit);
+    if (!in.ok) {
+      violate(ckt + ": cannot parse patterns: " + in.error + " (line " +
+              std::to_string(in.error_line) + ")");
+      continue;
+    }
+    for (const KernelKind kernel : {KernelKind::Legacy, KernelKind::SoA}) {
+      for (const std::size_t threads : opts.thread_counts) {
+        FullFaultSimOptions fopts;
+        fopts.kernel = kernel;
+        fopts.num_threads = threads;
+        const FullFaultSimResult r =
+            run_full_faultsim(parsed.circuit, in.patterns, fopts);
+        const char* kname = kernel == KernelKind::Legacy ? "legacy" : "soa";
+        if (!r.ok) {
+          violate(str_format("%s [%s, %zu threads]: %s", ckt.c_str(), kname,
+                             threads, r.error.c_str()));
+          continue;
+        }
+        if (r.ans != golden) {
+          violate(str_format(
+              "%s [%s, %zu threads]: .ans diverges from the committed golden "
+              "(%s)",
+              ckt.c_str(), kname, threads,
+              first_ans_divergence(r.ans, golden).c_str()));
+        }
+      }
+    }
+  }
   return out;
 }
 

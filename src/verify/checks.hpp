@@ -71,6 +71,13 @@ enum class CheckId : std::uint8_t {
   /// seeded chaos kill schedule the merged result is bit-identical to the
   /// in-process runner at every worker count (see faultsim/supervisor.hpp).
   WorkerKill,
+  /// ISCAS-85 conformance: the combinational full-fault-simulation driver
+  /// reproduces the committed SHA-pinned third-party-format goldens
+  /// (tests/testcases/<ckt>.{v,in,ans,ans.sha}) byte-identically, under
+  /// both kernels and at 1 and 8 threads — the one check whose ground
+  /// truth is a file motsim cannot silently regenerate (the .ans.sha pin
+  /// catches golden drift first). See check_iscas_conformance.
+  IscasConformance,
   All,                   ///< sentinel: run every check (bundle replays)
 };
 
@@ -126,5 +133,23 @@ std::vector<Violation> check_batch(const Circuit& c, const TestSequence& test,
 std::vector<Violation> verify_case(const Circuit& c, const TestSequence& test,
                                    const std::vector<Fault>& faults,
                                    const VerifyOptions& opts);
+
+struct IscasConformanceOptions {
+  /// Directory holding <ckt>.v/.in/.ans/.ans.sha quadruples.
+  std::string testcases_dir;
+  /// Circuit names to check; empty means every <ckt>.v in the directory.
+  std::vector<std::string> circuits;
+  /// Thread counts the byte-identity obligation covers per kernel.
+  std::vector<std::size_t> thread_counts = {1, 8};
+};
+
+/// The iscas-conformance check, standalone (it needs a testcase directory,
+/// not a fuzzed circuit): verifies each committed .ans golden still matches
+/// its .ans.sha pin, then re-runs full fault simulation under Legacy and SoA
+/// at every thread count and demands byte-identical .ans output. Any
+/// mismatch (pin drift, claim mismatch, kernel divergence) is a Violation
+/// with CheckId::IscasConformance.
+std::vector<Violation> check_iscas_conformance(
+    const IscasConformanceOptions& opts);
 
 }  // namespace motsim::verify

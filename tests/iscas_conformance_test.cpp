@@ -1,0 +1,152 @@
+// The iscas-conformance check as a tier-1 ctest: the committed SHA-pinned
+// goldens under tests/testcases/ must be reproduced byte-identically by the
+// combinational full-fault-simulation driver under both kernels at 1 and 8
+// threads. This is the same check CI runs via examples/iscas_conformance,
+// wired into the test suite so a local `ctest -L tier1` catches golden drift
+// or kernel divergence without a separate invocation.
+//
+// Also covers the conformance file formats themselves: .in parse errors
+// carry line numbers, the .in writer round-trips, and the check rejects a
+// tampered golden (exercised on a scratch copy, never the committed tree).
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "faultsim/full_faultsim.hpp"
+#include "netlist/iscas_io.hpp"
+#include "util/sha256.hpp"
+#include "verify/checks.hpp"
+
+#ifndef MOTSIM_TESTCASES_DIR
+#error "MOTSIM_TESTCASES_DIR must point at tests/testcases"
+#endif
+
+namespace motsim {
+namespace {
+
+TEST(IscasConformance, CommittedGoldensPassTheCheck) {
+  verify::IscasConformanceOptions opts;
+  opts.testcases_dir = MOTSIM_TESTCASES_DIR;
+  const std::vector<verify::Violation> violations =
+      verify::check_iscas_conformance(opts);
+  for (const verify::Violation& v : violations) {
+    ADD_FAILURE() << v.detail;
+  }
+  EXPECT_TRUE(violations.empty());
+}
+
+TEST(IscasConformance, AllSixCircuitsArePresent) {
+  for (const char* ckt :
+       {"c17", "c432", "c499", "c880", "c1355", "c1908"}) {
+    for (const char* ext : {".v", ".in", ".ans", ".ans.sha"}) {
+      const std::string path =
+          std::string(MOTSIM_TESTCASES_DIR) + "/" + ckt + ext;
+      EXPECT_TRUE(std::filesystem::exists(path)) << path;
+    }
+  }
+}
+
+TEST(IscasConformance, TamperedGoldenIsCaught) {
+  // Copy c17's quadruple into a scratch directory, flip one .ans bit, and
+  // expect exactly a golden-drift violation. The committed tree is read-only
+  // to this test.
+  const std::filesystem::path src = MOTSIM_TESTCASES_DIR;
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() /
+      ("motsim_iscas_tamper_" + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir);
+  for (const char* ext : {".v", ".in", ".ans", ".ans.sha"}) {
+    std::filesystem::copy_file(src / (std::string("c17") + ext),
+                               dir / (std::string("c17") + ext),
+                               std::filesystem::copy_options::overwrite_existing);
+  }
+  {
+    std::fstream ans(dir / "c17.ans",
+                     std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(ans);
+    char ch = 0;
+    ans.read(&ch, 1);
+    ch = ch == '0' ? '1' : '0';
+    ans.seekp(0);
+    ans.write(&ch, 1);
+  }
+  verify::IscasConformanceOptions opts;
+  opts.testcases_dir = dir.string();
+  opts.circuits = {"c17"};
+  const std::vector<verify::Violation> violations =
+      verify::check_iscas_conformance(opts);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].check, verify::CheckId::IscasConformance);
+  EXPECT_NE(violations[0].detail.find("golden drift"), std::string::npos);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(IscasConformance, InFormatRoundTrips) {
+  const IscasParseResult parsed =
+      parse_iscas_file(std::string(MOTSIM_TESTCASES_DIR) + "/c17.v");
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  const ConformancePatterns pat =
+      generate_conformance_patterns(parsed.circuit, 16, 42);
+  const std::string text = write_conformance_in(parsed.circuit, pat);
+  const InParseResult back = parse_conformance_in(text, parsed.circuit);
+  ASSERT_TRUE(back.ok) << back.error << " (line " << back.error_line << ")";
+  EXPECT_EQ(back.patterns.patterns, pat.patterns);
+  EXPECT_EQ(back.patterns.claimed, pat.claimed);
+}
+
+TEST(IscasConformance, InParseErrorsCarryLineNumbers) {
+  const IscasParseResult parsed =
+      parse_iscas_file(std::string(MOTSIM_TESTCASES_DIR) + "/c17.v");
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  const Circuit& c = parsed.circuit;
+
+  {  // unknown input name
+    const InParseResult r = parse_conformance_in(
+        "N1=0, N2=0, N3=0, N6=0, NOPE=0 | N22=1, N23=1\n", c);
+    EXPECT_FALSE(r.ok);
+    EXPECT_EQ(r.error_line, 1u);
+    EXPECT_NE(r.error.find("NOPE"), std::string::npos);
+  }
+  {  // missing an input assignment, on line 2
+    const InParseResult r = parse_conformance_in(
+        "N1=0, N2=0, N3=1, N6=1, N7=0 | N22=0, N23=0\n"
+        "N1=0, N2=0, N3=1, N6=1 | N22=0, N23=0\n",
+        c);
+    EXPECT_FALSE(r.ok);
+    EXPECT_EQ(r.error_line, 2u);
+  }
+  {  // non-binary value
+    const InParseResult r = parse_conformance_in(
+        "N1=0, N2=0, N3=1, N6=1, N7=2 | N22=0, N23=0\n", c);
+    EXPECT_FALSE(r.ok);
+    EXPECT_EQ(r.error_line, 1u);
+  }
+  {  // duplicate assignment of the same input
+    const InParseResult r = parse_conformance_in(
+        "N1=0, N1=1, N3=1, N6=1, N7=0 | N22=0, N23=0\n", c);
+    EXPECT_FALSE(r.ok);
+    EXPECT_EQ(r.error_line, 1u);
+  }
+}
+
+TEST(IscasConformance, WrongClaimedOutputsAreRejected) {
+  // Flip one claimed PO bit: the driver must refuse to produce an .ans
+  // rather than silently grade faults against a wrong golden response.
+  const IscasParseResult parsed =
+      parse_iscas_file(std::string(MOTSIM_TESTCASES_DIR) + "/c17.v");
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  ConformancePatterns pat =
+      generate_conformance_patterns(parsed.circuit, 4, 42);
+  pat.claimed[0][0] = pat.claimed[0][0] == Val::One ? Val::Zero : Val::One;
+  FullFaultSimOptions opts;
+  const FullFaultSimResult r = run_full_faultsim(parsed.circuit, pat, opts);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("pattern 0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace motsim

@@ -5,30 +5,40 @@
 // and thread count. The SoA kernel is a pure performance substitution; any
 // observable divergence is a bug.
 //
-// Three layers of evidence:
+// Four layers of evidence:
 //   * the embedded paper circuits (s27, the Table 1 example, the Figure 4
 //     conflict circuit) through the full experiment pipeline at 1 and 8
 //     threads,
 //   * 100 structured-random fuzz circuits compared per fault (MotResult,
 //     BaselineResult and ConvOutcome under operator==),
-//   * every committed corpus bundle in tests/corpus/ compared per fault.
+//   * every committed corpus bundle in tests/corpus/ compared per fault,
+//   * the committed ISCAS-85 conformance goldens in tests/testcases/
+//     reproduced byte-identically by both kernels at 1 and 8 threads.
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <fstream>
 #include <span>
+#include <sstream>
 
 #include "circuits/embedded.hpp"
 #include "circuits/registry.hpp"
 #include "experiments/experiments.hpp"
 #include "faultsim/batch.hpp"
 #include "faultsim/conventional.hpp"
+#include "faultsim/full_faultsim.hpp"
 #include "mot/baseline.hpp"
 #include "mot/proposed.hpp"
+#include "netlist/iscas_io.hpp"
 #include "testgen/random_gen.hpp"
+#include "util/sha256.hpp"
 #include "verify/bundle.hpp"
 
 #ifndef MOTSIM_CORPUS_DIR
 #error "MOTSIM_CORPUS_DIR must point at tests/corpus"
+#endif
+#ifndef MOTSIM_TESTCASES_DIR
+#error "MOTSIM_TESTCASES_DIR must point at tests/testcases"
 #endif
 
 namespace motsim {
@@ -193,6 +203,61 @@ TEST(KernelEquivalence, CommittedCorpusMatchesPerFault) {
                                  bundle.seed);
   }
 }
+
+// ------------------------------------------------- iscas conformance ----
+//
+// Fourth layer of evidence: on the committed ISCAS-85 conformance testcases
+// both kernels must reproduce the committed .ans goldens BYTE-identically
+// (not just outcome-identically) at 1 and 8 threads. The combinational
+// full-fault-simulation driver is a different consumer of the kernels than
+// the MOT pipeline above, so this catches divergences the sequential
+// experiments cannot reach.
+
+std::string read_testcase_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in) << "cannot open " << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+class IscasAnsEquivalence : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(IscasAnsEquivalence, KernelsReproduceCommittedAnsBytes) {
+  const std::string base =
+      std::string(MOTSIM_TESTCASES_DIR) + "/" + GetParam();
+  const IscasParseResult parsed = parse_iscas_file(base + ".v");
+  ASSERT_TRUE(parsed.ok) << parsed.error << " (line " << parsed.error_line
+                         << ")";
+  const InParseResult in =
+      parse_conformance_in_file(base + ".in", parsed.circuit);
+  ASSERT_TRUE(in.ok) << in.error << " (line " << in.error_line << ")";
+  const std::string golden = read_testcase_file(base + ".ans");
+  ASSERT_FALSE(golden.empty());
+  // The committed golden must still match its SHA-256 pin (drift guard).
+  const std::string pin = read_testcase_file(base + ".ans.sha");
+  EXPECT_EQ(sha256_hex(golden) + "\n", pin);
+
+  for (const KernelKind kernel : {KernelKind::Legacy, KernelKind::SoA}) {
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
+      SCOPED_TRACE(std::string(kernel == KernelKind::Legacy ? "legacy"
+                                                            : "soa") +
+                   " threads=" + std::to_string(threads));
+      FullFaultSimOptions opts;
+      opts.kernel = kernel;
+      opts.num_threads = threads;
+      const FullFaultSimResult r =
+          run_full_faultsim(parsed.circuit, in.patterns, opts);
+      ASSERT_TRUE(r.ok) << r.error;
+      EXPECT_EQ(r.ans, golden);
+      EXPECT_EQ(r.ans_sha256, sha256_hex(golden));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Circuits, IscasAnsEquivalence,
+                         ::testing::Values("c17", "c432", "c499", "c880",
+                                           "c1355", "c1908"));
 
 }  // namespace
 }  // namespace motsim
