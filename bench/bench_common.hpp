@@ -35,6 +35,27 @@ inline std::string git_commit() {
   return (env != nullptr && *env != '\0') ? env : "unknown";
 }
 
+/// How the measured campaign's MOT batch was executed: "inprocess" (thread
+/// pool), "fork" (local supervised worker processes) or "tcp" (remote
+/// workers over --listen/--connect). scripts/bench.sh exports
+/// MOTSIM_BENCH_TRANSPORT when it drives a non-default transport; bare
+/// invocations report the in-process default. Numbers measured over
+/// different transports are not comparable (serialization and supervision
+/// overhead differ), so the report must say which one produced them.
+inline std::string bench_transport() {
+  const char* env = std::getenv("MOTSIM_BENCH_TRANSPORT");
+  return (env != nullptr && *env != '\0') ? env : "inprocess";
+}
+
+/// Remote worker count behind a "tcp" transport measurement (0 for the
+/// local transports). From MOTSIM_BENCH_REMOTE_WORKERS, like the above.
+inline std::uint64_t bench_remote_workers() {
+  const char* env = std::getenv("MOTSIM_BENCH_REMOTE_WORKERS");
+  return (env != nullptr && *env != '\0')
+             ? std::strtoull(env, nullptr, 10)
+             : 0;
+}
+
 /// Machine-readable benchmark results: each reproduction records metric rows
 /// and writes `BENCH_<name>.json` so the perf trajectory can be tracked
 /// across commits. Output lands in $MOTSIM_BENCH_JSON_DIR (scripts/bench.sh
@@ -114,13 +135,22 @@ class JsonReport {
       if (c == '"' || c == '\\') commit += '\\';
       commit += c;
     }
+    std::string transport;
+    for (char c : bench_transport()) {
+      if (c == '"' || c == '\\') transport += '\\';
+      transport += c;
+    }
     std::fprintf(f,
                  "{\n  \"bench\": \"%s\",\n  \"git_commit\": \"%s\",\n"
                  "  \"hardware_threads\": %llu,\n"
-                 "  \"single_core_host\": %s,\n  \"rows\": [",
+                 "  \"single_core_host\": %s,\n"
+                 "  \"transport\": \"%s\",\n"
+                 "  \"n_remote_workers\": %llu,\n  \"rows\": [",
                  name_.c_str(), commit.c_str(),
                  static_cast<unsigned long long>(hardware_threads()),
-                 hardware_threads() <= 1 ? "true" : "false");
+                 hardware_threads() <= 1 ? "true" : "false",
+                 transport.c_str(),
+                 static_cast<unsigned long long>(bench_remote_workers()));
     for (std::size_t r = 0; r < rows_.size(); ++r) {
       std::fprintf(f, "%s\n    {", r == 0 ? "" : ",");
       const auto& entries = rows_[r].entries_;

@@ -26,6 +26,24 @@
 //   --max-fault-attempts N   quarantine a fault after it kills N workers
 //   --max-worker-restarts N  total replacement workers the campaign may spawn
 //
+// Multi-host campaigns (see README "Multi-host campaigns", DESIGN.md §14):
+//   --listen HOST:PORT       run as coordinator: no workers are forked;
+//                            instead --workers N remote workers (connected
+//                            via --connect from any host) fill the slots.
+//                            Port 0 picks an ephemeral port.
+//   --listen-port-file PATH  write the actually bound port to PATH (for
+//                            scripts that use --listen HOST:0)
+//   --remote-join-ms N       fleet-loss window while waiting for the first
+//                            worker to connect (default 30000)
+//   --remote-rejoin-ms N     fleet-loss window for reconnects after the
+//                            last worker disconnects (default 10000)
+//   --connect HOST:PORT      run as a remote worker for the coordinator at
+//                            HOST:PORT (requires --circuits with exactly
+//                            one circuit and the same experiment flags as
+//                            the coordinator — the handshake enforces it)
+//   --connect-attempts N     consecutive failed connects before the worker
+//                            gives up (default 10)
+//
 // Signals: the first SIGINT/SIGTERM requests a clean stop — in-flight faults
 // finish, the journal is flushed, and the exit is resumable. A second signal
 // hard-exits immediately (exit code 128+signal).
@@ -39,13 +57,23 @@
 //   4  journal failure — setup failed at startup (nothing was run) or an
 //      append failed permanently mid-run (e.g. disk full); everything
 //      appended before a mid-run failure is durable and resumable
-//   5  worker-death partial completion: every worker process died, the
-//      restart budget is spent, and faults remain without outcomes (rerun,
-//      or --resume a journaled campaign, to finish them)
+//   5  worker-death partial completion: every worker process died (or, with
+//      --listen, the remote fleet was lost), the restart budget is spent,
+//      and faults remain without outcomes (rerun, or --resume a journaled
+//      campaign, to finish them)
 //
 // 4 beats 3 beats 5 beats 2 when several conditions hold at once: losing
 // durable storage outranks a user stop, which outranks losing the worker
-// fleet, which outranks an ordinary budget stop.
+// fleet, which outranks an ordinary budget stop. The ladder is identical
+// with --listen: remote mode adds no new coordinator exit codes.
+//
+// Worker-mode (--connect) exit codes:
+//   0  clean shutdown (coordinator sent Shutdown after the campaign)
+//   1  usage error
+//   3  cancelled by SIGINT/SIGTERM
+//   6  remote transport failure: the coordinator rejected this worker
+//      (wrong campaign / restart budget spent) or vanished for longer than
+//      the reconnect budget
 #include <csignal>
 #include <unistd.h>
 
@@ -56,6 +84,7 @@
 #include "experiments/experiments.hpp"
 #include "experiments/report.hpp"
 #include "util/cli.hpp"
+#include "util/socket.hpp"
 #include "util/strings.hpp"
 
 namespace {
@@ -129,6 +158,18 @@ int main(int argc, char** argv) {
   if (chaos_abort >= 0) {
     config.supervisor.chaos_abort_fault = static_cast<std::size_t>(chaos_abort);
   }
+  const std::string listen_flag = args.get("listen", "");
+  const std::string listen_port_file = args.get("listen-port-file", "");
+  const std::string connect_flag = args.get("connect", "");
+  config.supervisor.remote_join_ms =
+      static_cast<std::uint64_t>(args.get_int("remote-join-ms", 30000));
+  config.supervisor.remote_rejoin_ms =
+      static_cast<std::uint64_t>(args.get_int("remote-rejoin-ms", 10000));
+  const int connect_attempts = args.get_int("connect-attempts", 10);
+  if (!listen_flag.empty() && !connect_flag.empty()) {
+    std::fprintf(stderr, "error: --listen and --connect are exclusive\n");
+    return 1;
+  }
   const std::string journal_flag = args.get("journal", "");
   const std::string resume_flag = args.get("resume", "");
   if (!journal_flag.empty() && !resume_flag.empty()) {
@@ -170,6 +211,96 @@ int main(int argc, char** argv) {
   }
 
   install_signal_handlers();
+
+  // Remote worker mode: serve one circuit's campaign to a coordinator and
+  // exit with the worker ladder (0 clean, 3 cancelled, 6 transport).
+  if (!connect_flag.empty()) {
+    std::string host;
+    std::uint16_t port = 0;
+    std::string perr;
+    if (!netio::parse_hostport(connect_flag, host, port, perr)) {
+      std::fprintf(stderr, "error: --connect %s: %s\n", connect_flag.c_str(),
+                   perr.c_str());
+      return 1;
+    }
+    if (chosen.size() != 1) {
+      std::fprintf(stderr,
+                   "error: --connect needs exactly one circuit "
+                   "(use --circuits <name>); %zu selected\n",
+                   chosen.size());
+      return 1;
+    }
+    if (!config.journal_path.empty()) {
+      std::fprintf(stderr,
+                   "error: --journal/--resume belong to the coordinator, "
+                   "not --connect workers\n");
+      return 1;
+    }
+    RemoteWorkerOptions worker;
+    worker.host = host;
+    worker.port = port;
+    worker.max_connect_attempts =
+        connect_attempts > 0 ? static_cast<std::size_t>(connect_attempts) : 1;
+    worker.chaos_kill_permille = config.supervisor.chaos_kill_permille;
+    worker.chaos_kill_seed = config.supervisor.chaos_kill_seed;
+    worker.chaos_abort_fault = config.supervisor.chaos_abort_fault;
+    worker.chaos_die_hard = true;  // a CLI worker process is disposable
+    std::printf("worker: connecting to %s for circuit %s ...\n",
+                connect_flag.c_str(), chosen[0]->name.c_str());
+    std::fflush(stdout);
+    RemoteWorkerReport rep;
+    const int rc = run_benchmark_remote_worker(*chosen[0], config, worker, &rep);
+    if (g_cancel.cancelled()) return 3;
+    if (rc != 0) {
+      std::fprintf(stderr, "worker error: %s\n", rep.error.c_str());
+      return rc;
+    }
+    std::printf(
+        "worker: %zu fault(s) simulated over %zu connection(s), "
+        "clean shutdown\n",
+        rep.faults_simulated, rep.connections);
+    return 0;
+  }
+
+  // Coordinator of a multi-host campaign: bind the listener up front so a
+  // bad address fails before any simulation, and publish the bound port for
+  // scripts that asked for an ephemeral one.
+  int listen_fd = -1;
+  if (!listen_flag.empty()) {
+    std::string host;
+    std::uint16_t port = 0;
+    std::string perr;
+    if (!netio::parse_hostport(listen_flag, host, port, perr)) {
+      std::fprintf(stderr, "error: --listen %s: %s\n", listen_flag.c_str(),
+                   perr.c_str());
+      return 1;
+    }
+    if (config.supervisor.workers == 0) config.supervisor.workers = 1;
+    std::string lerr;
+    listen_fd = netio::tcp_listen(host, port, lerr);
+    if (listen_fd < 0) {
+      std::fprintf(stderr, "error: --listen %s: %s\n", listen_flag.c_str(),
+                   lerr.c_str());
+      return 1;
+    }
+    config.supervisor.listen_fd = listen_fd;
+    const std::uint16_t bound = netio::local_port(listen_fd);
+    std::printf("coordinator: listening on %s:%u for %zu worker slot(s)\n",
+                host.c_str(), static_cast<unsigned>(bound),
+                config.supervisor.workers);
+    std::fflush(stdout);
+    if (!listen_port_file.empty()) {
+      FILE* pf = std::fopen(listen_port_file.c_str(), "w");
+      if (pf == nullptr) {
+        std::fprintf(stderr, "error: cannot write --listen-port-file %s\n",
+                     listen_port_file.c_str());
+        ::close(listen_fd);
+        return 1;
+      }
+      std::fprintf(pf, "%u\n", static_cast<unsigned>(bound));
+      std::fclose(pf);
+    }
+  }
 
   bool journal_io_failed = false;
   std::size_t total_incomplete = 0;
@@ -222,6 +353,7 @@ int main(int argc, char** argv) {
     }
     rows.push_back(std::move(r));
   }
+  if (listen_fd >= 0) ::close(listen_fd);
 
   std::printf("\nTable 2 — detected faults (random patterns, N_STATES=%zu):\n%s\n",
               config.mot.n_states, render_table2(rows).c_str());

@@ -31,6 +31,12 @@ if [ "${commit}" != "unknown" ] && \
 fi
 export MOTSIM_GIT_COMMIT="${commit}"
 
+# Transport attribution (bench_common.hpp): the suite measures the default
+# in-process path unless the caller pre-set these (e.g. to record a run
+# driven through a --listen/--connect loopback fleet as transport=tcp).
+export MOTSIM_BENCH_TRANSPORT="${MOTSIM_BENCH_TRANSPORT:-inprocess}"
+export MOTSIM_BENCH_REMOTE_WORKERS="${MOTSIM_BENCH_REMOTE_WORKERS:-0}"
+
 # Thread-scaling rows (e.g. bench_hitec_s5378's 1-vs-N comparison) are
 # meaningless on a single-core host: the "parallel" run is just a second
 # serial measurement. The JSON reports carry single_core_host/measures_scaling

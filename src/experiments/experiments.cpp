@@ -106,6 +106,7 @@ RunResult run_circuit(const Circuit& c, const TestSequence& test,
   const std::vector<MotBatchItem> items = [&] {
     if (config.supervisor.workers > 0) {
       result.workers = config.supervisor.workers;
+      result.transport = config.supervisor.listen_fd >= 0 ? "tcp" : "fork";
       const SupervisedMotRunner runner(c, config.mot, config.run_baseline,
                                        config.supervisor);
       SupervisorStats stats;
@@ -180,6 +181,27 @@ RunResult run_benchmark(const circuits::BenchmarkProfile& profile,
   }
   apply_caps(profile, config);
   return run_circuit(c, test, config);
+}
+
+int run_benchmark_remote_worker(const circuits::BenchmarkProfile& profile,
+                                RunConfig config,
+                                const RemoteWorkerOptions& worker,
+                                RemoteWorkerReport* report) {
+  // Mirror run_benchmark exactly: the same circuit, the same seeded
+  // sequence, the same heavy-profile and per-circuit adjustments. Any
+  // divergence would change the JournalMeta and be rejected at handshake.
+  const Circuit c = circuits::generate(profile.params);
+  Rng rng(config.test_seed * 1000003 + profile.params.seed);
+  const TestSequence test =
+      random_sequence(c.num_inputs(), profile.test_length, rng);
+  if (profile.heavy) config.run_baseline = false;
+  apply_caps(profile, config);
+
+  const std::vector<Fault> faults = collapsed_fault_list(c);
+  const SequentialSimulator sim(c, config.mot.kernel);
+  const SeqTrace good = sim.run_fault_free(test, /*keep_lines=*/true);
+  return serve_remote_worker(c, config.mot, config.run_baseline, test, good,
+                             faults, worker, report, config.cancel);
 }
 
 HitecExperimentResult run_hitec_experiment(const std::string& benchmark_name,

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "circuits/registry.hpp"
+#include "faultsim/remote.hpp"
 #include "faultsim/supervisor.hpp"
 #include "mot/baseline.hpp"
 #include "mot/proposed.hpp"
@@ -121,6 +122,10 @@ struct RunResult {
   /// --- multi-process supervision (all zero on in-process runs) ----------
   /// Worker processes requested (RunConfig::supervisor.workers).
   std::size_t workers = 0;
+  /// How the MOT batch was executed: "inprocess" (thread pool in this
+  /// process), "fork" (supervised local worker processes), or "tcp"
+  /// (remote workers over SupervisorOptions::listen_fd).
+  std::string transport = "inprocess";
   /// Unexpected worker exits the coordinator recovered from.
   std::size_t worker_deaths = 0;
   /// Replacement workers spawned (bounded by max_worker_restarts).
@@ -157,6 +162,19 @@ RunResult run_circuit(const Circuit& c, const TestSequence& test,
 /// cap MOT candidates unless the config overrides.
 RunResult run_benchmark(const circuits::BenchmarkProfile& profile,
                         RunConfig config);
+
+/// Remote-worker entry of a distributed campaign (`--connect`): rebuilds
+/// the exact pipeline run_benchmark would build for `profile` — circuit,
+/// random sequence, heavy-profile baseline disable, per-circuit caps — and
+/// serves MOT fault simulation to the coordinator at `worker.host:port`
+/// until shutdown or transport failure. The JournalMeta handshake proves
+/// both sides assembled the same campaign, so flag drift between hosts is
+/// caught at admission, not in the merge. Returns a worker exit code
+/// (kRemoteWorkerOk / kRemoteWorkerTransportFailure).
+int run_benchmark_remote_worker(const circuits::BenchmarkProfile& profile,
+                                RunConfig config,
+                                const RemoteWorkerOptions& worker,
+                                RemoteWorkerReport* report = nullptr);
 
 /// The deterministic-sequence experiment of Section 4: generates a
 /// HITEC-like sequence for the circuit and compares proposed vs baseline

@@ -1,0 +1,379 @@
+#include "faultsim/remote.hpp"
+
+#include <poll.h>
+#include <signal.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "faultsim/checkpoint.hpp"
+#include "faultsim/shard.hpp"
+#include "util/socket.hpp"
+#include "util/subprocess.hpp"
+
+namespace motsim {
+
+namespace sp = subprocess;
+
+namespace {
+
+constexpr std::size_t kNoFault = static_cast<std::size_t>(-1);
+
+/// Cancel-aware sleep in small poll slices (no signals: library code).
+void sleep_ms(std::uint64_t ms, const CancelToken* cancel) {
+  const std::uint64_t deadline = sp::steady_now_ms() + ms;
+  while (sp::steady_now_ms() < deadline) {
+    if (cancel != nullptr && cancel->cancelled()) return;
+    const std::uint64_t left = deadline - sp::steady_now_ms();
+    struct pollfd none = {-1, 0, 0};
+    ::poll(&none, 0, static_cast<int>(std::min<std::uint64_t>(left, 50)));
+  }
+}
+
+int poll_readable(int fd, int timeout_ms) {
+  struct pollfd p = {fd, POLLIN, 0};
+  while (true) {
+    const int r = ::poll(&p, 1, timeout_ms);
+    if (r >= 0) return r;
+    if (errno == EINTR) return 0;  // let the caller re-check stop conditions
+    return -1;
+  }
+}
+
+/// What one connection's serve loop ended with.
+enum class ConnEnd : std::uint8_t {
+  Shutdown,     ///< coordinator said Shutdown: clean exit
+  Lost,         ///< link died (EOF/EPIPE/corruption): reconnect, keep replay
+  ChaosKilled,  ///< emulated SIGKILL: reconnect with amnesia
+  Cancelled,    ///< local cancel tripped
+  Rejected,     ///< coordinator sent Reject: terminal
+};
+
+}  // namespace
+
+int serve_remote_worker(const Circuit& c, MotOptions options, bool run_baseline,
+                        const TestSequence& test, const SeqTrace& good,
+                        const std::vector<Fault>& faults,
+                        const RemoteWorkerOptions& opts,
+                        RemoteWorkerReport* report, const CancelToken* cancel) {
+  RemoteWorkerReport local_report;
+  if (report == nullptr) report = &local_report;
+  *report = RemoteWorkerReport{};
+
+  // Remote workers are serial lanes, exactly like forked ones: parallelism
+  // is the worker count, and campaign budgets belong to the coordinator.
+  MotOptions opt = options;
+  opt.num_threads = 1;
+  opt.campaign_time_ms = 0;
+  const MotBatchRunner runner(c, opt, run_baseline);
+  const JournalMeta meta =
+      make_journal_meta(c.name(), faults.size(), test, opt, run_baseline);
+  const std::string hello = shard::encode_hello(meta);
+
+  // Journal records produced by this process, in production order. Replayed
+  // after every reconnect; cleared only by an emulated chaos kill (a real
+  // SIGKILL clears it by losing the process).
+  std::vector<std::string> replay;
+
+  RetrySchedule backoff(opts.reconnect_backoff);
+  std::size_t consecutive_failures = 0;
+
+  auto cancelled = [&] { return cancel != nullptr && cancel->cancelled(); };
+  auto connect_failed = [&](const std::string& why) {
+    ++consecutive_failures;
+    if (consecutive_failures >= opts.max_connect_attempts) {
+      report->error = why;
+      return true;
+    }
+    sleep_ms(backoff.delay_us(consecutive_failures) / 1000, cancel);
+    return false;
+  };
+
+  while (true) {
+    if (cancelled()) {
+      report->error = "cancelled";
+      return kRemoteWorkerOk;
+    }
+
+    // ---- connect + handshake -----------------------------------------
+    std::string conn_err;
+    const int fd =
+        netio::tcp_connect(opts.host, opts.port, opts.connect_deadline_ms,
+                           conn_err);
+    if (fd < 0) {
+      if (connect_failed("connect: " + conn_err)) {
+        return kRemoteWorkerTransportFailure;
+      }
+      continue;
+    }
+    netio::SocketChannel chan(fd);
+    sp::FrameReader reader(chan);
+    if (sp::write_frame(chan, static_cast<std::uint8_t>(shard::MsgType::Hello),
+                        hello) != 0) {
+      if (connect_failed("handshake write failed")) {
+        return kRemoteWorkerTransportFailure;
+      }
+      continue;
+    }
+
+    shard::WelcomeInfo welcome;
+    {
+      const std::uint64_t deadline =
+          sp::steady_now_ms() + opts.handshake_timeout_ms;
+      bool have_verdict = false;
+      bool ok = false;
+      while (!have_verdict) {
+        std::uint8_t type = 0;
+        std::string payload;
+        if (reader.next(type, payload)) {
+          const auto mt = static_cast<shard::MsgType>(type);
+          if (mt == shard::MsgType::Welcome) {
+            have_verdict = true;
+            ok = shard::decode_welcome(payload, welcome);
+            if (!ok) report->error = "malformed welcome";
+          } else if (mt == shard::MsgType::Reject) {
+            // "no_free_slot" is a race, not a verdict: the coordinator has
+            // not yet noticed our previous incarnation's death. Back off and
+            // retry. Every other reason (wrong campaign, budget spent,
+            // campaign stopping) is authoritative.
+            if (payload == "no_free_slot") {
+              have_verdict = false;
+              report->error = "rejected: " + payload;
+              break;
+            }
+            report->error = "rejected: " + payload;
+            return kRemoteWorkerTransportFailure;
+          }
+          continue;  // anything else pre-welcome is ignored
+        }
+        if (reader.corrupt() || cancelled() ||
+            sp::steady_now_ms() >= deadline) {
+          break;
+        }
+        if (poll_readable(chan.poll_fd(), 100) < 0) break;
+        int err = 0;
+        const auto fs = reader.feed(err);
+        if (fs == sp::FrameReader::FeedStatus::Eof ||
+            fs == sp::FrameReader::FeedStatus::Error) {
+          break;
+        }
+      }
+      if (cancelled()) {
+        report->error = "cancelled";
+        return kRemoteWorkerOk;
+      }
+      if (!have_verdict || !ok) {
+        if (connect_failed(report->error.empty() ? "handshake timed out"
+                                                 : report->error)) {
+          return kRemoteWorkerTransportFailure;
+        }
+        continue;
+      }
+    }
+    consecutive_failures = 0;
+    ++report->connections;
+
+    // ---- admitted: heartbeats, replay, then serve --------------------
+    std::mutex write_mu;
+    auto send = [&](shard::MsgType type, std::string_view payload) {
+      std::lock_guard<std::mutex> lk(write_mu);
+      return sp::write_frame(chan, static_cast<std::uint8_t>(type), payload);
+    };
+
+    std::atomic<bool> stop{false};
+    std::mutex hb_mu;
+    std::condition_variable hb_cv;
+    std::thread heartbeat;
+    if (welcome.heartbeat_period_ms > 0) {
+      heartbeat = std::thread([&] {
+        const auto period =
+            std::chrono::milliseconds(welcome.heartbeat_period_ms);
+        std::unique_lock<std::mutex> lk(hb_mu);
+        auto next = std::chrono::steady_clock::now() + period;
+        while (!hb_cv.wait_until(lk, next, [&] {
+          return stop.load(std::memory_order_relaxed);
+        })) {
+          if (send(shard::MsgType::Heartbeat, "") != 0) break;
+          next = std::chrono::steady_clock::now() + period;
+        }
+      });
+    }
+    auto stop_heartbeat = [&] {
+      {
+        std::lock_guard<std::mutex> lk(hb_mu);
+        stop.store(true, std::memory_order_relaxed);
+      }
+      hb_cv.notify_all();
+      if (heartbeat.joinable()) heartbeat.join();
+    };
+
+    ConnEnd end = ConnEnd::Lost;
+
+    // Replay first: anything this process already computed but the
+    // coordinator may not have seen (the link died mid-stream). Duplicates
+    // are dropped by the coordinator's idempotent commit.
+    bool replay_ok = true;
+    for (const std::string& record : replay) {
+      if (send(shard::MsgType::FaultResult, record) != 0) {
+        replay_ok = false;
+        break;
+      }
+      ++report->replayed_records;
+    }
+
+    if (replay_ok) {
+      // Blocks until a frame arrives; false = link gone.
+      auto next_frame = [&](std::uint8_t& type, std::string& payload) {
+        while (true) {
+          if (reader.next(type, payload)) return true;
+          if (reader.corrupt() || cancelled()) return false;
+          if (poll_readable(chan.poll_fd(), 200) < 0) return false;
+          int err = 0;
+          const auto fs = reader.feed(err);
+          if (fs == sp::FrameReader::FeedStatus::Eof ||
+              fs == sp::FrameReader::FeedStatus::Error) {
+            return false;
+          }
+        }
+      };
+      // Between-faults peek: a buffered Shutdown and a dead link are
+      // different verdicts — Shutdown ends the campaign cleanly, a dead
+      // link must put us back on the reconnect path with the replay log
+      // intact (mistaking EOF for Shutdown strands the coordinator's
+      // rejoin window, which matters most when this is the only worker).
+      enum class Peek : std::uint8_t { None, Shutdown, Lost };
+      auto peek_control = [&]() -> Peek {
+        while (true) {
+          std::uint8_t type = 0;
+          std::string payload;
+          if (reader.next(type, payload)) {
+            if (static_cast<shard::MsgType>(type) ==
+                shard::MsgType::Shutdown) {
+              return Peek::Shutdown;
+            }
+            continue;
+          }
+          if (reader.corrupt()) return Peek::Lost;
+          if (poll_readable(chan.poll_fd(), 0) <= 0) return Peek::None;
+          int err = 0;
+          const auto fs = reader.feed(err);
+          if (fs == sp::FrameReader::FeedStatus::Eof ||
+              fs == sp::FrameReader::FeedStatus::Error) {
+            return Peek::Lost;
+          }
+          if (fs == sp::FrameReader::FeedStatus::WouldBlock) {
+            return Peek::None;
+          }
+        }
+      };
+
+      bool serving = true;
+      std::vector<std::size_t> group;
+      while (serving) {
+        std::uint8_t type = 0;
+        std::string payload;
+        if (!next_frame(type, payload)) {
+          end = cancelled() ? ConnEnd::Cancelled : ConnEnd::Lost;
+          break;
+        }
+        switch (static_cast<shard::MsgType>(type)) {
+          case shard::MsgType::Shutdown:
+            end = ConnEnd::Shutdown;
+            serving = false;
+            break;
+          case shard::MsgType::Assign: {
+            if (!shard::decode_assign(payload, group)) {
+              end = ConnEnd::Lost;  // protocol violation: die visibly
+              serving = false;
+              break;
+            }
+            for (const std::size_t k : group) {
+              if (cancelled()) {
+                end = ConnEnd::Cancelled;
+                serving = false;
+                break;
+              }
+              const Peek peeked = peek_control();
+              if (peeked != Peek::None) {
+                end = peeked == Peek::Shutdown ? ConnEnd::Shutdown
+                                               : ConnEnd::Lost;
+                serving = false;
+                break;
+              }
+              if (send(shard::MsgType::FaultStart,
+                       shard::encode_fault_start(k)) != 0) {
+                end = ConnEnd::Lost;
+                serving = false;
+                break;
+              }
+              // Chaos: die exactly where a crashing engine would — fault
+              // announced, result not yet produced.
+              if (k == opts.chaos_abort_fault ||
+                  shard::chaos_should_kill(opts.chaos_kill_seed, k,
+                                           welcome.incarnation,
+                                           opts.chaos_kill_permille)) {
+                if (opts.chaos_die_hard) ::raise(SIGKILL);
+                end = ConnEnd::ChaosKilled;
+                serving = false;
+                break;
+              }
+              const std::size_t one[] = {k};
+              const std::vector<MotBatchItem> out =
+                  runner.run(test, good, faults, one);
+              ++report->faults_simulated;
+              const std::string record =
+                  encode_journal_record(out[0], run_baseline);
+              replay.push_back(record);
+              if (send(shard::MsgType::FaultResult, record) != 0) {
+                end = ConnEnd::Lost;
+                serving = false;
+                break;
+              }
+            }
+            if (serving && send(shard::MsgType::GroupDone, "") != 0) {
+              end = ConnEnd::Lost;
+              serving = false;
+            }
+            break;
+          }
+          default:
+            break;  // coordinator never sends other types mid-serve; ignore
+        }
+      }
+    }
+
+    stop_heartbeat();
+    chan.close();
+
+    switch (end) {
+      case ConnEnd::Shutdown:
+        report->clean_shutdown = true;
+        return kRemoteWorkerOk;
+      case ConnEnd::Cancelled:
+        report->error = "cancelled";
+        return kRemoteWorkerOk;
+      case ConnEnd::ChaosKilled:
+        // Emulated SIGKILL: the "process" loses everything it knew and a
+        // fresh one reconnects. The coordinator sees an abrupt disconnect
+        // followed by a new incarnation — indistinguishable from the real
+        // signal, minus the lost test binary.
+        replay.clear();
+        ++report->chaos_kills;
+        continue;
+      case ConnEnd::Rejected:
+        return kRemoteWorkerTransportFailure;
+      case ConnEnd::Lost:
+        if (connect_failed("connection lost")) {
+          return kRemoteWorkerTransportFailure;
+        }
+        continue;
+    }
+  }
+}
+
+}  // namespace motsim

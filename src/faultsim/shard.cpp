@@ -13,6 +13,9 @@ const char* to_string(MsgType t) {
     case MsgType::FaultResult: return "fault-result";
     case MsgType::GroupDone: return "group-done";
     case MsgType::Heartbeat: return "heartbeat";
+    case MsgType::Hello: return "hello";
+    case MsgType::Welcome: return "welcome";
+    case MsgType::Reject: return "reject";
   }
   return "?";
 }
@@ -60,6 +63,88 @@ std::string encode_fault_start(std::size_t fault_index) {
 
 bool decode_fault_start(std::string_view payload, std::size_t& out) {
   return parse_size(payload, out);
+}
+
+namespace {
+
+bool parse_u64(std::string_view token, std::uint64_t& out) {
+  if (token.empty()) return false;
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), out);
+  return ec == std::errc() && ptr == token.data() + token.size();
+}
+
+/// Splits on single spaces; false on empty tokens (doubled/leading/trailing
+/// separators) or the wrong token count.
+bool split_tokens(std::string_view payload, std::size_t count,
+                  std::vector<std::string_view>& out) {
+  out.clear();
+  std::size_t pos = 0;
+  while (pos <= payload.size()) {
+    const std::size_t space = payload.find(' ', pos);
+    const std::size_t end =
+        space == std::string_view::npos ? payload.size() : space;
+    if (end == pos) return false;
+    out.push_back(payload.substr(pos, end - pos));
+    if (space == std::string_view::npos) break;
+    pos = space + 1;
+    if (pos > payload.size()) return false;
+  }
+  return out.size() == count;
+}
+
+}  // namespace
+
+std::string encode_hello(const JournalMeta& meta) {
+  std::string out;
+  out += std::to_string(meta.num_faults);
+  out += ' ';
+  out += std::to_string(meta.test_length);
+  out += ' ';
+  out += std::to_string(meta.test_hash);
+  out += ' ';
+  out += std::to_string(meta.options_hash);
+  out += ' ';
+  out += meta.baseline ? '1' : '0';
+  out += ' ';
+  out += meta.circuit;
+  return out;
+}
+
+bool decode_hello(std::string_view payload, JournalMeta& out) {
+  std::vector<std::string_view> tokens;
+  if (!split_tokens(payload, 6, tokens)) return false;
+  JournalMeta meta;
+  if (!parse_u64(tokens[0], meta.num_faults)) return false;
+  if (!parse_u64(tokens[1], meta.test_length)) return false;
+  if (!parse_u64(tokens[2], meta.test_hash)) return false;
+  if (!parse_u64(tokens[3], meta.options_hash)) return false;
+  if (tokens[4] == "1") {
+    meta.baseline = true;
+  } else if (tokens[4] == "0") {
+    meta.baseline = false;
+  } else {
+    return false;
+  }
+  meta.circuit = std::string(tokens[5]);
+  out = meta;
+  return true;
+}
+
+std::string encode_welcome(const WelcomeInfo& info) {
+  return std::to_string(info.slot) + " " + std::to_string(info.incarnation) +
+         " " + std::to_string(info.heartbeat_period_ms);
+}
+
+bool decode_welcome(std::string_view payload, WelcomeInfo& out) {
+  std::vector<std::string_view> tokens;
+  if (!split_tokens(payload, 3, tokens)) return false;
+  WelcomeInfo info;
+  if (!parse_size(tokens[0], info.slot)) return false;
+  if (!parse_size(tokens[1], info.incarnation)) return false;
+  if (!parse_u64(tokens[2], info.heartbeat_period_ms)) return false;
+  out = info;
+  return true;
 }
 
 std::vector<std::vector<std::size_t>> plan_fault_groups(

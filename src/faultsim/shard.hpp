@@ -26,6 +26,25 @@
 // the coordinator knows exactly which fault was in flight, charges the
 // death to that fault alone (attempt accounting, poison after K attempts),
 // and requeues the rest of the group onto survivors without penalty.
+//
+// Multi-host extension (TCP transport, faultsim/remote.hpp): the same
+// frames, plus a three-message handshake that turns an anonymous TCP
+// connection into a worker slot:
+//
+//   worker -> coordinator    Hello(meta)              campaign identity
+//   coordinator -> worker    Welcome("slot inc hb")   admitted: slot index,
+//                                                     incarnation (fencing),
+//                                                     heartbeat period (ms)
+//                            Reject(reason)           wrong campaign / no
+//                                                     slot / budget spent
+//
+// Hello carries the full JournalMeta of the campaign the worker built from
+// its own CLI flags; the coordinator admits only byte-equal metas, so a
+// worker configured for a different circuit, sequence, or option set can
+// never contribute records to this campaign. The Welcome incarnation is the
+// coordinator's fencing token: the coordinator processes frames only from
+// the connection it most recently welcomed into a slot, so a fenced-off
+// zombie's late frames land on a closed socket, never in the merge.
 #pragma once
 
 #include <cstdint>
@@ -33,6 +52,8 @@
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "faultsim/checkpoint.hpp"
 
 namespace motsim::shard {
 
@@ -43,6 +64,9 @@ enum class MsgType : std::uint8_t {
   FaultResult = 4,
   GroupDone = 5,
   Heartbeat = 6,
+  Hello = 7,
+  Welcome = 8,
+  Reject = 9,
 };
 
 const char* to_string(MsgType t);
@@ -56,6 +80,24 @@ bool decode_assign(std::string_view payload, std::vector<std::size_t>& out);
 /// Decimal fault index of a FaultStart payload.
 std::string encode_fault_start(std::size_t fault_index);
 bool decode_fault_start(std::string_view payload, std::size_t& out);
+
+/// Hello payload: every JournalMeta field, space-separated decimals with the
+/// circuit name last ("num_faults test_length test_hash options_hash
+/// baseline circuit"). Strict decode: exactly six tokens, the name free of
+/// whitespace, false on anything else.
+std::string encode_hello(const JournalMeta& meta);
+bool decode_hello(std::string_view payload, JournalMeta& out);
+
+/// Welcome payload: "slot incarnation heartbeat_period_ms". The incarnation
+/// is the fencing token of this admission; heartbeat_period_ms is how often
+/// the coordinator expects Heartbeat frames (0 = none wanted).
+struct WelcomeInfo {
+  std::size_t slot = 0;
+  std::size_t incarnation = 0;
+  std::uint64_t heartbeat_period_ms = 0;
+};
+std::string encode_welcome(const WelcomeInfo& info);
+bool decode_welcome(std::string_view payload, WelcomeInfo& out);
 
 /// Splits `fault_indices` (already in campaign order) into contiguous groups
 /// of `group_size` faults; group_size == 0 picks an automatic size that

@@ -18,6 +18,7 @@
 
 #include "faultsim/checkpoint.hpp"
 #include "faultsim/shard.hpp"
+#include "util/socket.hpp"
 #include "util/subprocess.hpp"
 
 namespace motsim {
@@ -209,9 +210,14 @@ int worker_main(int cmd_fd, int res_fd, const WorkerContext& ctx) {
   return 0;
 }
 
-/// Coordinator-side view of one worker slot.
+/// Coordinator-side view of one worker slot. Local mode fills `child` (a
+/// forked process reached over pipes); remote mode fills `chan` (a TCP
+/// connection that passed the handshake). Everything else — assignment,
+/// outstanding-fault accounting, liveness timestamps, incarnation fencing —
+/// is transport-agnostic.
 struct Slot {
   sp::ChildHandles child;
+  std::unique_ptr<netio::ByteChannel> chan;  // remote transport (null = pipe)
   std::unique_ptr<sp::FrameReader> reader;
   bool alive = false;
   std::size_t incarnation = 0;  // lives started on this slot so far
@@ -225,6 +231,14 @@ struct Slot {
   std::uint64_t respawn_at_ms = 0;
 
   bool idle() const { return alive && group.empty(); }
+};
+
+/// A TCP connection that has been accepted but not yet welcomed into a
+/// slot — it has until `deadline_ms` to present a valid Hello.
+struct PendingConn {
+  std::unique_ptr<netio::SocketChannel> chan;
+  std::unique_ptr<sp::FrameReader> reader;
+  std::uint64_t deadline_ms = 0;
 };
 
 }  // namespace
@@ -258,6 +272,14 @@ std::vector<MotBatchItem> SupervisedMotRunner::run(
 
   const std::size_t workers = std::max<std::size_t>(sup_.workers, 1);
   const std::string jpath = journal != nullptr ? journal->path() : "";
+  const bool remote = sup_.listen_fd >= 0;
+  // The campaign identity remote workers must prove in their Hello. With a
+  // journal this is its meta verbatim; without one it is assembled from the
+  // same ingredients, so the two modes admit exactly the same workers.
+  const JournalMeta expected_meta =
+      journal != nullptr ? journal->meta()
+                         : make_journal_meta(circuit_->name(), faults.size(),
+                                             test, options_, run_baseline_);
 
   // A worker writing into a vanished coordinator (or vice versa) must see
   // EPIPE, not die of SIGPIPE mid-supervision.
@@ -344,6 +366,12 @@ std::vector<MotBatchItem> SupervisedMotRunner::run(
   RetrySchedule restart_schedule(sup_.restart_backoff);
   bool stopping = false;
   std::uint64_t stop_deadline_ms = 0;
+  // Remote fleet-loss clock: while no worker is connected, the campaign is
+  // declared lost once this passes. Starts as the join window; every
+  // disconnect pushes it out by the rejoin window.
+  std::uint64_t fleet_deadline_ms = sp::steady_now_ms() + sup_.remote_join_ms;
+  std::vector<PendingConn> pending_conns;
+  if (remote) sp::set_nonblocking(sup_.listen_fd);
 
   WorkerContext base_ctx;
   base_ctx.circuit = circuit_;
@@ -396,11 +424,26 @@ std::vector<MotBatchItem> SupervisedMotRunner::run(
   };
 
   auto close_slot_fds = [&](Slot& slot) {
+    slot.reader.reset();  // before the channel it reads from
+    if (slot.chan != nullptr) {
+      slot.chan->close();
+      slot.chan.reset();
+    }
     if (slot.child.command_fd >= 0) ::close(slot.child.command_fd);
     if (slot.child.result_fd >= 0) ::close(slot.child.result_fd);
     slot.child.command_fd = -1;
     slot.child.result_fd = -1;
-    slot.reader.reset();
+  };
+
+  /// One frame to a slot's worker, whichever transport it sits behind.
+  auto slot_write = [&](Slot& slot, shard::MsgType type,
+                        std::string_view payload) {
+    if (slot.chan != nullptr) {
+      return sp::write_frame(*slot.chan, static_cast<std::uint8_t>(type),
+                             payload);
+    }
+    return sp::write_frame(slot.child.command_fd,
+                           static_cast<std::uint8_t>(type), payload);
   };
 
   auto assign_group = [&](Slot& slot, std::vector<std::size_t> group) {
@@ -409,9 +452,8 @@ std::vector<MotBatchItem> SupervisedMotRunner::run(
     slot.outstanding.insert(slot.group.begin(), slot.group.end());
     slot.in_flight = kNoFault;
     slot.group_assigned_ms = sp::steady_now_ms();
-    const int err = sp::write_frame(
-        slot.child.command_fd, static_cast<std::uint8_t>(shard::MsgType::Assign),
-        shard::encode_assign(slot.group));
+    const int err = slot_write(slot, shard::MsgType::Assign,
+                               shard::encode_assign(slot.group));
     if (err != 0) {
       // The worker is dying or dead; the reap path below recovers the group.
       return false;
@@ -429,8 +471,10 @@ std::vector<MotBatchItem> SupervisedMotRunner::run(
     ++stats->worker_deaths;
 
     // Harvest the shard journal first: results the worker committed to disk
-    // but never got to stream are merged, not re-simulated.
-    const std::string shard_path = worker_shard_path(jpath, s);
+    // but never got to stream are merged, not re-simulated. (Remote workers
+    // have no shard on this filesystem — their equivalent is the in-memory
+    // replay log they re-stream after reconnecting.)
+    const std::string shard_path = remote ? "" : worker_shard_path(jpath, s);
     if (!shard_path.empty() && !slot.outstanding.empty() &&
         journal != nullptr) {
       std::string err;
@@ -482,17 +526,35 @@ std::vector<MotBatchItem> SupervisedMotRunner::run(
     slot.outstanding.clear();
     slot.in_flight = kNoFault;
 
-    if (!stopping && restarts_used < sup_.max_worker_restarts) {
-      ++restarts_used;
-      slot.respawn_pending = true;
-      slot.respawn_at_ms =
-          sp::steady_now_ms() +
-          restart_schedule.delay_us(restarts_used) / 1000;
+    if (!stopping) {
+      if (!remote && restarts_used < sup_.max_worker_restarts) {
+        ++restarts_used;
+        slot.respawn_pending = true;
+        slot.respawn_at_ms =
+            sp::steady_now_ms() +
+            restart_schedule.delay_us(restarts_used) / 1000;
+      }
+      if (remote) {
+        // Hold the campaign open for a reconnect: the worker (or a fresh
+        // one) may rejoin within the window. Admission charges the restart
+        // budget; this only keeps the door open.
+        fleet_deadline_ms =
+            std::max(fleet_deadline_ms,
+                     sp::steady_now_ms() + sup_.remote_rejoin_ms);
+      }
     }
   };
 
   auto kill_and_reap = [&](std::size_t s, const char* cause) {
     Slot& slot = slots[s];
+    if (slot.chan != nullptr) {
+      // No SIGKILL across a network. Closing the connection *is* the kill:
+      // it fences this incarnation off — its late frames land on a closed
+      // socket — and the worker, if actually alive, rejoins as a fresh
+      // incarnation through the handshake.
+      handle_death(s, std::string(cause) + "_fenced");
+      return;
+    }
     ::kill(slot.child.pid, SIGKILL);
     int status = 0;
     sp::wait_blocking(slot.child.pid, status);
@@ -503,8 +565,143 @@ std::vector<MotBatchItem> SupervisedMotRunner::run(
   auto request_shutdown = [&](Slot& slot) {
     if (!slot.alive || slot.shutdown_sent) return;
     slot.shutdown_sent = true;
-    sp::write_frame(slot.child.command_fd,
-                    static_cast<std::uint8_t>(shard::MsgType::Shutdown), "");
+    slot_write(slot, shard::MsgType::Shutdown, "");
+  };
+
+  auto reject_conn = [&](PendingConn& pc, std::string_view reason) {
+    sp::write_frame(*pc.chan, static_cast<std::uint8_t>(shard::MsgType::Reject),
+                    reason);
+    pc.chan->close();
+  };
+
+  /// Welcomes a handshaken connection into a worker slot. First lives of a
+  /// slot are free (they are the initial fleet); re-filling a used slot is a
+  /// restart and spends the max_worker_restarts budget like a local respawn.
+  auto admit_conn = [&](PendingConn& pc) {
+    std::size_t chosen = kNoFault;
+    bool rejoin = false;
+    for (std::size_t s = 0; s < slots.size(); ++s) {
+      if (!slots[s].alive && slots[s].incarnation == 0) {
+        chosen = s;
+        break;
+      }
+    }
+    if (chosen == kNoFault) {
+      for (std::size_t s = 0; s < slots.size(); ++s) {
+        if (!slots[s].alive) {
+          chosen = s;
+          rejoin = true;
+          break;
+        }
+      }
+    }
+    if (chosen == kNoFault) {
+      // Transient by design: the worker retries after backoff, by which
+      // time the dead incarnation's EOF has usually been processed.
+      reject_conn(pc, "no_free_slot");
+      return;
+    }
+    if (rejoin) {
+      if (restarts_used >= sup_.max_worker_restarts) {
+        reject_conn(pc, "restart_budget_spent");
+        return;
+      }
+      ++restarts_used;
+      ++stats->worker_restarts;
+    }
+    Slot& slot = slots[chosen];
+    shard::WelcomeInfo info;
+    info.slot = chosen;
+    info.incarnation = slot.incarnation;
+    info.heartbeat_period_ms = sup_.heartbeat_ms == 0
+                                   ? 0
+                                   : std::max<std::uint64_t>(
+                                         sup_.heartbeat_ms / 4, 20);
+    if (sp::write_frame(*pc.chan,
+                        static_cast<std::uint8_t>(shard::MsgType::Welcome),
+                        shard::encode_welcome(info)) != 0) {
+      pc.chan->close();
+      return;
+    }
+    ++slot.incarnation;
+    slot.chan = std::move(pc.chan);
+    slot.reader = std::move(pc.reader);
+    slot.alive = true;
+    slot.group.clear();
+    slot.outstanding.clear();
+    slot.in_flight = kNoFault;
+    slot.shutdown_sent = false;
+    slot.respawn_pending = false;
+    slot.last_frame_ms = sp::steady_now_ms();
+  };
+
+  /// Accepts fresh connections and advances every pending handshake. A
+  /// connection becomes a worker only through a Hello whose meta matches
+  /// this campaign exactly.
+  auto serve_handshakes = [&] {
+    while (true) {
+      int aerr = 0;
+      const int cfd = netio::tcp_accept(sup_.listen_fd, aerr);
+      if (cfd < 0) break;  // EAGAIN (nothing pending) or a transient error
+      if (pending_conns.size() >= 64) {
+        ::close(cfd);  // flood guard: the worker retries with backoff
+        continue;
+      }
+      auto ch = std::make_unique<netio::SocketChannel>(cfd);
+      ch->set_nonblocking();
+      PendingConn pc;
+      pc.reader = std::make_unique<sp::FrameReader>(*ch);
+      pc.chan = std::move(ch);
+      pc.deadline_ms = sp::steady_now_ms() + 5000;
+      pending_conns.push_back(std::move(pc));
+    }
+    for (auto it = pending_conns.begin(); it != pending_conns.end();) {
+      PendingConn& pc = *it;
+      bool resolved = false;
+      while (!resolved) {
+        std::uint8_t type = 0;
+        std::string payload;
+        if (pc.reader->next(type, payload)) {
+          if (static_cast<shard::MsgType>(type) != shard::MsgType::Hello) {
+            continue;  // pre-Hello noise; the deadline bounds patience
+          }
+          JournalMeta hello_meta;
+          if (!shard::decode_hello(payload, hello_meta) ||
+              !(hello_meta == expected_meta)) {
+            reject_conn(pc, "campaign_mismatch");
+          } else if (stopping) {
+            reject_conn(pc, "stopping");
+          } else {
+            admit_conn(pc);
+          }
+          resolved = true;
+          break;
+        }
+        if (pc.reader->corrupt()) {
+          pc.chan->close();
+          resolved = true;
+          break;
+        }
+        int err = 0;
+        switch (pc.reader->feed(err)) {
+          case sp::FrameReader::FeedStatus::Data:
+            continue;
+          case sp::FrameReader::FeedStatus::WouldBlock:
+            break;
+          case sp::FrameReader::FeedStatus::Eof:
+          case sp::FrameReader::FeedStatus::Error:
+            pc.chan->close();
+            resolved = true;
+            break;
+        }
+        if (!resolved) break;  // WouldBlock: try again next tick
+      }
+      if (!resolved && sp::steady_now_ms() >= pc.deadline_ms) {
+        pc.chan->close();  // never said Hello; not a worker
+        resolved = true;
+      }
+      it = resolved ? pending_conns.erase(it) : std::next(it);
+    }
   };
 
   /// Drains and dispatches every complete frame from one worker. Returns
@@ -565,13 +762,16 @@ std::vector<MotBatchItem> SupervisedMotRunner::run(
   };
 
   // Initial fleet: one worker per slot, capped by the number of groups —
-  // idle processes would only dilute the kill/restart accounting.
-  const std::size_t initial =
-      std::min<std::size_t>(workers, std::max<std::size_t>(queue.size(), 1));
-  for (std::size_t s = 0; s < initial && !queue.empty(); ++s) {
-    if (!spawn_slot(s)) continue;
-    assign_group(slots[s], std::move(queue.front()));
-    queue.pop_front();
+  // idle processes would only dilute the kill/restart accounting. Remote
+  // mode forks nothing: slots fill as workers connect and handshake.
+  if (!remote) {
+    const std::size_t initial =
+        std::min<std::size_t>(workers, std::max<std::size_t>(queue.size(), 1));
+    for (std::size_t s = 0; s < initial && !queue.empty(); ++s) {
+      if (!spawn_slot(s)) continue;
+      assign_group(slots[s], std::move(queue.front()));
+      queue.pop_front();
+    }
   }
 
   // ------------------------- supervision loop -------------------------
@@ -597,9 +797,15 @@ std::vector<MotBatchItem> SupervisedMotRunner::run(
 
     if (!stopping) {
       if (queue.empty() && !any_busy) break;  // campaign complete
-      if (!any_live && !any_respawn) {
+      if (!remote && !any_live && !any_respawn) {
         // Every worker is dead and the restart budget is spent: surrender
         // the remainder as incomplete (resumable), never hang.
+        for (const auto& g : queue) stats->lost_faults += g.size();
+        break;
+      }
+      if (remote && !any_live && now >= fleet_deadline_ms) {
+        // No worker connected within the join window (or reconnected within
+        // the rejoin window): the fleet is lost; same surrender as above.
         for (const auto& g : queue) stats->lost_faults += g.size();
         break;
       }
@@ -607,14 +813,23 @@ std::vector<MotBatchItem> SupervisedMotRunner::run(
       if (!any_live || now >= stop_deadline_ms) break;
     }
 
-    // Respawns that have served their backoff.
+    // Respawns that have served their backoff (local), then admissions
+    // (remote), then stealing — so a worker that joined this very tick can
+    // claim work this very tick.
     if (!stopping) {
-      for (std::size_t s = 0; s < slots.size(); ++s) {
-        if (!slots[s].respawn_pending || now < slots[s].respawn_at_ms) continue;
-        slots[s].respawn_pending = false;
-        if (queue.empty() && !any_busy) continue;  // nothing left to do
-        if (spawn_slot(s)) ++stats->worker_restarts;
+      if (!remote) {
+        for (std::size_t s = 0; s < slots.size(); ++s) {
+          if (!slots[s].respawn_pending || now < slots[s].respawn_at_ms) {
+            continue;
+          }
+          slots[s].respawn_pending = false;
+          if (queue.empty() && !any_busy) continue;  // nothing left to do
+          if (spawn_slot(s)) ++stats->worker_restarts;
+        }
       }
+    }
+    if (remote) serve_handshakes();
+    if (!stopping) {
       // Work stealing: idle survivors immediately claim requeued groups.
       for (Slot& slot : slots) {
         if (queue.empty()) break;
@@ -629,7 +844,7 @@ std::vector<MotBatchItem> SupervisedMotRunner::run(
     std::vector<std::size_t> fd_slot;
     for (std::size_t s = 0; s < slots.size(); ++s) {
       if (!slots[s].alive) continue;
-      fds.push_back({slots[s].child.result_fd, POLLIN, 0});
+      fds.push_back({slots[s].reader->fd(), POLLIN, 0});
       fd_slot.push_back(s);
     }
     if (!fds.empty()) {
@@ -646,6 +861,18 @@ std::vector<MotBatchItem> SupervisedMotRunner::run(
       if (!slots[s].alive) continue;
       if ((fds[f].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
       if (!drain_frames(s)) {
+        if (slots[s].chan != nullptr) {
+          // Remote disconnect. During teardown it is the expected goodbye;
+          // mid-campaign it is a death (even an idle worker's vanishing
+          // matters: the rejoin window must open and the stats must show it).
+          if (stopping) {
+            slots[s].alive = false;
+            close_slot_fds(slots[s]);
+          } else {
+            handle_death(s, "disconnect");
+          }
+          continue;
+        }
         int status = 0;
         sp::wait_blocking(slots[s].child.pid, status);
         if (stopping || (sp::exited_cleanly(status) &&
@@ -659,7 +886,7 @@ std::vector<MotBatchItem> SupervisedMotRunner::run(
       }
     }
     for (std::size_t s = 0; s < slots.size(); ++s) {
-      if (!slots[s].alive) continue;
+      if (!slots[s].alive || slots[s].chan != nullptr) continue;
       int status = 0;
       if (sp::try_wait(slots[s].child.pid, status) == 1) {
         drain_frames(s);  // final pipe contents survive the process
@@ -700,6 +927,17 @@ std::vector<MotBatchItem> SupervisedMotRunner::run(
     for (std::size_t s = 0; s < slots.size(); ++s) {
       Slot& slot = slots[s];
       if (!slot.alive) continue;
+      if (slot.chan != nullptr) {
+        // A remote worker acknowledges Shutdown by closing its end; there
+        // is no process to reap here.
+        if (!drain_frames(s)) {
+          slot.alive = false;
+          close_slot_fds(slot);
+        } else {
+          any_live = true;
+        }
+        continue;
+      }
       if (slot.reader != nullptr && !drain_frames(s)) {
         int status = 0;
         sp::wait_blocking(slot.child.pid, status);
@@ -719,6 +957,11 @@ std::vector<MotBatchItem> SupervisedMotRunner::run(
     if (sp::steady_now_ms() >= teardown_deadline) {
       for (Slot& slot : slots) {
         if (!slot.alive) continue;
+        if (slot.chan != nullptr) {
+          slot.alive = false;
+          close_slot_fds(slot);  // past the grace: hang up on the straggler
+          continue;
+        }
         ::kill(slot.child.pid, SIGKILL);
         int status = 0;
         sp::wait_blocking(slot.child.pid, status);
@@ -729,6 +972,13 @@ std::vector<MotBatchItem> SupervisedMotRunner::run(
     }
     std::this_thread::sleep_for(std::chrono::milliseconds(5));
   }
+
+  // Connections that never finished their handshake get a door shut, not a
+  // dangling socket. The listening fd stays open — the caller owns it.
+  for (PendingConn& pc : pending_conns) {
+    if (pc.chan != nullptr) pc.chan->close();
+  }
+  pending_conns.clear();
 
   // Shard files are fully merged into the main journal — retire them. If
   // the main journal failed mid-run they are the only durable copy of the

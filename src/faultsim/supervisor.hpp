@@ -93,6 +93,25 @@ struct SupervisorOptions {
   /// SIGKILLing the stragglers.
   std::uint64_t shutdown_grace_ms = 5000;
 
+  /// --- remote (multi-host) mode ----------------------------------------
+  /// A bound+listening TCP socket fd. -1 (the default) keeps the local
+  /// fork/pipe mode. >= 0 switches the supervisor to remote mode: no
+  /// processes are forked; instead `workers` becomes the slot count and
+  /// each slot is filled by a TCP worker (faultsim/remote.hpp) that
+  /// connects and passes the JournalMeta handshake. Death detection
+  /// (disconnect, heartbeat gap, shard deadline), work requeue, poison
+  /// quarantine and the bit-identical input-order merge all carry over
+  /// unchanged. The caller keeps ownership of the fd.
+  int listen_fd = -1;
+  /// How long the coordinator waits for the first worker to join before
+  /// declaring the fleet lost (remaining faults come back incomplete).
+  std::uint64_t remote_join_ms = 30000;
+  /// After the last live worker disconnects, how long the coordinator holds
+  /// the campaign open for a reconnect before declaring the fleet lost. A
+  /// rejoin into a previously used slot consumes the max_worker_restarts
+  /// budget, exactly like a local respawn.
+  std::uint64_t remote_rejoin_ms = 10000;
+
   /// --- chaos hooks (tests only; see tests/supervisor_test.cpp) ---------
   /// Seeded kill schedule: a worker SIGKILLs itself right before simulating
   /// fault k when chaos_should_kill(seed, k, incarnation, permille). 0 = off.

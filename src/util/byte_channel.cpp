@@ -1,0 +1,107 @@
+#include "util/byte_channel.hpp"
+
+#include <unistd.h>
+
+#include <cerrno>
+
+namespace motsim::netio {
+
+ssize_t FdChannel::read(void* buf, std::size_t count, int& err) {
+  err = 0;
+  if (read_fd_ < 0) return 0;  // closed channels read as EOF
+  while (true) {
+    const ssize_t n = ::read(read_fd_, buf, count);
+    if (n >= 0) return n;
+    if (errno == EINTR) continue;
+    err = errno != 0 ? errno : EIO;
+    return -1;
+  }
+}
+
+ssize_t FdChannel::write(const void* buf, std::size_t count, int& err) {
+  err = 0;
+  if (write_fd_ < 0) {
+    err = EBADF;
+    return -1;
+  }
+  while (true) {
+    const ssize_t n = ::write(write_fd_, buf, count);
+    if (n >= 0) return n;
+    if (errno == EINTR) continue;
+    err = errno != 0 ? errno : EIO;
+    return -1;
+  }
+}
+
+void FdChannel::close() {
+  if (own_) {
+    if (read_fd_ >= 0) ::close(read_fd_);
+    if (write_fd_ >= 0 && write_fd_ != read_fd_) ::close(write_fd_);
+  }
+  read_fd_ = -1;
+  write_fd_ = -1;
+}
+
+ChannelFaultKind FaultInjectingChannel::arm() {
+  ++op_;
+  if (dropped_) return ChannelFaultKind::Drop;
+  if (plan_.kind == ChannelFaultKind::None || plan_.fail_at_op == 0) {
+    return ChannelFaultKind::None;
+  }
+  if (op_ < plan_.fail_at_op) return ChannelFaultKind::None;
+  if (plan_.kind == ChannelFaultKind::Drop) {
+    dropped_ = true;  // a dropped link stays dropped; fail_count is moot
+    return ChannelFaultKind::Drop;
+  }
+  if (fired_ >= plan_.fail_count) return ChannelFaultKind::None;
+  ++fired_;
+  return plan_.kind;
+}
+
+ssize_t FaultInjectingChannel::read(void* buf, std::size_t count, int& err) {
+  err = 0;
+  switch (arm()) {
+    case ChannelFaultKind::Errno:
+      err = plan_.err;
+      return -1;
+    case ChannelFaultKind::Stall:
+      err = EAGAIN;
+      return -1;
+    case ChannelFaultKind::Drop:
+      return 0;  // the peer is gone: orderly EOF, nothing more to read
+    case ChannelFaultKind::ShortRead: {
+      const std::size_t cap = count > 1 ? count / 2 : 1;
+      return base_->read(buf, cap, err);
+    }
+    case ChannelFaultKind::ShortWrite:  // write-only fault; reads pass through
+    case ChannelFaultKind::None:
+      break;
+  }
+  return base_->read(buf, count, err);
+}
+
+ssize_t FaultInjectingChannel::write(const void* buf, std::size_t count,
+                                     int& err) {
+  err = 0;
+  switch (arm()) {
+    case ChannelFaultKind::Errno:
+      err = plan_.err;
+      return -1;
+    case ChannelFaultKind::Stall:
+      err = EAGAIN;
+      return -1;
+    case ChannelFaultKind::Drop:
+      err = EPIPE;
+      return -1;
+    case ChannelFaultKind::ShortWrite: {
+      const std::size_t cap = count > 1 ? count / 2 : count;
+      return base_->write(buf, cap, err);
+    }
+    case ChannelFaultKind::ShortRead:  // read-only fault; writes pass through
+    case ChannelFaultKind::None:
+      break;
+  }
+  return base_->write(buf, count, err);
+}
+
+}  // namespace motsim::netio

@@ -1,0 +1,185 @@
+#include "util/chaos_proxy.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+
+#include "util/socket.hpp"
+
+namespace motsim::netio {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+bool chaos_proxy_should_sever(std::uint64_t seed, std::uint64_t connection,
+                              std::uint64_t chunk, std::uint64_t permille) {
+  if (permille == 0) return false;
+  const std::uint64_t h =
+      splitmix64(seed ^ splitmix64(connection * 0x517cc1b727220a95ull + chunk));
+  return (h % 1000) < permille;
+}
+
+ChaosProxy::ChaosProxy(std::uint16_t target_port, const ChaosProxyPlan& plan)
+    : plan_(plan), target_port_(target_port) {
+  severs_left_.store(plan.max_severs, std::memory_order_relaxed);
+  std::string err;
+  listen_fd_ = tcp_listen("127.0.0.1", 0, err);
+  if (listen_fd_ < 0) {
+    error_ = "chaos proxy listen: " + err;
+    return;
+  }
+  port_ = local_port(listen_fd_);
+  if (port_ == 0) {
+    error_ = "chaos proxy local_port failed";
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return;
+  }
+  acceptor_ = std::thread([this] { accept_loop(); });
+}
+
+ChaosProxy::~ChaosProxy() { shutdown(); }
+
+void ChaosProxy::shutdown() {
+  if (stop_.exchange(true)) {
+    if (acceptor_.joinable()) acceptor_.join();
+    return;
+  }
+  // Unblock the acceptor's poll/accept by closing the listening socket via
+  // ::shutdown is not defined for listen fds everywhere; the acceptor polls
+  // with a timeout and checks stop_, so closing here is safe after it exits.
+  if (acceptor_.joinable()) acceptor_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  std::vector<std::thread> relays;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    relays.swap(relays_);
+  }
+  for (auto& t : relays) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void ChaosProxy::accept_loop() {
+  std::uint64_t next_connection = 0;
+  while (!stop_.load(std::memory_order_relaxed)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int pr = ::poll(&pfd, 1, 50);
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    if (pr == 0) continue;
+    int err = 0;
+    const int client = tcp_accept(listen_fd_, err);
+    if (client < 0) {
+      if (err == EINTR || err == EAGAIN || err == EWOULDBLOCK ||
+          err == ECONNABORTED) {
+        continue;
+      }
+      return;
+    }
+    const std::uint64_t conn = next_connection++;
+    std::lock_guard<std::mutex> lock(mu_);
+    relays_.emplace_back([this, client, conn] { relay(client, conn); });
+  }
+}
+
+void ChaosProxy::relay(int client_fd, std::uint64_t connection_index) {
+  std::string cerr_msg;
+  const int up_fd =
+      tcp_connect("127.0.0.1", target_port_, /*deadline_ms=*/5000, cerr_msg);
+  if (up_fd < 0) {
+    ::close(client_fd);
+    return;
+  }
+  std::uint64_t chunk_index = 0;
+  std::uint64_t relayed_bytes = 0;
+  bool severed = false;
+
+  auto try_sever = [&]() -> bool {
+    const bool by_bytes =
+        plan_.sever_after_bytes != 0 && relayed_bytes >= plan_.sever_after_bytes;
+    const bool by_coin = chaos_proxy_should_sever(
+        plan_.seed, connection_index, chunk_index, plan_.sever_permille);
+    if (!by_bytes && !by_coin) return false;
+    // Spend a unit of the sever budget; if the budget is exhausted the link
+    // has become perfect and the campaign is guaranteed to finish.
+    std::uint64_t left = severs_left_.load(std::memory_order_relaxed);
+    while (left != UINT64_MAX && left > 0 &&
+           !severs_left_.compare_exchange_weak(left, left - 1,
+                                               std::memory_order_relaxed)) {
+    }
+    if (left == 0) return false;
+    severed_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  };
+
+  char buf[4096];
+  while (!stop_.load(std::memory_order_relaxed) && !severed) {
+    pollfd pfds[2] = {{client_fd, POLLIN, 0}, {up_fd, POLLIN, 0}};
+    const int pr = ::poll(pfds, 2, 50);
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (pr == 0) continue;
+    bool progressed = false;
+    for (int dir = 0; dir < 2; ++dir) {
+      if ((pfds[dir].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+      const int from = dir == 0 ? client_fd : up_fd;
+      const int to = dir == 0 ? up_fd : client_fd;
+      ssize_t n;
+      do {
+        n = ::recv(from, buf, sizeof(buf), 0);
+      } while (n < 0 && errno == EINTR);
+      if (n <= 0) {
+        severed = true;  // natural EOF or error: tear down both sides
+        break;
+      }
+      progressed = true;
+      ++chunk_index;
+      relayed_bytes += static_cast<std::uint64_t>(n);
+      if (try_sever()) {
+        severed = true;
+        break;
+      }
+      if (plan_.delay_ms > 0) {
+        pollfd none{-1, 0, 0};
+        ::poll(&none, 0, static_cast<int>(plan_.delay_ms));
+      }
+      ssize_t done = 0;
+      while (done < n) {
+        ssize_t w;
+        do {
+          w = ::send(to, buf + done, static_cast<std::size_t>(n - done),
+                     MSG_NOSIGNAL);
+        } while (w < 0 && errno == EINTR);
+        if (w <= 0) {
+          severed = true;
+          break;
+        }
+        done += w;
+      }
+      if (severed) break;
+    }
+    (void)progressed;
+  }
+  ::close(client_fd);
+  ::close(up_fd);
+}
+
+}  // namespace motsim::netio

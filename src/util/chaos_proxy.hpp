@@ -1,0 +1,91 @@
+// Seeded in-process chaos relay for multi-host transport tests.
+//
+// A ChaosProxy sits between remote workers and the coordinator the way a
+// flaky network would: it listens on its own ephemeral port, opens one
+// upstream connection per inbound client, and relays bytes both ways on a
+// background thread — while a deterministic, seeded plan decides per relay
+// chunk whether to delay it or to sever the whole connection. Severing
+// closes both sides abruptly (the coordinator sees EOF mid-stream, the
+// worker sees EOF/EPIPE), which is exactly what a dropped link, a NATed
+// TCP timeout, or a mid-frame partition looks like to the endpoints.
+//
+// Determinism: every decision is a splitmix64 hash of (seed, connection
+// index, chunk index) — the same plan produces the same cut points for a
+// given traffic shape, so a chaos scenario that fails once can be re-run.
+// (Exact byte-level reproducibility still depends on TCP segmentation; the
+// tests assert outcome invariants, not packet traces.)
+//
+// Used by tests/supervisor_test.cpp and the remote-worker-kill verify check
+// to prove the bit-identical-merge guarantee survives connection loss; not
+// linked into production binaries' control paths.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace motsim::netio {
+
+struct ChaosProxyPlan {
+  std::uint64_t seed = 0;
+  /// Probability (per mille) that any given relayed chunk severs the
+  /// connection instead of being delivered. 0 = never.
+  std::uint64_t sever_permille = 0;
+  /// Fixed delay applied to every relayed chunk (a slow link); 0 = none.
+  std::uint64_t delay_ms = 0;
+  /// Sever deterministically after this many relayed bytes per connection
+  /// (0 = off) — the reproducible mid-frame-cut scenario.
+  std::uint64_t sever_after_bytes = 0;
+  /// Connections the proxy may sever in total; once spent the link behaves
+  /// perfectly (lets tests guarantee eventual completion). UINT64_MAX = no
+  /// budget.
+  std::uint64_t max_severs = UINT64_MAX;
+};
+
+/// The deterministic per-chunk coin of the proxy (exposed for tests).
+bool chaos_proxy_should_sever(std::uint64_t seed, std::uint64_t connection,
+                              std::uint64_t chunk, std::uint64_t permille);
+
+class ChaosProxy {
+ public:
+  /// Starts listening on 127.0.0.1:<ephemeral> and relaying to
+  /// 127.0.0.1:target_port. Check ok() before use.
+  ChaosProxy(std::uint16_t target_port, const ChaosProxyPlan& plan);
+  ~ChaosProxy();
+  ChaosProxy(const ChaosProxy&) = delete;
+  ChaosProxy& operator=(const ChaosProxy&) = delete;
+
+  bool ok() const { return listen_fd_ >= 0; }
+  std::string error() const { return error_; }
+  /// The port clients should connect to instead of the target's.
+  std::uint16_t port() const { return port_; }
+
+  /// Connections severed by the plan so far.
+  std::uint64_t severed() const {
+    return severed_.load(std::memory_order_relaxed);
+  }
+
+  /// Stops accepting, severs every live relay, joins the threads.
+  void shutdown();
+
+ private:
+  void accept_loop();
+  void relay(int client_fd, std::uint64_t connection_index);
+
+  ChaosProxyPlan plan_;
+  std::uint16_t target_port_ = 0;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::string error_;
+  std::atomic<bool> stop_{false};
+  std::atomic<std::uint64_t> severed_{0};
+  std::atomic<std::uint64_t> severs_left_{UINT64_MAX};
+  std::thread acceptor_;
+  std::mutex mu_;
+  std::vector<std::thread> relays_;
+};
+
+}  // namespace motsim::netio

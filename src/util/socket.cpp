@@ -1,0 +1,245 @@
+#include "util/socket.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <charconv>
+#include <chrono>
+#include <cstring>
+
+namespace motsim::netio {
+
+namespace {
+
+std::uint64_t steady_ms() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+int set_fd_nonblocking(int fd, bool on) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return errno;
+  const int next = on ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (::fcntl(fd, F_SETFL, next) < 0) return errno;
+  return 0;
+}
+
+std::string errno_text(const char* what, int err) {
+  return std::string(what) + ": " + std::strerror(err);
+}
+
+/// Numeric-or-resolved IPv4 address of `host`. False + error on failure.
+bool resolve_ipv4(const std::string& host, std::uint16_t port,
+                  sockaddr_in& out, std::string& error) {
+  std::memset(&out, 0, sizeof(out));
+  out.sin_family = AF_INET;
+  out.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &out.sin_addr) == 1) return true;
+  struct addrinfo hints = {};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  struct addrinfo* res = nullptr;
+  const int rc = ::getaddrinfo(host.c_str(), nullptr, &hints, &res);
+  if (rc != 0 || res == nullptr) {
+    error = "cannot resolve host '" + host + "': " + ::gai_strerror(rc);
+    return false;
+  }
+  out.sin_addr =
+      reinterpret_cast<const sockaddr_in*>(res->ai_addr)->sin_addr;
+  ::freeaddrinfo(res);
+  return true;
+}
+
+}  // namespace
+
+bool parse_hostport(std::string_view spec, std::string& host,
+                    std::uint16_t& port, std::string& error) {
+  const std::size_t colon = spec.rfind(':');
+  if (colon == std::string_view::npos || colon == 0) {
+    error = "expected HOST:PORT, got '" + std::string(spec) + "'";
+    return false;
+  }
+  const std::string_view port_text = spec.substr(colon + 1);
+  unsigned value = 0;
+  const auto [ptr, ec] = std::from_chars(
+      port_text.data(), port_text.data() + port_text.size(), value);
+  if (port_text.empty() || ec != std::errc() ||
+      ptr != port_text.data() + port_text.size() || value > 65535) {
+    error = "invalid port '" + std::string(port_text) + "' in '" +
+            std::string(spec) + "'";
+    return false;
+  }
+  host = std::string(spec.substr(0, colon));
+  port = static_cast<std::uint16_t>(value);
+  return true;
+}
+
+int tcp_listen(const std::string& host, std::uint16_t port,
+               std::string& error, int backlog) {
+  sockaddr_in addr;
+  if (!resolve_ipv4(host, port, addr, error)) return -1;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    error = errno_text("socket", errno);
+    return -1;
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    error = errno_text("bind", errno);
+    ::close(fd);
+    return -1;
+  }
+  if (::listen(fd, backlog) != 0) {
+    error = errno_text("listen", errno);
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+std::uint16_t local_port(int fd) {
+  sockaddr_in addr;
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return 0;
+  }
+  return ntohs(addr.sin_port);
+}
+
+int tcp_accept(int listen_fd, int& err) {
+  err = 0;
+  while (true) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd >= 0) {
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return fd;
+    }
+    if (errno == EINTR) continue;
+    err = errno != 0 ? errno : EIO;
+    return -1;
+  }
+}
+
+int tcp_connect(const std::string& host, std::uint16_t port,
+                std::uint64_t deadline_ms, std::string& error) {
+  sockaddr_in addr;
+  if (!resolve_ipv4(host, port, addr, error)) return -1;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    error = errno_text("socket", errno);
+    return -1;
+  }
+  if (const int rc = set_fd_nonblocking(fd, true); rc != 0) {
+    error = errno_text("fcntl", rc);
+    ::close(fd);
+    return -1;
+  }
+  const std::uint64_t deadline = steady_ms() + deadline_ms;
+  int rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                     sizeof(addr));
+  if (rc != 0 && errno == EINTR) {
+    // POSIX: the connect continues asynchronously; poll it like EINPROGRESS.
+    rc = -1;
+    errno = EINPROGRESS;
+  }
+  if (rc != 0) {
+    if (errno != EINPROGRESS) {
+      error = errno_text("connect", errno);
+      ::close(fd);
+      return -1;
+    }
+    // Poll for writability (or failure) until the deadline.
+    while (true) {
+      const std::uint64_t now = steady_ms();
+      if (now >= deadline) {
+        error = "connect timed out after " + std::to_string(deadline_ms) +
+                " ms";
+        ::close(fd);
+        return -1;
+      }
+      struct pollfd p = {fd, POLLOUT, 0};
+      const int pr = ::poll(&p, 1, static_cast<int>(deadline - now));
+      if (pr < 0) {
+        if (errno == EINTR) continue;
+        error = errno_text("poll", errno);
+        ::close(fd);
+        return -1;
+      }
+      if (pr == 0) continue;  // re-check the deadline
+      int so_error = 0;
+      socklen_t len = sizeof(so_error);
+      if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len) != 0) {
+        so_error = errno;
+      }
+      if (so_error != 0) {
+        error = errno_text("connect", so_error);
+        ::close(fd);
+        return -1;
+      }
+      break;
+    }
+  }
+  set_fd_nonblocking(fd, false);
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+ssize_t SocketChannel::read(void* buf, std::size_t count, int& err) {
+  err = 0;
+  if (fd_ < 0) return 0;
+  while (true) {
+    const ssize_t n = ::recv(fd_, buf, count, 0);
+    if (n >= 0) return n;
+    if (errno == EINTR) continue;
+    err = errno != 0 ? errno : EIO;
+    return -1;
+  }
+}
+
+ssize_t SocketChannel::write(const void* buf, std::size_t count, int& err) {
+  err = 0;
+  if (fd_ < 0) {
+    err = EBADF;
+    return -1;
+  }
+  while (true) {
+    const ssize_t n = ::send(fd_, buf, count, MSG_NOSIGNAL);
+    if (n >= 0) return n;
+    if (errno == EINTR) continue;
+    err = errno != 0 ? errno : EIO;
+    return -1;
+  }
+}
+
+void SocketChannel::close() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+}
+
+int SocketChannel::set_nonblocking() {
+  return set_fd_nonblocking(fd_, true);
+}
+
+int tcp_socketpair(std::unique_ptr<SocketChannel>& a,
+                   std::unique_ptr<SocketChannel>& b) {
+  int fds[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) return errno;
+  a = std::make_unique<SocketChannel>(fds[0]);
+  b = std::make_unique<SocketChannel>(fds[1]);
+  return 0;
+}
+
+}  // namespace motsim::netio

@@ -1,0 +1,85 @@
+// TCP plumbing of the multi-host campaign supervisor.
+//
+// The coordinator of a distributed campaign listens here; remote workers
+// connect here. Everything is written for the hostile-reality contract the
+// rest of the runtime already follows (util/errors.hpp taxonomy):
+//
+//  * tcp_connect()      nonblocking connect with a wall-clock deadline —
+//                       a black-holed SYN fails after `deadline_ms`, never
+//                       hangs the worker's reconnect loop;
+//  * tcp_listen()       bind+listen with SO_REUSEADDR (campaign restarts
+//                       must not wait out TIME_WAIT); port 0 picks an
+//                       ephemeral port, recovered via local_port();
+//  * SocketChannel      the ByteChannel over a connected socket: sends with
+//                       MSG_NOSIGNAL (a vanished peer is EPIPE, never a
+//                       process-killing SIGPIPE), restarts EINTR, and sets
+//                       TCP_NODELAY (frames are small and latency-bound);
+//  * tcp_socketpair()   a loopback-free AF_UNIX pair for transport tests.
+//
+// Everything returns errno-style codes or -1+error string; nothing here
+// throws or aborts — a refused connection is campaign weather, not a bug.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "util/byte_channel.hpp"
+
+namespace motsim::netio {
+
+/// Splits "host:port" (e.g. "127.0.0.1:9000", "0.0.0.0:0"). False with
+/// `error` set on a missing colon, empty host, or a port outside [0,65535].
+bool parse_hostport(std::string_view spec, std::string& host,
+                    std::uint16_t& port, std::string& error);
+
+/// Creates a listening TCP socket bound to host:port (port 0 = ephemeral).
+/// Returns the fd, or -1 with `error` describing the failing step.
+int tcp_listen(const std::string& host, std::uint16_t port,
+               std::string& error, int backlog = 16);
+
+/// The locally bound port of a socket (resolves port-0 binds). 0 on error.
+std::uint16_t local_port(int fd);
+
+/// Accepts one pending connection (EINTR-safe). Returns the connected fd,
+/// or -1 with err = EAGAIN/EWOULDBLOCK when nothing is pending on a
+/// nonblocking listener, or the accept errno otherwise.
+int tcp_accept(int listen_fd, int& err);
+
+/// Connects to host:port with a wall-clock deadline: the socket is put in
+/// nonblocking mode, the connect is polled to completion, and SO_ERROR is
+/// checked — so both a refused and a black-holed peer fail within
+/// `deadline_ms`. Returns a connected fd (left nonblocking=false), or -1
+/// with `error` set.
+int tcp_connect(const std::string& host, std::uint16_t port,
+                std::uint64_t deadline_ms, std::string& error);
+
+/// ByteChannel over a connected TCP (or AF_UNIX stream) socket. Owns the
+/// fd. Writes use MSG_NOSIGNAL; EINTR restarts internally.
+class SocketChannel final : public ByteChannel {
+ public:
+  explicit SocketChannel(int fd) : fd_(fd) {}
+  ~SocketChannel() override { close(); }
+  SocketChannel(const SocketChannel&) = delete;
+  SocketChannel& operator=(const SocketChannel&) = delete;
+
+  ssize_t read(void* buf, std::size_t count, int& err) override;
+  ssize_t write(const void* buf, std::size_t count, int& err) override;
+  int poll_fd() const override { return fd_; }
+  void close() override;
+
+  /// Marks the socket nonblocking (coordinator-side readers). 0 or errno.
+  int set_nonblocking();
+
+ private:
+  int fd_;
+};
+
+/// A connected AF_UNIX stream pair wrapped as two SocketChannels — the
+/// in-process stand-in for a real link in transport unit tests. Returns 0
+/// or errno.
+int tcp_socketpair(std::unique_ptr<SocketChannel>& a,
+                   std::unique_ptr<SocketChannel>& b);
+
+}  // namespace motsim::netio

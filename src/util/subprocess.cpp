@@ -53,8 +53,10 @@ int write_exact(int fd, const char* data, std::size_t len) {
 
 }  // namespace
 
-int write_frame(int fd, std::uint8_t type, std::string_view payload) {
-  if (payload.size() > kMaxFramePayload) return EMSGSIZE;
+namespace {
+
+/// Builds the wire bytes of one frame: type byte, LE32 length, payload.
+std::string frame_bytes(std::uint8_t type, std::string_view payload) {
   std::string buf;
   buf.reserve(kFrameHeaderBytes + payload.size());
   buf.push_back(static_cast<char>(type));
@@ -63,22 +65,65 @@ int write_frame(int fd, std::uint8_t type, std::string_view payload) {
     buf.push_back(static_cast<char>((len >> (8 * i)) & 0xffu));
   }
   buf.append(payload);
+  return buf;
+}
+
+}  // namespace
+
+int write_frame(netio::ByteChannel& chan, std::uint8_t type,
+                std::string_view payload) {
+  if (payload.size() > kMaxFramePayload) return EMSGSIZE;
+  const std::string buf = frame_bytes(type, payload);
+  std::size_t done = 0;
+  int zero_writes = 0;
+  while (done < buf.size()) {
+    int err = 0;
+    const ssize_t n = chan.write(buf.data() + done, buf.size() - done, err);
+    if (n > 0) {
+      done += static_cast<std::size_t>(n);
+      zero_writes = 0;
+      continue;
+    }
+    if (n < 0 && err == EINTR) continue;  // interrupted, not dead: retry
+    if (n == 0) {
+      if (++zero_writes >= 8) return EIO;
+      continue;
+    }
+    return err != 0 ? err : EIO;
+  }
+  return 0;
+}
+
+int write_frame(int fd, std::uint8_t type, std::string_view payload) {
+  if (payload.size() > kMaxFramePayload) return EMSGSIZE;
+  const std::string buf = frame_bytes(type, payload);
   return write_exact(fd, buf.data(), buf.size());
 }
 
 FrameReader::FeedStatus FrameReader::feed(int& err) {
   err = 0;
+  // Backpressure against a flooding peer: never buffer more than one
+  // maximum-size frame. At this size the buffer either contains a complete
+  // frame (the caller must drain it with next()) or a header advertising an
+  // impossible length (next() flags corruption) — reading further could
+  // only grow the buffer without bound.
+  if (buf_.size() >= kFrameHeaderBytes + kMaxFramePayload) {
+    return FeedStatus::Data;
+  }
   char chunk[4096];
   while (true) {
-    const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+    const ssize_t n = chan_->read(chunk, sizeof(chunk), err);
     if (n > 0) {
       buf_.append(chunk, static_cast<std::size_t>(n));
+      err = 0;
       return FeedStatus::Data;
     }
     if (n == 0) return FeedStatus::Eof;
-    if (errno == EINTR) continue;
-    if (errno == EAGAIN || errno == EWOULDBLOCK) return FeedStatus::WouldBlock;
-    err = errno;
+    if (err == EINTR) continue;  // interrupted, not dead: retry the read
+    if (err == EAGAIN || err == EWOULDBLOCK) {
+      err = 0;
+      return FeedStatus::WouldBlock;
+    }
     return FeedStatus::Error;
   }
 }

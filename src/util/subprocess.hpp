@@ -32,9 +32,12 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <span>
 #include <string>
 #include <string_view>
+
+#include "util/byte_channel.hpp"
 
 namespace motsim::subprocess {
 
@@ -60,22 +63,40 @@ inline constexpr std::size_t kMaxFramePayload = 1u << 20;
 
 /// Writes one complete frame, restarting on EINTR and tolerating partial
 /// writes. Returns 0 or errno (EPIPE when the reader died). Not atomic
-/// across concurrent writers — callers serialize writes to one fd.
+/// across concurrent writers — callers serialize writes to one channel.
+int write_frame(netio::ByteChannel& chan, std::uint8_t type,
+                std::string_view payload);
+
+/// Same, over a raw fd (the fork/pipe transport's historical entry point).
 int write_frame(int fd, std::uint8_t type, std::string_view payload);
 
-/// Incremental frame reassembly over a (typically non-blocking) fd.
+/// Incremental frame reassembly over a (typically non-blocking) transport.
+/// Works over any ByteChannel — pipes, TCP sockets, or the fault-injecting
+/// test shim; the fd constructor borrows the descriptor without owning it.
+///
+/// Hostile-peer hardening (the reader also faces real network peers now):
+///  * a frame header advertising more than kMaxFramePayload marks the
+///    stream corrupt before any allocation of the advertised size happens;
+///  * the internal buffer never grows past one maximum frame — a peer
+///    flooding bytes without ever completing a frame is detected as corrupt
+///    instead of growing the buffer without bound (feed() stops reading
+///    until the caller drains complete frames with next()).
 class FrameReader {
  public:
-  explicit FrameReader(int fd) : fd_(fd) {}
+  explicit FrameReader(int fd)
+      : owned_(std::make_unique<netio::FdChannel>(fd, /*own=*/false)),
+        chan_(owned_.get()) {}
+  explicit FrameReader(netio::ByteChannel& chan) : chan_(&chan) {}
 
   enum class FeedStatus : std::uint8_t {
-    Data,        ///< appended at least one byte
+    Data,        ///< appended at least one byte (or the buffer is full)
     WouldBlock,  ///< no data available right now (EAGAIN)
     Eof,         ///< peer closed its end
     Error,       ///< read failed; errno in `err`
   };
 
-  /// One ::read() into the buffer (EINTR restarts internally).
+  /// One channel read into the buffer (EINTR restarts internally — an
+  /// interrupted read is retried, never reported as peer death).
   FeedStatus feed(int& err);
 
   /// Extracts the next complete frame. False when the buffer holds only a
@@ -86,10 +107,11 @@ class FrameReader {
   /// stream is unrecoverable; the owner should treat the peer as dead.
   bool corrupt() const { return corrupt_; }
 
-  int fd() const { return fd_; }
+  int fd() const { return chan_->poll_fd(); }
 
  private:
-  int fd_;
+  std::unique_ptr<netio::ByteChannel> owned_;  // fd constructor only
+  netio::ByteChannel* chan_;
   std::string buf_;
   bool corrupt_ = false;
 };

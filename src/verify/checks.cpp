@@ -9,16 +9,20 @@
 #include <cstdlib>
 #include <filesystem>
 #include <stdexcept>
+#include <thread>
 
 #include "bdd/symbolic.hpp"
 #include "faultsim/batch.hpp"
 #include "faultsim/checkpoint.hpp"
 #include "faultsim/full_faultsim.hpp"
+#include "faultsim/remote.hpp"
 #include "faultsim/supervisor.hpp"
 #include "mot/oracle.hpp"
 #include "netlist/iscas_io.hpp"
 #include "sim/seq_sim.hpp"
+#include "util/chaos_proxy.hpp"
 #include "util/fsio.hpp"
+#include "util/socket.hpp"
 #include "util/sha256.hpp"
 #include "util/strings.hpp"
 
@@ -43,6 +47,7 @@ std::string_view check_name(CheckId c) {
     case CheckId::WorkerQuarantine: return "worker-quarantine";
     case CheckId::FaultedResume: return "faulted-resume";
     case CheckId::WorkerKill: return "worker-kill";
+    case CheckId::RemoteWorkerKill: return "remote-worker-kill";
     case CheckId::IscasConformance: return "iscas-conformance";
     case CheckId::All: return "all";
   }
@@ -629,6 +634,108 @@ void check_worker_kill(const Circuit& c, const TestSequence& test,
   }
 }
 
+void check_remote_worker_kill(const Circuit& c, const TestSequence& test,
+                              const SeqTrace& good,
+                              const std::vector<Fault>& faults,
+                              const VerifyOptions& opts,
+                              std::vector<Violation>& out) {
+  if (faults.empty()) return;
+  std::vector<std::size_t> indices(faults.size());
+  for (std::size_t k = 0; k < indices.size(); ++k) indices[k] = k;
+
+  MotOptions o = opts.mot;
+  o.num_threads = 1;
+  const MotBatchRunner serial(c, o, /*run_baseline=*/true);
+  const std::vector<MotBatchItem> reference =
+      serial.run(test, good, faults, indices);
+
+  // Loopback remote campaign under compound chaos: the workers join through
+  // a seeded proxy that severs their first connections mid-stream, and on
+  // top of that a seeded kill schedule wipes worker state (emulated SIGKILL:
+  // dropped link, forgotten replay log, fresh incarnation). Attempts and
+  // restarts are effectively unbounded, so bit-identity with the serial
+  // reference is again the whole obligation.
+  for (const std::size_t workers : {std::size_t{1}, std::size_t{2}}) {
+    std::string error;
+    const int listen_fd = netio::tcp_listen("127.0.0.1", 0, error);
+    if (listen_fd < 0) {
+      add(out, CheckId::RemoteWorkerKill, faults[0],
+          str_format("cannot open a loopback listener: %s", error.c_str()));
+      return;
+    }
+    const std::uint16_t port = netio::local_port(listen_fd);
+    netio::ChaosProxyPlan plan;
+    plan.seed = 0xc4a05 + workers;
+    plan.sever_after_bytes = 400;
+    plan.max_severs = workers;  // every worker's first link gets cut, then
+                                // the proxy behaves: completion is assured
+    netio::ChaosProxy proxy(port, plan);
+    if (!proxy.ok()) {
+      ::close(listen_fd);
+      add(out, CheckId::RemoteWorkerKill, faults[0],
+          str_format("cannot start the chaos proxy: %s",
+                     proxy.error().c_str()));
+      return;
+    }
+
+    RemoteWorkerOptions ropts;
+    ropts.port = proxy.port();
+    ropts.max_connect_attempts = 100;
+    ropts.reconnect_backoff.base_delay_us = 1000;
+    ropts.reconnect_backoff.max_delay_us = 20000;
+    ropts.chaos_kill_permille = 250;
+    ropts.chaos_kill_seed = 0x5eed + workers;
+    std::vector<std::thread> fleet;
+    std::vector<int> rcs(workers, -1);
+    for (std::size_t w = 0; w < workers; ++w) {
+      fleet.emplace_back([&, w] {
+        rcs[w] = serve_remote_worker(c, o, /*run_baseline=*/true, test, good,
+                                     faults, ropts);
+      });
+    }
+
+    SupervisorOptions sup;
+    sup.workers = workers;
+    sup.listen_fd = listen_fd;
+    sup.heartbeat_ms = 20000;
+    sup.shutdown_grace_ms = 20000;
+    sup.restart_backoff.base_delay_us = 0;
+    sup.max_fault_attempts = 1000;
+    sup.max_worker_restarts = 10000;
+    const SupervisedMotRunner runner(c, o, /*run_baseline=*/true, sup);
+    SupervisorStats stats;
+    const std::vector<MotBatchItem> got =
+        runner.run(test, good, faults, indices, nullptr, nullptr, &stats);
+    ::close(listen_fd);  // orphaned reconnects fail fast after completion
+    for (std::thread& t : fleet) t.join();
+    proxy.shutdown();
+
+    if (stats.poisoned_faults != 0 || stats.lost_faults != 0) {
+      add(out, CheckId::RemoteWorkerKill, faults[0],
+          str_format("remote chaos run at %zu workers lost work it had "
+                     "budget to retry: %zu poisoned, %zu lost (%zu deaths, "
+                     "%llu severed links)",
+                     workers, stats.poisoned_faults, stats.lost_faults,
+                     stats.worker_deaths,
+                     static_cast<unsigned long long>(proxy.severed())));
+      return;
+    }
+    for (std::size_t i = 0; i < faults.size(); ++i) {
+      if (got[i] == reference[i]) continue;
+      add(out, CheckId::RemoteWorkerKill, faults[i],
+          str_format("%s: remote result at %zu workers (%zu deaths, %llu "
+                     "severed links) differs from the in-process run: [%s] "
+                     "vs [%s]",
+                     describe(c, faults[i]).c_str(), workers,
+                     stats.worker_deaths,
+                     static_cast<unsigned long long>(proxy.severed()),
+                     item_summary(got[i]).c_str(),
+                     item_summary(reference[i]).c_str()));
+      return;
+    }
+  }
+}
+
 }  // namespace
 
 std::vector<Violation> check_fault(const Circuit& c, const TestSequence& test,
@@ -659,6 +766,9 @@ std::vector<Violation> check_batch(const Circuit& c, const TestSequence& test,
   }
   if (enabled(opts, CheckId::WorkerKill)) {
     check_worker_kill(c, test, good, faults, opts, out);
+  }
+  if (enabled(opts, CheckId::RemoteWorkerKill)) {
+    check_remote_worker_kill(c, test, good, faults, opts, out);
   }
   return out;
 }

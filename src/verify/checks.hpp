@@ -71,6 +71,13 @@ enum class CheckId : std::uint8_t {
   /// seeded chaos kill schedule the merged result is bit-identical to the
   /// in-process runner at every worker count (see faultsim/supervisor.hpp).
   WorkerKill,
+  /// The multi-host path gives the same guarantee over a hostile network:
+  /// remote workers (faultsim/remote.hpp) joined through a seeded chaos
+  /// proxy that severs their connections mid-stream, plus emulated chaos
+  /// kills that wipe worker state, must still merge bit-identically to the
+  /// serial in-process run — dropped links, replayed records and slot
+  /// rejoins included.
+  RemoteWorkerKill,
   /// ISCAS-85 conformance: the combinational full-fault-simulation driver
   /// reproduces the committed SHA-pinned third-party-format goldens
   /// (tests/testcases/<ckt>.{v,in,ans,ans.sha}) byte-identically, under

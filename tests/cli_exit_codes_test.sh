@@ -5,6 +5,9 @@
 #   1  usage error        4  journal failure (setup or mid-run I/O)
 #   2  budget-stopped,    5  worker-death partial completion (fleet lost,
 #      resumable             restart budget spent), resumable
+# Worker mode (--connect) adds: 6 = remote transport failure. The remote
+# (--listen/--connect) section runs a real loopback multi-host campaign and
+# demands tables byte-identical to the in-process run.
 # Driven as a tier-1 ctest: $1 is the benchmark_sweep binary.
 set -u
 
@@ -122,5 +125,72 @@ check "worker-fleet loss is exit 5" 5 $?
 # ... and the journaled campaign resumes to completion in-process.
 "$BIN" --circuits s298 --resume "$TMP/lost.journal" > "$TMP/out5b.txt" 2>&1
 check "resume after fleet loss completes" 0 $?
+
+# --- remote mode (--listen / --connect): same exit table, new transport ---
+
+# 1 — coordinator and worker roles are exclusive; a worker serves exactly
+# one circuit and never owns the journal.
+"$BIN" --listen 127.0.0.1:0 --connect 127.0.0.1:1 --circuits s298 \
+  > /dev/null 2>&1
+check "--listen with --connect is a usage error" 1 $?
+"$BIN" --connect 127.0.0.1:1 --circuits s298,s344 > /dev/null 2>&1
+check "--connect needs exactly one circuit" 1 $?
+"$BIN" --connect 127.0.0.1:1 --circuits s298 \
+  --journal "$TMP/w.journal" > /dev/null 2>&1
+check "--connect with --journal is a usage error" 1 $?
+
+# 6 — a worker that can never reach its coordinator exhausts its connect
+# budget with the transport-failure code (port 1 is reserved: refused).
+"$BIN" --connect 127.0.0.1:1 --circuits s298 --connect-attempts 2 \
+  > /dev/null 2>&1
+check "unreachable coordinator is worker exit 6" 6 $?
+
+# 0 — a loopback multi-host campaign: one coordinator on an ephemeral port,
+# two worker processes; everyone exits 0 and the coordinator's tables are
+# byte-identical to the in-process run.
+rm -f "$TMP/port"
+"$BIN" --circuits s298 --listen 127.0.0.1:0 --listen-port-file "$TMP/port" \
+  --workers 2 > "$TMP/outr.txt" 2>&1 &
+coord=$!
+port=""
+tries=0
+while [ "$tries" -lt 100 ]; do
+  if [ -s "$TMP/port" ]; then port=$(cat "$TMP/port"); break; fi
+  tries=$((tries + 1))
+  sleep 0.1
+done
+if [ -z "$port" ]; then
+  echo "FAIL: coordinator never published its port" >&2
+  kill "$coord" 2> /dev/null
+  fail=1
+else
+  "$BIN" --circuits s298 --connect "127.0.0.1:$port" > "$TMP/outw1.txt" 2>&1 &
+  w1=$!
+  "$BIN" --circuits s298 --connect "127.0.0.1:$port" > "$TMP/outw2.txt" 2>&1 &
+  w2=$!
+  wait "$coord"; check "remote coordinator completes" 0 $?
+  wait "$w1"; check "remote worker 1 exits clean" 0 $?
+  wait "$w2"; check "remote worker 2 exits clean" 0 $?
+  if command -v sed > /dev/null 2>&1; then
+    sed -n '/^Table 2/,/^Table 3/p' "$TMP/outr.txt" > "$TMP/t2_remote.txt"
+    if cmp -s "$TMP/t2_inproc.txt" "$TMP/t2_remote.txt"; then
+      echo "ok: remote campaign Table 2 is identical to in-process"
+    else
+      echo "FAIL: remote campaign changed Table 2" >&2
+      diff "$TMP/t2_inproc.txt" "$TMP/t2_remote.txt" >&2
+      fail=1
+    fi
+  fi
+fi
+
+# 5 — a coordinator whose remote fleet never arrives gives up after the
+# join window with the same partial-completion code as a lost local fleet,
+# and the journal resumes in-process.
+"$BIN" --circuits s298 --listen 127.0.0.1:0 --workers 1 \
+  --remote-join-ms 200 --journal "$TMP/lostr.journal" \
+  > "$TMP/out5r.txt" 2>&1
+check "remote fleet loss is exit 5" 5 $?
+"$BIN" --circuits s298 --resume "$TMP/lostr.journal" > /dev/null 2>&1
+check "resume after remote fleet loss completes" 0 $?
 
 exit "$fail"

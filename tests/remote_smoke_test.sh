@@ -1,0 +1,100 @@
+#!/bin/sh
+# Loopback multi-host smoke (ctest label "remote"): one coordinator and two
+# remote worker processes over real TCP, one of the workers running a seeded
+# die-hard chaos schedule — it SIGKILLs itself mid-campaign and, being a
+# real process (not a forked slot), it is gone for good. The survivor
+# absorbs the requeued work, and the coordinator's Table 2 and Table 3 must
+# be byte-identical to the plain in-process run: worker death over a network
+# is campaign weather, never a result change.
+# Usage: remote_smoke_test.sh <benchmark_sweep binary>
+set -u
+
+BIN="${1:?usage: remote_smoke_test.sh <benchmark_sweep binary>}"
+TMP="${TMPDIR:-/tmp}/motsim_remote_smoke_$$"
+mkdir -p "$TMP"
+trap 'rm -rf "$TMP"' EXIT
+fail=0
+CIRCUIT=s344
+
+# Reference: the ordinary in-process run. Everything through the end of
+# Table 3 must match; only the Diagnostics block may differ (it reports
+# worker counts and wall-clock).
+"$BIN" --circuits "$CIRCUIT" > "$TMP/ref.txt" 2>&1
+if [ $? -ne 0 ]; then
+  echo "FAIL: reference run failed" >&2
+  exit 1
+fi
+sed -n '/^Table 2/,/^Diagnostics/p' "$TMP/ref.txt" | grep -v '^Diagnostics' \
+  > "$TMP/tables_ref.txt"
+
+# Coordinator on an ephemeral loopback port with two remote slots and a
+# retry budget generous enough that the SIGKILLed worker's faults are
+# requeued, never poisoned.
+rm -f "$TMP/port"
+"$BIN" --circuits "$CIRCUIT" --listen 127.0.0.1:0 \
+  --listen-port-file "$TMP/port" --workers 2 \
+  --max-fault-attempts 1000 --max-worker-restarts 10000 \
+  > "$TMP/coord.txt" 2>&1 &
+coord=$!
+
+port=""
+tries=0
+while [ "$tries" -lt 100 ]; do
+  if [ -s "$TMP/port" ]; then port=$(cat "$TMP/port"); break; fi
+  tries=$((tries + 1))
+  sleep 0.1
+done
+if [ -z "$port" ]; then
+  echo "FAIL: coordinator never published its port" >&2
+  kill "$coord" 2> /dev/null
+  exit 1
+fi
+
+# Worker 1: seeded chaos, die-hard — raises SIGKILL on a scheduled fault.
+"$BIN" --circuits "$CIRCUIT" --connect "127.0.0.1:$port" \
+  --chaos-kill-permille 400 --chaos-kill-seed 9 \
+  > "$TMP/w1.txt" 2>&1 &
+w1=$!
+# Worker 2: clean; it must survive to absorb the requeued faults.
+"$BIN" --circuits "$CIRCUIT" --connect "127.0.0.1:$port" \
+  > "$TMP/w2.txt" 2>&1 &
+w2=$!
+
+wait "$coord"
+rc=$?
+if [ "$rc" -ne 0 ]; then
+  echo "FAIL: coordinator exited $rc" >&2
+  sed 's/^/  coord: /' "$TMP/coord.txt" >&2
+  fail=1
+fi
+wait "$w1"
+rc1=$?
+wait "$w2"
+rc2=$?
+# The chaotic worker either got SIGKILLed (128+9) or — if no scheduled kill
+# landed before its work ran out — shut down cleanly. Anything else is a bug.
+if [ "$rc1" -ne 137 ] && [ "$rc1" -ne 0 ]; then
+  echo "FAIL: chaotic worker exited $rc1 (want 137 or 0)" >&2
+  fail=1
+else
+  echo "ok: chaotic worker exit $rc1"
+fi
+if [ "$rc2" -ne 0 ]; then
+  echo "FAIL: clean worker exited $rc2" >&2
+  sed 's/^/  w2: /' "$TMP/w2.txt" >&2
+  fail=1
+else
+  echo "ok: clean worker exit 0"
+fi
+
+sed -n '/^Table 2/,/^Diagnostics/p' "$TMP/coord.txt" | grep -v '^Diagnostics' \
+  > "$TMP/tables_remote.txt"
+if cmp -s "$TMP/tables_ref.txt" "$TMP/tables_remote.txt"; then
+  echo "ok: remote campaign tables are byte-identical to in-process"
+else
+  echo "FAIL: remote campaign changed Table 2/Table 3" >&2
+  diff "$TMP/tables_ref.txt" "$TMP/tables_remote.txt" >&2
+  fail=1
+fi
+
+exit "$fail"

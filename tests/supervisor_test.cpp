@@ -6,7 +6,11 @@
 // harvest + resume through the ordinary in-process path).
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "circuits/embedded.hpp"
@@ -14,9 +18,12 @@
 #include "faultsim/batch.hpp"
 #include "faultsim/checkpoint.hpp"
 #include "faultsim/parallel.hpp"
+#include "faultsim/remote.hpp"
 #include "faultsim/shard.hpp"
 #include "faultsim/supervisor.hpp"
 #include "testgen/random_gen.hpp"
+#include "util/chaos_proxy.hpp"
+#include "util/socket.hpp"
 
 namespace motsim {
 namespace {
@@ -90,6 +97,45 @@ TEST(ShardCodec, FaultStartRoundTrips) {
   EXPECT_EQ(k, 12345u);
   EXPECT_FALSE(shard::decode_fault_start("", k));
   EXPECT_FALSE(shard::decode_fault_start("12 34", k));
+}
+
+TEST(ShardCodec, HelloRoundTripsTheFullCampaignIdentity) {
+  JournalMeta meta;
+  meta.circuit = "s5378";
+  meta.num_faults = 4603;
+  meta.test_length = 100;
+  meta.test_hash = 0xfeedface12345678ull;
+  meta.options_hash = 0x0102030405060708ull;
+  meta.baseline = true;
+  JournalMeta out;
+  ASSERT_TRUE(shard::decode_hello(shard::encode_hello(meta), out));
+  EXPECT_EQ(out, meta);
+  meta.baseline = false;
+  ASSERT_TRUE(shard::decode_hello(shard::encode_hello(meta), out));
+  EXPECT_EQ(out, meta);
+
+  EXPECT_FALSE(shard::decode_hello("", out));
+  EXPECT_FALSE(shard::decode_hello("1 2 3 4 5", out));          // short
+  EXPECT_FALSE(shard::decode_hello("1 2 3 4 5 s298 extra", out));
+  EXPECT_FALSE(shard::decode_hello("x 2 3 4 5 s298", out));     // non-numeric
+  EXPECT_FALSE(shard::decode_hello("1 2 3 4  5 s298", out));    // empty token
+}
+
+TEST(ShardCodec, WelcomeRoundTripsAndRejectsMalformedPayloads) {
+  shard::WelcomeInfo info;
+  info.slot = 3;
+  info.incarnation = 17;
+  info.heartbeat_period_ms = 1250;
+  shard::WelcomeInfo out;
+  ASSERT_TRUE(shard::decode_welcome(shard::encode_welcome(info), out));
+  EXPECT_EQ(out.slot, info.slot);
+  EXPECT_EQ(out.incarnation, info.incarnation);
+  EXPECT_EQ(out.heartbeat_period_ms, info.heartbeat_period_ms);
+
+  EXPECT_FALSE(shard::decode_welcome("", out));
+  EXPECT_FALSE(shard::decode_welcome("1 2", out));
+  EXPECT_FALSE(shard::decode_welcome("1 2 3 4", out));
+  EXPECT_FALSE(shard::decode_welcome("1 two 3", out));
 }
 
 TEST(ShardPlanner, GroupsPartitionInputInOrder) {
@@ -357,6 +403,351 @@ TEST(SupervisedMotRunner, JournaledChaosRunCompletesAndResumesToNoop) {
                                            shard_err),
               nullptr);
   }
+  journal.reset();
+  auto resumed = CampaignJournal::open_resume(path, meta, err);
+  ASSERT_NE(resumed, nullptr) << err;
+  EXPECT_EQ(resumed->resumed_count(), p.candidates.size());
+  std::remove(path.c_str());
+}
+
+// --------------------------------------------------- remote supervision ----
+
+// Opens the coordinator's loopback listener on an ephemeral port.
+int open_listener(std::uint16_t& port) {
+  std::string error;
+  const int fd = netio::tcp_listen("127.0.0.1", 0, error);
+  EXPECT_GE(fd, 0) << error;
+  port = fd >= 0 ? netio::local_port(fd) : 0;
+  EXPECT_NE(port, 0);
+  return fd;
+}
+
+// Worker options tuned for tests: tiny backoff, a bounded attempt budget so
+// a worker orphaned by a finished campaign fails fast instead of hanging.
+RemoteWorkerOptions test_remote(std::uint16_t port) {
+  RemoteWorkerOptions o;
+  o.port = port;
+  o.max_connect_attempts = 50;
+  o.reconnect_backoff.base_delay_us = 1000;
+  o.reconnect_backoff.max_delay_us = 20000;
+  o.handshake_timeout_ms = 5000;
+  return o;
+}
+
+// Runs `n` remote workers as plain threads speaking real TCP — each serving
+// the same deterministic pipeline, exactly as `--connect` processes would.
+struct WorkerFleet {
+  std::vector<std::thread> threads;
+  std::vector<int> rcs;
+  std::vector<RemoteWorkerReport> reports;
+
+  void launch(std::size_t n, const Pipeline& p, const MotOptions& opt,
+              bool run_baseline, const RemoteWorkerOptions& ropts) {
+    rcs.assign(n, -1);
+    reports.assign(n, {});
+    for (std::size_t i = 0; i < n; ++i) {
+      threads.emplace_back([this, i, &p, opt, run_baseline, ropts] {
+        rcs[i] = serve_remote_worker(p.circuit, opt, run_baseline, p.test,
+                                     p.good, p.faults, ropts, &reports[i]);
+      });
+    }
+  }
+  void join() {
+    for (auto& t : threads) t.join();
+    threads.clear();
+  }
+  ~WorkerFleet() { join(); }
+};
+
+// The acceptance bar of the remote path: a loopback campaign at 1, 2 and 4
+// workers merges bit-identically to the in-process runner, every worker
+// shuts down cleanly, and nothing dies.
+TEST(RemoteSupervision, LoopbackWorkersMatchInProcess) {
+  const Pipeline p = prepare(circuits::make_table1_example(), 20, 3);
+  ASSERT_FALSE(p.candidates.empty());
+  MotOptions opt;
+  opt.num_threads = 1;
+  const MotBatchRunner reference(p.circuit, opt, /*run_baseline=*/true);
+  const std::vector<MotBatchItem> want =
+      reference.run(p.test, p.good, p.faults, p.candidates);
+
+  for (const std::size_t workers :
+       {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    std::uint16_t port = 0;
+    const int listen_fd = open_listener(port);
+    ASSERT_GE(listen_fd, 0);
+    WorkerFleet fleet;
+    fleet.launch(workers, p, opt, /*run_baseline=*/true, test_remote(port));
+
+    SupervisorOptions sup = test_sup(workers);
+    sup.listen_fd = listen_fd;
+    const SupervisedMotRunner runner(p.circuit, opt, /*run_baseline=*/true,
+                                     sup);
+    SupervisorStats stats;
+    const std::vector<MotBatchItem> got = runner.run(
+        p.test, p.good, p.faults, p.candidates, nullptr, nullptr, &stats);
+    fleet.join();
+    ::close(listen_fd);
+
+    expect_items_identical(got, want);
+    EXPECT_EQ(stats.worker_deaths, 0u) << workers << " workers";
+    EXPECT_EQ(stats.lost_faults, 0u);
+    for (std::size_t i = 0; i < workers; ++i) {
+      EXPECT_EQ(fleet.rcs[i], kRemoteWorkerOk) << fleet.reports[i].error;
+      EXPECT_TRUE(fleet.reports[i].clean_shutdown);
+      EXPECT_EQ(fleet.reports[i].connections, 1u);
+    }
+  }
+}
+
+// Seeded chaos kills on the workers themselves (emulated: drop the link,
+// forget the replay log, rejoin as a fresh incarnation) must be invisible in
+// the merged results — the remote twin of SeededWorkerKillsAreInvisible.
+TEST(RemoteSupervision, EmulatedChaosKillsAreInvisibleInResults) {
+  const Pipeline p = prepare(circuits::build_benchmark("s298"), 24, 11);
+  ASSERT_GT(p.candidates.size(), 4u);
+  MotOptions opt;
+  opt.num_threads = 1;
+  opt.n_states = 16;
+  const MotBatchRunner reference(p.circuit, opt, /*run_baseline=*/true);
+  const std::vector<MotBatchItem> want =
+      reference.run(p.test, p.good, p.faults, p.candidates);
+
+  std::uint16_t port = 0;
+  const int listen_fd = open_listener(port);
+  ASSERT_GE(listen_fd, 0);
+  RemoteWorkerOptions ropts = test_remote(port);
+  ropts.chaos_kill_permille = 250;
+  ropts.chaos_kill_seed = 0xdeadbeef;
+  WorkerFleet fleet;
+  fleet.launch(2, p, opt, /*run_baseline=*/true, ropts);
+
+  SupervisorOptions sup = test_sup(2);
+  sup.listen_fd = listen_fd;
+  sup.max_fault_attempts = 1000;  // no poisoning: every fault must land
+  sup.max_worker_restarts = 10000;
+  const SupervisedMotRunner runner(p.circuit, opt, /*run_baseline=*/true, sup);
+  SupervisorStats stats;
+  const std::vector<MotBatchItem> got = runner.run(
+      p.test, p.good, p.faults, p.candidates, nullptr, nullptr, &stats);
+  ::close(listen_fd);  // orphaned reconnects fail fast, not via timeout
+  fleet.join();
+
+  expect_items_identical(got, want);
+  EXPECT_GT(stats.worker_deaths, 0u);
+  EXPECT_EQ(stats.poisoned_faults, 0u);
+  EXPECT_EQ(stats.lost_faults, 0u);
+  std::size_t kills = 0;
+  std::size_t rejoins = 0;
+  for (std::size_t i = 0; i < 2; ++i) {
+    kills += fleet.reports[i].chaos_kills;
+    rejoins += fleet.reports[i].connections;
+  }
+  EXPECT_GT(kills, 0u);
+  EXPECT_GT(rejoins, 2u);  // at least one worker came back after a kill
+}
+
+// Links severed mid-stream by the seeded chaos proxy are campaign weather:
+// workers reconnect through the same proxy (its sever budget eventually
+// runs dry), the replay log fills any gaps, and the merge stays
+// bit-identical.
+TEST(RemoteSupervision, ProxySeveredLinksAreInvisibleInResults) {
+  const Pipeline p = prepare(circuits::build_benchmark("s298"), 24, 11);
+  ASSERT_GT(p.candidates.size(), 4u);
+  MotOptions opt;
+  opt.num_threads = 1;
+  opt.n_states = 16;
+  const MotBatchRunner reference(p.circuit, opt, /*run_baseline=*/true);
+  const std::vector<MotBatchItem> want =
+      reference.run(p.test, p.good, p.faults, p.candidates);
+
+  std::uint16_t port = 0;
+  const int listen_fd = open_listener(port);
+  ASSERT_GE(listen_fd, 0);
+  netio::ChaosProxyPlan plan;
+  plan.sever_after_bytes = 500;  // cuts early in each doomed connection
+  plan.max_severs = 2;           // then the link behaves: completion assured
+  netio::ChaosProxy proxy(port, plan);
+  ASSERT_TRUE(proxy.ok()) << proxy.error();
+
+  WorkerFleet fleet;
+  fleet.launch(2, p, opt, /*run_baseline=*/true, test_remote(proxy.port()));
+
+  SupervisorOptions sup = test_sup(2);
+  sup.listen_fd = listen_fd;
+  sup.max_fault_attempts = 1000;
+  sup.max_worker_restarts = 10000;
+  const SupervisedMotRunner runner(p.circuit, opt, /*run_baseline=*/true, sup);
+  SupervisorStats stats;
+  const std::vector<MotBatchItem> got = runner.run(
+      p.test, p.good, p.faults, p.candidates, nullptr, nullptr, &stats);
+  ::close(listen_fd);
+  fleet.join();
+  proxy.shutdown();
+
+  expect_items_identical(got, want);
+  EXPECT_EQ(proxy.severed(), 2u);
+  EXPECT_GE(stats.worker_deaths, 1u);
+  EXPECT_EQ(stats.lost_faults, 0u);
+}
+
+// Regression: a worker whose link is severed between two faults of an
+// assigned group must treat the EOF as a lost link (reconnect, replay),
+// never as a clean Shutdown. With a single worker there is nobody to mask
+// the mistake — a worker that walks away strands the whole campaign in the
+// coordinator's rejoin window.
+TEST(RemoteSupervision, SingleWorkerReconnectsAfterAMidGroupSever) {
+  const Pipeline p = prepare(circuits::make_table1_example(), 20, 3);
+  ASSERT_GT(p.candidates.size(), 2u);
+  MotOptions opt;
+  opt.num_threads = 1;
+  const MotBatchRunner reference(p.circuit, opt, /*run_baseline=*/true);
+  const std::vector<MotBatchItem> want =
+      reference.run(p.test, p.good, p.faults, p.candidates);
+
+  std::uint16_t port = 0;
+  const int listen_fd = open_listener(port);
+  ASSERT_GE(listen_fd, 0);
+  netio::ChaosProxyPlan plan;
+  plan.sever_after_bytes = 400;  // lands mid-group: handshake + first
+                                 // assign fit well under 400 bytes
+  plan.max_severs = 1;
+  netio::ChaosProxy proxy(port, plan);
+  ASSERT_TRUE(proxy.ok()) << proxy.error();
+
+  WorkerFleet fleet;
+  fleet.launch(1, p, opt, /*run_baseline=*/true, test_remote(proxy.port()));
+
+  SupervisorOptions sup = test_sup(1);
+  sup.listen_fd = listen_fd;
+  sup.max_fault_attempts = 1000;
+  sup.max_worker_restarts = 10000;
+  const SupervisedMotRunner runner(p.circuit, opt, /*run_baseline=*/true, sup);
+  SupervisorStats stats;
+  const std::vector<MotBatchItem> got = runner.run(
+      p.test, p.good, p.faults, p.candidates, nullptr, nullptr, &stats);
+  ::close(listen_fd);
+  fleet.join();
+  proxy.shutdown();
+
+  expect_items_identical(got, want);
+  EXPECT_EQ(proxy.severed(), 1u);
+  EXPECT_EQ(stats.lost_faults, 0u);
+  EXPECT_EQ(stats.poisoned_faults, 0u);
+  // The load-bearing assertion: the sole worker came back after the cut.
+  EXPECT_GE(fleet.reports[0].connections, 2u);
+}
+
+// A coordinator whose workers never arrive must give up after
+// remote_join_ms with every fault incomplete (resumable), not hang.
+TEST(RemoteSupervision, NoWorkersWithinJoinDeadlineIsFleetLoss) {
+  const Pipeline p = prepare(circuits::make_table1_example(), 20, 3);
+  ASSERT_FALSE(p.candidates.empty());
+  MotOptions opt;
+  opt.num_threads = 1;
+  std::uint16_t port = 0;
+  const int listen_fd = open_listener(port);
+  ASSERT_GE(listen_fd, 0);
+
+  SupervisorOptions sup = test_sup(2);
+  sup.listen_fd = listen_fd;
+  sup.remote_join_ms = 50;
+  const SupervisedMotRunner runner(p.circuit, opt, /*run_baseline=*/true, sup);
+  SupervisorStats stats;
+  const std::vector<MotBatchItem> got = runner.run(
+      p.test, p.good, p.faults, p.candidates, nullptr, nullptr, &stats);
+  ::close(listen_fd);
+
+  EXPECT_EQ(stats.lost_faults, p.candidates.size());
+  ASSERT_EQ(got.size(), p.candidates.size());
+  for (const MotBatchItem& item : got) {
+    EXPECT_FALSE(item.completed);
+    EXPECT_EQ(item.mot.unresolved, UnresolvedReason::Cancelled);
+  }
+}
+
+// Flag drift between hosts is caught at admission: a worker whose options
+// hash differs is rejected with "campaign_mismatch" (terminal, exit 6)
+// while a matching worker completes the campaign untouched.
+TEST(RemoteSupervision, MismatchedCampaignIsRejectedAtHandshake) {
+  const Pipeline p = prepare(circuits::make_table1_example(), 20, 3);
+  ASSERT_FALSE(p.candidates.empty());
+  MotOptions opt;
+  opt.num_threads = 1;
+  const MotBatchRunner reference(p.circuit, opt, /*run_baseline=*/true);
+  const std::vector<MotBatchItem> want =
+      reference.run(p.test, p.good, p.faults, p.candidates);
+
+  std::uint16_t port = 0;
+  const int listen_fd = open_listener(port);
+  ASSERT_GE(listen_fd, 0);
+
+  MotOptions drifted = opt;
+  drifted.n_states = opt.n_states / 2;  // result-affecting: different hash
+  WorkerFleet bad;
+  bad.launch(1, p, drifted, /*run_baseline=*/true, test_remote(port));
+  WorkerFleet good;
+  good.launch(1, p, opt, /*run_baseline=*/true, test_remote(port));
+
+  SupervisorOptions sup = test_sup(1);
+  sup.listen_fd = listen_fd;
+  const SupervisedMotRunner runner(p.circuit, opt, /*run_baseline=*/true, sup);
+  SupervisorStats stats;
+  const std::vector<MotBatchItem> got = runner.run(
+      p.test, p.good, p.faults, p.candidates, nullptr, nullptr, &stats);
+  ::close(listen_fd);
+  bad.join();
+  good.join();
+
+  expect_items_identical(got, want);
+  EXPECT_EQ(stats.lost_faults, 0u);
+  EXPECT_EQ(bad.rcs[0], kRemoteWorkerTransportFailure);
+  EXPECT_NE(bad.reports[0].error.find("campaign_mismatch"), std::string::npos)
+      << bad.reports[0].error;
+  EXPECT_EQ(bad.reports[0].connections, 0u);  // never welcomed
+  EXPECT_EQ(good.rcs[0], kRemoteWorkerOk) << good.reports[0].error;
+  EXPECT_TRUE(good.reports[0].clean_shutdown);
+}
+
+// Remote campaigns journal exactly like local ones: a journaled chaos run
+// completes through kills and rejoins, and a resume finds nothing to do.
+TEST(RemoteSupervision, JournaledRemoteChaosRunResumesToNoop) {
+  const Pipeline p = prepare(circuits::make_table1_example(), 20, 3);
+  ASSERT_FALSE(p.candidates.empty());
+  MotOptions opt;
+  opt.num_threads = 1;
+  const MotBatchRunner reference(p.circuit, opt, /*run_baseline=*/true);
+  const std::vector<MotBatchItem> want =
+      reference.run(p.test, p.good, p.faults, p.candidates);
+
+  const std::string path = testing::TempDir() + "/remote_chaos.journal";
+  const JournalMeta meta = make_journal_meta(p.circuit.name(), p.faults.size(),
+                                             p.test, opt, /*baseline=*/true);
+  std::string err;
+  auto journal = CampaignJournal::create(path, meta, err);
+  ASSERT_NE(journal, nullptr) << err;
+
+  std::uint16_t port = 0;
+  const int listen_fd = open_listener(port);
+  ASSERT_GE(listen_fd, 0);
+  RemoteWorkerOptions ropts = test_remote(port);
+  ropts.chaos_kill_permille = 300;
+  ropts.chaos_kill_seed = 42;
+  WorkerFleet fleet;
+  fleet.launch(2, p, opt, /*run_baseline=*/true, ropts);
+
+  SupervisorOptions sup = test_sup(2);
+  sup.listen_fd = listen_fd;
+  sup.max_fault_attempts = 1000;
+  sup.max_worker_restarts = 10000;
+  const SupervisedMotRunner runner(p.circuit, opt, /*run_baseline=*/true, sup);
+  SupervisorStats stats;
+  const std::vector<MotBatchItem> got = runner.run(
+      p.test, p.good, p.faults, p.candidates, journal.get(), nullptr, &stats);
+  ::close(listen_fd);
+  fleet.join();
+  expect_items_identical(got, want);
+
   journal.reset();
   auto resumed = CampaignJournal::open_resume(path, meta, err);
   ASSERT_NE(resumed, nullptr) << err;

@@ -7,19 +7,27 @@
 #include <signal.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <set>
+#include <thread>
 #include <vector>
 
 #include "util/bench_guard.hpp"
+#include "util/byte_channel.hpp"
+#include "util/chaos_proxy.hpp"
 #include "util/cli.hpp"
 #include "util/deadline.hpp"
 #include "util/errors.hpp"
 #include "util/fsio.hpp"
 #include "util/rng.hpp"
+#include "util/socket.hpp"
 #include "util/strings.hpp"
 #include "util/subprocess.hpp"
 #include "util/table.hpp"
@@ -675,6 +683,378 @@ TEST(Subprocess, TryWaitSeesRunningThenReaped) {
   EXPECT_TRUE(sp::exited_cleanly(status));
   ::close(child.command_fd);
   ::close(child.result_fd);
+}
+
+// ------------------------------------------------------------- netio -----
+
+// A connected AF_UNIX channel pair, or the test fails.
+void make_channel_pair(std::unique_ptr<netio::SocketChannel>& a,
+                       std::unique_ptr<netio::SocketChannel>& b) {
+  ASSERT_EQ(netio::tcp_socketpair(a, b), 0);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+}
+
+TEST(ByteChannel, FdChannelRoundTripsOverAPipePair) {
+  sp::Pipe p;
+  ASSERT_EQ(sp::make_pipe(p), 0);
+  netio::FdChannel chan(p.read_fd, p.write_fd);  // owns both ends
+  int err = 0;
+  ASSERT_EQ(chan.write("hello", 5, err), 5);
+  char buf[16] = {};
+  ASSERT_EQ(chan.read(buf, sizeof buf, err), 5);
+  EXPECT_EQ(std::string(buf, 5), "hello");
+  chan.close();
+  EXPECT_EQ(chan.poll_fd(), -1);
+  EXPECT_EQ(chan.read(buf, sizeof buf, err), 0);   // closed reads are EOF
+  EXPECT_EQ(chan.write("x", 1, err), -1);          // closed writes fail
+  EXPECT_EQ(err, EBADF);
+}
+
+TEST(ByteChannel, BorrowedFdChannelLeavesTheFdAlive) {
+  sp::Pipe p;
+  ASSERT_EQ(sp::make_pipe(p), 0);
+  {
+    netio::FdChannel borrowed(p.read_fd, p.write_fd, /*own=*/false);
+    int err = 0;
+    ASSERT_EQ(borrowed.write("q", 1, err), 1);
+  }  // destructor must only forget the fds, not ::close them
+  char ch = 0;
+  EXPECT_EQ(::read(p.read_fd, &ch, 1), 1);
+  EXPECT_EQ(ch, 'q');
+  ::close(p.read_fd);
+  ::close(p.write_fd);
+}
+
+TEST(ByteChannel, InjectedErrnoFiresOnTheScriptedOpThenClears) {
+  std::unique_ptr<netio::SocketChannel> a, b;
+  make_channel_pair(a, b);
+  int err = 0;
+  ASSERT_EQ(b->write("abcd", 4, err), 4);
+
+  netio::ChannelFaultPlan plan;
+  plan.fail_at_op = 1;
+  plan.kind = netio::ChannelFaultKind::Errno;
+  plan.err = ECONNRESET;
+  netio::FaultInjectingChannel chan(plan, *a);
+  char buf[8] = {};
+  EXPECT_EQ(chan.read(buf, sizeof buf, err), -1);  // op 1: injected
+  EXPECT_EQ(err, ECONNRESET);
+  ASSERT_EQ(chan.read(buf, sizeof buf, err), 4);   // op 2: plan spent
+  EXPECT_EQ(std::string(buf, 4), "abcd");
+  EXPECT_EQ(chan.ops(), 2u);
+}
+
+TEST(ByteChannel, InjectedShortReadAndShortWriteHalveTheTransfer) {
+  std::unique_ptr<netio::SocketChannel> a, b;
+  make_channel_pair(a, b);
+  int err = 0;
+  ASSERT_EQ(b->write("12345678", 8, err), 8);
+
+  netio::ChannelFaultPlan plan;
+  plan.fail_at_op = 1;
+  plan.kind = netio::ChannelFaultKind::ShortRead;
+  plan.fail_count = UINT64_MAX;
+  netio::FaultInjectingChannel reader(plan, *a);
+  char buf[8] = {};
+  const ssize_t n = reader.read(buf, sizeof buf, err);
+  ASSERT_GT(n, 0);
+  EXPECT_LE(n, 4);  // at most half of the requested bytes
+
+  plan.kind = netio::ChannelFaultKind::ShortWrite;
+  netio::FaultInjectingChannel writer(plan, *b);
+  const ssize_t w = writer.write("abcdefgh", 8, err);
+  ASSERT_GT(w, 0);
+  EXPECT_LE(w, 4);  // partial writes are normal; callers must loop
+}
+
+TEST(ByteChannel, InjectedStallReportsEagainThenRecovers) {
+  std::unique_ptr<netio::SocketChannel> a, b;
+  make_channel_pair(a, b);
+  int err = 0;
+  ASSERT_EQ(b->write("z", 1, err), 1);
+
+  netio::ChannelFaultPlan plan;
+  plan.fail_at_op = 1;
+  plan.kind = netio::ChannelFaultKind::Stall;
+  plan.fail_count = 2;
+  netio::FaultInjectingChannel chan(plan, *a);
+  char buf[4] = {};
+  EXPECT_EQ(chan.read(buf, sizeof buf, err), -1);
+  EXPECT_EQ(err, EAGAIN);
+  EXPECT_EQ(chan.read(buf, sizeof buf, err), -1);
+  EXPECT_EQ(err, EAGAIN);
+  ASSERT_EQ(chan.read(buf, sizeof buf, err), 1);  // link unstuck
+  EXPECT_EQ(buf[0], 'z');
+}
+
+TEST(ByteChannel, InjectedDropLatchesForever) {
+  std::unique_ptr<netio::SocketChannel> a, b;
+  make_channel_pair(a, b);
+  int err = 0;
+  ASSERT_EQ(b->write("pending", 7, err), 7);
+
+  netio::ChannelFaultPlan plan;
+  plan.fail_at_op = 1;
+  plan.kind = netio::ChannelFaultKind::Drop;
+  plan.fail_count = 1;  // ignored: a dropped link stays dropped
+  netio::FaultInjectingChannel chan(plan, *a);
+  char buf[8] = {};
+  EXPECT_EQ(chan.read(buf, sizeof buf, err), 0);  // EOF despite queued bytes
+  EXPECT_TRUE(chan.dropped());
+  EXPECT_EQ(chan.write("x", 1, err), -1);
+  EXPECT_EQ(err, EPIPE);
+  EXPECT_EQ(chan.read(buf, sizeof buf, err), 0);  // still dropped
+}
+
+TEST(ByteChannel, EintrIsRetriedByTheFramePlumbing) {
+  // Regression for the supervisor's signal handling: the CLI installs
+  // handlers without SA_RESTART, so EINTR can surface from any socket op.
+  // Both write_frame and FrameReader::feed must retry it — an interrupted
+  // call is never a dead peer.
+  std::unique_ptr<netio::SocketChannel> a, b;
+  make_channel_pair(a, b);
+
+  netio::ChannelFaultPlan plan;
+  plan.fail_at_op = 1;
+  plan.kind = netio::ChannelFaultKind::Errno;
+  plan.err = EINTR;
+  plan.fail_count = 3;
+  netio::FaultInjectingChannel wchan(plan, *b);
+  ASSERT_EQ(sp::write_frame(wchan, 6, "heartbeat"), 0);
+  EXPECT_GE(wchan.ops(), 4u);  // three interrupted attempts plus the real one
+
+  netio::FaultInjectingChannel rchan(plan, *a);
+  sp::FrameReader reader(rchan);
+  std::uint8_t type = 0;
+  std::string payload;
+  ASSERT_TRUE(read_one_frame(reader, type, payload));
+  EXPECT_EQ(type, 6);
+  EXPECT_EQ(payload, "heartbeat");
+  EXPECT_FALSE(reader.corrupt());
+}
+
+TEST(ByteChannel, MaximumSizeFrameRoundTripsUnderBackpressure) {
+  // A frame of exactly kMaxFramePayload is legal; one byte more is hostile.
+  // The writer runs on its own thread because the whole frame is far larger
+  // than any socket buffer — this also exercises write_frame's partial-write
+  // loop over a real kernel stream.
+  std::unique_ptr<netio::SocketChannel> a, b;
+  make_channel_pair(a, b);
+  const std::string big(sp::kMaxFramePayload, 'M');
+  std::thread writer(
+      [&] { EXPECT_EQ(sp::write_frame(*b, 11, big), 0); });
+  sp::FrameReader reader(*a);
+  std::uint8_t type = 0;
+  std::string payload;
+  ASSERT_TRUE(read_one_frame(reader, type, payload));
+  writer.join();
+  EXPECT_EQ(type, 11);
+  EXPECT_EQ(payload.size(), big.size());
+  EXPECT_EQ(payload, big);
+  EXPECT_FALSE(reader.corrupt());
+}
+
+TEST(ByteChannel, HostileLengthFuzzNeverAllocatesOrParses) {
+  // Fuzz the reader with corrupt headers: any declared length above
+  // kMaxFramePayload must flag corruption from the header alone — before
+  // allocating payload space — no matter how the bytes dribble in.
+  Rng rng(20260809);
+  for (int round = 0; round < 32; ++round) {
+    sp::Pipe p;
+    ASSERT_EQ(sp::make_pipe(p), 0);
+    const std::uint32_t len =
+        static_cast<std::uint32_t>(sp::kMaxFramePayload) + 1 +
+        static_cast<std::uint32_t>(rng.next_below(0x7000'0000));
+    unsigned char wire[5];
+    wire[0] = static_cast<unsigned char>(rng.next_below(256));
+    for (int i = 0; i < 4; ++i) {
+      wire[1 + i] = static_cast<unsigned char>(len >> (8 * i));
+    }
+    sp::FrameReader reader(p.read_fd);
+    std::uint8_t type = 0;
+    std::string payload;
+    // Deliver the header in 1..5-byte slices (seeded), feeding after each.
+    std::size_t sent = 0;
+    while (sent < sizeof wire) {
+      const std::size_t slice =
+          std::min(sizeof wire - sent, 1 + rng.next_below(5));
+      ASSERT_EQ(::write(p.write_fd, wire + sent, slice),
+                static_cast<ssize_t>(slice));
+      sent += slice;
+      int err = 0;
+      ASSERT_EQ(reader.feed(err), sp::FrameReader::FeedStatus::Data);
+      EXPECT_FALSE(reader.next(type, payload));
+    }
+    EXPECT_TRUE(reader.corrupt()) << "round " << round << " len " << len;
+    // A corrupt reader stays corrupt: feeding more bytes cannot revive it.
+    ASSERT_EQ(::write(p.write_fd, "junk", 4), 4);
+    int err = 0;
+    reader.feed(err);
+    EXPECT_FALSE(reader.next(type, payload));
+    EXPECT_TRUE(reader.corrupt());
+    ::close(p.write_fd);
+    ::close(p.read_fd);
+  }
+}
+
+TEST(Netio, ParseHostportAcceptsAndRejects) {
+  std::string host, error;
+  std::uint16_t port = 0;
+  EXPECT_TRUE(netio::parse_hostport("127.0.0.1:9000", host, port, error));
+  EXPECT_EQ(host, "127.0.0.1");
+  EXPECT_EQ(port, 9000);
+  EXPECT_TRUE(netio::parse_hostport("0.0.0.0:0", host, port, error));
+  EXPECT_EQ(port, 0);
+  for (const char* bad : {"nocolon", ":9000", "host:", "host:65536",
+                          "host:-1", "host:12x", ""}) {
+    error.clear();
+    EXPECT_FALSE(netio::parse_hostport(bad, host, port, error)) << bad;
+    EXPECT_FALSE(error.empty()) << bad;
+  }
+}
+
+TEST(Netio, FramesRoundTripOverLoopbackTcp) {
+  std::string error;
+  const int listen_fd = netio::tcp_listen("127.0.0.1", 0, error);
+  ASSERT_GE(listen_fd, 0) << error;
+  const std::uint16_t port = netio::local_port(listen_fd);
+  ASSERT_NE(port, 0);
+
+  const int cfd = netio::tcp_connect("127.0.0.1", port, 2000, error);
+  ASSERT_GE(cfd, 0) << error;
+  int err = 0;
+  const int sfd = netio::tcp_accept(listen_fd, err);
+  ASSERT_GE(sfd, 0) << err;
+
+  netio::SocketChannel client(cfd), server(sfd);
+  ASSERT_EQ(sp::write_frame(client, 3, "to-coordinator"), 0);
+  ASSERT_EQ(sp::write_frame(server, 1, "to-worker"), 0);
+  sp::FrameReader sr(server), cr(client);
+  std::uint8_t type = 0;
+  std::string payload;
+  ASSERT_TRUE(read_one_frame(sr, type, payload));
+  EXPECT_EQ(type, 3);
+  EXPECT_EQ(payload, "to-coordinator");
+  ASSERT_TRUE(read_one_frame(cr, type, payload));
+  EXPECT_EQ(type, 1);
+  EXPECT_EQ(payload, "to-worker");
+  ::close(listen_fd);
+}
+
+TEST(Netio, ConnectToADeadPortFailsWithinTheDeadline) {
+  // Bind an ephemeral port, then free it: connecting there must fail fast
+  // (refused), not hang the worker's reconnect loop.
+  std::string error;
+  const int listen_fd = netio::tcp_listen("127.0.0.1", 0, error);
+  ASSERT_GE(listen_fd, 0) << error;
+  const std::uint16_t port = netio::local_port(listen_fd);
+  ASSERT_NE(port, 0);
+  ::close(listen_fd);
+  const int fd = netio::tcp_connect("127.0.0.1", port, 2000, error);
+  EXPECT_LT(fd, 0);
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(Netio, ChaosCoinIsDeterministic) {
+  int severs = 0;
+  for (std::uint64_t chunk = 0; chunk < 2000; ++chunk) {
+    const bool a = netio::chaos_proxy_should_sever(42, 1, chunk, 100);
+    const bool b = netio::chaos_proxy_should_sever(42, 1, chunk, 100);
+    EXPECT_EQ(a, b);
+    severs += a;
+  }
+  // ~100/1000 per mille over 2000 draws: the coin is biased as configured.
+  EXPECT_GT(severs, 100);
+  EXPECT_LT(severs, 350);
+  // Different seeds and connections decide independently.
+  bool diverged = false;
+  for (std::uint64_t chunk = 0; chunk < 256 && !diverged; ++chunk) {
+    diverged = netio::chaos_proxy_should_sever(1, 0, chunk, 500) !=
+               netio::chaos_proxy_should_sever(2, 0, chunk, 500);
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(Netio, ChaosProxyRelaysCleanlyWithAnEmptyPlan) {
+  // Upstream: a one-shot echo server on its own thread.
+  std::string error;
+  const int listen_fd = netio::tcp_listen("127.0.0.1", 0, error);
+  ASSERT_GE(listen_fd, 0) << error;
+  const std::uint16_t upstream_port = netio::local_port(listen_fd);
+  std::thread echo([listen_fd] {
+    int err = 0;
+    const int fd = netio::tcp_accept(listen_fd, err);
+    if (fd < 0) return;
+    netio::SocketChannel chan(fd);
+    sp::FrameReader reader(chan);
+    std::uint8_t type = 0;
+    std::string payload;
+    if (read_one_frame(reader, type, payload)) {
+      sp::write_frame(chan, type, payload);
+    }
+  });
+
+  netio::ChaosProxy proxy(upstream_port, netio::ChaosProxyPlan{});
+  ASSERT_TRUE(proxy.ok()) << proxy.error();
+  const int cfd = netio::tcp_connect("127.0.0.1", proxy.port(), 2000, error);
+  ASSERT_GE(cfd, 0) << error;
+  netio::SocketChannel client(cfd);
+  ASSERT_EQ(sp::write_frame(client, 4, "through the proxy"), 0);
+  sp::FrameReader reader(client);
+  std::uint8_t type = 0;
+  std::string payload;
+  ASSERT_TRUE(read_one_frame(reader, type, payload));
+  EXPECT_EQ(type, 4);
+  EXPECT_EQ(payload, "through the proxy");
+  EXPECT_EQ(proxy.severed(), 0u);
+  echo.join();
+  ::close(listen_fd);
+  proxy.shutdown();
+}
+
+TEST(Netio, ChaosProxySeversAfterTheConfiguredBytes) {
+  // Upstream sink: accepts and drains until EOF.
+  std::string error;
+  const int listen_fd = netio::tcp_listen("127.0.0.1", 0, error);
+  ASSERT_GE(listen_fd, 0) << error;
+  const std::uint16_t upstream_port = netio::local_port(listen_fd);
+  std::thread sink([listen_fd] {
+    int err = 0;
+    const int fd = netio::tcp_accept(listen_fd, err);
+    if (fd < 0) return;
+    netio::SocketChannel chan(fd);
+    char buf[4096];
+    while (chan.read(buf, sizeof buf, err) > 0) {
+    }
+  });
+
+  netio::ChaosProxyPlan plan;
+  plan.sever_after_bytes = 64;
+  netio::ChaosProxy proxy(upstream_port, plan);
+  ASSERT_TRUE(proxy.ok()) << proxy.error();
+  const int cfd = netio::tcp_connect("127.0.0.1", proxy.port(), 2000, error);
+  ASSERT_GE(cfd, 0) << error;
+  netio::SocketChannel client(cfd);
+  // Keep pushing until the severed link surfaces as EPIPE/ECONNRESET (or a
+  // dead write); the proxy guarantees it after ~64 relayed bytes. Yield
+  // between writes — on a single core the relay thread otherwise never runs
+  // while the kernel send buffer swallows everything.
+  const std::string chunk(32, 'c');
+  bool dead = false;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  while (!dead && std::chrono::steady_clock::now() < deadline) {
+    int err = 0;
+    const ssize_t n = client.write(chunk.data(), chunk.size(), err);
+    if (n < 0 && err != EINTR && err != EAGAIN) dead = true;
+    if (!dead) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_TRUE(dead);
+  EXPECT_GE(proxy.severed(), 1u);
+  sink.join();
+  ::close(listen_fd);
+  proxy.shutdown();
 }
 
 }  // namespace
